@@ -1,0 +1,173 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§5) with container-friendly defaults, plus a Bechamel
+   micro-benchmark suite for single-threaded per-operation costs.
+
+   Output sections map 1:1 onto the paper (see DESIGN.md §3):
+     Fig 1/2  - queues, enq/deq pairs (raw and normalized)
+     Fig 3/4  - Michael-Harris list across schemes, three mixes
+     Fig 5/6  - the four OrcGC-only/annotated lists
+     Fig 7/8  - NM-tree and skip lists, large key range
+     Table 1  - measured peak unreclaimed objects vs theoretical bounds
+     Mem      - HS-skip vs CRF-skip footprint
+     Ablation - PTP publish instruction, handover drain on clear
+
+   On this single-machine setup the Intel/AMD pair of each figure
+   collapses to one series; EXPERIMENTS.md records the mapping. *)
+
+open Bechamel
+open Toolkit
+
+let params =
+  {
+    Harness.Experiments.threads = [ 1; 2; 4 ];
+    duration = 0.15;
+    list_keys = 1_000;
+    big_keys = 20_000;
+    csv = None;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one per structure family, measuring the
+   single-threaded per-operation cost that dominates the figures'
+   1-thread data points. *)
+
+module Q_orc = Ds.Orc_ms_queue.Make (struct
+  type t = int
+end)
+
+module Q_ptp = Ds.Ms_queue.Make
+    (struct
+      type t = int
+    end)
+    (Orc_core.Ptp.Make)
+
+module L_orc = Ds.Orc_michael_list.Make ()
+module L_hp = Ds.Michael_list.Make (Reclaim.Hp.Make)
+module T_orc = Ds.Orc_nm_tree.Make ()
+module S_crf = Ds.Orc_crf_skiplist.Make ()
+
+let micro_tests () =
+  let q_orc = Q_orc.create () in
+  let q_ptp = Q_ptp.create () in
+  let l_orc = L_orc.create () in
+  let l_hp = L_hp.create () in
+  let t_orc = T_orc.create () in
+  let s_crf = S_crf.create () in
+  for k = 1 to 512 do
+    ignore (L_orc.add l_orc k);
+    ignore (L_hp.add l_hp k);
+    ignore (T_orc.add t_orc k);
+    ignore (S_crf.add s_crf k)
+  done;
+  [
+    Test.make ~name:"msq-orc enq+deq pair"
+      (Staged.stage (fun () ->
+           Q_orc.enqueue q_orc 1;
+           ignore (Q_orc.dequeue q_orc)));
+    Test.make ~name:"msq-ptp enq+deq pair"
+      (Staged.stage (fun () ->
+           Q_ptp.enqueue q_ptp 1;
+           ignore (Q_ptp.dequeue q_ptp)));
+    Test.make ~name:"list-orc contains"
+      (Staged.stage (fun () -> ignore (L_orc.contains l_orc 256)));
+    Test.make ~name:"list-hp contains"
+      (Staged.stage (fun () -> ignore (L_hp.contains l_hp 256)));
+    Test.make ~name:"nmtree-orc contains"
+      (Staged.stage (fun () -> ignore (T_orc.contains t_orc 256)));
+    Test.make ~name:"crf-skip contains"
+      (Staged.stage (fun () -> ignore (S_crf.contains s_crf 256)));
+  ]
+
+let run_micro () =
+  Format.printf "@.== Bechamel micro-benchmarks (single-threaded ns/op) ==@.";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 100) ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let results = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some (est :: _) -> Format.printf "  %-28s %10.1f ns/op@." name est
+          | Some [] | None -> Format.printf "  %-28s (no estimate)@." name)
+        results)
+    (micro_tests ())
+
+(* ------------------------------------------------------------------ *)
+
+let print_mix_tables title tables =
+  List.iter
+    (fun (mix, series) ->
+      Harness.Report.print_table ~title:(title ^ " / " ^ mix) series)
+    tables
+
+let () =
+  let open Harness in
+  Format.printf "OrcGC reproduction benchmarks (threads: %s, %.2fs/point)@."
+    (String.concat "," (List.map string_of_int params.threads))
+    params.duration;
+
+  let fig1 = Experiments.fig1_queues params in
+  Report.print_table ~title:"Fig 1/2: queues, enq/deq pairs" fig1;
+  Report.print_table ~title:"Fig 1/2 normalized (vs ms-hp)"
+    ~unit_label:"x vs ms-hp"
+    (Report.normalize ~base_label:"ms-hp" fig1);
+
+  print_mix_tables "Fig 3/4: Michael-Harris list, schemes"
+    (Experiments.fig3_list_schemes params);
+
+  print_mix_tables "Fig 5/6: lists with OrcGC"
+    (Experiments.fig5_orc_lists params);
+
+  print_mix_tables "Fig 7/8: tree and skip lists"
+    (Experiments.fig7_trees params);
+
+  Format.printf "@.== Table 1 (measured): peak unreclaimed objects ==@.";
+  Format.printf "  %-10s %8s %6s %16s %12s %12s@." "scheme" "threads" "H"
+    "peak-unreclaimed" "bound" "bound-value";
+  List.iter
+    (fun r ->
+      Format.printf "  %-10s %8d %6d %16d %12s %12s@."
+        r.Experiments.b_scheme r.b_threads r.b_hps r.b_max_unreclaimed
+        r.b_bound
+        (if r.b_bound_value < 0 then "-" else string_of_int r.b_bound_value))
+    (Experiments.table1_bounds params);
+
+  Format.printf "@.== Memory footprint: HS-skip vs CRF-skip (5) ==@.";
+  Format.printf "  %-12s %12s %12s %12s %14s %14s@." "structure" "peak-live"
+    "final-live" "~reachable" "pinned-chain" "after-unpin";
+  List.iter
+    (fun m ->
+      Format.printf "  %-12s %12d %12d %12d %14d %14d@."
+        m.Experiments.m_structure m.m_peak_live m.m_final_live m.m_reachable
+        m.m_pinned_live m.m_pinned_after)
+    (Experiments.mem_footprint params);
+
+  Report.print_table ~title:"Ablation: PTP publish instruction"
+    (Experiments.ablation_publish params);
+
+  Format.printf "@.== Ablation: handover drain on clear (Alg 2 l.16-19) ==@.";
+  List.iter
+    (fun (label, residual) ->
+      Format.printf "  %-24s residual unreclaimed = %d@." label residual)
+    (Experiments.ablation_clear_handover params);
+
+  Report.print_table ~title:"Extension: Michael hash table (write-heavy)"
+    (Experiments.ext_hashmap params);
+
+  Format.printf "@.== Ablation: OrcGC protection backend (4) ==@.";
+  List.iter
+    (fun r ->
+      Format.printf "  %-10s %8.3f Mops/s   peak-unreclaimed=%d@."
+        r.Harness.Experiments.k_backend r.k_mops r.k_peak_unreclaimed)
+    (Harness.Experiments.ablation_backend params);
+
+
+  run_micro ();
+  Format.printf "@.done.@."

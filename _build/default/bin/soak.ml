@@ -1,0 +1,175 @@
+(* Soak test: hammer every structure × scheme combination at once with
+   randomized mixed workloads for a configurable duration, then verify
+   coherence and leak-freedom of each.  The idea is to find the bugs a
+   20-second unit test can't: rare interleavings in helping protocols,
+   slow leaks through handover slots, claim chains, stale-helper races.
+
+     dune exec bin/soak.exe -- --seconds 60 --workers 6
+
+   Exits non-zero on the first violated invariant (an exception escaping
+   a worker — e.g. Use_after_free — or a leak after teardown). *)
+
+open Cmdliner
+open Atomicx
+
+module Int_item = struct
+  type t = int
+end
+
+(* One soak target: closures over a live structure instance. *)
+type target = {
+  name : string;
+  op : Rng.t -> unit; (* one random operation *)
+  teardown : unit -> unit;
+  live : unit -> int;
+  coherent : unit -> bool; (* cheap structural invariant, quiesced *)
+}
+
+let queue_target (type a) name
+    (module Q : Ds.Intf.QUEUE with type item = int and type t = a) =
+  let q = Q.create () in
+  {
+    name;
+    op =
+      (fun rng ->
+        if Rng.bool rng then Q.enqueue q (Rng.int rng 1_000_000)
+        else ignore (Q.dequeue q));
+    teardown =
+      (fun () ->
+        Q.destroy q;
+        Q.flush q);
+    live = (fun () -> Memdom.Alloc.live (Q.alloc q));
+    coherent = (fun () -> true);
+  }
+
+let set_target (type a) name ~keys
+    (module S : Ds.Intf.SET with type t = a) =
+  let s = S.create () in
+  {
+    name;
+    op =
+      (fun rng ->
+        let k = 1 + Rng.int rng keys in
+        match Rng.int rng 3 with
+        | 0 -> ignore (S.add s k)
+        | 1 -> ignore (S.remove s k)
+        | _ -> ignore (S.contains s k));
+    teardown =
+      (fun () ->
+        S.destroy s;
+        S.flush s);
+    live = (fun () -> Memdom.Alloc.live (S.alloc s));
+    coherent =
+      (fun () ->
+        let l = S.to_list s in
+        List.sort_uniq compare l = l);
+  }
+
+module Msq_hp = Ds.Ms_queue.Make (Int_item) (Reclaim.Hp.Make)
+module Msq_ptp = Ds.Ms_queue.Make (Int_item) (Orc_core.Ptp.Make)
+module Msq_orc = Ds.Orc_ms_queue.Make (Int_item)
+module Lcrq_orc = Ds.Orc_lcrq.Make (Int_item)
+module Kpq = Ds.Orc_kp_queue.Make (Int_item)
+module Turn = Ds.Orc_turn_queue.Make (Int_item)
+module Ml_hp = Ds.Michael_list.Make (Reclaim.Hp.Make)
+module Ml_ptp = Ds.Michael_list.Make (Orc_core.Ptp.Make)
+module Ml_orc = Ds.Orc_michael_list.Make ()
+module Harris = Ds.Orc_harris_list.Make ()
+module Hsl = Ds.Orc_hs_list.Make ()
+module Tbkp = Ds.Orc_tbkp_list.Make ()
+module Nm_hp = Ds.Nm_tree.Make (Reclaim.Hp.Make)
+module Nm_orc = Ds.Orc_nm_tree.Make ()
+module Skip_hs = Ds.Orc_hs_skiplist.Make ()
+module Skip_crf = Ds.Orc_crf_skiplist.Make ()
+module Hm_hp = Ds.Hash_map.Make (Reclaim.Hp.Make)
+module Hm_orc = Ds.Orc_hash_map.Make ()
+
+let targets () =
+  [
+    queue_target "ms-hp" (module Msq_hp);
+    queue_target "ms-ptp" (module Msq_ptp);
+    queue_target "ms-orc" (module Msq_orc);
+    queue_target "lcrq-orc" (module Lcrq_orc);
+    queue_target "kp-orc" (module Kpq);
+    queue_target "turn-orc" (module Turn);
+    set_target "michael-hp" ~keys:256 (module Ml_hp);
+    set_target "michael-ptp" ~keys:256 (module Ml_ptp);
+    set_target "michael-orc" ~keys:256 (module Ml_orc);
+    set_target "harris-orc" ~keys:256 (module Harris);
+    set_target "hs-orc" ~keys:256 (module Hsl);
+    set_target "tbkp-orc" ~keys:64 (module Tbkp);
+    set_target "nmtree-hp" ~keys:1024 (module Nm_hp);
+    set_target "nmtree-orc" ~keys:1024 (module Nm_orc);
+    set_target "hs-skip" ~keys:1024 (module Skip_hs);
+    set_target "crf-skip" ~keys:1024 (module Skip_crf);
+    set_target "hashmap-hp" ~keys:1024 (module Hm_hp);
+    set_target "hashmap-orc" ~keys:1024 (module Hm_orc);
+  ]
+
+let run seconds workers seed =
+  let ts = targets () in
+  Printf.printf "soak: %d structures, %d workers, %.0fs, seed %d\n%!"
+    (List.length ts) workers seconds seed;
+  let stop = Atomic.make false in
+  let failures = Atomic.make 0 in
+  let ops = Atomic.make 0 in
+  let arr = Array.of_list ts in
+  let doms =
+    List.init workers (fun i ->
+        Domain.spawn (fun () ->
+            Registry.with_tid (fun _ ->
+                let rng = Rng.create (seed + ((i + 1) * 65599)) in
+                try
+                  while not (Atomic.get stop) do
+                    let t = arr.(Rng.int rng (Array.length arr)) in
+                    t.op rng;
+                    ignore (Atomic.fetch_and_add ops 1)
+                  done
+                with e ->
+                  ignore (Atomic.fetch_and_add failures 1);
+                  Printf.eprintf "worker %d: %s\n%!" i (Printexc.to_string e))))
+  in
+  let t0 = Unix.gettimeofday () in
+  while Unix.gettimeofday () -. t0 < seconds && Atomic.get failures = 0 do
+    Thread.delay 0.2
+  done;
+  Atomic.set stop true;
+  List.iter Domain.join doms;
+  Printf.printf "executed %d operations\n%!" (Atomic.get ops);
+  let bad = ref (Atomic.get failures) in
+  List.iter
+    (fun t ->
+      if not (t.coherent ()) then begin
+        incr bad;
+        Printf.eprintf "%s: structural invariant violated\n%!" t.name
+      end;
+      t.teardown ();
+      let live = t.live () in
+      if live <> 0 then begin
+        incr bad;
+        Printf.eprintf "%s: %d objects leaked\n%!" t.name live
+      end)
+    ts;
+  if !bad = 0 then begin
+    Printf.printf "soak passed: no UAF, no incoherence, no leaks\n";
+    0
+  end
+  else begin
+    Printf.eprintf "soak FAILED: %d violations\n" !bad;
+    1
+  end
+
+let seconds_arg =
+  Arg.(value & opt float 10.0 & info [ "seconds"; "s" ] ~doc:"Soak duration.")
+
+let workers_arg =
+  Arg.(value & opt int 6 & info [ "workers"; "w" ] ~doc:"Worker domains.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "soak" ~doc:"randomized cross-structure soak test")
+    Term.(const run $ seconds_arg $ workers_arg $ seed_arg)
+
+let () = exit (Cmd.eval' cmd)

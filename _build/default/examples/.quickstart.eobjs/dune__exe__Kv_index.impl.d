@@ -1,0 +1,1 @@
+examples/kv_index.ml: Atomic Atomicx Domain Ds Harness List Memdom Printf Registry Rng Thread

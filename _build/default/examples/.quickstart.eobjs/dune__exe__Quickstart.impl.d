@@ -1,0 +1,1 @@
+examples/quickstart.ml: Atomic Atomicx Domain Ds List Memdom Printf

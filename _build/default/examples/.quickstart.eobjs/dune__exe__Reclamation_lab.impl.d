@@ -1,0 +1,1 @@
+examples/reclamation_lab.ml: Atomic Atomicx Domain Ds Link List Memdom Orc_core Printf Reclaim Registry Rng

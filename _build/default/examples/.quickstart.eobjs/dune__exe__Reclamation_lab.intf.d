@@ -1,0 +1,1 @@
+examples/reclamation_lab.mli:

@@ -1,0 +1,1 @@
+examples/task_pipeline.ml: Atomic Atomicx Domain Ds List Memdom Printf Registry

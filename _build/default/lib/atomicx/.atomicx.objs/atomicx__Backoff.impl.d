@@ -1,0 +1,1 @@
+lib/atomicx/backoff.ml: Domain Stdlib Thread

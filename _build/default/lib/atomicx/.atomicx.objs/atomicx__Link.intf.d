@@ -1,0 +1,1 @@
+lib/atomicx/link.mli: Atomic Format

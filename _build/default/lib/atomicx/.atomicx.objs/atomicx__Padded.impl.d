@@ -1,0 +1,1 @@
+lib/atomicx/padded.ml: Array Atomic Sys

@@ -1,0 +1,1 @@
+lib/atomicx/registry.ml: Array Atomic Domain Fun

@@ -1,0 +1,1 @@
+lib/atomicx/rng.mli:

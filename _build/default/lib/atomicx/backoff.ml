@@ -1,0 +1,15 @@
+type t = { min : int; max : int; mutable cur : int }
+
+let create ?(min = 1) ?(max = 4096) () =
+  if min < 1 || max < min then invalid_arg "Backoff.create";
+  { min; max; cur = min }
+
+let once t =
+  if t.cur >= t.max then Thread.yield ()
+  else
+    for _ = 1 to t.cur do
+      Domain.cpu_relax ()
+    done;
+  t.cur <- Stdlib.min t.max (t.cur * 2)
+
+let reset t = t.cur <- t.min

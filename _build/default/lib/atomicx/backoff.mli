@@ -1,0 +1,21 @@
+(** Truncated exponential backoff for CAS retry loops.
+
+    Lock-free algorithms under contention benefit from spinning a
+    geometrically growing number of iterations between retries.  The
+    paper's evaluation (§5) notes queues are "very sensitive to back-off
+    strategies"; this module gives all data structures in the library the
+    same, tunable policy so scheme comparisons are apples-to-apples. *)
+
+type t
+
+val create : ?min:int -> ?max:int -> unit -> t
+(** [create ?min ?max ()] makes a fresh backoff state starting at [min]
+    spin iterations (default 1) and saturating at [max] (default 4096). *)
+
+val once : t -> unit
+(** Spin for the current budget, then double it (up to the maximum).
+    Yields to the OS scheduler once the budget saturates, which matters on
+    machines with fewer cores than domains. *)
+
+val reset : t -> unit
+(** Reset the spin budget to its minimum, typically after a success. *)

@@ -1,0 +1,16 @@
+type t = { parties : int; count : int Atomic.t; sense : bool Atomic.t }
+
+let create parties =
+  if parties < 1 then invalid_arg "Barrier.create";
+  { parties; count = Atomic.make 0; sense = Atomic.make false }
+
+let wait t =
+  let my_sense = not (Atomic.get t.sense) in
+  if Atomic.fetch_and_add t.count 1 = t.parties - 1 then begin
+    Atomic.set t.count 0;
+    Atomic.set t.sense my_sense
+  end
+  else
+    while Atomic.get t.sense <> my_sense do
+      Domain.cpu_relax ()
+    done

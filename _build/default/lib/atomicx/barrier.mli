@@ -1,0 +1,13 @@
+(** Sense-reversing spin barrier.
+
+    Benchmark runners use it to line up all worker domains on the same
+    start instant so that throughput windows are comparable. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes a barrier for [n] participants. *)
+
+val wait : t -> unit
+(** Block (spinning) until all [n] participants have arrived.  Reusable:
+    the barrier resets itself for the next round. *)

@@ -1,0 +1,62 @@
+type 'a state =
+  | Null
+  | Ptr of 'a
+  | Mark of 'a
+  | Flag of 'a
+  | Tag of 'a
+  | FlagTag of 'a
+  | Poison
+
+type 'a t = 'a state Atomic.t
+
+let make st = Atomic.make st
+let get l = Atomic.get l
+let set l st = Atomic.set l st
+let cas l expected desired = Atomic.compare_and_set l expected desired
+let exchange l st = Atomic.exchange l st
+
+let target = function
+  | Null | Poison -> None
+  | Ptr n | Mark n | Flag n | Tag n | FlagTag n -> Some n
+
+let is_marked = function
+  | Mark _ -> true
+  | Null | Ptr _ | Flag _ | Tag _ | FlagTag _ | Poison -> false
+
+let is_flagged = function
+  | Flag _ | FlagTag _ -> true
+  | Null | Ptr _ | Mark _ | Tag _ | Poison -> false
+
+let is_tagged = function
+  | Tag _ | FlagTag _ -> true
+  | Null | Ptr _ | Mark _ | Flag _ | Poison -> false
+
+let is_poison = function
+  | Poison -> true
+  | Null | Ptr _ | Mark _ | Flag _ | Tag _ | FlagTag _ -> false
+
+let with_tag = function
+  | Ptr n -> Tag n
+  | Flag n -> FlagTag n
+  | (Tag _ | FlagTag _ | Null | Poison | Mark _) as st -> st
+
+let clean = function
+  | Ptr n | Mark n | Flag n | Tag n | FlagTag n -> Ptr n
+  | (Null | Poison) as st -> st
+
+let same a b =
+  match a, b with
+  | Null, Null | Poison, Poison -> true
+  | Ptr x, Ptr y | Mark x, Mark y | Flag x, Flag y | Tag x, Tag y
+  | FlagTag x, FlagTag y ->
+      x == y
+  | (Null | Ptr _ | Mark _ | Flag _ | Tag _ | FlagTag _ | Poison), _ -> false
+
+let pp pp_node fmt = function
+  | Null -> Format.pp_print_string fmt "null"
+  | Poison -> Format.pp_print_string fmt "poison"
+  | Ptr n -> Format.fprintf fmt "ptr(%a)" pp_node n
+  | Mark n -> Format.fprintf fmt "mark(%a)" pp_node n
+  | Flag n -> Format.fprintf fmt "flag(%a)" pp_node n
+  | Tag n -> Format.fprintf fmt "tag(%a)" pp_node n
+  | FlagTag n -> Format.fprintf fmt "flagtag(%a)" pp_node n

@@ -1,0 +1,72 @@
+(** Atomic links between nodes, with mark/flag/tag bits.
+
+    In the C++ original a link is a raw [std::atomic<Node*>] whose low
+    bits can carry deletion marks and whose CAS compares machine words.
+    OCaml cannot tag pointers, so a link holds a small variant:
+
+    - [Null] — no successor ([nullptr]),
+    - [Ptr n] — plain ("clean") hard link to [n],
+    - [Mark n] — hard link with the Harris-style logical-deletion mark,
+    - [Flag n] / [Tag n] / [FlagTag n] — the two edge bits of the
+      Natarajan–Mittal BST [22] (flag = child being deleted, tag = edge
+      frozen for helping), in all their combinations,
+    - [Poison] — CRF-skip-list poison: the owning node can no longer
+      reach the structure and traversals must restart (paper §5).
+
+    [Atomic.compare_and_set] compares the *box* physically, which is
+    exactly the semantics the algorithms need: a CAS succeeds only
+    against the precise value previously loaded.  A competitor writing a
+    fresh box with the same logical content makes the CAS fail — a
+    spurious retry, indistinguishable from ordinary contention, never a
+    safety issue. *)
+
+type 'a state =
+  | Null
+  | Ptr of 'a
+  | Mark of 'a
+  | Flag of 'a
+  | Tag of 'a
+  | FlagTag of 'a
+  | Poison
+
+type 'a t = 'a state Atomic.t
+
+val make : 'a state -> 'a t
+val get : 'a t -> 'a state
+val set : 'a t -> 'a state -> unit
+
+val cas : 'a t -> 'a state -> 'a state -> bool
+(** [cas l expected desired] — physical comparison against [expected]. *)
+
+val exchange : 'a t -> 'a state -> 'a state
+(** Atomically replace the contents, returning the previous state. *)
+
+val target : 'a state -> 'a option
+(** The node a state points at, if any (every constructor with a payload
+    points at it; [Null] and [Poison] point at nothing). *)
+
+val is_marked : 'a state -> bool
+(** [true] only for [Mark _]. *)
+
+val is_flagged : 'a state -> bool
+(** [true] for [Flag _] and [FlagTag _]. *)
+
+val is_tagged : 'a state -> bool
+(** [true] for [Tag _] and [FlagTag _]. *)
+
+val is_poison : 'a state -> bool
+
+val with_tag : 'a state -> 'a state
+(** Set the tag bit, preserving target and flag ([Null]/[Poison]/[Mark]
+    are returned unchanged — only BST edge states carry tags). *)
+
+val clean : 'a state -> 'a state
+(** Strip mark/flag/tag: [Ptr n] for any state targeting [n], [Null] or
+    [Poison] unchanged. *)
+
+val same : 'a state -> 'a state -> bool
+(** Logical equality: same constructor and physically-equal target.  Used
+    for algorithm conditions such as "[lnext == nullptr]" where the two
+    states may live in different boxes. *)
+
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a state -> unit

@@ -1,0 +1,17 @@
+(* A cache line is 64-128 bytes; a spacer of 16 words keeps two
+   consecutively allocated atomics from sharing one even with headers. *)
+let spacer_words = 16
+
+let atomic_array n v =
+  Array.init n (fun _ ->
+      let a = Atomic.make v in
+      (* allocate a spacer so the next element lands further away; kept
+         unreachable, reclaimed by the GC eventually — the point is only
+         the allocation distance at creation time *)
+      ignore (Sys.opaque_identity (Array.make spacer_words 0));
+      a)
+
+let atomic_matrix rows cols v =
+  Array.init rows (fun _ ->
+      ignore (Sys.opaque_identity (Array.make spacer_words 0));
+      atomic_array cols v)

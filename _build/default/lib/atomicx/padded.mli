@@ -1,0 +1,17 @@
+(** Best-effort false-sharing mitigation for arrays of atomics.
+
+    OCaml gives no layout control, but each [Atomic.t] is its own heap
+    block, so interleaving spacer allocations between consecutive
+    elements usually lands hot atomics on distinct cache lines.  The
+    paper's schemes keep per-thread hazard and handover slots in exactly
+    such arrays; spacing them out removes a systematic bias when
+    comparing schemes.  Purely an allocation-pattern hint: semantics are
+    identical to [Array.init n (fun _ -> Atomic.make v)]. *)
+
+val atomic_array : int -> 'a -> 'a Atomic.t array
+(** [atomic_array n v]: [n] atomics initialized to [v], allocated with
+    cache-line-sized spacing between them. *)
+
+val atomic_matrix : int -> int -> 'a -> 'a Atomic.t array array
+(** [atomic_matrix rows cols v]: row-spaced matrix, rows padded apart —
+    the [hp.(tid).(idx)] shape used by the schemes. *)

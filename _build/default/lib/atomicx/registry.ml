@@ -1,0 +1,55 @@
+let max_threads = 128
+
+exception Too_many_threads
+
+let slots = Array.init max_threads (fun _ -> Atomic.make false)
+
+(* 1 + highest tid ever handed out: lets per-thread scans stop early *)
+let watermark = Atomic.make 0
+
+(* -1 encodes "no slot held by this domain". *)
+let key = Domain.DLS.new_key (fun () -> ref (-1))
+
+let acquire () =
+  let rec scan i =
+    if i >= max_threads then raise Too_many_threads
+    else if (not (Atomic.get slots.(i))) && Atomic.compare_and_set slots.(i) false true
+    then begin
+      let rec bump () =
+        let w = Atomic.get watermark in
+        if w <= i && not (Atomic.compare_and_set watermark w (i + 1)) then
+          bump ()
+      in
+      bump ();
+      i
+    end
+    else scan (i + 1)
+  in
+  scan 0
+
+let tid () =
+  let r = Domain.DLS.get key in
+  if !r >= 0 then !r
+  else begin
+    let id = acquire () in
+    r := id;
+    id
+  end
+
+let release () =
+  let r = Domain.DLS.get key in
+  if !r >= 0 then begin
+    Atomic.set slots.(!r) false;
+    r := -1
+  end
+
+let with_tid f =
+  let id = tid () in
+  Fun.protect ~finally:release (fun () -> f id)
+
+let active () =
+  let n = ref 0 in
+  Array.iter (fun s -> if Atomic.get s then incr n) slots;
+  !n
+
+let high_water () = Atomic.get watermark

@@ -1,0 +1,35 @@
+(** Domain-to-thread-id registry.
+
+    All reclamation schemes in the paper index their per-thread state by a
+    small dense integer [tid] in [\[0, max_threads)].  OCaml domains have
+    no such id, so this registry hands them out: a domain acquires a slot
+    on first use (cached in domain-local storage) and releases it when its
+    work item finishes, allowing slot reuse across benchmark phases.
+
+    The registry is process-global: every scheme instance sizes its arrays
+    with [max_threads] and indexes them with [tid ()]. *)
+
+val max_threads : int
+(** Upper bound on simultaneously registered domains (128). *)
+
+exception Too_many_threads
+
+val tid : unit -> int
+(** The calling domain's thread id, acquiring a slot on first call.
+    Raises {!Too_many_threads} if all slots are taken. *)
+
+val release : unit -> unit
+(** Give the calling domain's slot back.  The next [tid ()] from this
+    domain acquires a fresh slot.  No-op if the domain holds no slot. *)
+
+val with_tid : (int -> 'a) -> 'a
+(** [with_tid f] runs [f (tid ())] and releases the slot afterwards, even
+    on exception.  Worker domains should wrap their body in this. *)
+
+val active : unit -> int
+(** Number of currently registered domains (diagnostics). *)
+
+val high_water : unit -> int
+(** [1 + highest tid ever handed out] — helper scans (e.g. the
+    Kogan–Petrank state array) iterate to this instead of
+    [max_threads]. *)

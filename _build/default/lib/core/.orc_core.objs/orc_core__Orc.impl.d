@@ -1,0 +1,1 @@
+lib/core/orc.ml: Array Atomic Atomicx Fun Link List Memdom Padded Queue Registry

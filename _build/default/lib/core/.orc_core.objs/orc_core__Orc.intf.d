@@ -1,0 +1,1 @@
+lib/core/orc.mli: Atomicx Memdom

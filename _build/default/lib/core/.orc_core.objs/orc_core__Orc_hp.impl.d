@@ -1,0 +1,1 @@
+lib/core/orc_hp.ml: Array Atomic Atomicx Fun Link List Memdom Orc Padded Registry

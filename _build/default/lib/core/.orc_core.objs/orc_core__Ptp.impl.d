@@ -1,0 +1,1 @@
+lib/core/ptp.ml: Array Atomic Atomicx Link Memdom Padded Reclaim Registry

@@ -1,0 +1,1 @@
+lib/core/ptp.mli: Reclaim

@@ -1,0 +1,500 @@
+(** OrcGC (paper §4, Algorithms 3–7): automatic lock-free memory
+    reclamation by per-object reference counting of *hard links* plus
+    pass-the-pointer protection of *local references*.
+
+    Each tracked object's header carries the [_orc] word (Algorithm 3):
+    bits 0–21 a signed hard-link count biased at [orc_zero], bit 23 the
+    BRETIRED ownership bit, bits 24+ a sequence bumped on every count
+    change.  Hard links are only mutated through {!store}, {!cas} and
+    {!exchange}, which update the counts of the old and new targets; when
+    a count returns to zero the mutator that observed it claims BRETIRED
+    and runs [retire] (Algorithm 5), which may pass the object to a
+    protecting thread ([tryHandover]), un-retire it if it became
+    reachable again ([clearBitRetired]) or delete it — destructor
+    included, which drops the object's own outgoing links and can cascade
+    (drained iteratively through the recursive list to bound stack
+    depth).
+
+    Local references live in {!Ptr.t} handles owned by a per-operation
+    {!with_guard} scope — the OCaml rendering of the C++ RAII [orc_ptr]
+    (Algorithm 7), including the hazard-index sharing ([usedHaz]) and the
+    copy-direction rule of the assignment operator.
+
+    Deviations from the paper's listing, both required for leak-freedom
+    and documented in DESIGN.md: (1) releasing a hazard index drains its
+    handover slot (as PTP's clear does); (2) [decrementOrc] clears the
+    scratch hazard slot 0 before invoking retire — safe because the
+    BRETIRED bit, not the hazard, protects the object inside retire — so
+    a retiring thread never hands an object to itself. *)
+
+open Atomicx
+
+let seq_unit = 1 lsl 24
+let bretired = 1 lsl 23
+let orc_zero = 1 lsl 22
+let ocnt x = x land (seq_unit - 1)
+let retired_zero = bretired lor orc_zero
+
+(* Capacity of each thread's hazard array; the watermark below keeps
+   scans proportional to the indexes actually used. *)
+let max_haz = 64
+
+exception Out_of_hazard_indexes
+
+module type NODE = sig
+  type t
+
+  val hdr : t -> Memdom.Hdr.t
+  (** The header embedded in the node. *)
+
+  val iter_links : t -> (t Link.t -> unit) -> unit
+  (** Visit every [orc_atomic] field of the node; the destructor uses it
+      to drop the node's outgoing hard links. *)
+end
+
+module Make (N : NODE) = struct
+  type node = N.t
+
+  type tl_info = {
+    hp : node option Atomic.t array; (* published hazardous pointers *)
+    handovers : node option Atomic.t array;
+    used_haz : int array; (* orc_ptr share counts; owner-thread only *)
+    mutable retire_started : bool;
+    recursive : node Queue.t;
+  }
+
+  type t = {
+    alloc : Memdom.Alloc.t;
+    tl : tl_info array;
+    watermark : int Atomic.t; (* 1 + highest hazard index ever used *)
+    pending : int Atomic.t; (* BRETIRED-marked objects not yet freed *)
+    (* observability counters (monotonic) *)
+    n_retires : int Atomic.t; (* objects that entered the retired state *)
+    n_handovers : int Atomic.t; (* tryHandover successes *)
+    n_cascades : int Atomic.t; (* destructor-triggered recursive retires *)
+  }
+
+  type stats = { retires : int; handovers : int; cascades : int }
+
+  type guard = { t : t; tid : int; mutable ptrs : ptr list }
+  and ptr = { mutable st : node Link.state; mutable idx : int }
+
+  let name = "orc"
+
+  let create ?max_hps:_ alloc =
+    let mk_tl _ =
+      {
+        hp = Padded.atomic_array max_haz None;
+        handovers = Padded.atomic_array max_haz None;
+        used_haz = Array.make max_haz 0;
+        retire_started = false;
+        recursive = Queue.create ();
+      }
+    in
+    {
+      alloc;
+      tl = Array.init Registry.max_threads mk_tl;
+      watermark = Atomic.make 1;
+      pending = Atomic.make 0;
+      n_retires = Atomic.make 0;
+      n_handovers = Atomic.make 0;
+      n_cascades = Atomic.make 0;
+    }
+
+  let alloc_ctx t = t.alloc
+  let orc_word n = (N.hdr n).Memdom.Hdr.orc
+  let unreclaimed t = Atomic.get t.pending
+
+  let stats t =
+    {
+      retires = Atomic.get t.n_retires;
+      handovers = Atomic.get t.n_handovers;
+      cascades = Atomic.get t.n_cascades;
+    }
+
+  let note_retired t n =
+    Memdom.Hdr.mark_retired (N.hdr n);
+    ignore (Atomic.fetch_and_add t.pending 1);
+    ignore (Atomic.fetch_and_add t.n_retires 1)
+
+  let note_unretired t n =
+    Memdom.Hdr.unretire (N.hdr n);
+    ignore (Atomic.fetch_and_add t.pending (-1))
+
+  (* {2 Retire (Algorithm 5) and its helpers (Algorithm 6)} *)
+
+  (* Scan every published hazardous pointer for [p]; on a match, swap [p]
+     into the paired handover slot and return the evictee. *)
+  let try_handover t p =
+    let wm = Atomic.get t.watermark in
+    let result = ref None in
+    (try
+       for it = 0 to Registry.max_threads - 1 do
+         let tl = t.tl.(it) in
+         for idx = 0 to wm - 1 do
+           match Atomic.get tl.hp.(idx) with
+           | Some m when m == p ->
+               result := Some (Atomic.exchange tl.handovers.(idx) (Some p));
+               ignore (Atomic.fetch_and_add t.n_handovers 1);
+               raise_notrace Exit
+           | Some _ | None -> ()
+         done
+       done
+     with Exit -> ());
+    !result
+
+  (* clearBitRetired (Algorithm 6 lines 147–158): give up BRETIRED
+     ownership; if the count is back at zero immediately re-claim it.
+     Returns the re-claimed [_orc] value, or 0 if ownership was lost. *)
+  let clear_bit_retired t ~tid p =
+    let tl = t.tl.(tid) in
+    Atomic.set tl.hp.(0) (Some p);
+    let lorc = Atomic.fetch_and_add (orc_word p) (-bretired) - bretired in
+    note_unretired t p;
+    if
+      ocnt lorc = orc_zero
+      && Atomic.compare_and_set (orc_word p) lorc (lorc + bretired)
+    then begin
+      note_retired t p;
+      Atomic.set tl.hp.(0) None;
+      lorc + bretired
+    end
+    else begin
+      Atomic.set tl.hp.(0) None;
+      0
+    end
+
+  (* The destructor: drop the node's outgoing hard links (each drop may
+     cascade through [dec]), then return the memory. *)
+  let rec delete t ~tid p =
+    N.iter_links p (fun l ->
+        let st = Link.exchange l Link.Null in
+        match Link.target st with Some child -> dec t ~tid child | None -> ());
+    Memdom.Alloc.free t.alloc (N.hdr p);
+    ignore (Atomic.fetch_and_add t.pending (-1))
+
+  (* retire (Algorithm 5 lines 92–118).  Precondition: the caller owns
+     [p]'s BRETIRED bit.  Reentrant calls (from the destructor's [dec])
+     queue onto the recursive list and are drained here, keeping the
+     stack depth constant no matter how long the unreachable chain is. *)
+  and retire t ~tid p =
+    let tl = t.tl.(tid) in
+    if tl.retire_started then begin
+      ignore (Atomic.fetch_and_add t.n_cascades 1);
+      Queue.add p tl.recursive
+    end
+    else begin
+      tl.retire_started <- true;
+      let cur = ref (Some p) in
+      let outer_done = ref false in
+      while not !outer_done do
+        (try
+           while true do
+             match !cur with
+             | None -> raise_notrace Exit
+             | Some p ->
+                 let lorc = ref (Atomic.get (orc_word p)) in
+                 if ocnt !lorc <> retired_zero then begin
+                   let l = clear_bit_retired t ~tid p in
+                   if l = 0 then raise_notrace Exit;
+                   lorc := l
+                 end;
+                 (match try_handover t p with
+                 | Some evictee -> cur := evictee
+                 | None ->
+                     let lorc2 = Atomic.get (orc_word p) in
+                     if lorc2 <> !lorc then begin
+                       if ocnt !lorc <> retired_zero then
+                         if clear_bit_retired t ~tid p = 0 then
+                           raise_notrace Exit
+                       (* else: revalidate from the top of the loop *)
+                     end
+                     else begin
+                       delete t ~tid p;
+                       raise_notrace Exit
+                     end)
+           done
+         with Exit -> ());
+        match Queue.take_opt tl.recursive with
+        | None -> outer_done := true
+        | Some q -> cur := Some q
+      done;
+      tl.retire_started <- false
+    end
+
+  (* incrementOrc (Algorithm 4 lines 38–43).  Caller must hold a
+     protected reference to [p]. *)
+  and inc t ~tid p =
+    let lorc = Atomic.fetch_and_add (orc_word p) (seq_unit + 1) + seq_unit + 1 in
+    if ocnt lorc = orc_zero then
+      if Atomic.compare_and_set (orc_word p) lorc (lorc + bretired) then begin
+        note_retired t p;
+        retire t ~tid p
+      end
+
+  (* decrementOrc (Algorithm 4 lines 45–51): protects [p] in the scratch
+     hazard slot 0 for the duration of the count update. *)
+  and dec t ~tid p =
+    let tl = t.tl.(tid) in
+    Atomic.set tl.hp.(0) (Some p);
+    let lorc = Atomic.fetch_and_add (orc_word p) (seq_unit - 1) + seq_unit - 1 in
+    if
+      ocnt lorc = orc_zero
+      && Atomic.compare_and_set (orc_word p) lorc (lorc + bretired)
+    then begin
+      note_retired t p;
+      (* Drop the scratch protection before retiring: BRETIRED ownership
+         keeps [p] alive inside retire, and a live scratch hazard would
+         make the scan hand [p] to ourselves. *)
+      Atomic.set tl.hp.(0) None;
+      retire t ~tid p
+    end
+    else Atomic.set tl.hp.(0) None
+
+  (* An orc_ptr stopped referencing [p] (Algorithm 5 lines 84–89): if its
+     count sits at zero, claim BRETIRED and retire it. *)
+  let maybe_retire t ~tid p =
+    let lorc = Atomic.get (orc_word p) in
+    if ocnt lorc = orc_zero then
+      if Atomic.compare_and_set (orc_word p) lorc (lorc + bretired) then begin
+        note_retired t p;
+        retire t ~tid p
+      end
+
+  let drain_handover t ~tid idx =
+    let tl = t.tl.(tid) in
+    match Atomic.get tl.handovers.(idx) with
+    | None -> ()
+    | Some _ -> (
+        match Atomic.exchange tl.handovers.(idx) None with
+        | Some q -> retire t ~tid q (* q carries BRETIRED: we own it now *)
+        | None -> ())
+
+  (* {2 Hazard-index management (Algorithm 6 lines 119–132)} *)
+
+  let get_new_idx t ~tid ~start =
+    let tl = t.tl.(tid) in
+    let rec scan idx =
+      if idx >= max_haz then raise Out_of_hazard_indexes
+      else if tl.used_haz.(idx) <> 0 then scan (idx + 1)
+      else begin
+        tl.used_haz.(idx) <- 1;
+        let rec bump () =
+          let cur = Atomic.get t.watermark in
+          if cur <= idx then
+            if Atomic.compare_and_set t.watermark cur (idx + 1) then ()
+            else bump ()
+        in
+        bump ();
+        idx
+      end
+    in
+    scan (max 1 start)
+
+  let using_idx t ~tid idx =
+    if idx <> 0 then t.tl.(tid).used_haz.(idx) <- t.tl.(tid).used_haz.(idx) + 1
+
+  (* clear (Algorithm 5 lines 80–90) extended with the handover drain:
+     release one share of hazard slot [idx]; when the slot becomes free,
+     unpublish it and adopt anything parked in its handover; finally give
+     the no-longer-referenced object its zero-count check. *)
+  let clear t ~tid st idx ~reuse =
+    let tl = t.tl.(tid) in
+    let released =
+      if (not reuse) && idx <> 0 then begin
+        tl.used_haz.(idx) <- tl.used_haz.(idx) - 1;
+        tl.used_haz.(idx) = 0
+      end
+      else false
+    in
+    if released then begin
+      Atomic.set tl.hp.(idx) None;
+      drain_handover t ~tid idx
+    end;
+    match Link.target st with Some p -> maybe_retire t ~tid p | None -> ()
+
+  (* {2 Guards and orc_ptr handles (Algorithm 7)} *)
+
+  module Ptr = struct
+    type t = ptr
+
+    let state p = p.st
+    let node p = Link.target p.st
+    let is_marked p = Link.is_marked p.st
+    let is_poison p = Link.is_poison p.st
+    let is_null p = match p.st with Link.Null -> true | _ -> false
+
+    let node_exn p =
+      match Link.target p.st with
+      | Some n -> n
+      | None -> invalid_arg "Orc.Ptr.node_exn: null"
+
+    let same_node a b =
+      match Link.target a.st, Link.target b.st with
+      | Some x, Some y -> x == y
+      | None, None -> true
+      | Some _, None | None, Some _ -> false
+
+    (* Replace the held state by another box for the *same* target — used
+       after a successful CAS to keep validating against the box actually
+       installed in memory.  Protection is unchanged, so the targets must
+       match. *)
+    let retag p st =
+      match Link.target st, Link.target p.st with
+      | Some a, Some b when a == b -> p.st <- st
+      | None, None -> p.st <- st
+      | Some _, (Some _ | None) | None, Some _ ->
+          invalid_arg "Orc.Ptr.retag: different target"
+  end
+
+  let ptr g =
+    let p = { st = Link.Null; idx = get_new_idx g.t ~tid:g.tid ~start:1 } in
+    g.ptrs <- p :: g.ptrs;
+    p
+
+  (* Give [p] sole ownership of a hazard slot so it may be overwritten. *)
+  let ensure_exclusive g p =
+    let tl = g.t.tl.(g.tid) in
+    if p.idx = 0 || tl.used_haz.(p.idx) > 1 then begin
+      if p.idx <> 0 then tl.used_haz.(p.idx) <- tl.used_haz.(p.idx) - 1;
+      p.idx <- get_new_idx g.t ~tid:g.tid ~start:1
+    end
+
+  (* orc_atomic<T*>::load() (Algorithm 4 lines 76–79) fused with the
+     orc_ptr move: protect [link]'s current state directly in [p]'s own
+     hazard slot, with the publish-and-revalidate loop of Algorithm 2.
+     The link must be reachable through a protected node or a root, and
+     must not belong to the node [p] itself currently protects. *)
+  let load g link p =
+    ensure_exclusive g p;
+    let tl = g.t.tl.(g.tid) in
+    let old = p.st in
+    let rec loop st =
+      Atomic.set tl.hp.(p.idx) (Link.target st);
+      let st' = Link.get link in
+      if st' == st then st else loop st'
+    in
+    p.st <- loop (Link.get link);
+    match Link.target old with
+    | Some q when not (Link.same old p.st) -> maybe_retire g.t ~tid:g.tid q
+    | Some _ | None -> ()
+
+  (* orc_ptr assignment (Algorithm 7 lines 182–194): copies between
+     hazard slots may only travel in the scan direction (upward), so a
+     copy to a lower slot re-publishes at a fresh higher index, while a
+     copy to a higher slot shares the source's index. *)
+  let assign g dst src =
+    if dst != src then begin
+      let tl = g.t.tl.(g.tid) in
+      let reuse = src.idx < dst.idx && tl.used_haz.(dst.idx) = 1 in
+      clear g.t ~tid:g.tid dst.st dst.idx ~reuse;
+      if src.idx < dst.idx then begin
+        if not reuse then dst.idx <- get_new_idx g.t ~tid:g.tid ~start:(src.idx + 1);
+        Atomic.set tl.hp.(dst.idx) (Link.target src.st)
+      end
+      else begin
+        using_idx g.t ~tid:g.tid src.idx;
+        dst.idx <- src.idx
+      end;
+      dst.st <- src.st
+    end
+
+  (* make_orc<T> (Algorithm 3 lines 31–36): allocate, then protect the
+     not-yet-shared node in a fresh slot. *)
+  let run_mk g mk hdr =
+    match mk hdr with
+    | n -> n
+    | exception e ->
+        (* constructor failed: the header must not leak *)
+        Memdom.Alloc.free g.t.alloc hdr;
+        raise e
+
+  let alloc_node g mk =
+    let hdr = Memdom.Alloc.hdr g.t.alloc () in
+    let n = run_mk g mk hdr in
+    let p = ptr g in
+    Atomic.set g.t.tl.(g.tid).hp.(p.idx) (Some n);
+    p.st <- Link.Ptr n;
+    p
+
+  (* make_orc into an existing handle, for loops that allocate many nodes
+     under one guard without exhausting hazard indexes. *)
+  let alloc_node_into g p mk =
+    let hdr = Memdom.Alloc.hdr g.t.alloc () in
+    let n = run_mk g mk hdr in
+    ensure_exclusive g p;
+    let old = p.st in
+    Atomic.set g.t.tl.(g.tid).hp.(p.idx) (Some n);
+    p.st <- Link.Ptr n;
+    (match Link.target old with
+    | Some q when not (q == n) -> maybe_retire g.t ~tid:g.tid q
+    | Some _ | None -> ());
+    n
+
+  (* {2 orc_atomic mutators (Algorithm 4)} *)
+
+  (* store (lines 63–67).  The target of [st], if any, must be protected
+     by the caller (a live Ptr or a fresh node). *)
+  let store g link st =
+    (match Link.target st with Some n -> inc g.t ~tid:g.tid n | None -> ());
+    let old = Link.exchange link st in
+    match Link.target old with Some n -> dec g.t ~tid:g.tid n | None -> ()
+
+  (* compare_exchange (lines 69–74): counts move only on success, and a
+     pure mark/unmark transition on the same target leaves them alone. *)
+  let cas g link ~expected ~desired =
+    if Link.cas link expected desired then begin
+      let te = Link.target expected and td = Link.target desired in
+      (match te, td with
+      | Some a, Some b when a == b -> ()
+      | _ ->
+          (match td with Some n -> inc g.t ~tid:g.tid n | None -> ());
+          (match te with Some n -> dec g.t ~tid:g.tid n | None -> ()));
+      true
+    end
+    else false
+
+  let exchange g link st =
+    (match Link.target st with Some n -> inc g.t ~tid:g.tid n | None -> ());
+    let old = Link.exchange link st in
+    (match Link.target old with Some n -> dec g.t ~tid:g.tid n | None -> ());
+    old
+
+  (* Build a link during single-threaded construction of a node or root
+     whose initial target is private or otherwise protected. *)
+  let new_link g st =
+    (match Link.target st with Some n -> inc g.t ~tid:g.tid n | None -> ());
+    Link.make st
+
+  let with_guard t f =
+    let tid = Registry.tid () in
+    let g = { t; tid; ptrs = [] } in
+    let finally () =
+      List.iter (fun p -> clear t ~tid p.st p.idx ~reuse:false) g.ptrs;
+      g.ptrs <- [];
+      let tl = t.tl.(tid) in
+      Atomic.set tl.hp.(0) None;
+      drain_handover t ~tid 0
+    in
+    Fun.protect ~finally (fun () -> f g)
+
+  (* Quiesced drain for tests and shutdown: unpublish every hazard, adopt
+     every parked object, and give every remaining BRETIRED owner-less
+     object nothing — objects still pending after this are genuinely
+     reachable (or leaked, which the tests assert against). *)
+  let flush t =
+    let tid = Registry.tid () in
+    let wm = Atomic.get t.watermark in
+    for it = 0 to Registry.max_threads - 1 do
+      for idx = 0 to wm - 1 do
+        Atomic.set t.tl.(it).hp.(idx) None
+      done
+    done;
+    for it = 0 to Registry.max_threads - 1 do
+      for idx = 0 to wm - 1 do
+        match Atomic.exchange t.tl.(it).handovers.(idx) None with
+        | Some q -> retire t ~tid q
+        | None -> ()
+      done
+    done
+end

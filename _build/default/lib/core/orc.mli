@@ -1,0 +1,178 @@
+(** OrcGC — automatic lock-free memory reclamation (paper §4).
+
+    OrcGC combines per-object reference counting of *hard links* (links
+    stored in other objects or roots) with pass-the-pointer protection of
+    *local references*.  Deploying it on a data structure follows the
+    paper's methodology (§4.1.1) verbatim, modulo OCaml syntax:
+
+    + give every node an embedded {!Memdom.Hdr.t} and list its link
+      fields in {!NODE.iter_links};
+    + allocate nodes with {!Make.alloc_node} / {!Make.alloc_node_into}
+      (the [make_orc] of the paper);
+    + mutate shared links only through {!Make.store}, {!Make.cas} and
+      {!Make.exchange} (the [orc_atomic] operations);
+    + hold local references in {!Make.Ptr} handles owned by a
+      {!Make.with_guard} scope (the RAII [orc_ptr]s), reading with
+      {!Make.load} and copying with {!Make.assign}.
+
+    No retire or free call appears anywhere in the data structure: an
+    object is reclaimed automatically at the first moment its hard-link
+    count is zero and no thread protects it (Lemma 1 of the paper). *)
+
+(** {2 The _orc word (Algorithm 3)} *)
+
+val seq_unit : int
+(** Increment that bumps the sequence field (bit 24 upward). *)
+
+val bretired : int
+(** The BRETIRED ownership bit (bit 23). *)
+
+val orc_zero : int
+(** Bias representing a zero hard-link count (bit 22), allowing the
+    transient negative counts that CAS-after-increment ordering needs. *)
+
+val ocnt : int -> int
+(** Count-plus-BRETIRED portion of an [_orc] word (sequence stripped). *)
+
+val retired_zero : int
+(** [ocnt] value of an object with zero links owned by a retirer. *)
+
+val max_haz : int
+(** Capacity of each thread's hazard-pointer array. *)
+
+exception Out_of_hazard_indexes
+(** Raised when one operation holds more than {!max_haz} live pointer
+    handles — a bug in the data structure, not a runtime condition. *)
+
+(** What OrcGC needs to know about a tracked object type. *)
+module type NODE = sig
+  type t
+
+  val hdr : t -> Memdom.Hdr.t
+  (** The header embedded in the node. *)
+
+  val iter_links : t -> (t Atomicx.Link.t -> unit) -> unit
+  (** Visit every [orc_atomic] field of the node; the destructor uses it
+      to drop the node's outgoing hard links (cascading reclamation
+      through the recursive list, §4.1). *)
+end
+
+module Make (N : NODE) : sig
+  type node = N.t
+
+  type t
+  (** One OrcGC instance: the hazard/handover arrays and the allocator
+      accounting for one data structure. *)
+
+  type guard
+  (** A per-operation protection scope — the lifetime within which
+      pointer handles are valid (standing in for C++ block scope). *)
+
+  val name : string
+
+  val create : ?max_hps:int -> Memdom.Alloc.t -> t
+  (** [create alloc] builds an instance whose reclaimed objects return to
+      [alloc].  [max_hps] is accepted for interface symmetry with the
+      manual schemes and ignored (the hazard array is self-sizing). *)
+
+  val with_guard : t -> (guard -> 'a) -> 'a
+  (** Run one data-structure operation.  On exit — normal or exceptional
+      — every handle created in the scope is released, freed hazard
+      slots are unpublished, and parked handovers are adopted, exactly
+      where the C++ [orc_ptr] destructors would run. *)
+
+  (** Local references ([orc_ptr], Algorithm 7). *)
+  module Ptr : sig
+    type t
+
+    val state : t -> node Atomicx.Link.state
+    (** The exact link state (mark bits included) this handle read — the
+        box to use as a CAS expectation. *)
+
+    val node : t -> node option
+    val node_exn : t -> node
+    val is_marked : t -> bool
+    val is_poison : t -> bool
+    val is_null : t -> bool
+    val same_node : t -> t -> bool
+
+    val retag : t -> node Atomicx.Link.state -> unit
+    (** Replace the held state by another box for the {e same} target —
+        used after a successful CAS to keep validating against the box
+        actually installed.  Raises [Invalid_argument] on a different
+        target. *)
+  end
+
+  val ptr : guard -> Ptr.t
+  (** A fresh null handle owning a hazard index. *)
+
+  val load : guard -> node Atomicx.Link.t -> Ptr.t -> unit
+  (** [load g link p]: protect [link]'s current state in [p] (publish
+      and re-validate, Algorithm 2 lines 4–11).  [link] must be
+      reachable through a protected node or a root, and must not belong
+      to the node [p] itself currently protects. *)
+
+  val assign : guard -> Ptr.t -> Ptr.t -> unit
+  (** [assign g dst src]: copy [src]'s reference and protection into
+      [dst], observing the index-direction rule of the paper's
+      assignment operator (copies only travel in hazard-scan order;
+      otherwise a fresh higher index is taken). *)
+
+  val alloc_node : guard -> (Memdom.Hdr.t -> node) -> Ptr.t
+  (** [make_orc]: allocate a node (the callback receives its fresh
+      header) and return it protected.  If it is never linked anywhere,
+      it is reclaimed when the guard ends. *)
+
+  val alloc_node_into : guard -> Ptr.t -> (Memdom.Hdr.t -> node) -> node
+  (** Like {!alloc_node} but reusing an existing handle — for retry
+      loops that would otherwise exhaust hazard indexes. *)
+
+  (** {2 orc_atomic mutators (Algorithm 4)}
+
+      All three maintain the hard-link counts of the old and new targets
+      and trigger retirement when a count reaches zero.  The target of a
+      written state must be protected by the caller (held in a live
+      [Ptr] or freshly allocated). *)
+
+  val store : guard -> node Atomicx.Link.t -> node Atomicx.Link.state -> unit
+
+  val cas :
+    guard ->
+    node Atomicx.Link.t ->
+    expected:node Atomicx.Link.state ->
+    desired:node Atomicx.Link.state ->
+    bool
+  (** Counts move only on success; a pure mark/flag change on the same
+      target moves no counts. *)
+
+  val exchange :
+    guard -> node Atomicx.Link.t -> node Atomicx.Link.state -> node Atomicx.Link.state
+
+  val new_link : guard -> node Atomicx.Link.state -> node Atomicx.Link.t
+  (** Build a link during single-threaded construction of a node or root
+      whose initial target is private or otherwise protected. *)
+
+  (** {2 Introspection} *)
+
+  val alloc_ctx : t -> Memdom.Alloc.t
+
+  val unreclaimed : t -> int
+  (** Objects currently retired (BRETIRED set) but not yet freed — the
+      quantity bounded by O(Ht) (Table 1). *)
+
+  type stats = {
+    retires : int;  (** objects that ever entered the retired state *)
+    handovers : int;  (** successful tryHandover passes (Algorithm 6) *)
+    cascades : int;
+        (** destructor-triggered recursive retires drained through the
+            recursive list (§4.1) *)
+  }
+
+  val stats : t -> stats
+  (** Monotonic observability counters, for benchmarks and forensics. *)
+
+  val flush : t -> unit
+  (** Quiesced drain for tests and shutdown: unpublish every hazard and
+      adopt every parked handover.  Destroys all live protections — only
+      call with no concurrent operations. *)
+end

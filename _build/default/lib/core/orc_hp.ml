@@ -1,0 +1,390 @@
+(** OrcGC over a hazard-pointer backend — the paper's §4 remark made
+    concrete: "Most of the existing pointer-based reclamation schemes
+    [14, 19, 24, 25] can be used by OrcGC to protect the local
+    references of type orc_ptr."
+
+    This variant keeps the whole automatic layer of {!Orc} — the [_orc]
+    word, [incrementOrc]/[decrementOrc], [clearBitRetired], guards and
+    pointer handles — but replaces the pass-the-pointer retirement with
+    classic HP-style *thread-local retired lists* scanned against the
+    published hazards.  Two consequences, both intentional and measured
+    by the ablation benchmark:
+
+    - the unreclaimed-object bound degrades from PTP's linear O(Ht) to
+      HP's quadratic O(Ht²) (each thread parks up to a scan threshold);
+    - the recursive-list machinery of Algorithm 5 becomes unnecessary —
+      a cascading destructor merely *pushes* to the retired list, which
+      is already iterative.
+
+    Everything else (Lemma 1's seq validation before delete, BRETIRED
+    ownership, un-retiring on resurrection) is unchanged, demonstrating
+    that OrcGC's automatic layer is genuinely backend-agnostic. *)
+
+open Atomicx
+
+let seq_unit = Orc.seq_unit
+let bretired = Orc.bretired
+let orc_zero = Orc.orc_zero
+let ocnt = Orc.ocnt
+let retired_zero = Orc.retired_zero
+let max_haz = Orc.max_haz
+
+module Make (N : Orc.NODE) = struct
+  type node = N.t
+
+  type tl_info = {
+    hp : node option Atomic.t array;
+    used_haz : int array;
+    mutable retired : node list;
+    mutable retired_count : int;
+  }
+
+  type t = {
+    alloc : Memdom.Alloc.t;
+    tl : tl_info array;
+    watermark : int Atomic.t;
+    scan_threshold : int;
+    pending : int Atomic.t;
+  }
+
+  type guard = { t : t; tid : int; mutable ptrs : ptr list }
+  and ptr = { mutable st : node Link.state; mutable idx : int }
+
+  let name = "orc-hp"
+
+  let create ?(max_hps = 8) alloc =
+    let mk_tl _ =
+      {
+        hp = Padded.atomic_array max_haz None;
+        used_haz = Array.make max_haz 0;
+        retired = [];
+        retired_count = 0;
+      }
+    in
+    {
+      alloc;
+      tl = Array.init Registry.max_threads mk_tl;
+      watermark = Atomic.make 1;
+      scan_threshold = 2 * max_hps * 8;
+      pending = Atomic.make 0;
+    }
+
+  let alloc_ctx t = t.alloc
+  let orc_word n = (N.hdr n).Memdom.Hdr.orc
+  let unreclaimed t = Atomic.get t.pending
+
+  let note_retired t n =
+    Memdom.Hdr.mark_retired (N.hdr n);
+    ignore (Atomic.fetch_and_add t.pending 1)
+
+  let note_unretired t n =
+    Memdom.Hdr.unretire (N.hdr n);
+    ignore (Atomic.fetch_and_add t.pending (-1))
+
+  let protected_by_any t p =
+    let wm = Atomic.get t.watermark in
+    let found = ref false in
+    (try
+       for it = 0 to Registry.max_threads - 1 do
+         let tl = t.tl.(it) in
+         for idx = 0 to wm - 1 do
+           match Atomic.get tl.hp.(idx) with
+           | Some m when m == p ->
+               found := true;
+               raise_notrace Exit
+           | Some _ | None -> ()
+         done
+       done
+     with Exit -> ());
+    !found
+
+  (* clearBitRetired, identical to the PTP-backed version. *)
+  let clear_bit_retired t ~tid p =
+    let tl = t.tl.(tid) in
+    Atomic.set tl.hp.(0) (Some p);
+    let lorc = Atomic.fetch_and_add (orc_word p) (-bretired) - bretired in
+    note_unretired t p;
+    if
+      ocnt lorc = orc_zero
+      && Atomic.compare_and_set (orc_word p) lorc (lorc + bretired)
+    then begin
+      note_retired t p;
+      Atomic.set tl.hp.(0) None;
+      lorc + bretired
+    end
+    else begin
+      Atomic.set tl.hp.(0) None;
+      0
+    end
+
+  (* Retiring = parking on the thread-local list; reclamation happens in
+     [scan].  Cascades need no recursion guard: a destructor's [dec]
+     just pushes more entries. *)
+  let rec retire t ~tid p =
+    let tl = t.tl.(tid) in
+    tl.retired <- p :: tl.retired;
+    tl.retired_count <- tl.retired_count + 1;
+    if tl.retired_count >= t.scan_threshold then scan t ~tid
+
+  and scan t ~tid =
+    let tl = t.tl.(tid) in
+    let batch = tl.retired in
+    tl.retired <- [];
+    tl.retired_count <- 0;
+    List.iter
+      (fun p ->
+        let keep () =
+          tl.retired <- p :: tl.retired;
+          tl.retired_count <- tl.retired_count + 1
+        in
+        let lorc = Atomic.get (orc_word p) in
+        if ocnt lorc <> retired_zero then begin
+          (* resurrected: release ownership; re-park only if re-claimed *)
+          if clear_bit_retired t ~tid p <> 0 then keep ()
+        end
+        else if protected_by_any t p then keep ()
+        else
+          (* Lemma 1: the seq must not have moved across the hazard scan *)
+          let lorc2 = Atomic.get (orc_word p) in
+          if lorc2 <> lorc then keep () else delete t ~tid p)
+      batch
+
+  and delete t ~tid p =
+    N.iter_links p (fun l ->
+        let st = Link.exchange l Link.Null in
+        match Link.target st with Some child -> dec t ~tid child | None -> ());
+    Memdom.Alloc.free t.alloc (N.hdr p);
+    ignore (Atomic.fetch_and_add t.pending (-1))
+
+  and inc t ~tid p =
+    let lorc = Atomic.fetch_and_add (orc_word p) (seq_unit + 1) + seq_unit + 1 in
+    if ocnt lorc = orc_zero then
+      if Atomic.compare_and_set (orc_word p) lorc (lorc + bretired) then begin
+        note_retired t p;
+        retire t ~tid p
+      end
+
+  and dec t ~tid p =
+    let tl = t.tl.(tid) in
+    Atomic.set tl.hp.(0) (Some p);
+    let lorc = Atomic.fetch_and_add (orc_word p) (seq_unit - 1) + seq_unit - 1 in
+    if
+      ocnt lorc = orc_zero
+      && Atomic.compare_and_set (orc_word p) lorc (lorc + bretired)
+    then begin
+      note_retired t p;
+      Atomic.set tl.hp.(0) None;
+      retire t ~tid p
+    end
+    else Atomic.set tl.hp.(0) None
+
+  let maybe_retire t ~tid p =
+    let lorc = Atomic.get (orc_word p) in
+    if ocnt lorc = orc_zero then
+      if Atomic.compare_and_set (orc_word p) lorc (lorc + bretired) then begin
+        note_retired t p;
+        retire t ~tid p
+      end
+
+  (* {2 Hazard-index management and pointer handles — identical to the
+     PTP-backed implementation, minus the handover drains.} *)
+
+  let get_new_idx t ~tid ~start =
+    let tl = t.tl.(tid) in
+    let rec scan_idx idx =
+      if idx >= max_haz then raise Orc.Out_of_hazard_indexes
+      else if tl.used_haz.(idx) <> 0 then scan_idx (idx + 1)
+      else begin
+        tl.used_haz.(idx) <- 1;
+        let rec bump () =
+          let cur = Atomic.get t.watermark in
+          if cur <= idx then
+            if Atomic.compare_and_set t.watermark cur (idx + 1) then ()
+            else bump ()
+        in
+        bump ();
+        idx
+      end
+    in
+    scan_idx (max 1 start)
+
+  let using_idx t ~tid idx =
+    if idx <> 0 then t.tl.(tid).used_haz.(idx) <- t.tl.(tid).used_haz.(idx) + 1
+
+  let clear t ~tid st idx ~reuse =
+    let tl = t.tl.(tid) in
+    let released =
+      if (not reuse) && idx <> 0 then begin
+        tl.used_haz.(idx) <- tl.used_haz.(idx) - 1;
+        tl.used_haz.(idx) = 0
+      end
+      else false
+    in
+    if released then Atomic.set tl.hp.(idx) None;
+    match Link.target st with Some p -> maybe_retire t ~tid p | None -> ()
+
+  module Ptr = struct
+    type t = ptr
+
+    let state p = p.st
+    let node p = Link.target p.st
+    let is_marked p = Link.is_marked p.st
+    let is_poison p = Link.is_poison p.st
+    let is_null p = match p.st with Link.Null -> true | _ -> false
+
+    let node_exn p =
+      match Link.target p.st with
+      | Some n -> n
+      | None -> invalid_arg "Orc_hp.Ptr.node_exn: null"
+
+    let same_node a b =
+      match Link.target a.st, Link.target b.st with
+      | Some x, Some y -> x == y
+      | None, None -> true
+      | Some _, None | None, Some _ -> false
+
+    let retag p st =
+      match Link.target st, Link.target p.st with
+      | Some a, Some b when a == b -> p.st <- st
+      | None, None -> p.st <- st
+      | Some _, (Some _ | None) | None, Some _ ->
+          invalid_arg "Orc_hp.Ptr.retag: different target"
+  end
+
+  let ptr g =
+    let p = { st = Link.Null; idx = get_new_idx g.t ~tid:g.tid ~start:1 } in
+    g.ptrs <- p :: g.ptrs;
+    p
+
+  let ensure_exclusive g p =
+    let tl = g.t.tl.(g.tid) in
+    if p.idx = 0 || tl.used_haz.(p.idx) > 1 then begin
+      if p.idx <> 0 then tl.used_haz.(p.idx) <- tl.used_haz.(p.idx) - 1;
+      p.idx <- get_new_idx g.t ~tid:g.tid ~start:1
+    end
+
+  let load g link p =
+    ensure_exclusive g p;
+    let tl = g.t.tl.(g.tid) in
+    let old = p.st in
+    let rec loop st =
+      Atomic.set tl.hp.(p.idx) (Link.target st);
+      let st' = Link.get link in
+      if st' == st then st else loop st'
+    in
+    p.st <- loop (Link.get link);
+    match Link.target old with
+    | Some q when not (Link.same old p.st) -> maybe_retire g.t ~tid:g.tid q
+    | Some _ | None -> ()
+
+  let assign g dst src =
+    if dst != src then begin
+      let tl = g.t.tl.(g.tid) in
+      let reuse = src.idx < dst.idx && tl.used_haz.(dst.idx) = 1 in
+      clear g.t ~tid:g.tid dst.st dst.idx ~reuse;
+      if src.idx < dst.idx then begin
+        if not reuse then dst.idx <- get_new_idx g.t ~tid:g.tid ~start:(src.idx + 1);
+        Atomic.set tl.hp.(dst.idx) (Link.target src.st)
+      end
+      else begin
+        using_idx g.t ~tid:g.tid src.idx;
+        dst.idx <- src.idx
+      end;
+      dst.st <- src.st
+    end
+
+  let run_mk g mk hdr =
+    match mk hdr with
+    | n -> n
+    | exception e ->
+        Memdom.Alloc.free g.t.alloc hdr;
+        raise e
+
+  let alloc_node g mk =
+    let hdr = Memdom.Alloc.hdr g.t.alloc () in
+    let n = run_mk g mk hdr in
+    let p = ptr g in
+    Atomic.set g.t.tl.(g.tid).hp.(p.idx) (Some n);
+    p.st <- Link.Ptr n;
+    p
+
+  let alloc_node_into g p mk =
+    let hdr = Memdom.Alloc.hdr g.t.alloc () in
+    let n = run_mk g mk hdr in
+    ensure_exclusive g p;
+    let old = p.st in
+    Atomic.set g.t.tl.(g.tid).hp.(p.idx) (Some n);
+    p.st <- Link.Ptr n;
+    (match Link.target old with
+    | Some q when not (q == n) -> maybe_retire g.t ~tid:g.tid q
+    | Some _ | None -> ());
+    n
+
+  let store g link st =
+    (match Link.target st with Some n -> inc g.t ~tid:g.tid n | None -> ());
+    let old = Link.exchange link st in
+    match Link.target old with Some n -> dec g.t ~tid:g.tid n | None -> ()
+
+  let cas g link ~expected ~desired =
+    if Link.cas link expected desired then begin
+      let te = Link.target expected and td = Link.target desired in
+      (match te, td with
+      | Some a, Some b when a == b -> ()
+      | _ ->
+          (match td with Some n -> inc g.t ~tid:g.tid n | None -> ());
+          (match te with Some n -> dec g.t ~tid:g.tid n | None -> ()));
+      true
+    end
+    else false
+
+  let exchange g link st =
+    (match Link.target st with Some n -> inc g.t ~tid:g.tid n | None -> ());
+    let old = Link.exchange link st in
+    (match Link.target old with Some n -> dec g.t ~tid:g.tid n | None -> ());
+    old
+
+  let new_link g st =
+    (match Link.target st with Some n -> inc g.t ~tid:g.tid n | None -> ());
+    Link.make st
+
+  let with_guard t f =
+    let tid = Registry.tid () in
+    let g = { t; tid; ptrs = [] } in
+    let finally () =
+      List.iter (fun p -> clear t ~tid p.st p.idx ~reuse:false) g.ptrs;
+      g.ptrs <- [];
+      Atomic.set t.tl.(tid).hp.(0) None
+    in
+    Fun.protect ~finally (fun () -> f g)
+
+  (* Quiesced drain: clear all hazards, then scan every thread's retired
+     list to a fixed point (a delete can push new cascade entries). *)
+  let flush t =
+    let tid = Registry.tid () in
+    let wm = Atomic.get t.watermark in
+    for it = 0 to Registry.max_threads - 1 do
+      for idx = 0 to wm - 1 do
+        Atomic.set t.tl.(it).hp.(idx) None
+      done
+    done;
+    (* each round frees at least one level of any pending cascade chain,
+       so loop until [pending] stops decreasing (guaranteed to
+       terminate: it is non-negative and strictly decreases) *)
+    let rec drain () =
+      (* freeing a chain link retires its successor, so [pending] can
+         stay flat while real progress happens — track the monotone
+         freed counter instead *)
+      let freed_before = Memdom.Alloc.freed t.alloc in
+      for it = 0 to Registry.max_threads - 1 do
+        let tl = t.tl.(it) in
+        let batch = tl.retired in
+        tl.retired <- [];
+        tl.retired_count <- 0;
+        (* adopt every thread's parked objects into the caller's scan *)
+        List.iter (fun p -> retire t ~tid p) batch
+      done;
+      scan t ~tid;
+      if Memdom.Alloc.freed t.alloc > freed_before then drain ()
+    in
+    drain ()
+end

@@ -1,0 +1,141 @@
+(** Pass-the-pointer (paper §3.1, Algorithm 2) — the paper's manual
+    scheme and the first with a *linear* O(Ht) bound on unreclaimed
+    objects.
+
+    Protection is hazard-pointer-like.  Retiring is where PTP differs
+    from HP/PTB: there is no thread-local retired list at all.  The
+    retiring thread scans the published hazard pointers; on a match it
+    *passes the pointer* — atomically swaps the object into the
+    [handovers] slot paired with that hazard slot, making the protecting
+    thread responsible for it — and continues the scan with whatever the
+    swap evicted.  Pointers only ever move forward through the scan
+    order, so at most one object can sit in each of the [t*H] handover
+    slots plus one in the hand of each scanning thread: at most
+    [t*(H+1)] unreclaimed objects, ever.
+
+    Clearing a hazard slot drains its handover (Algorithm 2 lines 16–19,
+    "optional" in the paper but required for a leak-free shutdown).
+
+    Ablation knobs (global, read at call time; see bench/ablation):
+    {!publish_with_exchange} switches the hazard publication between
+    [Atomic.set] and [Atomic.exchange] — the paper traces its AMD/Intel
+    performance gap to exactly this instruction choice (§5) — and
+    {!clear_handover} disables the drain-on-clear. *)
+
+open Atomicx
+
+let publish_with_exchange = ref false
+let clear_handover = ref true
+
+module Make (N : Reclaim.Scheme_intf.NODE) :
+  Reclaim.Scheme_intf.S with type node = N.t = struct
+  type node = N.t
+
+  type t = {
+    alloc : Memdom.Alloc.t;
+    hps : int;
+    hp : node option Atomic.t array array; (* [tid][idx] *)
+    handovers : node option Atomic.t array array; (* [tid][idx] *)
+    pending : int Atomic.t;
+  }
+
+  let name = "ptp"
+  let max_hps t = t.hps
+
+  let create ?(max_hps = 8) alloc =
+    let mk _ = Padded.atomic_array max_hps None in
+    {
+      alloc;
+      hps = max_hps;
+      hp = Array.init Registry.max_threads mk;
+      handovers = Array.init Registry.max_threads mk;
+      pending = Atomic.make 0;
+    }
+
+  let begin_op _ ~tid:_ = ()
+
+  let publish t ~tid ~idx n =
+    if !publish_with_exchange then ignore (Atomic.exchange t.hp.(tid).(idx) n)
+    else Atomic.set t.hp.(tid).(idx) n
+
+  let protect_raw t ~tid ~idx n = publish t ~tid ~idx n
+
+  let copy_protection t ~tid ~src ~dst =
+    publish t ~tid ~idx:dst (Atomic.get t.hp.(tid).(src))
+
+  let get_protected t ~tid ~idx link =
+    let rec loop st =
+      publish t ~tid ~idx (Link.target st);
+      let st' = Link.get link in
+      if st' == st then st else loop st'
+    in
+    loop (Link.get link)
+
+  let free_node t n =
+    Memdom.Alloc.free t.alloc (N.hdr n);
+    ignore (Atomic.fetch_and_add t.pending (-1))
+
+  (* Algorithm 2, handoverOrDelete: push [n] forward through the hazard
+     scan until it is either handed to a protecting thread or proven
+     unprotected and deleted. *)
+  let handover_or_delete t n ~start =
+    let cur = ref (Some n) in
+    (try
+       for it = start to Registry.max_threads - 1 do
+         let idx = ref 0 in
+         while !idx < t.hps do
+           match !cur with
+           | None -> raise_notrace Exit
+           | Some p -> (
+               match Atomic.get t.hp.(it).(!idx) with
+               | Some m when m == p -> (
+                   let prev = Atomic.exchange t.handovers.(it).(!idx) (Some p) in
+                   cur := prev;
+                   match prev with
+                   | None -> raise_notrace Exit
+                   | Some q -> (
+                       (* Check it is not the new pointer (line 31): if the
+                          slot protects the evictee, stay on this slot. *)
+                       match Atomic.get t.hp.(it).(!idx) with
+                       | Some m2 when m2 == q -> ()
+                       | Some _ | None -> incr idx))
+               | Some _ | None -> incr idx)
+         done
+       done
+     with Exit -> ());
+    match !cur with Some p -> free_node t p | None -> ()
+
+  let retire t ~tid:_ n =
+    Memdom.Hdr.mark_retired (N.hdr n);
+    ignore (Atomic.fetch_and_add t.pending 1);
+    handover_or_delete t n ~start:0
+
+  let clear t ~tid ~idx =
+    Atomic.set t.hp.(tid).(idx) None;
+    if !clear_handover then
+      match Atomic.get t.handovers.(tid).(idx) with
+      | None -> ()
+      | Some _ -> (
+          match Atomic.exchange t.handovers.(tid).(idx) None with
+          | Some p -> handover_or_delete t p ~start:tid
+          | None -> ())
+
+  let end_op t ~tid =
+    for idx = 0 to t.hps - 1 do
+      clear t ~tid ~idx
+    done
+
+  let unreclaimed t = Atomic.get t.pending
+
+  (* Drain every handover slot; anything still protected simply parks
+     again, anything unprotected is freed.  Unlike the other schemes PTP
+     has no retired lists, so this is all a drain can mean. *)
+  let flush t =
+    for tid = 0 to Registry.max_threads - 1 do
+      for idx = 0 to t.hps - 1 do
+        match Atomic.exchange t.handovers.(tid).(idx) None with
+        | Some p -> handover_or_delete t p ~start:0
+        | None -> ()
+      done
+    done
+end

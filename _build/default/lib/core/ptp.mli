@@ -1,0 +1,32 @@
+(** Pass-the-pointer (paper §3.1, Algorithm 2) — the paper's manual
+    reclamation scheme, and the first with a *linear* O(Ht) bound on
+    unreclaimed objects.
+
+    Protection is hazard-pointer-like; retirement keeps no thread-local
+    lists at all.  The retiring thread scans the published hazard
+    pointers and, on a match, atomically swaps the object into the
+    [handovers] slot paired with that hazard slot — passing
+    responsibility to the protecting thread — then continues the scan
+    with whatever the swap evicted.  Pointers only move forward through
+    the scan order, so at most one object occupies each of the [t*H]
+    handover slots plus one in each scanning hand: at most [t*(H+1)]
+    unreclaimed objects at any time.
+
+    Implements {!Reclaim.Scheme_intf.S}; usable anywhere the baseline
+    schemes are (same functor shape). *)
+
+val publish_with_exchange : bool ref
+(** Ablation knob (§5): publish hazards with [Atomic.exchange] instead
+    of [Atomic.set].  The paper traces the AMD-vs-Intel performance gap
+    of its figures to exactly this instruction choice.  Default
+    [false]. *)
+
+val clear_handover : bool ref
+(** Ablation knob: disable the drain of the handover slot when a hazard
+    is cleared (Algorithm 2 lines 16–19, "optional" in the paper).
+    Without it, objects can sit parked in handover slots of inactive
+    threads indefinitely — the bound still holds but residual objects
+    linger (see the [ablation] benchmark).  Default [true]. *)
+
+module Make (N : Reclaim.Scheme_intf.NODE) :
+  Reclaim.Scheme_intf.S with type node = N.t

@@ -1,0 +1,1 @@
+lib/ds/hash_map.ml: Array Atomicx Link List Memdom Reclaim Registry

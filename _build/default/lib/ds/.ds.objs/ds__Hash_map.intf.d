@@ -1,0 +1,1 @@
+lib/ds/hash_map.mli: Intf Reclaim

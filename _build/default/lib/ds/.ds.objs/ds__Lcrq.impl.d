@@ -1,0 +1,1 @@
+lib/ds/lcrq.ml: Array Atomic Atomicx Link Memdom Reclaim Registry

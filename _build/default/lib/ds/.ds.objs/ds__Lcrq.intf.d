@@ -1,0 +1,1 @@
+lib/ds/lcrq.mli: Intf Reclaim

@@ -1,0 +1,1 @@
+lib/ds/michael_list.ml: Atomicx Link List Memdom Reclaim Registry

@@ -1,0 +1,1 @@
+lib/ds/michael_list.mli: Intf Reclaim

@@ -1,0 +1,1 @@
+lib/ds/ms_queue.ml: Atomicx Backoff Link Memdom Reclaim Registry

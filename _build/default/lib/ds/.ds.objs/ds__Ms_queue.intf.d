@@ -1,0 +1,1 @@
+lib/ds/ms_queue.mli: Intf Reclaim

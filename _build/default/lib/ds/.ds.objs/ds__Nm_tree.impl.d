@@ -1,0 +1,1 @@
+lib/ds/nm_tree.ml: Atomicx Link List Memdom Reclaim Registry

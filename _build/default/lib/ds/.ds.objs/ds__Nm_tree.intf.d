@@ -1,0 +1,1 @@
+lib/ds/nm_tree.mli: Intf Reclaim

@@ -1,0 +1,1 @@
+lib/ds/orc_crf_skiplist.ml: Skiplist_base

@@ -1,0 +1,1 @@
+lib/ds/orc_harris_list.mli: Intf

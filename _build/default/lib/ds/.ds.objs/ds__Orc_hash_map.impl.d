@@ -1,0 +1,1 @@
+lib/ds/orc_hash_map.ml: Array Atomicx Hash_map Link List Memdom Orc_core

@@ -1,0 +1,1 @@
+lib/ds/orc_hash_map.mli: Intf

@@ -1,0 +1,1 @@
+lib/ds/orc_hs_list.ml: Atomicx Link List Memdom Orc_core

@@ -1,0 +1,1 @@
+lib/ds/orc_hs_list.mli: Intf

@@ -1,0 +1,1 @@
+lib/ds/orc_hs_skiplist.ml: Skiplist_base

@@ -1,0 +1,1 @@
+lib/ds/orc_kp_queue.ml: Array Atomic Atomicx Link Memdom Orc_core Registry

@@ -1,0 +1,1 @@
+lib/ds/orc_kp_queue.mli: Intf

@@ -1,0 +1,1 @@
+lib/ds/orc_lcrq.ml: Array Atomic Atomicx Lcrq Link Memdom Orc_core

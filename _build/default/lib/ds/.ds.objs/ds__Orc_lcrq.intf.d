@@ -1,0 +1,1 @@
+lib/ds/orc_lcrq.mli: Intf

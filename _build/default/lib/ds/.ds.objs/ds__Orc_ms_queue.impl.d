@@ -1,0 +1,1 @@
+lib/ds/orc_ms_queue.ml: Atomicx Backoff Link Memdom Orc_core

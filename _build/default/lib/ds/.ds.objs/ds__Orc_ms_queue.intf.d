@@ -1,0 +1,1 @@
+lib/ds/orc_ms_queue.mli: Intf

@@ -1,0 +1,1 @@
+lib/ds/orc_nm_tree.ml: Atomicx Link List Memdom Nm_tree Orc_core

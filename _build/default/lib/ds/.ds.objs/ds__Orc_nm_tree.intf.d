@@ -1,0 +1,1 @@
+lib/ds/orc_nm_tree.mli: Intf

@@ -1,0 +1,1 @@
+lib/ds/orc_tbkp_list.ml: Array Atomic Atomicx Link List Memdom Orc_core Registry

@@ -1,0 +1,1 @@
+lib/ds/orc_tbkp_list.mli: Intf

@@ -1,0 +1,1 @@
+lib/ds/orc_turn_queue.ml: Array Atomic Atomicx Link Memdom Orc_core Registry

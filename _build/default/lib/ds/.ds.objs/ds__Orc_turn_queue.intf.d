@@ -1,0 +1,1 @@
+lib/ds/orc_turn_queue.mli: Intf

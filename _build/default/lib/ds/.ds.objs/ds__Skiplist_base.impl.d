@@ -1,0 +1,1 @@
+lib/ds/skiplist_base.ml: Array Atomicx Link List Memdom Orc_core Registry Rng

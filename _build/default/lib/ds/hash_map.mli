@@ -1,0 +1,8 @@
+(** Michael's lock-free hash table [18] (same paper as the list):
+    fixed-size array of lock-free list buckets sharing one scheme
+    instance, one allocator and one tail sentinel.  Parameterized by a
+    manual reclamation scheme. *)
+
+val default_buckets : int
+
+module Make (R : Reclaim.Scheme_intf.MAKER) : Intf.SET

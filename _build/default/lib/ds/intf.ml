@@ -1,0 +1,65 @@
+(** Common signatures of the benchable data structures.
+
+    Every queue and every ordered set in this library exposes the same
+    surface, so the test batteries and the benchmark harness can iterate
+    over scheme × structure combinations uniformly.  The memory
+    accounting entry points ([alloc], [unreclaimed], [flush]) are part of
+    the interface on purpose: the paper's claims are as much about
+    *unreclaimed objects* as about throughput, and every structure must
+    be able to prove leak-freedom after [destroy]. *)
+
+module type QUEUE = sig
+  type t
+
+  type item
+  (** Payload type (the functor argument [V.t]). *)
+
+  val scheme_name : string
+  (** Reclamation scheme label used in benchmark tables ("hp", "orc", ...). *)
+
+  val create : ?mode:Memdom.Alloc.mode -> unit -> t
+  (** Fresh queue with its own allocator context (default
+      [Memdom.Alloc.System]: access after free raises). *)
+
+  val enqueue : t -> item -> unit
+  val dequeue : t -> item option
+
+  val destroy : t -> unit
+  (** Quiesced teardown: release every node the structure still owns.
+      After [destroy] (plus {!flush} for manual schemes),
+      [Memdom.Alloc.live (alloc t) = 0]. *)
+
+  val unreclaimed : t -> int
+  (** Nodes retired but not yet freed — the paper's bounded quantity. *)
+
+  val flush : t -> unit
+  (** Quiesced drain of the underlying scheme (tests/shutdown only). *)
+
+  val alloc : t -> Memdom.Alloc.t
+end
+
+module type SET = sig
+  type t
+
+  val scheme_name : string
+  val create : ?mode:Memdom.Alloc.mode -> unit -> t
+
+  val add : t -> int -> bool
+  (** [true] iff the key was absent.  Keys must avoid the sentinel values
+      (structure-specific, always including [min_int]/[max_int]). *)
+
+  val remove : t -> int -> bool
+  (** [true] iff this call logically deleted the key. *)
+
+  val contains : t -> int -> bool
+
+  val to_list : t -> int list
+  (** Quiesced: the current keys in ascending order. *)
+
+  val size : t -> int
+
+  val destroy : t -> unit
+  val unreclaimed : t -> int
+  val flush : t -> unit
+  val alloc : t -> Memdom.Alloc.t
+end

@@ -1,0 +1,18 @@
+(** LCRQ — Morrison & Afek's linked concurrent ring queue [21],
+    parameterized by a manual reclamation scheme.
+
+    A lock-free list of ring segments driven by fetch-and-add counters;
+    a filled or livelocked ring is closed and a new segment linked
+    behind it.  The reclamation unit is the segment.  The paper's
+    double-word CAS cells become immutable boxed records under a single
+    physical CAS.  FAA-based structures like this are outside the
+    normalized form required by FreeAccess/AOA (§2). *)
+
+val ring_size : int
+val closed_bit : int
+val idx_mask : int
+
+module Make (V : sig
+  type t
+end)
+(R : Reclaim.Scheme_intf.MAKER) : Intf.QUEUE with type item = V.t

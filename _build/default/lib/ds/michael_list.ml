@@ -1,0 +1,208 @@
+(** Michael's lock-free linked-list set [18] ("Michael-Harris" in the
+    paper's figures), parameterized by a manual reclamation scheme.
+
+    This is the one list of the paper's four that manual schemes *can*
+    handle: a node is marked (logical delete) and then physically
+    unlinked by a single CAS, and only the unlinking thread calls retire,
+    so retire's precondition — unreachable from the roots — is decidable
+    at a fixed program point.
+
+    Hazard indexes: 0 = curr, 1 = next, 2 = prev node.  Validation is by
+    box identity: if [prev.next] still holds the very box we read, it was
+    not changed (not even marked) in between — strictly stronger than the
+    tag comparison of the C++ original.
+
+    Keys must lie strictly between [min_int] and [max_int] (the sentinel
+    keys). *)
+
+open Atomicx
+
+module Make (R : Reclaim.Scheme_intf.MAKER) = struct
+  type node = { key : int; next : node Link.t; hdr : Memdom.Hdr.t }
+
+  module S = R (struct
+    type t = node
+
+    let hdr n = n.hdr
+  end)
+
+  type t = {
+    head : node; (* sentinel, never retired *)
+    tail : node; (* sentinel, never retired *)
+    scheme : S.t;
+    alloc : Memdom.Alloc.t;
+  }
+
+  let scheme_name = S.name
+
+  let next_of n =
+    Memdom.Hdr.check_access n.hdr;
+    n.next
+
+  let key_of n =
+    Memdom.Hdr.check_access n.hdr;
+    n.key
+
+  let create ?(mode = Memdom.Alloc.System) () =
+    let alloc = Memdom.Alloc.create ~mode "michael_list" in
+    let scheme = S.create ~max_hps:4 alloc in
+    let tail =
+      { key = max_int; next = Link.make Link.Null; hdr = Memdom.Alloc.hdr alloc () }
+    in
+    let head =
+      {
+        key = min_int;
+        next = Link.make (Link.Ptr tail);
+        hdr = Memdom.Alloc.hdr alloc ();
+      }
+    in
+    { head; tail; scheme; alloc }
+
+  let target_exn st =
+    match Link.target st with
+    | Some n -> n
+    | None -> assert false (* the tail sentinel terminates every search *)
+
+  (* Returns [(found, prev_link, curr_st)] with the curr node protected at
+     hazard 0 and its predecessor at hazard 2.  [curr_st] is the unmarked
+     box currently stored in [prev_link]. *)
+  let rec find t ~tid key =
+    let prev_link = ref t.head.next in
+    let curr_st = ref (S.get_protected t.scheme ~tid ~idx:0 !prev_link) in
+    let restart () = find t ~tid key in
+    let rec loop () =
+      let curr = target_exn !curr_st in
+      let next_st = S.get_protected t.scheme ~tid ~idx:1 (next_of curr) in
+      if not (Link.get !prev_link == !curr_st) then restart ()
+      else if Link.is_marked next_st then begin
+        (* curr is logically deleted: unlink it physically *)
+        let unmarked =
+          match Link.target next_st with
+          | Some nx -> Link.Ptr nx
+          | None -> Link.Null
+        in
+        if Link.cas !prev_link !curr_st unmarked then begin
+          S.retire t.scheme ~tid curr;
+          curr_st := unmarked;
+          S.copy_protection t.scheme ~tid ~src:1 ~dst:0;
+          loop ()
+        end
+        else restart ()
+      end
+      else if key_of curr >= key then (key_of curr = key, !prev_link, !curr_st)
+      else begin
+        (* advance: curr becomes prev (copy protections, both held) *)
+        S.copy_protection t.scheme ~tid ~src:0 ~dst:2;
+        prev_link := next_of curr;
+        curr_st := next_st;
+        S.copy_protection t.scheme ~tid ~src:1 ~dst:0;
+        loop ()
+      end
+    in
+    loop ()
+
+  let check_key key =
+    if key = min_int || key = max_int then
+      invalid_arg "Michael_list: key must be strictly inside (min_int, max_int)"
+
+  let contains t key =
+    check_key key;
+    let tid = Registry.tid () in
+    S.begin_op t.scheme ~tid;
+    let found, _, _ = find t ~tid key in
+    S.end_op t.scheme ~tid;
+    found
+
+  let add t key =
+    check_key key;
+    let tid = Registry.tid () in
+    S.begin_op t.scheme ~tid;
+    let rec loop () =
+      let found, prev_link, curr_st = find t ~tid key in
+      if found then false
+      else
+        let node =
+          { key; next = Link.make curr_st; hdr = Memdom.Alloc.hdr t.alloc () }
+        in
+        if Link.cas prev_link curr_st (Link.Ptr node) then true
+        else begin
+          (* lost the race: the fresh node was never published *)
+          Memdom.Alloc.free t.alloc node.hdr;
+          loop ()
+        end
+    in
+    let r = loop () in
+    S.end_op t.scheme ~tid;
+    r
+
+  let remove t key =
+    check_key key;
+    let tid = Registry.tid () in
+    S.begin_op t.scheme ~tid;
+    let rec loop () =
+      let found, prev_link, curr_st = find t ~tid key in
+      if not found then false
+      else
+        let curr = target_exn curr_st in
+        let next_st = S.get_protected t.scheme ~tid ~idx:1 (next_of curr) in
+        if Link.is_marked next_st then loop ()
+        else
+          let marked =
+            match Link.target next_st with
+            | Some nx -> Link.Mark nx
+            | None -> assert false (* found node always precedes tail *)
+          in
+          if Link.cas (next_of curr) next_st marked then begin
+            (* try to unlink; on failure find() will clean up *)
+            let unmarked =
+              match Link.target next_st with
+              | Some nx -> Link.Ptr nx
+              | None -> Link.Null
+            in
+            if Link.cas prev_link curr_st unmarked then
+              S.retire t.scheme ~tid curr
+            else ignore (find t ~tid key);
+            true
+          end
+          else loop ()
+    in
+    let r = loop () in
+    S.end_op t.scheme ~tid;
+    r
+
+  (* Sequential helpers (quiesced): collect the keys of nodes that are
+     reachable and not logically deleted. *)
+  let to_list t =
+    let rec walk acc n =
+      match Link.target (Link.get n.next) with
+      | None -> List.rev acc
+      | Some nx ->
+          if nx == t.tail then List.rev acc
+          else
+            let deleted = Link.is_marked (Link.get nx.next) in
+            walk (if deleted then acc else key_of nx :: acc) nx
+    in
+    walk [] t.head
+
+  let size t = List.length (to_list t)
+
+  let destroy t =
+    let rec free_chain n =
+      if n != t.tail then begin
+        let nx = target_exn (Link.get n.next) in
+        Memdom.Alloc.free t.alloc n.hdr;
+        free_chain nx
+      end
+      else Memdom.Alloc.free t.alloc n.hdr
+    in
+    (match Link.target (Link.get t.head.next) with
+    | Some n -> free_chain n
+    | None -> ());
+    Memdom.Alloc.free t.alloc t.head.hdr;
+    Link.set t.head.next Link.Null;
+    S.flush t.scheme
+
+  let unreclaimed t = S.unreclaimed t.scheme
+  let flush t = S.flush t.scheme
+  let alloc t = t.alloc
+end

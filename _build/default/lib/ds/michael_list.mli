@@ -1,0 +1,9 @@
+(** Michael's lock-free linked-list set [18] ("Michael-Harris" in the
+    paper's figures), parameterized by a manual reclamation scheme — the
+    one list of the paper's four that manual schemes *can* handle.
+
+    Hazard indexes: 0 = curr, 1 = next, 2 = prev.  Window validation is
+    by box identity, strictly stronger than the C++ tag comparison.
+    Keys must lie strictly between [min_int] and [max_int]. *)
+
+module Make (R : Reclaim.Scheme_intf.MAKER) : Intf.SET

@@ -1,0 +1,146 @@
+(** Michael–Scott lock-free queue [20], parameterized by a *manual*
+    reclamation scheme (HP, PTB, PTP, EBR, ...).
+
+    This is the classical target of manual schemes: the dequeuer that
+    swings [head] knows the old sentinel just became unreachable and
+    calls [retire] at exactly that point.  Hazard indexes: 0 protects the
+    head/tail snapshot, 1 the successor. *)
+
+open Atomicx
+
+module Make (V : sig
+  type t
+end)
+(R : Reclaim.Scheme_intf.MAKER) =
+struct
+  type item = V.t
+
+  type node = {
+    item : V.t option; (* [None] only in the initial sentinel *)
+    next : node Link.t;
+    hdr : Memdom.Hdr.t;
+  }
+
+  module S = R (struct
+    type t = node
+
+    let hdr n = n.hdr
+  end)
+
+  type t = {
+    head : node Link.t;
+    tail : node Link.t;
+    scheme : S.t;
+    alloc : Memdom.Alloc.t;
+  }
+
+  let scheme_name = S.name
+
+  (* Checked accessors: every dereference validates the node's lifecycle
+     so that a reclamation bug raises [Memdom.Hdr.Use_after_free]. *)
+  let next_of n =
+    Memdom.Hdr.check_access n.hdr;
+    n.next
+
+  let item_of n =
+    Memdom.Hdr.check_access n.hdr;
+    n.item
+
+  let create ?(mode = Memdom.Alloc.System) () =
+    let alloc = Memdom.Alloc.create ~mode "ms_queue" in
+    let scheme = S.create ~max_hps:4 alloc in
+    let sentinel =
+      { item = None; next = Link.make Link.Null; hdr = Memdom.Alloc.hdr alloc () }
+    in
+    {
+      head = Link.make (Link.Ptr sentinel);
+      tail = Link.make (Link.Ptr sentinel);
+      scheme;
+      alloc;
+    }
+
+  let enqueue q v =
+    let tid = Registry.tid () in
+    S.begin_op q.scheme ~tid;
+    let node =
+      { item = Some v; next = Link.make Link.Null; hdr = Memdom.Alloc.hdr q.alloc () }
+    in
+    let backoff = Backoff.create () in
+    let rec loop () =
+      let ltail_st = S.get_protected q.scheme ~tid ~idx:0 q.tail in
+      match Link.target ltail_st with
+      | None -> assert false (* tail is never null *)
+      | Some ltail -> (
+          match Link.get (next_of ltail) with
+          | Link.Null ->
+              if Link.cas (next_of ltail) Link.Null (Link.Ptr node) then
+                ignore (Link.cas q.tail ltail_st (Link.Ptr node))
+              else begin
+                Backoff.once backoff;
+                loop ()
+              end
+          | Link.Ptr _ as lnext ->
+              (* help: swing the lagging tail forward *)
+              ignore (Link.cas q.tail ltail_st lnext);
+              loop ()
+          | Link.Mark _ | Link.Flag _ | Link.Tag _ | Link.FlagTag _
+          | Link.Poison ->
+              assert false)
+    in
+    loop ();
+    S.end_op q.scheme ~tid
+
+  let dequeue q =
+    let tid = Registry.tid () in
+    S.begin_op q.scheme ~tid;
+    let backoff = Backoff.create () in
+    let rec loop () =
+      let lhead_st = S.get_protected q.scheme ~tid ~idx:0 q.head in
+      match Link.target lhead_st with
+      | None -> assert false
+      | Some lhead -> (
+          let ltail_st = Link.get q.tail in
+          let lnext_st = S.get_protected q.scheme ~tid ~idx:1 (next_of lhead) in
+          (* re-validate: head must not have moved while we protected next *)
+          if not (Link.get q.head == lhead_st) then loop ()
+          else
+            match Link.target lnext_st with
+            | None ->
+                (* empty (head = tail with no successor) *)
+                None
+            | Some next ->
+                if Link.same lhead_st ltail_st then begin
+                  (* tail is lagging: help and retry *)
+                  ignore (Link.cas q.tail ltail_st lnext_st);
+                  loop ()
+                end
+                else if Link.cas q.head lhead_st lnext_st then begin
+                  let v = item_of next in
+                  S.retire q.scheme ~tid lhead;
+                  v
+                end
+                else begin
+                  Backoff.once backoff;
+                  loop ()
+                end)
+    in
+    let r = loop () in
+    S.end_op q.scheme ~tid;
+    r
+
+  (* Quiesced teardown: drain remaining items, free the sentinel, drain
+     the scheme.  After this [Memdom.Alloc.live q.alloc] should be 0. *)
+  let destroy q =
+    let rec drain () = match dequeue q with Some _ -> drain () | None -> () in
+    drain ();
+    (match Link.target (Link.get q.head) with
+    | Some sentinel -> Memdom.Alloc.free q.alloc sentinel.hdr
+    | None -> ());
+    Link.set q.head Link.Null;
+    Link.set q.tail Link.Null;
+    S.flush q.scheme
+
+  let unreclaimed q = S.unreclaimed q.scheme
+  let flush q = S.flush q.scheme
+  let alloc q = q.alloc
+end

@@ -1,0 +1,12 @@
+(** Michael–Scott lock-free queue [20], parameterized by a *manual*
+    reclamation scheme (HP, PTB, EBR, HE, IBR, PTP, Leak).
+
+    The classical target of manual schemes: the dequeuer that swings
+    [head] knows the old sentinel just became unreachable and calls
+    retire at exactly that point.  Hazard indexes: 0 = head/tail
+    snapshot, 1 = successor. *)
+
+module Make (V : sig
+  type t
+end)
+(R : Reclaim.Scheme_intf.MAKER) : Intf.QUEUE with type item = V.t

@@ -1,0 +1,13 @@
+(** CRF-skip — the paper's new lock-free skip list (§5).
+
+    Once a removed node is unlinked from every level its forward
+    pointers are poisoned, isolating it completely: searches restart on
+    poison (contains becomes lock-free rather than wait-free) and the
+    severed hard links keep the unreclaimed-object count linear instead
+    of key-bounded.  See {!Skiplist_base}. *)
+
+module Make () = Skiplist_base.Make (struct
+  let poison = true
+  let max_level = 14
+end)
+()

@@ -1,0 +1,8 @@
+(** Harris's original lock-free linked list [12] with OrcGC — the
+    paper's obstacle-2 example: searches traverse *through* marked nodes
+    and whole marked chains are excised by one CAS, so no retire call
+    can be placed; manual schemes are inapplicable.  Under OrcGC the
+    excision CAS starts a destructor cascade down the chain.  No
+    algorithmic modification. *)
+
+module Make () : Intf.SET

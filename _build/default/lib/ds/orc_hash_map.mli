@@ -1,0 +1,6 @@
+(** Michael's lock-free hash table with OrcGC: annotation-only port of
+    {!Hash_map} — bucket heads are root links, no retire call exists. *)
+
+val default_buckets : int
+
+module Make () : Intf.SET

@@ -1,0 +1,7 @@
+(** Herlihy & Shavit's nonblocking list with wait-free lookups [15],
+    with OrcGC.  [contains] walks straight through marked nodes without
+    restarting, which requires removed nodes' pointers to stay valid
+    (obstacle 2) — a removed node's outgoing hard link persists until
+    the node itself is reclaimed. *)
+
+module Make () : Intf.SET

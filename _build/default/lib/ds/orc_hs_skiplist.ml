@@ -1,0 +1,12 @@
+(** Herlihy–Shavit lock-free skip list with OrcGC (paper §5).
+
+    [contains] never restarts and traverses the frozen forward pointers
+    of removed nodes, so removed nodes can chain to each other — the
+    key-bounded unreclaimed-memory behaviour the paper measures against
+    CRF-skip.  See {!Skiplist_base}. *)
+
+module Make () = Skiplist_base.Make (struct
+  let poison = false
+  let max_level = 14
+end)
+()

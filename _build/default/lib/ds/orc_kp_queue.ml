@@ -1,0 +1,369 @@
+(** Kogan & Petrank's wait-free MPMC queue [17], with OrcGC.
+
+    This is the paper's obstacle-1 structure (§2): queue nodes are
+    referenced simultaneously from [head]/[tail] *and* from the per-thread
+    operation-descriptor array used for helping, and those references are
+    unlinked in orders that depend on the interleaving — there is no
+    program point where a retire call would be sound, so no manual scheme
+    in Table 1 applies.  OrcGC handles it with annotations alone: the
+    descriptor's node reference is just another counted hard link.
+
+    Both queue nodes and operation descriptors are OrcGC-tracked objects;
+    the two roles share one record type, with a descriptor using the
+    [next] link as its node reference. *)
+
+open Atomicx
+
+module Make (V : sig
+  type t
+end) =
+struct
+  type item = V.t
+
+  type node = {
+    item : V.t option; (* queue node payload; [None] in descriptors *)
+    enq_tid : int;
+    deq_tid : int Atomic.t; (* queue node: claimed dequeuer, -1 = none *)
+    next : node Link.t; (* queue linkage / descriptor's node reference *)
+    phase : int; (* descriptor fields *)
+    pending : bool;
+    is_enq : bool;
+    hdr : Memdom.Hdr.t;
+  }
+
+  module O = Orc_core.Orc.Make (struct
+    type t = node
+
+    let hdr n = n.hdr
+    let iter_links n f = f n.next
+  end)
+
+  type t = {
+    head : node Link.t;
+    tail : node Link.t;
+    state : node Link.t array; (* per-thread operation descriptors *)
+    orc : O.t;
+    alloc : Memdom.Alloc.t;
+  }
+
+  let scheme_name = "orc"
+
+  let item_of n =
+    Memdom.Hdr.check_access n.hdr;
+    n.item
+
+  let next_of n =
+    Memdom.Hdr.check_access n.hdr;
+    n.next
+
+  let mk_node v etid hdr =
+    {
+      item = Some v;
+      enq_tid = etid;
+      deq_tid = Atomic.make (-1);
+      next = Link.make Link.Null;
+      phase = -1;
+      pending = false;
+      is_enq = false;
+      hdr;
+    }
+
+  let mk_desc ~phase ~pending ~is_enq ~node g hdr =
+    {
+      item = None;
+      enq_tid = -1;
+      deq_tid = Atomic.make (-1);
+      next =
+        (match node with
+        | Some n -> O.new_link g (Link.Ptr n)
+        | None -> Link.make Link.Null);
+      phase;
+      pending;
+      is_enq;
+      hdr;
+    }
+
+  let create ?(mode = Memdom.Alloc.System) () =
+    let alloc = Memdom.Alloc.create ~mode "orc_kp_queue" in
+    let orc = O.create alloc in
+    O.with_guard orc (fun g ->
+        let sp =
+          O.alloc_node g (fun hdr ->
+              {
+                item = None;
+                enq_tid = -1;
+                deq_tid = Atomic.make (-1);
+                next = Link.make Link.Null;
+                phase = -1;
+                pending = false;
+                is_enq = false;
+                hdr;
+              })
+        in
+        let sentinel = O.Ptr.node_exn sp in
+        let dp = O.ptr g in
+        let state =
+          Array.init Registry.max_threads (fun _ ->
+              let d =
+                O.alloc_node_into g dp
+                  (mk_desc ~phase:(-1) ~pending:false ~is_enq:true ~node:None g)
+              in
+              O.new_link g (Link.Ptr d))
+        in
+        {
+          head = O.new_link g (Link.Ptr sentinel);
+          tail = O.new_link g (Link.Ptr sentinel);
+          state;
+          orc;
+          alloc;
+        })
+
+  (* Working pointer set for one operation. *)
+  type cursor = {
+    lhead : O.Ptr.t;
+    ltail : O.Ptr.t;
+    lnext : O.Ptr.t;
+    sp : O.Ptr.t; (* a state descriptor *)
+    dn : O.Ptr.t; (* a descriptor's recorded node *)
+    dp : O.Ptr.t; (* freshly allocated descriptors *)
+  }
+
+  let cursor g =
+    {
+      lhead = O.ptr g;
+      ltail = O.ptr g;
+      lnext = O.ptr g;
+      sp = O.ptr g;
+      dn = O.ptr g;
+      dp = O.ptr g;
+    }
+
+  let max_phase t g cu =
+    let m = ref (-1) in
+    for i = 0 to Registry.high_water () - 1 do
+      O.load g t.state.(i) cu.sp;
+      match O.Ptr.node cu.sp with
+      | Some d -> if d.phase > !m then m := d.phase
+      | None -> ()
+    done;
+    !m
+
+  let is_still_pending t g cu i ph =
+    O.load g t.state.(i) cu.sp;
+    match O.Ptr.node cu.sp with
+    | Some d -> d.pending && d.phase <= ph
+    | None -> false
+
+  let help_finish_enq t g cu =
+    O.load g t.tail cu.ltail;
+    let last = O.Ptr.node_exn cu.ltail in
+    O.load g (next_of last) cu.lnext;
+    match O.Ptr.node cu.lnext with
+    | None -> ()
+    | Some nx ->
+        let etid = nx.enq_tid in
+        if etid >= 0 then begin
+          O.load g t.state.(etid) cu.sp;
+          let d = O.Ptr.node_exn cu.sp in
+          if Link.get t.tail == O.Ptr.state cu.ltail then begin
+            O.load g (next_of d) cu.dn;
+            match O.Ptr.node cu.dn with
+            | Some dnode when dnode == nx ->
+                let nd =
+                  O.alloc_node_into g cu.dp
+                    (mk_desc ~phase:d.phase ~pending:false ~is_enq:true
+                       ~node:(Some nx) g)
+                in
+                ignore
+                  (O.cas g t.state.(etid) ~expected:(O.Ptr.state cu.sp)
+                     ~desired:(Link.Ptr nd));
+                ignore
+                  (O.cas g t.tail ~expected:(O.Ptr.state cu.ltail)
+                     ~desired:(Link.Ptr nx))
+            | Some _ | None -> ()
+          end
+        end
+
+  let help_enq t g cu i ph =
+    let rec loop () =
+      if is_still_pending t g cu i ph then begin
+        O.load g t.tail cu.ltail;
+        let last = O.Ptr.node_exn cu.ltail in
+        O.load g (next_of last) cu.lnext;
+        if Link.get t.tail == O.Ptr.state cu.ltail then
+          if O.Ptr.is_null cu.lnext then begin
+            if is_still_pending t g cu i ph then begin
+              (* cu.sp now holds thread i's descriptor *)
+              let d = O.Ptr.node_exn cu.sp in
+              O.load g (next_of d) cu.dn;
+              match O.Ptr.node cu.dn with
+              | Some n ->
+                  if
+                    O.cas g (next_of last) ~expected:(O.Ptr.state cu.lnext)
+                      ~desired:(Link.Ptr n)
+                  then help_finish_enq t g cu
+                  else loop ()
+              | None -> loop ()
+            end
+          end
+          else begin
+            help_finish_enq t g cu;
+            loop ()
+          end
+        else loop ()
+      end
+    in
+    loop ()
+
+  let help_finish_deq t g cu =
+    O.load g t.head cu.lhead;
+    let first = O.Ptr.node_exn cu.lhead in
+    O.load g (next_of first) cu.lnext;
+    let dtid = Atomic.get first.deq_tid in
+    if dtid >= 0 then begin
+      O.load g t.state.(dtid) cu.sp;
+      let d = O.Ptr.node_exn cu.sp in
+      if
+        Link.get t.head == O.Ptr.state cu.lhead
+        && not (O.Ptr.is_null cu.lnext)
+      then begin
+        O.load g (next_of d) cu.dn;
+        let nd =
+          O.alloc_node_into g cu.dp
+            (mk_desc ~phase:d.phase ~pending:false ~is_enq:false
+               ~node:(O.Ptr.node cu.dn) g)
+        in
+        ignore
+          (O.cas g t.state.(dtid) ~expected:(O.Ptr.state cu.sp)
+             ~desired:(Link.Ptr nd));
+        ignore
+          (O.cas g t.head ~expected:(O.Ptr.state cu.lhead)
+             ~desired:(O.Ptr.state cu.lnext))
+      end
+    end
+
+  let help_deq t g cu i ph =
+    let rec loop () =
+      if is_still_pending t g cu i ph then begin
+        O.load g t.head cu.lhead;
+        let first = O.Ptr.node_exn cu.lhead in
+        O.load g t.tail cu.ltail;
+        O.load g (next_of first) cu.lnext;
+        if Link.get t.head == O.Ptr.state cu.lhead then
+          if O.Ptr.same_node cu.lhead cu.ltail then
+            if O.Ptr.is_null cu.lnext then begin
+              (* empty: complete i's op with no node *)
+              O.load g t.state.(i) cu.sp;
+              let d = O.Ptr.node_exn cu.sp in
+              if d.pending && d.phase <= ph then begin
+                if
+                  Link.get t.tail == O.Ptr.state cu.ltail
+                then begin
+                  let nd =
+                    O.alloc_node_into g cu.dp
+                      (mk_desc ~phase:d.phase ~pending:false ~is_enq:false
+                         ~node:None g)
+                  in
+                  ignore
+                    (O.cas g t.state.(i) ~expected:(O.Ptr.state cu.sp)
+                       ~desired:(Link.Ptr nd))
+                end;
+                loop ()
+              end
+            end
+            else begin
+              (* tail lagging: finish the in-flight enqueue first *)
+              help_finish_enq t g cu;
+              loop ()
+            end
+          else begin
+            O.load g t.state.(i) cu.sp;
+            let d = O.Ptr.node_exn cu.sp in
+            if d.pending && d.phase <= ph then begin
+              O.load g (next_of d) cu.dn;
+              if Link.get t.head == O.Ptr.state cu.lhead then begin
+                let recorded =
+                  match O.Ptr.node cu.dn with
+                  | Some x -> x == first
+                  | None -> false
+                in
+                let proceed =
+                  recorded
+                  ||
+                  let nd =
+                    O.alloc_node_into g cu.dp
+                      (mk_desc ~phase:d.phase ~pending:true ~is_enq:false
+                         ~node:(Some first) g)
+                  in
+                  O.cas g t.state.(i) ~expected:(O.Ptr.state cu.sp)
+                    ~desired:(Link.Ptr nd)
+                in
+                if proceed then begin
+                  ignore (Atomic.compare_and_set first.deq_tid (-1) i);
+                  help_finish_deq t g cu
+                end;
+                loop ()
+              end
+              else loop ()
+            end
+          end
+        else loop ()
+      end
+    in
+    loop ()
+
+  let help t g cu ph =
+    for i = 0 to Registry.high_water () - 1 do
+      O.load g t.state.(i) cu.sp;
+      match O.Ptr.node cu.sp with
+      | Some d when d.pending && d.phase <= ph ->
+          if d.is_enq then help_enq t g cu i ph else help_deq t g cu i ph
+      | Some _ | None -> ()
+    done
+
+  let enqueue q v =
+    O.with_guard q.orc @@ fun g ->
+    let tid = Registry.tid () in
+    let cu = cursor g in
+    let ph = max_phase q g cu + 1 in
+    let np = O.ptr g in
+    let n = O.alloc_node_into g np (mk_node v tid) in
+    let d =
+      O.alloc_node_into g cu.dp
+        (mk_desc ~phase:ph ~pending:true ~is_enq:true ~node:(Some n) g)
+    in
+    O.store g q.state.(tid) (Link.Ptr d);
+    help q g cu ph;
+    help_finish_enq q g cu
+
+  let dequeue q =
+    O.with_guard q.orc @@ fun g ->
+    let tid = Registry.tid () in
+    let cu = cursor g in
+    let ph = max_phase q g cu + 1 in
+    let d =
+      O.alloc_node_into g cu.dp
+        (mk_desc ~phase:ph ~pending:true ~is_enq:false ~node:None g)
+    in
+    O.store g q.state.(tid) (Link.Ptr d);
+    help q g cu ph;
+    help_finish_deq q g cu;
+    O.load g q.state.(tid) cu.sp;
+    let d = O.Ptr.node_exn cu.sp in
+    O.load g (next_of d) cu.dn;
+    match O.Ptr.node cu.dn with
+    | None -> None (* empty queue *)
+    | Some first ->
+        O.load g (next_of first) cu.lnext;
+        item_of (O.Ptr.node_exn cu.lnext)
+
+  let destroy q =
+    O.with_guard q.orc @@ fun g ->
+    O.store g q.head Link.Null;
+    O.store g q.tail Link.Null;
+    Array.iter (fun s -> O.store g s Link.Null) q.state
+
+  let unreclaimed q = O.unreclaimed q.orc
+  let flush q = O.flush q.orc
+  let alloc q = q.alloc
+end

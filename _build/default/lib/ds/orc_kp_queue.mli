@@ -1,0 +1,11 @@
+(** Kogan & Petrank's wait-free MPMC queue [17], with OrcGC.
+
+    The paper's obstacle-1 structure (§2): nodes are referenced from
+    [head]/[tail] *and* from the helping descriptor array, with unlink
+    orders depending on the interleaving — no manual scheme in Table 1
+    applies; OrcGC handles it with annotations alone.  Operation
+    descriptors are themselves OrcGC-tracked objects. *)
+
+module Make (V : sig
+  type t
+end) : Intf.QUEUE with type item = V.t

@@ -1,0 +1,7 @@
+(** LCRQ with OrcGC: segment lifetime managed entirely by hard-link
+    counts (head/tail roots + predecessor's next link).  See {!Lcrq} for
+    the algorithm; here there is no retire logic at all. *)
+
+module Make (V : sig
+  type t
+end) : Intf.QUEUE with type item = V.t

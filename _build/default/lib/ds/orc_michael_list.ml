@@ -1,0 +1,187 @@
+(** Michael's lock-free list with OrcGC — same algorithm as
+    {!Michael_list} but with type annotations only: links are orc-managed,
+    local references are guard-scoped [Ptr] handles, and there is no
+    retire call; unlinking a node drops its last hard link and OrcGC
+    reclaims it once unprotected (paper §4.1.1 methodology). *)
+
+open Atomicx
+
+module Make () = struct
+  type node = { key : int; next : node Link.t; hdr : Memdom.Hdr.t }
+
+  module O = Orc_core.Orc.Make (struct
+    type t = node
+
+    let hdr n = n.hdr
+    let iter_links n f = f n.next
+  end)
+
+  type t = {
+    head : node;
+    tail : node;
+    head_root : node Link.t; (* root links keep the sentinels counted *)
+    tail_root : node Link.t;
+    orc : O.t;
+    alloc : Memdom.Alloc.t;
+  }
+
+  let scheme_name = "orc"
+
+  let next_of n =
+    Memdom.Hdr.check_access n.hdr;
+    n.next
+
+  let key_of n =
+    Memdom.Hdr.check_access n.hdr;
+    n.key
+
+  let create ?(mode = Memdom.Alloc.System) () =
+    let alloc = Memdom.Alloc.create ~mode "orc_michael_list" in
+    let orc = O.create alloc in
+    O.with_guard orc (fun g ->
+        let tp =
+          O.alloc_node g (fun hdr ->
+              { key = max_int; next = Link.make Link.Null; hdr })
+        in
+        let tail = O.Ptr.node_exn tp in
+        let hp =
+          O.alloc_node g (fun hdr ->
+              { key = min_int; next = O.new_link g (Link.Ptr tail); hdr })
+        in
+        let head = O.Ptr.node_exn hp in
+        let head_root = O.new_link g (Link.Ptr head) in
+        let tail_root = O.new_link g (Link.Ptr tail) in
+        { head; tail; head_root; tail_root; orc; alloc })
+
+  (* find: walk until curr.key >= key, unlinking marked nodes on the way.
+     On return, [curr] (protected) is the candidate and the returned link
+     is the predecessor link whose current content is [Ptr.state curr] —
+     ready to be used as a CAS expectation.  [prev] protects the node
+     that owns that link (or is irrelevant when it is the head's). *)
+  let rec find t g key ~prev ~curr ~next =
+    let prev_link = ref t.head.next in
+    O.load g !prev_link curr;
+    let restart () = find t g key ~prev ~curr ~next in
+    let rec loop () =
+      let c = O.Ptr.node_exn curr in
+      O.load g (next_of c) next;
+      if not (Link.get !prev_link == O.Ptr.state curr) then restart ()
+      else if O.Ptr.is_marked next then begin
+        (* curr logically deleted: unlink; its count drops automatically *)
+        let unmarked =
+          match O.Ptr.node next with
+          | Some nx -> Link.Ptr nx
+          | None -> Link.Null
+        in
+        if O.cas g !prev_link ~expected:(O.Ptr.state curr) ~desired:unmarked
+        then begin
+          O.assign g curr next;
+          O.Ptr.retag curr unmarked;
+          loop ()
+        end
+        else restart ()
+      end
+      else if key_of c >= key then (key_of c = key, !prev_link)
+      else begin
+        O.assign g prev curr;
+        O.assign g curr next;
+        prev_link := next_of c;
+        loop ()
+      end
+    in
+    loop ()
+
+  let check_key key =
+    if key = min_int || key = max_int then
+      invalid_arg "Orc_michael_list: key out of range"
+
+  let contains t key =
+    check_key key;
+    O.with_guard t.orc (fun g ->
+        let prev = O.ptr g and curr = O.ptr g and next = O.ptr g in
+        fst (find t g key ~prev ~curr ~next))
+
+  let add t key =
+    check_key key;
+    O.with_guard t.orc @@ fun g ->
+    let prev = O.ptr g and curr = O.ptr g and next = O.ptr g in
+    let node = ref None in
+    let rec loop () =
+      let found, prev_link = find t g key ~prev ~curr ~next in
+      if found then false
+      else begin
+        let n =
+          match !node with
+          | Some n -> n
+          | None ->
+              let p =
+                O.alloc_node g (fun hdr ->
+                    { key; next = Link.make Link.Null; hdr })
+              in
+              let n = O.Ptr.node_exn p in
+              node := Some n;
+              n
+        in
+        (* point the private node at curr (counts maintained), then CAS *)
+        O.store g n.next (O.Ptr.state curr);
+        if O.cas g prev_link ~expected:(O.Ptr.state curr) ~desired:(Link.Ptr n)
+        then true
+        else loop ()
+      end
+    in
+    loop ()
+
+  let remove t key =
+    check_key key;
+    O.with_guard t.orc @@ fun g ->
+    let prev = O.ptr g and curr = O.ptr g and next = O.ptr g in
+    let rec loop () =
+      let found, prev_link = find t g key ~prev ~curr ~next in
+      if not found then false
+      else begin
+        let c = O.Ptr.node_exn curr in
+        O.load g (next_of c) next;
+        if O.Ptr.is_marked next then loop ()
+        else
+          let nx = O.Ptr.node_exn next in
+          if
+            O.cas g (next_of c) ~expected:(O.Ptr.state next)
+              ~desired:(Link.Mark nx)
+          then begin
+            (* attempt physical unlink; otherwise a later find cleans up *)
+            if
+              not
+                (O.cas g prev_link ~expected:(O.Ptr.state curr)
+                   ~desired:(Link.Ptr nx))
+            then ignore (find t g key ~prev ~curr ~next);
+            true
+          end
+          else loop ()
+      end
+    in
+    loop ()
+
+  let to_list t =
+    let rec walk acc n =
+      match Link.target (Link.get n.next) with
+      | None -> List.rev acc
+      | Some nx ->
+          if nx == t.tail then List.rev acc
+          else
+            let deleted = Link.is_marked (Link.get nx.next) in
+            walk (if deleted then acc else key_of nx :: acc) nx
+    in
+    walk [] t.head
+
+  let size t = List.length (to_list t)
+
+  (* Drop the roots and the head's chain: OrcGC cascades. *)
+  let destroy t =
+    O.with_guard t.orc (fun g ->
+        O.store g t.head_root Link.Null;
+        O.store g t.tail_root Link.Null)
+
+  let unreclaimed t = O.unreclaimed t.orc
+  let flush t = O.flush t.orc
+  let alloc t = t.alloc
+end

@@ -1,0 +1,5 @@
+(** Michael's lock-free list with OrcGC — same algorithm as
+    {!Michael_list} with type annotations only; unlinking drops the
+    node's last hard link and OrcGC reclaims it once unprotected. *)
+
+module Make () : Intf.SET

@@ -1,0 +1,10 @@
+(** Michael–Scott queue with OrcGC (paper Algorithm 1).
+
+    No retire call anywhere: the dequeue swings [head] and OrcGC notices
+    the old sentinel's hard-link count reach zero, reclaiming it once
+    unprotected.  Versus the textbook algorithm only the type
+    annotations change — the paper's deployment methodology (§4.1.1). *)
+
+module Make (V : sig
+  type t
+end) : Intf.QUEUE with type item = V.t

@@ -1,0 +1,280 @@
+(** Natarajan & Mittal's lock-free external BST with OrcGC.
+
+    Identical algorithm to {!Nm_tree}, but no retire logic at all: the
+    winning ancestor CAS drops the successor's hard-link count and the
+    destructor cascade reclaims the whole excised region — path nodes and
+    flagged leaves alike — once their protections expire.  The surviving
+    sibling subtree is safe because the CAS increments its root's count
+    before the excised parent's link to it is dropped. *)
+
+open Atomicx
+
+let inf0 = Nm_tree.inf0
+let inf1 = Nm_tree.inf1
+let inf2 = Nm_tree.inf2
+
+module Make () = struct
+  type node = {
+    key : int;
+    left : node Link.t;
+    right : node Link.t;
+    hdr : Memdom.Hdr.t;
+  }
+
+  module O = Orc_core.Orc.Make (struct
+    type t = node
+
+    let hdr n = n.hdr
+
+    let iter_links n f =
+      f n.left;
+      f n.right
+  end)
+
+  type t = {
+    r : node;
+    s : node;
+    r_root : node Link.t;
+    s_root : node Link.t;
+    orc : O.t;
+    alloc : Memdom.Alloc.t;
+  }
+
+  type seek_record = {
+    mutable anc_edge : node Link.state;
+    mutable par_edge : node Link.state;
+  }
+
+  let scheme_name = "orc"
+
+  let key_of n =
+    Memdom.Hdr.check_access n.hdr;
+    n.key
+
+  let left_of n =
+    Memdom.Hdr.check_access n.hdr;
+    n.left
+
+  let right_of n =
+    Memdom.Hdr.check_access n.hdr;
+    n.right
+
+  let child_link n key = if key < key_of n then left_of n else right_of n
+
+  let create ?(mode = Memdom.Alloc.System) () =
+    let alloc = Memdom.Alloc.create ~mode "orc_nm_tree" in
+    let orc = O.create alloc in
+    O.with_guard orc (fun g ->
+        let leaf k =
+          O.alloc_node g (fun hdr ->
+              { key = k; left = Link.make Link.Null; right = Link.make Link.Null; hdr })
+        in
+        let l0 = leaf inf0 and l1 = leaf inf1 and l2 = leaf inf2 in
+        let sp =
+          O.alloc_node g (fun hdr ->
+              {
+                key = inf1;
+                left = O.new_link g (Link.Ptr (O.Ptr.node_exn l0));
+                right = O.new_link g (Link.Ptr (O.Ptr.node_exn l1));
+                hdr;
+              })
+        in
+        let s = O.Ptr.node_exn sp in
+        let rp =
+          O.alloc_node g (fun hdr ->
+              {
+                key = inf2;
+                left = O.new_link g (Link.Ptr s);
+                right = O.new_link g (Link.Ptr (O.Ptr.node_exn l2));
+                hdr;
+              })
+        in
+        let r = O.Ptr.node_exn rp in
+        {
+          r;
+          s;
+          r_root = O.new_link g (Link.Ptr r);
+          s_root = O.new_link g (Link.Ptr s);
+          orc;
+          alloc;
+        })
+
+  (* seek with guard-scoped protections for (anc, succ, par, leaf, cur). *)
+  let seek t g key ~anc ~succ ~par ~leaf ~cur =
+    let sk = { anc_edge = Link.get t.r.left; par_edge = Link.Null } in
+    O.load g t.r_root anc;
+    O.load g t.s_root succ;
+    O.load g t.s_root par;
+    O.load g t.s.left leaf;
+    sk.par_edge <- O.Ptr.state leaf;
+    let rec walk () =
+      let l = O.Ptr.node_exn leaf in
+      match Link.target (Link.get (left_of l)) with
+      | None -> () (* reached a leaf *)
+      | Some _ ->
+          O.load g (child_link l key) cur;
+          if not (Link.is_tagged sk.par_edge) then begin
+            O.assign g anc par;
+            O.assign g succ leaf;
+            sk.anc_edge <- sk.par_edge
+          end;
+          O.assign g par leaf;
+          sk.par_edge <- O.Ptr.state cur;
+          O.assign g leaf cur;
+          walk ()
+    in
+    walk ();
+    sk
+
+  (* cleanup: tag the sibling edge, then swing the ancestor edge to the
+     surviving sibling.  The CAS's automatic count transfer (inc sibling,
+     dec successor) triggers the cascade that reclaims the region. *)
+  let cleanup g key sk ~anc ~par ~wp =
+    let p = O.Ptr.node_exn par in
+    let child_l, sibling_l =
+      if key < key_of p then (left_of p, right_of p)
+      else (right_of p, left_of p)
+    in
+    let sibling_l =
+      if Link.is_flagged (Link.get child_l) then sibling_l else child_l
+    in
+    let rec tag () =
+      let s = Link.get sibling_l in
+      if not (Link.is_tagged s) then
+        if not (O.cas g sibling_l ~expected:s ~desired:(Link.with_tag s)) then
+          tag ()
+    in
+    tag ();
+    (* protect the survivor before granting it a new hard link *)
+    O.load g sibling_l wp;
+    let s = O.Ptr.state wp in
+    match Link.target s with
+    | None -> false (* sibling vanished: the region is gone; re-seek *)
+    | Some w ->
+        let desired = if Link.is_flagged s then Link.Flag w else Link.Ptr w in
+        let anc_link = child_link (O.Ptr.node_exn anc) key in
+        O.cas g anc_link ~expected:sk.anc_edge ~desired
+
+  let check_key key =
+    if key >= inf0 then invalid_arg "Orc_nm_tree: key must be < max_int - 2"
+
+  let contains t key =
+    check_key key;
+    O.with_guard t.orc (fun g ->
+        let anc = O.ptr g and succ = O.ptr g and par = O.ptr g in
+        let leaf = O.ptr g and cur = O.ptr g in
+        let _sk = seek t g key ~anc ~succ ~par ~leaf ~cur in
+        key_of (O.Ptr.node_exn leaf) = key)
+
+  let add t key =
+    check_key key;
+    O.with_guard t.orc @@ fun g ->
+    let anc = O.ptr g and succ = O.ptr g and par = O.ptr g in
+    let leaf = O.ptr g and cur = O.ptr g and wp = O.ptr g in
+    let lp = O.ptr g and ip = O.ptr g in
+    let rec loop () =
+      let sk = seek t g key ~anc ~succ ~par ~leaf ~cur in
+      let lf = O.Ptr.node_exn leaf in
+      if key_of lf = key then false
+      else begin
+        let cl = child_link (O.Ptr.node_exn par) key in
+        match sk.par_edge with
+        | Link.Ptr l when l == lf ->
+            let new_leaf =
+              O.alloc_node_into g lp (fun hdr ->
+                  {
+                    key;
+                    left = Link.make Link.Null;
+                    right = Link.make Link.Null;
+                    hdr;
+                  })
+            in
+            let lkey = key_of lf in
+            let internal =
+              O.alloc_node_into g ip (fun hdr ->
+                  if key < lkey then
+                    {
+                      key = lkey;
+                      left = O.new_link g (Link.Ptr new_leaf);
+                      right = O.new_link g sk.par_edge;
+                      hdr;
+                    }
+                  else
+                    {
+                      key;
+                      left = O.new_link g sk.par_edge;
+                      right = O.new_link g (Link.Ptr new_leaf);
+                      hdr;
+                    })
+            in
+            if O.cas g cl ~expected:sk.par_edge ~desired:(Link.Ptr internal)
+            then true
+            else begin
+              (match Link.get cl with
+              | Link.Flag _ | Link.Tag _ | Link.FlagTag _ ->
+                  ignore (cleanup g key sk ~anc ~par ~wp)
+              | Link.Null | Link.Ptr _ | Link.Mark _ | Link.Poison -> ());
+              loop ()
+            end
+        | Link.Flag _ | Link.Tag _ | Link.FlagTag _ ->
+            ignore (cleanup g key sk ~anc ~par ~wp);
+            loop ()
+        | Link.Ptr _ | Link.Null | Link.Mark _ | Link.Poison -> loop ()
+      end
+    in
+    loop ()
+
+  let remove t key =
+    check_key key;
+    O.with_guard t.orc @@ fun g ->
+    let anc = O.ptr g and succ = O.ptr g and par = O.ptr g in
+    let leaf = O.ptr g and cur = O.ptr g and wp = O.ptr g in
+    let rec injection () =
+      let sk = seek t g key ~anc ~succ ~par ~leaf ~cur in
+      let lf = O.Ptr.node_exn leaf in
+      if key_of lf <> key then false
+      else begin
+        let cl = child_link (O.Ptr.node_exn par) key in
+        match sk.par_edge with
+        | Link.Ptr l when l == lf ->
+            if O.cas g cl ~expected:sk.par_edge ~desired:(Link.Flag lf) then
+              if cleanup g key sk ~anc ~par ~wp then true else pursue lf
+            else injection ()
+        | Link.Flag _ | Link.Tag _ | Link.FlagTag _ ->
+            ignore (cleanup g key sk ~anc ~par ~wp);
+            injection ()
+        | Link.Ptr _ | Link.Null | Link.Mark _ | Link.Poison -> injection ()
+      end
+    and pursue lf =
+      let sk = seek t g key ~anc ~succ ~par ~leaf ~cur in
+      if O.Ptr.node_exn leaf != lf then true
+      else if cleanup g key sk ~anc ~par ~wp then true
+      else pursue lf
+    in
+    injection ()
+
+  let to_list t =
+    let rec walk acc n =
+      match Link.target (Link.get n.left) with
+      | None -> if n.key < inf0 then n.key :: acc else acc
+      | Some l ->
+          let r =
+            match Link.target (Link.get n.right) with
+            | Some r -> r
+            | None -> assert false
+          in
+          walk (walk acc r) l
+    in
+    walk [] t.r
+
+  let size t = List.length (to_list t)
+
+  let destroy t =
+    O.with_guard t.orc (fun g ->
+        O.store g t.r_root Link.Null;
+        O.store g t.s_root Link.Null)
+
+  let unreclaimed t = O.unreclaimed t.orc
+  let flush t = O.flush t.orc
+  let alloc t = t.alloc
+end

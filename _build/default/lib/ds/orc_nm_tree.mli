@@ -1,0 +1,7 @@
+(** Natarajan & Mittal's BST with OrcGC — identical algorithm to
+    {!Nm_tree} with *no* retire logic and *no* poisoning: a protected
+    node's own hard links pin its successors, so traversals into an
+    excised region stay safe and the winning CAS's count transfer
+    reclaims the whole region by cascade. *)
+
+module Make () : Intf.SET

@@ -1,0 +1,473 @@
+(** Wait-free linked list in the style of Timnat, Braginsky, Kogan &
+    Petrank [27] ("TBKP"), with OrcGC.
+
+    Architecture as in the original: per-thread operation descriptors
+    with phase numbers; every operation publishes a descriptor and then
+    helps all pending operations with lower-or-equal phases, so each
+    operation completes within a bounded number of helping rounds.
+    Remove ownership is decided by a claim word in the victim node (the
+    original's "success bit"): the operation whose tid wins the claim CAS
+    is the one that logically deletes the node.
+
+    Simplification relative to the C++ original, documented in DESIGN.md:
+    the insert idempotency machinery (the hardest part of TBKP) leans on
+    the substrate's ABA-free box CAS — a window expectation read before
+    any interfering change can never succeed afterwards, so a stale
+    helper can neither double-insert nor resurrect a removed node; a
+    node's marked [next] additionally witnesses "was linked, then
+    removed" for late outcome decisions.
+
+    Reclamation-wise: nodes are referenced from the list *and* from
+    descriptors, and descriptors are themselves shared objects — the same
+    multiple-incoming-references situation as the Kogan-Petrank queue
+    that manual schemes cannot reclaim (obstacle 1). *)
+
+open Atomicx
+
+module Make () = struct
+  type node = {
+    key : int;
+    next : node Link.t; (* list linkage (Mark = logically deleted) *)
+    ins_claim : int Atomic.t; (* -1 free, -2 linking/linked, -3 neutralized *)
+    del_claim : int Atomic.t; (* deleting op's tid; -1 = unclaimed *)
+    (* descriptor fields *)
+    phase : int;
+    pending : bool;
+    is_insert : bool;
+    success : bool;
+    dnode : node Link.t; (* descriptor's node: insert's node / remove's victim *)
+    hdr : Memdom.Hdr.t;
+  }
+
+  module O = Orc_core.Orc.Make (struct
+    type t = node
+
+    let hdr n = n.hdr
+
+    let iter_links n f =
+      f n.next;
+      f n.dnode
+  end)
+
+  type t = {
+    head : node;
+    tail : node;
+    head_root : node Link.t;
+    tail_root : node Link.t;
+    state : node Link.t array;
+    orc : O.t;
+    alloc : Memdom.Alloc.t;
+  }
+
+  let scheme_name = "orc"
+
+  let key_of n =
+    Memdom.Hdr.check_access n.hdr;
+    n.key
+
+  let next_of n =
+    Memdom.Hdr.check_access n.hdr;
+    n.next
+
+  let dnode_of n =
+    Memdom.Hdr.check_access n.hdr;
+    n.dnode
+
+  let mk_node key hdr =
+    {
+      key;
+      next = Link.make Link.Null;
+      ins_claim = Atomic.make (-1);
+      del_claim = Atomic.make (-1);
+      phase = -1;
+      pending = false;
+      is_insert = false;
+      success = false;
+      dnode = Link.make Link.Null;
+      hdr;
+    }
+
+  let mk_desc ~phase ~pending ~is_insert ~success ~node g hdr =
+    {
+      key = 0;
+      next = Link.make Link.Null;
+      ins_claim = Atomic.make (-1);
+      del_claim = Atomic.make (-1);
+      phase;
+      pending;
+      is_insert;
+      success;
+      dnode =
+        (match node with
+        | Some n -> O.new_link g (Link.Ptr n)
+        | None -> Link.make Link.Null);
+      hdr;
+    }
+
+  let create ?(mode = Memdom.Alloc.System) () =
+    let alloc = Memdom.Alloc.create ~mode "orc_tbkp_list" in
+    let orc = O.create alloc in
+    O.with_guard orc (fun g ->
+        let tail = O.Ptr.node_exn (O.alloc_node g (mk_node max_int)) in
+        let head =
+          O.Ptr.node_exn
+            (O.alloc_node g (fun hdr ->
+                 {
+                   (mk_node min_int hdr) with
+                   next = O.new_link g (Link.Ptr tail);
+                 }))
+        in
+        let dp = O.ptr g in
+        let state =
+          Array.init Registry.max_threads (fun _ ->
+              let d =
+                O.alloc_node_into g dp
+                  (mk_desc ~phase:(-1) ~pending:false ~is_insert:true
+                     ~success:false ~node:None g)
+              in
+              O.new_link g (Link.Ptr d))
+        in
+        {
+          head;
+          tail;
+          head_root = O.new_link g (Link.Ptr head);
+          tail_root = O.new_link g (Link.Ptr tail);
+          state;
+          orc;
+          alloc;
+        })
+
+  type cursor = {
+    prev : O.Ptr.t;
+    curr : O.Ptr.t;
+    next : O.Ptr.t;
+    sp : O.Ptr.t; (* descriptor *)
+    dn : O.Ptr.t; (* descriptor's node *)
+    dp : O.Ptr.t; (* fresh descriptors *)
+    own : O.Ptr.t; (* a node's own next *)
+  }
+
+  let cursor g =
+    {
+      prev = O.ptr g;
+      curr = O.ptr g;
+      next = O.ptr g;
+      sp = O.ptr g;
+      dn = O.ptr g;
+      dp = O.ptr g;
+      own = O.ptr g;
+    }
+
+  (* Michael-style find (unlinks marked nodes); on return cu.curr is the
+     first node with key >= [key] and the returned link is the
+     predecessor link holding [Ptr.state cu.curr]. *)
+  let rec find t g key cu =
+    let prev_link = ref t.head.next in
+    O.load g !prev_link cu.curr;
+    let restart () = find t g key cu in
+    let rec loop () =
+      let c = O.Ptr.node_exn cu.curr in
+      O.load g (next_of c) cu.next;
+      if not (Link.get !prev_link == O.Ptr.state cu.curr) then restart ()
+      else if O.Ptr.is_marked cu.next then begin
+        let unmarked =
+          match O.Ptr.node cu.next with
+          | Some nx -> Link.Ptr nx
+          | None -> Link.Null
+        in
+        if O.cas g !prev_link ~expected:(O.Ptr.state cu.curr) ~desired:unmarked
+        then begin
+          O.assign g cu.curr cu.next;
+          O.Ptr.retag cu.curr unmarked;
+          loop ()
+        end
+        else restart ()
+      end
+      else if key_of c >= key then (key_of c = key, !prev_link)
+      else begin
+        O.assign g cu.prev cu.curr;
+        O.assign g cu.curr cu.next;
+        prev_link := next_of c;
+        loop ()
+      end
+    in
+    loop ()
+
+  let max_phase t g cu =
+    let m = ref (-1) in
+    for i = 0 to Registry.high_water () - 1 do
+      O.load g t.state.(i) cu.sp;
+      match O.Ptr.node cu.sp with
+      | Some d -> if d.phase > !m then m := d.phase
+      | None -> ()
+    done;
+    !m
+
+  (* Replace thread [i]'s descriptor with a completed one. *)
+  let complete t g cu i ~success =
+    let d = O.Ptr.node_exn cu.sp in
+    O.load g (dnode_of d) cu.dn;
+    let nd =
+      O.alloc_node_into g cu.dp
+        (mk_desc ~phase:d.phase ~pending:false ~is_insert:d.is_insert ~success
+           ~node:(O.Ptr.node cu.dn) g)
+    in
+    ignore
+      (O.cas g t.state.(i) ~expected:(O.Ptr.state cu.sp)
+         ~desired:(Link.Ptr nd))
+
+  let still_pending t g cu i ph =
+    O.load g t.state.(i) cu.sp;
+    match O.Ptr.node cu.sp with
+    | Some d -> d.pending && d.phase <= ph
+    | None -> false
+
+  (* Insert helping.  The physical link and the logical completion live
+     in different words, so a stale helper could link the node after
+     another helper already completed the operation as a failure.  The
+     [ins_claim] word closes that race: a link attempt may only be made
+     while holding the claim (-1 -> -2, released on a failed attempt,
+     kept forever once linked), and completing with failure requires
+     first neutralizing the node (-1 -> -3).  A helper that finds the
+     claim held simply retries — this degrades a stalled insert's
+     progress from wait-free to lock-free, a documented deviation
+     (DESIGN.md); the original achieves full wait-freedom with
+     descriptor-wrapped links. *)
+  let help_insert t g cu i ph =
+    let rec attempt () =
+      if still_pending t g cu i ph then begin
+        (* cu.sp holds i's descriptor *)
+        let d = O.Ptr.node_exn cu.sp in
+        O.load g (dnode_of d) cu.dn;
+        match O.Ptr.node cu.dn with
+        | None -> () (* malformed; cannot happen for inserts *)
+        | Some node ->
+            let found, prev_link = find t g node.key cu in
+            let was_linked_then_removed () =
+              Link.is_marked (Link.get (next_of node))
+            in
+            let complete_false () =
+              if
+                Atomic.compare_and_set node.ins_claim (-1) (-3)
+                || Atomic.get node.ins_claim = -3
+              then complete t g cu i ~success:false
+              else attempt () (* a link attempt is in flight: re-examine *)
+            in
+            if found then begin
+              match O.Ptr.node cu.curr with
+              | Some c when c == node -> complete t g cu i ~success:true
+              | Some _ | None ->
+                  if was_linked_then_removed () then
+                    complete t g cu i ~success:true
+                  else complete_false ()
+            end
+            else if was_linked_then_removed () then
+              complete t g cu i ~success:true
+            else if Atomic.get node.ins_claim = -3 then
+              complete t g cu i ~success:false
+            else if not (Atomic.compare_and_set node.ins_claim (-1) (-2)) then
+              attempt () (* claim held or neutralized: re-examine *)
+            else begin
+              (* we hold the claim: point the node at the window's
+                 successor, then link *)
+              O.load g (next_of node) cu.own;
+              if O.Ptr.is_marked cu.own then complete t g cu i ~success:true
+              else begin
+                let ok =
+                  match O.Ptr.node cu.own, O.Ptr.node cu.curr with
+                  | Some a, Some b when a == b -> true
+                  | _, Some b ->
+                      O.cas g (next_of node) ~expected:(O.Ptr.state cu.own)
+                        ~desired:(Link.Ptr b)
+                  | _, None -> false
+                in
+                if
+                  ok
+                  && O.cas g prev_link ~expected:(O.Ptr.state cu.curr)
+                       ~desired:(Link.Ptr node)
+                then complete t g cu i ~success:true (* claim kept: linked *)
+                else begin
+                  ignore (Atomic.compare_and_set node.ins_claim (-2) (-1));
+                  attempt ()
+                end
+              end
+            end
+      end
+    in
+    attempt ()
+
+  let help_remove t g cu i ph =
+    let rec attempt () =
+      if still_pending t g cu i ph then begin
+        let d = O.Ptr.node_exn cu.sp in
+        O.load g (dnode_of d) cu.dn;
+        match O.Ptr.node cu.dn with
+        | None ->
+            (* No victim recorded yet: search for one.  Recording goes
+               through the state CAS so that it serializes against any
+               concurrent failure completion — a mutable field inside
+               the descriptor would let a stale "not found" view win
+               after a victim was already claimed. *)
+            let found, _ = find t g d.key cu in
+            if not found then complete t g cu i ~success:false
+            else begin
+              let victim = O.Ptr.node_exn cu.curr in
+              let nd =
+                O.alloc_node_into g cu.dp (fun hdr ->
+                    { (mk_desc ~phase:d.phase ~pending:true ~is_insert:false
+                         ~success:false ~node:(Some victim) g hdr)
+                      with key = d.key })
+              in
+              ignore
+                (O.cas g t.state.(i) ~expected:(O.Ptr.state cu.sp)
+                   ~desired:(Link.Ptr nd));
+              attempt ()
+            end
+        | Some victim ->
+            (* decide ownership of this victim *)
+            ignore (Atomic.compare_and_set victim.del_claim (-1) i);
+            if Atomic.get victim.del_claim = i then begin
+              (* we own the deletion: mark, unlink, report success *)
+              let rec mark () =
+                O.load g (next_of victim) cu.own;
+                if not (O.Ptr.is_marked cu.own) then begin
+                  match O.Ptr.node cu.own with
+                  | Some nx ->
+                      if
+                        not
+                          (O.cas g (next_of victim)
+                             ~expected:(O.Ptr.state cu.own)
+                             ~desired:(Link.Mark nx))
+                      then mark ()
+                  | None -> () (* victim is a sentinel: impossible *)
+                end
+              in
+              mark ();
+              ignore (find t g victim.key cu) (* physical unlink *);
+              complete t g cu i ~success:true
+            end
+            else begin
+              (* lost the claim: forget this victim and retry *)
+              let nd =
+                O.alloc_node_into g cu.dp (fun hdr ->
+                    { (mk_desc ~phase:d.phase ~pending:true ~is_insert:false
+                         ~success:false ~node:None g hdr)
+                      with key = d.key })
+              in
+              ignore
+                (O.cas g t.state.(i) ~expected:(O.Ptr.state cu.sp)
+                   ~desired:(Link.Ptr nd));
+              attempt ()
+            end
+      end
+    in
+    attempt ()
+
+  let help t g cu ph =
+    for i = 0 to Registry.high_water () - 1 do
+      O.load g t.state.(i) cu.sp;
+      match O.Ptr.node cu.sp with
+      | Some d when d.pending && d.phase <= ph ->
+          if d.is_insert then help_insert t g cu i ph
+          else help_remove t g cu i ph
+      | Some _ | None -> ()
+    done
+
+  let check_key key =
+    if key = min_int || key = max_int then
+      invalid_arg "Orc_tbkp_list: key out of range"
+
+  (* A completion CAS can lose to a descriptor replacement (e.g. the
+     lost-claim retry path), so the operation keeps helping its own
+     descriptor until it is no longer pending. *)
+  let outcome t g cu tid ph =
+    let rec finish () =
+      O.load g t.state.(tid) cu.sp;
+      let d = O.Ptr.node_exn cu.sp in
+      if d.pending then begin
+        if d.is_insert then help_insert t g cu tid ph
+        else help_remove t g cu tid ph;
+        finish ()
+      end
+      else d.success
+    in
+    finish ()
+
+  let add t key =
+    check_key key;
+    O.with_guard t.orc @@ fun g ->
+    let tid = Registry.tid () in
+    let cu = cursor g in
+    let ph = max_phase t g cu + 1 in
+    let np = O.ptr g in
+    let node = O.alloc_node_into g np (mk_node key) in
+    let d =
+      O.alloc_node_into g cu.dp
+        (mk_desc ~phase:ph ~pending:true ~is_insert:true ~success:false
+           ~node:(Some node) g)
+    in
+    O.store g t.state.(tid) (Link.Ptr d);
+    help t g cu ph;
+    outcome t g cu tid ph
+
+  let remove t key =
+    check_key key;
+    O.with_guard t.orc @@ fun g ->
+    let tid = Registry.tid () in
+    let cu = cursor g in
+    let ph = max_phase t g cu + 1 in
+    let d =
+      O.alloc_node_into g cu.dp (fun hdr ->
+          { (mk_desc ~phase:ph ~pending:true ~is_insert:false ~success:false
+               ~node:None g hdr)
+            with key })
+    in
+    O.store g t.state.(tid) (Link.Ptr d);
+    help t g cu ph;
+    outcome t g cu tid ph
+
+  (* Wait-free lookup, straight through marked nodes (as in the
+     original, whose contains never helps or restarts). *)
+  let contains t key =
+    check_key key;
+    O.with_guard t.orc (fun g ->
+        let curr = O.ptr g and next = O.ptr g in
+        O.load g t.head_root curr;
+        let rec walk () =
+          let c = O.Ptr.node_exn curr in
+          if key_of c > key then false
+          else begin
+            O.load g (next_of c) next;
+            if key_of c = key then not (O.Ptr.is_marked next)
+            else begin
+              O.assign g curr next;
+              walk ()
+            end
+          end
+        in
+        walk ())
+
+  let to_list t =
+    let rec walk acc n =
+      match Link.target (Link.get (next_of n)) with
+      | None -> List.rev acc
+      | Some nx ->
+          if nx == t.tail then List.rev acc
+          else
+            let deleted = Link.is_marked (Link.get (next_of nx)) in
+            walk (if deleted then acc else key_of nx :: acc) nx
+    in
+    walk [] t.head
+
+  let size t = List.length (to_list t)
+
+  let destroy t =
+    O.with_guard t.orc @@ fun g ->
+    O.store g t.head_root Link.Null;
+    O.store g t.tail_root Link.Null;
+    Array.iter (fun s -> O.store g s Link.Null) t.state
+
+  let unreclaimed t = O.unreclaimed t.orc
+  let flush t = O.flush t.orc
+  let alloc t = t.alloc
+end

@@ -1,0 +1,330 @@
+(** Turn queue — wait-free MPMC queue in the style of Ramalhete &
+    Correia's PPoPP'17 poster [26], with OrcGC.
+
+    Only the poster abstract of the original is published, so this is a
+    *reconstruction* that preserves its defining properties (documented
+    in DESIGN.md): wait-free progress through bounded, turn-ordered
+    helping.
+
+    Enqueue: requests live in a per-thread [enqueuers] array and are
+    served round-robin starting after the current tail's enqueuer; the
+    tail's own request is cleared once its node reaches the tail.
+
+    Dequeue: a thread announces a request by republishing its previous
+    grant as a token ([deqself[i]] and [deqhelp[i]] holding the same node
+    means "open") and spins helping until [deqhelp[i]] changes.  Serving
+    the head transition [h -> n] is a three-step protocol: (1) claim —
+    CAS the token of the turn-chosen open request into [n]'s claim link;
+    (2) deliver — CAS that requester's [deqhelp] from the token to [n];
+    (3) advance the head once delivery is visible.  A claim whose token
+    was meanwhile served by the empty-queue path (the only server that
+    bypasses head transitions) is released again; the head is
+    re-validated *after* reading the grant state, which confines every
+    stale-helper CAS to failure by box identity.
+
+    Reclamation-wise this is another obstacle-1 structure: queue nodes
+    are referenced from [head]/[tail], three request arrays *and* claim
+    links, with unlink order depending on helping interleavings — per
+    the paper only OrcGC (or FreeAccess) can reclaim it, and here the
+    annotations are again the only change. *)
+
+open Atomicx
+
+module Make (V : sig
+  type t
+end) =
+struct
+  type item = V.t
+
+  type node = {
+    item : V.t option;
+    enq_tid : int;
+    mutable req_tid : int; (* set by the owner before the token is shared *)
+    claim : node Link.t; (* token of the request this node is delivered to *)
+    next : node Link.t;
+    hdr : Memdom.Hdr.t;
+  }
+
+  module O = Orc_core.Orc.Make (struct
+    type t = node
+
+    let hdr n = n.hdr
+
+    let iter_links n f =
+      f n.next;
+      f n.claim
+  end)
+
+  type t = {
+    head : node Link.t;
+    tail : node Link.t;
+    enqueuers : node Link.t array; (* pending enqueue requests *)
+    deqself : node Link.t array; (* request tokens *)
+    deqhelp : node Link.t array; (* grants *)
+    deq_turn : int Atomic.t; (* fairness anchor for dequeue service *)
+    orc : O.t;
+    alloc : Memdom.Alloc.t;
+  }
+
+  let scheme_name = "orc"
+
+  let item_of n =
+    Memdom.Hdr.check_access n.hdr;
+    n.item
+
+  let next_of n =
+    Memdom.Hdr.check_access n.hdr;
+    n.next
+
+  let claim_of n =
+    Memdom.Hdr.check_access n.hdr;
+    n.claim
+
+  let mk_node ?item ?(enq_tid = -1) () hdr =
+    {
+      item;
+      enq_tid;
+      req_tid = -1;
+      claim = Link.make Link.Null;
+      next = Link.make Link.Null;
+      hdr;
+    }
+
+  let create ?(mode = Memdom.Alloc.System) () =
+    let alloc = Memdom.Alloc.create ~mode "orc_turn_queue" in
+    let orc = O.create alloc in
+    O.with_guard orc (fun g ->
+        let sentinel = O.Ptr.node_exn (O.alloc_node g (mk_node ())) in
+        let dummy_self = O.Ptr.node_exn (O.alloc_node g (mk_node ())) in
+        let dp = O.ptr g in
+        {
+          head = O.new_link g (Link.Ptr sentinel);
+          tail = O.new_link g (Link.Ptr sentinel);
+          enqueuers =
+            Array.init Registry.max_threads (fun _ -> Link.make Link.Null);
+          deqself =
+            Array.init Registry.max_threads (fun _ ->
+                O.new_link g (Link.Ptr dummy_self));
+          deqhelp =
+            Array.init Registry.max_threads (fun i ->
+                (* per-thread dummies: tokens must be unique per owner *)
+                let d = O.alloc_node_into g dp (mk_node ()) in
+                d.req_tid <- i;
+                O.new_link g (Link.Ptr d));
+          deq_turn = Atomic.make 0;
+          orc;
+          alloc;
+        })
+
+  (* One enqueue help round: complete the tail's request, link the next
+     request in turn order, advance the tail. *)
+  let enq_round q g ~ltail ~lnext ~req =
+    O.load g q.tail ltail;
+    let lt = O.Ptr.node_exn ltail in
+    (* clear the request of the enqueuer whose node is now the tail *)
+    let et = lt.enq_tid in
+    if et >= 0 then begin
+      O.load g q.enqueuers.(et) req;
+      match O.Ptr.node req with
+      | Some r when r == lt ->
+          ignore
+            (O.cas g q.enqueuers.(et) ~expected:(O.Ptr.state req)
+               ~desired:Link.Null)
+      | Some _ | None -> ()
+    end;
+    (* serve the next pending request, round-robin after [et] *)
+    let hw = Registry.high_water () in
+    (try
+       for j = 1 to hw do
+         let i = (et + j + hw) mod hw in
+         O.load g q.enqueuers.(i) req;
+         match O.Ptr.node req with
+         | Some r ->
+             ignore
+               (O.cas g (next_of lt) ~expected:Link.Null ~desired:(Link.Ptr r));
+             raise_notrace Exit
+         | None -> ()
+       done
+     with Exit -> ());
+    (* advance the tail over whatever is linked *)
+    O.load g (next_of lt) lnext;
+    if not (O.Ptr.is_null lnext) then
+      ignore
+        (O.cas g q.tail ~expected:(O.Ptr.state ltail)
+           ~desired:(O.Ptr.state lnext))
+
+  let enqueue q v =
+    O.with_guard q.orc @@ fun g ->
+    let tid = Registry.tid () in
+    let np = O.ptr g in
+    let my = O.alloc_node_into g np (mk_node ~item:v ~enq_tid:tid ()) in
+    O.store g q.enqueuers.(tid) (Link.Ptr my);
+    let ltail = O.ptr g and lnext = O.ptr g and req = O.ptr g in
+    let pending () =
+      match Link.target (Link.get q.enqueuers.(tid)) with
+      | Some r -> r == my
+      | None -> false
+    in
+    while pending () do
+      enq_round q g ~ltail ~lnext ~req
+    done
+
+  (* First open dequeue request in turn order; [tok]/[grant] hold its
+     deqself/deqhelp states on success. *)
+  let pick_open q g ~tok ~grant =
+    let hw = Registry.high_water () in
+    let anchor = Atomic.get q.deq_turn in
+    let chosen = ref (-1) in
+    (try
+       for j = 1 to hw do
+         let i = (anchor + j) mod hw in
+         O.load g q.deqself.(i) tok;
+         O.load g q.deqhelp.(i) grant;
+         if O.Ptr.same_node tok grant && not (O.Ptr.is_null tok) then begin
+           chosen := i;
+           raise_notrace Exit
+         end
+       done
+     with Exit -> ());
+    (anchor, !chosen)
+
+  let bump_turn q anchor w = ignore (Atomic.compare_and_set q.deq_turn anchor w)
+
+  (* One dequeue help round. *)
+  let deq_round q g ~lhead ~ltail ~lnext ~tok ~grant ~claimp ~ep =
+    O.load g q.head lhead;
+    O.load g q.tail ltail;
+    let h = O.Ptr.node_exn lhead in
+    O.load g (next_of h) lnext;
+    if O.Ptr.same_node lhead ltail && O.Ptr.is_null lnext then begin
+      (* empty: serve one open request with a fresh empty marker *)
+      let anchor, r = pick_open q g ~tok ~grant in
+      if r >= 0 then begin
+        let e = O.alloc_node_into g ep (mk_node ()) in
+        if
+          O.cas g q.deqhelp.(r) ~expected:(O.Ptr.state grant)
+            ~desired:(Link.Ptr e)
+        then bump_turn q anchor r
+      end
+    end
+    else if O.Ptr.same_node lhead ltail then
+      (* an enqueue is in flight: help the tail forward *)
+      ignore
+        (O.cas g q.tail ~expected:(O.Ptr.state ltail)
+           ~desired:(O.Ptr.state lnext))
+    else begin
+      let nx = O.Ptr.node_exn lnext in
+      (* (1) ensure the node is claimed by some request's token.  Claims
+         are only meaningful while [h] is still the head: a claim
+         installed after the transition completed would chain (and can
+         even cycle, via the queue's own next links) delivered nodes
+         together, which reference counting cannot collect — so validate
+         the head before claiming, and clean up a claim that is observed
+         to have landed after the head moved. *)
+      O.load g (claim_of nx) claimp;
+      if O.Ptr.is_null claimp && Link.get q.head == O.Ptr.state lhead then begin
+        let anchor, r = pick_open q g ~tok ~grant in
+        if r >= 0 then begin
+          ignore anchor;
+          match O.Ptr.node tok with
+          | Some token ->
+              ignore
+                (O.cas g (claim_of nx) ~expected:(O.Ptr.state claimp)
+                   ~desired:(Link.Ptr token))
+          | None -> ()
+        end;
+        O.load g (claim_of nx) claimp
+      end;
+      if
+        (not (O.Ptr.is_null claimp))
+        && not (Link.get q.head == O.Ptr.state lhead)
+      then begin
+        (* the transition completed under us: any claim left on [nx] is
+           garbage now; remove it (whoever installed it) *)
+        ignore
+          (O.cas g (claim_of nx) ~expected:(O.Ptr.state claimp)
+             ~desired:Link.Null)
+      end
+      else
+        match O.Ptr.node claimp with
+      | None -> () (* no open requests: leave the item queued *)
+      | Some tstar ->
+          let w = tstar.req_tid in
+          if w < 0 then ()
+          else begin
+            O.load g q.deqhelp.(w) grant;
+            (* re-validate the transition only after reading the grant:
+               any serve-elsewhere forces a head move first, so a stale
+               view cannot reach the release branch wrongly *)
+            if Link.get q.head == O.Ptr.state lhead then begin
+              match O.Ptr.node grant with
+              | Some gn when gn == tstar ->
+                  (* (2) deliver the node to the claimed request *)
+                  if
+                    O.cas g q.deqhelp.(w) ~expected:(O.Ptr.state grant)
+                      ~desired:(Link.Ptr nx)
+                  then bump_turn q (Atomic.get q.deq_turn) w;
+                  (* (3) advance once delivery is visible; the advance
+                     winner also clears the claim link, which would
+                     otherwise chain every delivered node to its
+                     recipient's previous token forever *)
+                  O.load g q.deqhelp.(w) grant;
+                  (match O.Ptr.node grant with
+                  | Some gn' when gn' == nx ->
+                      if
+                        O.cas g q.head ~expected:(O.Ptr.state lhead)
+                          ~desired:(O.Ptr.state lnext)
+                      then O.store g (claim_of nx) Link.Null
+                  | Some _ | None -> ())
+              | Some gn when gn == nx ->
+                  (* already delivered: advance *)
+                  if
+                    O.cas g q.head ~expected:(O.Ptr.state lhead)
+                      ~desired:(O.Ptr.state lnext)
+                  then O.store g (claim_of nx) Link.Null
+              | Some _ | None ->
+                  (* the claimed token was served by the empty path:
+                     release the claim so the item can be re-served *)
+                  ignore
+                    (O.cas g (claim_of nx) ~expected:(O.Ptr.state claimp)
+                       ~desired:Link.Null)
+            end
+          end
+    end
+
+  let dequeue q =
+    O.with_guard q.orc @@ fun g ->
+    let tid = Registry.tid () in
+    let tok = O.ptr g and grant = O.ptr g in
+    (* open my request: republish the previous grant as the token *)
+    O.load g q.deqhelp.(tid) grant;
+    let token =
+      match O.Ptr.node grant with Some n -> n | None -> assert false
+    in
+    token.req_tid <- tid;
+    O.store g q.deqself.(tid) (O.Ptr.state grant);
+    let lhead = O.ptr g and ltail = O.ptr g and lnext = O.ptr g in
+    let claimp = O.ptr g and ep = O.ptr g in
+    let served () =
+      match Link.target (Link.get q.deqhelp.(tid)) with
+      | Some n -> not (n == token)
+      | None -> false
+    in
+    while not (served ()) do
+      deq_round q g ~lhead ~ltail ~lnext ~tok ~grant ~claimp ~ep
+    done;
+    O.load g q.deqhelp.(tid) grant;
+    item_of (O.Ptr.node_exn grant)
+
+  let destroy q =
+    O.with_guard q.orc @@ fun g ->
+    O.store g q.head Link.Null;
+    O.store g q.tail Link.Null;
+    Array.iter (fun l -> O.store g l Link.Null) q.enqueuers;
+    Array.iter (fun l -> O.store g l Link.Null) q.deqself;
+    Array.iter (fun l -> O.store g l Link.Null) q.deqhelp
+
+  let unreclaimed q = O.unreclaimed q.orc
+  let flush q = O.flush q.orc
+  let alloc q = q.alloc
+end

@@ -1,0 +1,13 @@
+(** Turn queue — wait-free MPMC queue in the style of Ramalhete &
+    Correia's PPoPP'17 poster [26], with OrcGC.
+
+    A documented *reconstruction* (only the poster abstract is
+    published): wait-free turn-ordered helping for both operations;
+    dequeues are served through a claim/deliver/advance protocol on the
+    delivered node.  See DESIGN.md §6.4 for the races the protocol
+    closes.  Another obstacle-1 structure: nodes live in queue links,
+    three request arrays and claim links simultaneously. *)
+
+module Make (V : sig
+  type t
+end) : Intf.QUEUE with type item = V.t

@@ -1,0 +1,364 @@
+(** Lock-free skip list base (Herlihy & Shavit [15], after Fraser), with
+    OrcGC — instantiated twice:
+
+    - [poison = false]: **HS-skip**.  [contains] descends from the top
+      level without ever restarting, walking straight *through* marked
+      nodes; removed nodes keep their forward pointers and must stay
+      traversable (the paper's obstacle 3: a half-removed node can even
+      be re-encountered).  Under OrcGC those frozen forward pointers are
+      hard links, so removed nodes can form key-bounded chains — the
+      memory-footprint problem §5 measures (19 GB vs <1 GB in the paper).
+
+    - [poison = true]: **CRF-skip**, the paper's new design.  Once the
+      remover's find pass has unlinked a victim from every level — after
+      which it can never be re-linked, because the edge to a victim is
+      the very box both a stale insert and the snip must CAS — the
+      victim's forward pointers are poisoned, isolating it completely.
+      Searches restart when they step on poison (contains drops to
+      lock-free), and the severed links keep unreclaimed memory linear.
+
+    Marks live on the *victim's own* forward pointers; edges pointing at
+    a node are only ever clean or poisoned. *)
+
+open Atomicx
+
+exception Restart
+
+module Make (Cfg : sig
+  val poison : bool
+  val max_level : int (* highest level index; levels are 0..max_level *)
+end)
+() =
+struct
+  type node = {
+    key : int;
+    height : int; (* number of levels this node participates in *)
+    next : node Link.t array; (* length = height *)
+    hdr : Memdom.Hdr.t;
+  }
+
+  module O = Orc_core.Orc.Make (struct
+    type t = node
+
+    let hdr n = n.hdr
+    let iter_links n f = Array.iter f n.next
+  end)
+
+  type t = {
+    head : node;
+    tail : node;
+    head_root : node Link.t;
+    tail_root : node Link.t;
+    rngs : Rng.t array; (* per-tid level generators *)
+    orc : O.t;
+    alloc : Memdom.Alloc.t;
+  }
+
+  let scheme_name = "orc"
+  let levels = Cfg.max_level + 1
+
+  let key_of n =
+    Memdom.Hdr.check_access n.hdr;
+    n.key
+
+  let next_link n level =
+    Memdom.Hdr.check_access n.hdr;
+    n.next.(level)
+
+  let create ?(mode = Memdom.Alloc.System) () =
+    let alloc =
+      Memdom.Alloc.create ~mode
+        (if Cfg.poison then "crf_skiplist" else "hs_skiplist")
+    in
+    let orc = O.create alloc in
+    O.with_guard orc (fun g ->
+        let tp =
+          O.alloc_node g (fun hdr ->
+              {
+                key = max_int;
+                height = levels;
+                next = Array.init levels (fun _ -> Link.make Link.Null);
+                hdr;
+              })
+        in
+        let tail = O.Ptr.node_exn tp in
+        let hp =
+          O.alloc_node g (fun hdr ->
+              {
+                key = min_int;
+                height = levels;
+                next =
+                  Array.init levels (fun _ -> O.new_link g (Link.Ptr tail));
+                hdr;
+              })
+        in
+        let head = O.Ptr.node_exn hp in
+        {
+          head;
+          tail;
+          head_root = O.new_link g (Link.Ptr head);
+          tail_root = O.new_link g (Link.Ptr tail);
+          rngs = Array.init Registry.max_threads (fun i -> Rng.create (i + 1));
+          orc;
+          alloc;
+        })
+
+  (* geometric with p = 1/2, capped at the top level *)
+  let random_height t =
+    let rng = t.rngs.(Registry.tid ()) in
+    let rec grow h = if h < levels && Rng.bool rng then grow (h + 1) else h in
+    grow 1
+
+  (* Guard-scoped working set for one operation. *)
+  type cursor = {
+    preds : O.Ptr.t array;
+    succs : O.Ptr.t array;
+    pred : O.Ptr.t;
+    curr : O.Ptr.t;
+    succ : O.Ptr.t;
+  }
+
+  let cursor g =
+    {
+      preds = Array.init levels (fun _ -> O.ptr g);
+      succs = Array.init levels (fun _ -> O.ptr g);
+      pred = O.ptr g;
+      curr = O.ptr g;
+      succ = O.ptr g;
+    }
+
+  (* find: locate the window (preds, succs) around [key] at every level,
+     snipping marked nodes from the path as encountered.  Restarts on a
+     failed snip or (CRF) a poisoned edge. *)
+  let rec find t g key cu =
+    match
+      O.load g t.head_root cu.pred;
+      for level = Cfg.max_level downto 0 do
+        O.load g (next_link (O.Ptr.node_exn cu.pred) level) cu.curr;
+        if O.Ptr.is_poison cu.curr then raise_notrace Restart;
+        let rec step () =
+          let c = O.Ptr.node_exn cu.curr in
+          O.load g (next_link c level) cu.succ;
+          if O.Ptr.is_poison cu.succ then raise_notrace Restart;
+          if O.Ptr.is_marked cu.succ then begin
+            (* c is logically deleted: snip it from this level *)
+            let desired = Link.Ptr (O.Ptr.node_exn cu.succ) in
+            if
+              O.cas g
+                (next_link (O.Ptr.node_exn cu.pred) level)
+                ~expected:(O.Ptr.state cu.curr) ~desired
+            then begin
+              O.assign g cu.curr cu.succ;
+              O.Ptr.retag cu.curr desired;
+              step ()
+            end
+            else raise_notrace Restart
+          end
+          else if key_of c < key then begin
+            O.assign g cu.pred cu.curr;
+            O.assign g cu.curr cu.succ;
+            step ()
+          end
+        in
+        step ();
+        O.assign g cu.preds.(level) cu.pred;
+        O.assign g cu.succs.(level) cu.curr
+      done
+    with
+    | () -> key_of (O.Ptr.node_exn cu.succs.(0)) = key
+    | exception Restart -> find t g key cu
+
+  let check_key key =
+    if key = min_int || key = max_int then
+      invalid_arg "Skiplist: key out of range"
+
+  let add t key =
+    check_key key;
+    O.with_guard t.orc @@ fun g ->
+    let cu = cursor g in
+    let height = random_height t in
+    let np = O.ptr g in
+    let node = ref None in
+    let rec loop () =
+      if find t g key cu then false
+      else begin
+        let n =
+          match !node with
+          | Some n ->
+              (* refresh forward pointers to the new window *)
+              for i = 0 to height - 1 do
+                O.store g n.next.(i) (O.Ptr.state cu.succs.(i))
+              done;
+              n
+          | None ->
+              let n =
+                O.alloc_node_into g np (fun hdr ->
+                    {
+                      key;
+                      height;
+                      next =
+                        Array.init height (fun i ->
+                            O.new_link g (O.Ptr.state cu.succs.(i)));
+                      hdr;
+                    })
+              in
+              node := Some n;
+              n
+        in
+        if
+          O.cas g
+            (next_link (O.Ptr.node_exn cu.preds.(0)) 0)
+            ~expected:(O.Ptr.state cu.succs.(0)) ~desired:(Link.Ptr n)
+        then begin
+          (* bottom level linked: the node is in the set; now build the
+             express lanes *)
+          let rec link level =
+            if level >= height then true
+            else begin
+              let own = Link.get n.next.(level) in
+              if Link.is_marked own || Link.is_poison own then true
+                (* concurrent remove: stop linking *)
+              else begin
+                let s = O.Ptr.node_exn cu.succs.(level) in
+                let own_ok =
+                  match Link.target own with
+                  | Some x when x == s -> true
+                  | Some _ | None ->
+                      O.cas g n.next.(level) ~expected:own
+                        ~desired:(Link.Ptr s)
+                in
+                if
+                  own_ok
+                  && O.cas g
+                       (next_link (O.Ptr.node_exn cu.preds.(level)) level)
+                       ~expected:(O.Ptr.state cu.succs.(level))
+                       ~desired:(Link.Ptr n)
+                then link (level + 1)
+                else begin
+                  (* window moved: recompute and retry this level *)
+                  if not (find t g key cu) then true
+                    (* node already removed: done *)
+                  else link level
+                end
+              end
+            end
+          in
+          link 1
+        end
+        else loop ()
+      end
+    in
+    loop ()
+
+  (* Poison the victim's forward pointers (CRF only).  Caller guarantees
+     the victim is unlinked from every level, which is permanent. *)
+  let isolate g victim =
+    for i = 0 to victim.height - 1 do
+      O.store g victim.next.(i) Link.Poison
+    done
+
+  let remove t key =
+    check_key key;
+    O.with_guard t.orc @@ fun g ->
+    let cu = cursor g in
+    let tmp = O.ptr g in
+    if not (find t g key cu) then false
+    else begin
+      let victim = O.Ptr.node_exn cu.succs.(0) in
+      (* mark the upper levels, top down *)
+      for level = victim.height - 1 downto 1 do
+        let rec mark () =
+          O.load g victim.next.(level) tmp;
+          if not (O.Ptr.is_marked tmp || O.Ptr.is_poison tmp) then
+            if
+              not
+                (O.cas g victim.next.(level) ~expected:(O.Ptr.state tmp)
+                   ~desired:(Link.Mark (O.Ptr.node_exn tmp)))
+            then mark ()
+        in
+        mark ()
+      done;
+      (* bottom level: the linearization point *)
+      let rec bottom () =
+        O.load g victim.next.(0) tmp;
+        if O.Ptr.is_marked tmp || O.Ptr.is_poison tmp then false
+          (* another remover won *)
+        else if
+          O.cas g victim.next.(0) ~expected:(O.Ptr.state tmp)
+            ~desired:(Link.Mark (O.Ptr.node_exn tmp))
+        then begin
+          (* unlink everywhere; find restarts internally until clean *)
+          ignore (find t g key cu);
+          if Cfg.poison then isolate g victim;
+          true
+        end
+        else bottom ()
+      in
+      bottom ()
+    end
+
+  (* HS contains: top-down descent, never restarts, walks through marked
+     nodes.  CRF contains: same but restarts from scratch on poison. *)
+  let contains t key =
+    check_key key;
+    O.with_guard t.orc @@ fun g ->
+    let pred = O.ptr g and curr = O.ptr g and succ = O.ptr g in
+    let rec search () =
+      match
+        O.load g t.head_root pred;
+        for level = Cfg.max_level downto 0 do
+          O.load g (next_link (O.Ptr.node_exn pred) level) curr;
+          if O.Ptr.is_poison curr then raise_notrace Restart;
+          let rec step () =
+            let c = O.Ptr.node_exn curr in
+            O.load g (next_link c level) succ;
+            if O.Ptr.is_poison succ then raise_notrace Restart;
+            if O.Ptr.is_marked succ then begin
+              (* skip the deleted node, traversing its frozen pointer *)
+              O.assign g curr succ;
+              step ()
+            end
+            else if key_of c < key then begin
+              O.assign g pred curr;
+              O.assign g curr succ;
+              step ()
+            end
+          in
+          step ()
+        done
+      with
+      | () ->
+          let c = O.Ptr.node_exn curr in
+          key_of c = key
+          && not
+               (let st = Link.get (next_link c 0) in
+                Link.is_marked st || Link.is_poison st)
+      | exception Restart -> search ()
+    in
+    search ()
+
+  (* Sequential helpers (quiesced): walk the bottom level. *)
+  let to_list t =
+    let rec walk acc n =
+      match Link.target (Link.get n.next.(0)) with
+      | None -> List.rev acc
+      | Some nx ->
+          if nx == t.tail then List.rev acc
+          else
+            let st = Link.get nx.next.(0) in
+            let deleted = Link.is_marked st || Link.is_poison st in
+            walk (if deleted then acc else key_of nx :: acc) nx
+    in
+    walk [] t.head
+
+  let size t = List.length (to_list t)
+
+  let destroy t =
+    O.with_guard t.orc (fun g ->
+        O.store g t.head_root Link.Null;
+        O.store g t.tail_root Link.Null)
+
+  let unreclaimed t = O.unreclaimed t.orc
+  let flush t = O.flush t.orc
+  let alloc t = t.alloc
+end

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Array Atomicx Ds List Memdom Option Orc_core Reclaim Report Rng Runner Workload

@@ -1,0 +1,1 @@
+lib/harness/report.ml: Format List Printf String

@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Atomic Atomicx Barrier Domain List Registry Thread Unix

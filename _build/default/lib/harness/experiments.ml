@@ -1,0 +1,579 @@
+open Atomicx
+
+type params = {
+  threads : int list;
+  duration : float;
+  list_keys : int;
+  big_keys : int;
+  csv : string option;
+}
+
+let default =
+  {
+    threads = [ 1; 2; 4 ];
+    duration = 0.25;
+    list_keys = 1_000;
+    big_keys = 20_000;
+    csv = None;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Instantiations of every structure x scheme used by the evaluation.  *)
+
+module Int_item = struct
+  type t = int
+end
+
+module Msq_hp = Ds.Ms_queue.Make (Int_item) (Reclaim.Hp.Make)
+module Msq_ptb = Ds.Ms_queue.Make (Int_item) (Reclaim.Ptb.Make)
+module Msq_ebr = Ds.Ms_queue.Make (Int_item) (Reclaim.Ebr.Make)
+module Msq_he = Ds.Ms_queue.Make (Int_item) (Reclaim.He.Make)
+module Msq_ptp = Ds.Ms_queue.Make (Int_item) (Orc_core.Ptp.Make)
+module Msq_leak = Ds.Ms_queue.Make (Int_item) (Reclaim.None_scheme.Leak)
+module Msq_orc = Ds.Orc_ms_queue.Make (Int_item)
+module Lcrq_hp = Ds.Lcrq.Make (Int_item) (Reclaim.Hp.Make)
+module Lcrq_ptp = Ds.Lcrq.Make (Int_item) (Orc_core.Ptp.Make)
+module Lcrq_orc = Ds.Orc_lcrq.Make (Int_item)
+module Kpq_orc = Ds.Orc_kp_queue.Make (Int_item)
+module Turn_orc = Ds.Orc_turn_queue.Make (Int_item)
+module Ml_hp = Ds.Michael_list.Make (Reclaim.Hp.Make)
+module Ml_ptb = Ds.Michael_list.Make (Reclaim.Ptb.Make)
+module Ml_ebr = Ds.Michael_list.Make (Reclaim.Ebr.Make)
+module Ml_he = Ds.Michael_list.Make (Reclaim.He.Make)
+module Ml_ibr = Ds.Michael_list.Make (Reclaim.Ibr.Make)
+module Ml_ptp = Ds.Michael_list.Make (Orc_core.Ptp.Make)
+module Ml_leak = Ds.Michael_list.Make (Reclaim.None_scheme.Leak)
+module Ml_orc = Ds.Orc_michael_list.Make ()
+module Harris_orc = Ds.Orc_harris_list.Make ()
+module Hsl_orc = Ds.Orc_hs_list.Make ()
+module Tbkp_orc = Ds.Orc_tbkp_list.Make ()
+module Nm_hp = Ds.Nm_tree.Make (Reclaim.Hp.Make)
+module Nm_ebr = Ds.Nm_tree.Make (Reclaim.Ebr.Make)
+module Nm_he = Ds.Nm_tree.Make (Reclaim.He.Make)
+module Nm_ptp = Ds.Nm_tree.Make (Orc_core.Ptp.Make)
+module Nm_orc = Ds.Orc_nm_tree.Make ()
+module Skip_hs = Ds.Orc_hs_skiplist.Make ()
+module Skip_crf = Ds.Orc_crf_skiplist.Make ()
+module Hm_hp = Ds.Hash_map.Make (Reclaim.Hp.Make)
+module Hm_ebr = Ds.Hash_map.Make (Reclaim.Ebr.Make)
+module Hm_ptp = Ds.Hash_map.Make (Orc_core.Ptp.Make)
+module Hm_orc = Ds.Orc_hash_map.Make ()
+
+(* ------------------------------------------------------------------ *)
+(* First-class adapters so experiments can iterate heterogeneously.    *)
+
+module type QUEUE = sig
+  type t
+
+  val create : ?mode:Memdom.Alloc.mode -> unit -> t
+  val enqueue : t -> int -> unit
+  val dequeue : t -> int option
+  val destroy : t -> unit
+  val unreclaimed : t -> int
+  val flush : t -> unit
+  val alloc : t -> Memdom.Alloc.t
+end
+
+type queue_ops = {
+  q_name : string;
+  q_enq : int -> unit;
+  q_deq : unit -> int option;
+  q_destroy : unit -> unit;
+  q_unreclaimed : unit -> int;
+  q_live : unit -> int;
+}
+
+let make_queue name (module Q : QUEUE) () =
+  let t = Q.create () in
+  {
+    q_name = name;
+    q_enq = Q.enqueue t;
+    q_deq = (fun () -> Q.dequeue t);
+    q_destroy =
+      (fun () ->
+        Q.destroy t;
+        Q.flush t);
+    q_unreclaimed = (fun () -> Q.unreclaimed t);
+    q_live = (fun () -> Memdom.Alloc.live (Q.alloc t));
+  }
+
+module type SET = sig
+  type t
+
+  val create : ?mode:Memdom.Alloc.mode -> unit -> t
+  val add : t -> int -> bool
+  val remove : t -> int -> bool
+  val contains : t -> int -> bool
+  val destroy : t -> unit
+  val unreclaimed : t -> int
+  val flush : t -> unit
+  val alloc : t -> Memdom.Alloc.t
+end
+
+type set_ops = {
+  s_name : string;
+  s_add : int -> bool;
+  s_remove : int -> bool;
+  s_contains : int -> bool;
+  s_destroy : unit -> unit;
+  s_unreclaimed : unit -> int;
+  s_live : unit -> int;
+}
+
+let make_set name (module S : SET) () =
+  let t = S.create () in
+  {
+    s_name = name;
+    s_add = S.add t;
+    s_remove = S.remove t;
+    s_contains = S.contains t;
+    s_destroy =
+      (fun () ->
+        S.destroy t;
+        S.flush t);
+    s_unreclaimed = (fun () -> S.unreclaimed t);
+    s_live = (fun () -> Memdom.Alloc.live (S.alloc t));
+  }
+
+let queue_factories =
+  [
+    make_queue "ms-hp" (module Msq_hp);
+    make_queue "ms-ptb" (module Msq_ptb);
+    make_queue "ms-ebr" (module Msq_ebr);
+    make_queue "ms-he" (module Msq_he);
+    make_queue "ms-ptp" (module Msq_ptp);
+    make_queue "ms-leak" (module Msq_leak);
+    make_queue "ms-orc" (module Msq_orc);
+    make_queue "lcrq-hp" (module Lcrq_hp);
+    make_queue "lcrq-ptp" (module Lcrq_ptp);
+    make_queue "lcrq-orc" (module Lcrq_orc);
+    make_queue "kp-orc" (module Kpq_orc);
+    make_queue "turn-orc" (module Turn_orc);
+  ]
+
+let michael_factories =
+  [
+    make_set "hp" (module Ml_hp);
+    make_set "ptb" (module Ml_ptb);
+    make_set "ebr" (module Ml_ebr);
+    make_set "he" (module Ml_he);
+    make_set "ibr" (module Ml_ibr);
+    make_set "ptp" (module Ml_ptp);
+    make_set "leak" (module Ml_leak);
+    make_set "orc" (module Ml_orc);
+  ]
+
+let orc_list_factories =
+  [
+    make_set "harris-orc" (module Harris_orc);
+    make_set "michael-orc" (module Ml_orc);
+    make_set "hs-orc" (module Hsl_orc);
+    make_set "tbkp-orc" (module Tbkp_orc);
+  ]
+
+let tree_factories =
+  [
+    make_set "nmtree-hp" (module Nm_hp);
+    make_set "nmtree-ebr" (module Nm_ebr);
+    make_set "nmtree-he" (module Nm_he);
+    make_set "nmtree-ptp" (module Nm_ptp);
+    make_set "nmtree-orc" (module Nm_orc);
+    make_set "hs-skip-orc" (module Skip_hs);
+    make_set "crf-skip-orc" (module Skip_crf);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Workload drivers.                                                   *)
+
+let run_queue_pairs mk ~threads ~duration =
+  let q = mk () in
+  let r =
+    Runner.run ~threads ~duration
+      ~worker:(fun ~i ~tid:_ ~stop ->
+        let rng = Rng.create ((i + 1) * 0x9E3779B9) in
+        let count = ref 0 in
+        while not (stop ()) do
+          q.q_enq (Rng.int rng 1_000_000);
+          ignore (q.q_deq ());
+          count := !count + 2
+        done;
+        !count)
+      ()
+  in
+  q.q_destroy ();
+  r.Runner.mops
+
+(* Insert every other key in shuffled order: the NM tree is unbalanced,
+   so ordered prefill would degenerate it into a list. *)
+let prefill s ~keys =
+  let ks = Array.init ((keys + 1) / 2) (fun i -> (2 * i) + 1) in
+  let rng = Rng.create 0xC0FFEE in
+  for i = Array.length ks - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let tmp = ks.(i) in
+    ks.(i) <- ks.(j);
+    ks.(j) <- tmp
+  done;
+  Array.iter (fun k -> ignore (s.s_add k)) ks
+
+let run_set_mix ?sampler mk ~mix ~threads ~duration ~keys =
+  let s = mk () in
+  prefill s ~keys;
+  let r =
+    Runner.run ~threads ~duration
+      ?sampler:(Option.map (fun f () -> f s) sampler)
+      ~worker:(fun ~i ~tid:_ ~stop ->
+        let rng = Rng.create ((i + 1) * 7919) in
+        let count = ref 0 in
+        while not (stop ()) do
+          let k = 1 + Rng.int rng keys in
+          (match Workload.pick rng mix with
+          | Workload.Add -> ignore (s.s_add k)
+          | Workload.Remove -> ignore (s.s_remove k)
+          | Workload.Lookup -> ignore (s.s_contains k));
+          incr count
+        done;
+        !count)
+      ()
+  in
+  let final = (s.s_live (), s.s_unreclaimed ()) in
+  s.s_destroy ();
+  (r.Runner.mops, final)
+
+let sweep factories ~threads ~f =
+  List.map
+    (fun mk ->
+      let name = (mk ()).s_name in
+      { Report.label = name; points = List.map (fun t -> (t, f mk t)) threads })
+    factories
+
+let maybe_csv p ~title series =
+  match p.csv with
+  | Some path -> Report.to_csv ~path ~title series
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Figures.                                                            *)
+
+let fig1_queues p =
+  let series =
+    List.map
+      (fun mk ->
+        let name = (mk ()).q_name in
+        {
+          Report.label = name;
+          points =
+            List.map
+              (fun t -> (t, run_queue_pairs mk ~threads:t ~duration:p.duration))
+              p.threads;
+        })
+      queue_factories
+  in
+  maybe_csv p ~title:"fig1-queues" series;
+  series
+
+let per_mix p factories ~keys =
+  List.map
+    (fun (mix_name, mix) ->
+      let series =
+        sweep factories ~threads:p.threads ~f:(fun mk t ->
+            fst (run_set_mix mk ~mix ~threads:t ~duration:p.duration ~keys))
+      in
+      maybe_csv p ~title:mix_name series;
+      (mix_name, series))
+    Workload.standard_mixes
+
+let fig3_list_schemes p = per_mix p michael_factories ~keys:p.list_keys
+let fig5_orc_lists p = per_mix p orc_list_factories ~keys:p.list_keys
+let fig7_trees p = per_mix p tree_factories ~keys:p.big_keys
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: measured memory bounds.                                    *)
+
+type bound_row = {
+  b_scheme : string;
+  b_threads : int;
+  b_hps : int;
+  b_max_unreclaimed : int;
+  b_bound : string;
+  b_bound_value : int;
+}
+
+let table1_bounds p =
+  let threads = List.fold_left max 1 p.threads in
+  let hps = 4 (* max_hps used by the list *) in
+  let bound_of scheme =
+    (* [threads + 2] accounts for the coordinator and registry slack;
+       HP/PTB additionally hold up to one scan threshold (R = 2*H*8) of
+       retired nodes per thread before scanning. *)
+    match scheme with
+    | "ptp" | "orc" -> ("O(Ht)", (threads + 2) * (hps + 1))
+    | "hp" | "ptb" ->
+        ("O(Ht^2)", ((threads + 2) * 2 * hps * 8) + ((threads + 2) * (hps + 1)))
+    | "he" | "ibr" -> ("O(#L*H*t^2)", -1)
+    | "ebr" | "leak" -> ("unbounded", -1)
+    | _ -> ("?", -1)
+  in
+  List.map
+    (fun mk ->
+      let name = (mk ()).s_name in
+      let peak = ref 0 in
+      let sampler s =
+        let u = s.s_unreclaimed () in
+        if u > !peak then peak := u
+      in
+      let _ =
+        run_set_mix ~sampler mk ~mix:Workload.write_heavy ~threads
+          ~duration:p.duration ~keys:64
+      in
+      let bound, bound_value = bound_of name in
+      {
+        b_scheme = name;
+        b_threads = threads;
+        b_hps = hps;
+        b_max_unreclaimed = !peak;
+        b_bound = bound;
+        b_bound_value = bound_value;
+      })
+    michael_factories
+
+(* ------------------------------------------------------------------ *)
+(* Memory footprint: HS-skip vs CRF-skip (§5).                         *)
+
+type mem_row = {
+  m_structure : string;
+  m_peak_live : int;
+  m_final_live : int;
+  m_reachable : int;
+  m_pinned_live : int;
+  m_pinned_after : int;
+}
+
+(* The mechanism behind the paper's 19 GB-vs-1 GB observation: a stalled
+   reader pins one removed node; in HS-skip that node's frozen forward
+   pointer chains to every node removed after it, so the whole removed
+   population stays allocated, while CRF-skip's poisoning severs the
+   chain at the first hop.  We reproduce it deterministically: pin the
+   first node, remove all [n] keys, and measure live objects while the
+   pin is held and after it is released. *)
+let pinned_chain_hs n =
+  let module S = Skip_hs in
+  let t = S.create () in
+  for k = 1 to n do
+    ignore (S.add t k)
+  done;
+  let during = ref 0 in
+  S.O.with_guard t.S.orc (fun g ->
+      let pin = S.O.ptr g in
+      S.O.load g t.S.head.S.next.(0) pin;
+      for k = 1 to n do
+        ignore (S.remove t k)
+      done;
+      during := Memdom.Alloc.live (S.alloc t));
+  S.flush t;
+  let after = Memdom.Alloc.live (S.alloc t) in
+  S.destroy t;
+  S.flush t;
+  (!during, after)
+
+let pinned_chain_crf n =
+  let module S = Skip_crf in
+  let t = S.create () in
+  for k = 1 to n do
+    ignore (S.add t k)
+  done;
+  let during = ref 0 in
+  S.O.with_guard t.S.orc (fun g ->
+      let pin = S.O.ptr g in
+      S.O.load g t.S.head.S.next.(0) pin;
+      for k = 1 to n do
+        ignore (S.remove t k)
+      done;
+      during := Memdom.Alloc.live (S.alloc t));
+  S.flush t;
+  let after = Memdom.Alloc.live (S.alloc t) in
+  S.destroy t;
+  S.flush t;
+  (!during, after)
+
+let mem_footprint p =
+  let threads = List.fold_left max 1 p.threads in
+  let chain_n = min 5_000 p.big_keys in
+  List.map
+    (fun (mk, pinned) ->
+      let name = (mk ()).s_name in
+      let peak = ref 0 in
+      let sampler s =
+        let l = s.s_live () in
+        if l > !peak then peak := l
+      in
+      let _, (final_live, _) =
+        run_set_mix ~sampler mk ~mix:Workload.write_heavy ~threads
+          ~duration:p.duration ~keys:p.big_keys
+      in
+      let pinned_live, pinned_after = pinned chain_n in
+      (* reachable ~ half the key range on a balanced 50/50 mix *)
+      {
+        m_structure = name;
+        m_peak_live = !peak;
+        m_final_live = final_live;
+        m_reachable = p.big_keys / 2;
+        m_pinned_live = pinned_live;
+        m_pinned_after = pinned_after;
+      })
+    [
+      (make_set "hs-skip" (module Skip_hs), pinned_chain_hs);
+      (make_set "crf-skip" (module Skip_crf), pinned_chain_crf);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablations.                                                          *)
+
+let ablation_publish p =
+  let run label value =
+    Orc_core.Ptp.publish_with_exchange := value;
+    let points =
+      List.map
+        (fun t ->
+          ( t,
+            fst
+              (run_set_mix
+                 (make_set "ptp" (module Ml_ptp))
+                 ~mix:Workload.write_heavy ~threads:t ~duration:p.duration
+                 ~keys:p.list_keys) ))
+        p.threads
+    in
+    { Report.label; points }
+  in
+  let series = [ run "ptp-store" false; run "ptp-exchange" true ] in
+  Orc_core.Ptp.publish_with_exchange := false;
+  maybe_csv p ~title:"ablation-publish" series;
+  series
+
+let ablation_clear_handover p =
+  let threads = List.fold_left max 1 p.threads in
+  let residual value =
+    Orc_core.Ptp.clear_handover := value;
+    let _, (_, unreclaimed) =
+      run_set_mix
+        (make_set "ptp" (module Ml_ptp))
+        ~mix:Workload.write_heavy ~threads ~duration:p.duration
+        ~keys:p.list_keys
+    in
+    unreclaimed
+  in
+  let with_drain = residual true in
+  let without_drain = residual false in
+  Orc_core.Ptp.clear_handover := true;
+  [ ("clear-drains-handover", with_drain); ("no-drain", without_drain) ]
+
+(* Extension (not a paper figure): Michael's hash table [18], the second
+   structure of the paper that gives us the list — a sanity check that
+   the scheme ranking generalizes beyond pointer-chasing shapes. *)
+let ext_hashmap p =
+  let factories =
+    [
+      make_set "hashmap-hp" (module Hm_hp);
+      make_set "hashmap-ebr" (module Hm_ebr);
+      make_set "hashmap-ptp" (module Hm_ptp);
+      make_set "hashmap-orc" (module Hm_orc);
+    ]
+  in
+  let series =
+    sweep factories ~threads:p.threads ~f:(fun mk t ->
+        fst
+          (run_set_mix mk ~mix:Workload.write_heavy ~threads:t
+             ~duration:p.duration ~keys:p.list_keys))
+  in
+  maybe_csv p ~title:"ext-hashmap" series;
+  series
+
+(* Backend ablation (paper §4: "most of the existing pointer-based
+   reclamation schemes can be used by OrcGC"): the same automatic layer
+   over the PTP backend vs an HP backend, on a root-table churn.  The
+   claim to observe: equivalent behaviour and throughput, but the HP
+   backend's peak unreclaimed population is threshold-bound (quadratic
+   class) while PTP's stays linear. *)
+
+type backend_row = {
+  k_backend : string;
+  k_mops : float;
+  k_peak_unreclaimed : int;
+}
+
+type bnode = { bhdr : Memdom.Hdr.t; bnext : bnode Atomicx.Link.t }
+
+module Bnode = struct
+  type t = bnode
+
+  let hdr n = n.bhdr
+  let iter_links n f = f n.bnext
+end
+
+module Ob_ptp = Orc_core.Orc.Make (Bnode)
+module Ob_hp = Orc_core.Orc_hp.Make (Bnode)
+
+let ablation_backend p =
+  let threads = List.fold_left max 1 p.threads in
+  let mk_node hdr = { bhdr = hdr; bnext = Atomicx.Link.make Atomicx.Link.Null } in
+  let churn ~k_backend ~with_guard ~alloc_node_into ~fresh_ptr ~store ~ptr_state
+      ~unreclaimed ~drop =
+    let nslots = 16 in
+    let roots = Array.init nslots (fun _ -> Atomicx.Link.make Atomicx.Link.Null) in
+    let peak = ref 0 in
+    let r =
+      Runner.run ~threads ~duration:p.duration
+        ~sampler:(fun () ->
+          let u = unreclaimed () in
+          if u > !peak then peak := u)
+        ~worker:(fun ~i ~tid:_ ~stop ->
+          let rng = Rng.create ((i + 1) * 6700417) in
+          let count = ref 0 in
+          while not (stop ()) do
+            with_guard (fun g ->
+                let hp = fresh_ptr g in
+                let root = roots.(Rng.int rng nslots) in
+                let n = alloc_node_into g hp mk_node in
+                store g root (ptr_state n);
+                incr count)
+          done;
+          !count)
+        ()
+    in
+    drop roots;
+    { k_backend; k_mops = r.Runner.mops; k_peak_unreclaimed = !peak }
+  in
+  let ptp_row =
+    let alloc = Memdom.Alloc.create "orc-ptp-backend" in
+    let o = Ob_ptp.create alloc in
+    let row =
+      churn ~k_backend:"orc(ptp)"
+        ~with_guard:(fun f -> Ob_ptp.with_guard o f)
+        ~alloc_node_into:(fun g hp mk -> Ob_ptp.alloc_node_into g hp mk)
+        ~fresh_ptr:Ob_ptp.ptr
+        ~store:(fun g l st -> Ob_ptp.store g l st)
+        ~ptr_state:(fun n -> Atomicx.Link.Ptr n)
+        ~unreclaimed:(fun () -> Ob_ptp.unreclaimed o)
+        ~drop:(fun roots ->
+          Ob_ptp.with_guard o (fun g ->
+              Array.iter (fun r -> Ob_ptp.store g r Atomicx.Link.Null) roots);
+          Ob_ptp.flush o)
+    in
+    row
+  in
+  let hp_row =
+    let alloc = Memdom.Alloc.create "orc-hp-backend" in
+    let o = Ob_hp.create alloc in
+    churn ~k_backend:"orc(hp)"
+      ~with_guard:(fun f -> Ob_hp.with_guard o f)
+      ~alloc_node_into:(fun g hp mk -> Ob_hp.alloc_node_into g hp mk)
+      ~fresh_ptr:Ob_hp.ptr
+      ~store:(fun g l st -> Ob_hp.store g l st)
+      ~ptr_state:(fun n -> Atomicx.Link.Ptr n)
+      ~unreclaimed:(fun () -> Ob_hp.unreclaimed o)
+      ~drop:(fun roots ->
+        Ob_hp.with_guard o (fun g ->
+            Array.iter (fun r -> Ob_hp.store g r Atomicx.Link.Null) roots);
+        Ob_hp.flush o)
+  in
+  [ ptp_row; hp_row ]

@@ -1,0 +1,65 @@
+type series = { label : string; points : (int * float) list }
+
+let thread_columns series =
+  List.concat_map (fun s -> List.map fst s.points) series
+  |> List.sort_uniq compare
+
+let print_table ~title ?(unit_label = "Mops/s")
+    ?(out = Format.std_formatter) series =
+  let cols = thread_columns series in
+  let width =
+    List.fold_left (fun w s -> max w (String.length s.label)) 12 series
+  in
+  Format.fprintf out "@.== %s (%s) ==@." title unit_label;
+  Format.fprintf out "%-*s" (width + 2) "threads:";
+  List.iter (fun c -> Format.fprintf out "%10d" c) cols;
+  Format.fprintf out "@.";
+  List.iter
+    (fun s ->
+      Format.fprintf out "%-*s" (width + 2) s.label;
+      List.iter
+        (fun c ->
+          match List.assoc_opt c s.points with
+          | Some v -> Format.fprintf out "%10.3f" v
+          | None -> Format.fprintf out "%10s" "-")
+        cols;
+      Format.fprintf out "@.")
+    series;
+  Format.pp_print_flush out ()
+
+let normalize ?base_label series =
+  match series with
+  | [] -> []
+  | first :: _ ->
+      let base =
+        match base_label with
+        | None -> first
+        | Some l -> (
+            match List.find_opt (fun s -> s.label = l) series with
+            | Some s -> s
+            | None -> first)
+      in
+      List.map
+        (fun s ->
+          {
+            s with
+            points =
+              List.filter_map
+                (fun (t, v) ->
+                  match List.assoc_opt t base.points with
+                  | Some b when b > 0.0 -> Some (t, v /. b)
+                  | Some _ | None -> None)
+                s.points;
+          })
+        series
+
+let to_csv ~path ~title series =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Printf.fprintf oc "# %s\n" title;
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (t, v) -> Printf.fprintf oc "%s,%d,%f\n" s.label t v)
+        s.points)
+    series;
+  close_out oc

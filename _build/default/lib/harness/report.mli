@@ -1,0 +1,18 @@
+(** Paper-shaped result tables: one row per scheme/structure, one column
+    per thread count, plus CSV export for plotting. *)
+
+type series = {
+  label : string;
+  points : (int * float) list; (** (threads, value) *)
+}
+
+val print_table :
+  title:string -> ?unit_label:string -> ?out:Format.formatter -> series list -> unit
+(** Render an aligned table; columns are the union of thread counts. *)
+
+val normalize : ?base_label:string -> series list -> series list
+(** Divide every series pointwise by the baseline series (default: the
+    first), producing the normalized-throughput view of Figures 1–2. *)
+
+val to_csv : path:string -> title:string -> series list -> unit
+(** Append a [title] block of [threads,label,value] rows to [path]. *)

@@ -1,0 +1,20 @@
+type mix = { add_pct : int; remove_pct : int }
+
+let write_heavy = { add_pct = 50; remove_pct = 50 }
+let read_mostly = { add_pct = 5; remove_pct = 5 }
+let read_only = { add_pct = 0; remove_pct = 0 }
+
+let standard_mixes =
+  [ ("50i-50r", write_heavy); ("5i-5r-90l", read_mostly); ("100l", read_only) ]
+
+let pp_mix fmt m =
+  Format.fprintf fmt "%di-%dr-%dl" m.add_pct m.remove_pct
+    (100 - m.add_pct - m.remove_pct)
+
+type op = Add | Remove | Lookup
+
+let pick rng m =
+  let r = Atomicx.Rng.int rng 100 in
+  if r < m.add_pct then Add
+  else if r < m.add_pct + m.remove_pct then Remove
+  else Lookup

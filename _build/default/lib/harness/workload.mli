@@ -1,0 +1,26 @@
+(** Workload mixes for set benchmarks, matching the paper's §5 scenarios:
+    50% insert / 50% remove, 5% insert / 5% remove / 90% lookup, and
+    lookup-only. *)
+
+type mix = { add_pct : int; remove_pct : int }
+(** Percentages of add and remove operations; the remainder are
+    lookups. *)
+
+val write_heavy : mix
+(** 50i / 50r — the paper's leftmost plots. *)
+
+val read_mostly : mix
+(** 5i / 5r / 90l — the central plots. *)
+
+val read_only : mix
+(** 100% lookups — the rightmost plots. *)
+
+val standard_mixes : (string * mix) list
+(** The three mixes above, with their figure labels. *)
+
+val pp_mix : Format.formatter -> mix -> unit
+
+type op = Add | Remove | Lookup
+
+val pick : Atomicx.Rng.t -> mix -> op
+(** Draw one operation according to the mix. *)

@@ -1,0 +1,1 @@
+lib/memdom/alloc.ml: Atomic Format Hdr Option

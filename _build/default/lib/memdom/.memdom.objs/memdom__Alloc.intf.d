@@ -1,0 +1,1 @@
+lib/memdom/alloc.mli: Format Hdr

@@ -1,0 +1,1 @@
+lib/memdom/hdr.ml: Atomic Format List Printf

@@ -1,0 +1,1 @@
+lib/memdom/hdr.mli: Atomic Format

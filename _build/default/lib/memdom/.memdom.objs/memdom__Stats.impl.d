@@ -1,0 +1,1 @@
+lib/memdom/stats.ml: Alloc Format List Unix

@@ -1,0 +1,1 @@
+lib/memdom/stats.mli: Alloc Format

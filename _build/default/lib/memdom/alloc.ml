@@ -1,0 +1,43 @@
+type mode = System | Pool
+
+type t = {
+  mode : mode;
+  name : string;
+  uid_ctr : int Atomic.t;
+  n_alloc : int Atomic.t;
+  n_freed : int Atomic.t;
+  era_clock : int Atomic.t;
+}
+
+let create ?(mode = System) name =
+  {
+    mode;
+    name;
+    uid_ctr = Atomic.make 0;
+    n_alloc = Atomic.make 0;
+    n_freed = Atomic.make 0;
+    era_clock = Atomic.make 1;
+  }
+
+let mode t = t.mode
+let label t = t.name
+
+let hdr t ?label () =
+  let uid = Atomic.fetch_and_add t.uid_ctr 1 in
+  ignore (Atomic.fetch_and_add t.n_alloc 1);
+  let label = Option.value label ~default:t.name in
+  Hdr.make ~uid ~label ~strict:(t.mode = System) ~birth_era:(Atomic.get t.era_clock)
+
+let free t h =
+  Hdr.mark_freed h;
+  ignore (Atomic.fetch_and_add t.n_freed 1)
+
+let era t = Atomic.get t.era_clock
+let bump_era t = 1 + Atomic.fetch_and_add t.era_clock 1
+let allocated t = Atomic.get t.n_alloc
+let freed t = Atomic.get t.n_freed
+let live t = allocated t - freed t
+
+let pp_stats fmt t =
+  Format.fprintf fmt "%s: allocated=%d freed=%d live=%d" t.name (allocated t)
+    (freed t) (live t)

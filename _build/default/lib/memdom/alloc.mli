@@ -1,0 +1,51 @@
+(** Allocator contexts: who hands out headers and accounts for them.
+
+    The paper distinguishes schemes that work with the *system allocator*
+    (freed memory may leave the process; touching it segfaults) from
+    those requiring *custom, type-stable allocators* (freed memory stays
+    readable).  An [Alloc.t] models one such allocator:
+
+    - {!mode} [System]: headers are strict — access after free raises
+      [Hdr.Use_after_free].
+    - {!mode} [Pool]: headers tolerate post-free reads, like type-stable
+      pool memory; the generation counter still exposes reuse to tests.
+
+    It also keeps the counters the evaluation needs: objects allocated,
+    freed, and currently live ("live" = allocated and not yet freed,
+    which includes retired-but-unreclaimed objects — the quantity the
+    paper's memory bounds are about). *)
+
+type mode = System | Pool
+
+type t
+
+val create : ?mode:mode -> string -> t
+(** [create label] makes an allocator named [label] (defaults to
+    [System], the stricter checking). *)
+
+val mode : t -> mode
+val label : t -> string
+
+val hdr : t -> ?label:string -> unit -> Hdr.t
+(** Allocate a fresh header.  [label] defaults to the allocator's own.
+    The header's [birth_era] snapshots {!era}. *)
+
+val free : t -> Hdr.t -> unit
+(** Return an object to the allocator: marks it [Freed] (raising
+    [Hdr.Double_free] on a second free) and updates the counters. *)
+
+val era : t -> int
+(** Current era of this allocator's era clock (used by hazard-eras). *)
+
+val bump_era : t -> int
+(** Atomically advance the era clock, returning the new era. *)
+
+val allocated : t -> int
+val freed : t -> int
+
+val live : t -> int
+(** [allocated - freed]: objects not yet returned.  After quiescing and
+    draining a correct scheme this should equal the data structure's
+    reachable size — the leak check used throughout the test suite. *)
+
+val pp_stats : Format.formatter -> t -> unit

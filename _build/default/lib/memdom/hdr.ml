@@ -1,0 +1,94 @@
+exception Use_after_free of string
+exception Double_free of string
+exception Double_retire of string
+
+type lifecycle = Live | Retired | Freed
+
+(* Lifecycle lives in the low two bits of [state]; the generation counter
+   occupies the remaining bits and is bumped on every transition so that
+   tests can detect reuse/ABA without extra fields. *)
+
+type t = {
+  uid : int;
+  label : string;
+  strict : bool;
+  state : int Atomic.t;
+  orc : int Atomic.t;
+  mutable birth_era : int;
+  mutable death_era : int;
+}
+
+let orc_initial = 1 lsl 22
+
+let live_bits = 0
+let retired_bits = 1
+let freed_bits = 2
+
+let make ~uid ~label ~strict ~birth_era =
+  {
+    uid;
+    label;
+    strict;
+    state = Atomic.make live_bits;
+    orc = Atomic.make orc_initial;
+    birth_era;
+    death_era = max_int;
+  }
+
+let decode bits =
+  match bits land 3 with
+  | 0 -> Live
+  | 1 -> Retired
+  | _ -> Freed
+
+let lifecycle t = decode (Atomic.get t.state)
+let generation t = Atomic.get t.state lsr 2
+
+let describe t = Printf.sprintf "%s#%d" t.label t.uid
+
+let check_access t =
+  if t.strict && decode (Atomic.get t.state) = Freed then
+    raise (Use_after_free (describe t))
+
+let is_freed t = decode (Atomic.get t.state) = Freed
+
+(* Transition with a CAS loop so concurrent double-free attempts are
+   reported rather than racing each other silently. *)
+let rec transition t ~expect ~bits ~bad =
+  let cur = Atomic.get t.state in
+  let gen = cur lsr 2 in
+  let cur_lc = decode cur in
+  if not (List.mem cur_lc expect) then bad cur_lc
+  else
+    let next = ((gen + 1) lsl 2) lor bits in
+    if not (Atomic.compare_and_set t.state cur next) then
+      transition t ~expect ~bits ~bad
+
+let mark_retired t =
+  transition t ~expect:[ Live ] ~bits:retired_bits ~bad:(fun lc ->
+      match lc with
+      | Retired -> raise (Double_retire (describe t))
+      | Freed -> raise (Use_after_free (describe t))
+      | Live -> assert false)
+
+let unretire t =
+  transition t ~expect:[ Retired ] ~bits:live_bits ~bad:(fun lc ->
+      match lc with
+      | Freed -> raise (Use_after_free (describe t))
+      | Live -> () (* lost a race with another unretire; already live *)
+      | Retired -> assert false)
+
+let mark_freed t =
+  transition t ~expect:[ Live; Retired ] ~bits:freed_bits ~bad:(fun lc ->
+      match lc with
+      | Freed -> raise (Double_free (describe t))
+      | Live | Retired -> assert false)
+
+let pp fmt t =
+  let lc =
+    match lifecycle t with
+    | Live -> "live"
+    | Retired -> "retired"
+    | Freed -> "freed"
+  in
+  Format.fprintf fmt "%s[%s gen=%d]" (describe t) lc (generation t)

@@ -1,0 +1,68 @@
+(** Object header: the explicit lifecycle every tracked object carries.
+
+    This is the heart of the substitution that makes the paper
+    reproducible in a garbage-collected language (see DESIGN.md §1).  A
+    C++ node that is deleted too early causes undefined behaviour; here,
+    every tracked object embeds a header whose lifecycle is
+
+    {v Live --retire--> Retired --free--> Freed v}
+
+    and data structures route field accesses through {!check_access}.  In
+    [strict] mode (the "system allocator" of the paper, §2) touching a
+    [Freed] object raises {!Use_after_free} — the analogue of the
+    segfault.  In non-strict mode (type-stable custom allocator) the
+    access is tolerated, and the [generation] counter lets tests detect
+    ABA-style reuse.
+
+    The header also hosts the per-object words the various schemes need:
+    the OrcGC [_orc] word (count + BRETIRED + sequence, Algorithm 3) and
+    the birth/death eras of hazard-eras-style schemes. *)
+
+exception Use_after_free of string
+exception Double_free of string
+exception Double_retire of string
+
+type lifecycle = Live | Retired | Freed
+
+type t = {
+  uid : int;  (** unique allocation id, for diagnostics *)
+  label : string;  (** type/owner label, for diagnostics *)
+  strict : bool;  (** raise on access-after-free? *)
+  state : int Atomic.t;  (** lifecycle in low bits, generation above *)
+  orc : int Atomic.t;  (** OrcGC word: 22-bit count, BRETIRED, sequence *)
+  mutable birth_era : int;  (** hazard-eras: era at allocation *)
+  mutable death_era : int;  (** hazard-eras: era at retire *)
+}
+
+val lifecycle : t -> lifecycle
+val generation : t -> int
+
+val check_access : t -> unit
+(** Validate that dereferencing this object is safe.  Raises
+    {!Use_after_free} when the object is [Freed] and the header is
+    strict.  Every field accessor of every data structure in this library
+    calls it, so scheme bugs surface as exceptions in stress tests rather
+    than silent corruption. *)
+
+val mark_retired : t -> unit
+(** [Live -> Retired].  Raises {!Double_retire} if already retired and
+    {!Use_after_free} if already freed — retiring twice is a scheme bug
+    the paper's algorithms must never exhibit. *)
+
+val unretire : t -> unit
+(** [Retired -> Live]: OrcGC can pull an object back out of the retired
+    state when a new hard link appears (§4.1, [clearBitRetired]). *)
+
+val mark_freed : t -> unit
+(** [_ -> Freed].  Raises {!Double_free} on a second call. *)
+
+val is_freed : t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** {2 Construction} — used by {!Alloc}; data structures should allocate
+    through an allocator, not build headers directly. *)
+
+val make : uid:int -> label:string -> strict:bool -> birth_era:int -> t
+
+val orc_initial : int
+(** Initial value of the [_orc] word ([ORC_ZERO], Algorithm 3 line 8). *)

@@ -1,0 +1,35 @@
+type snapshot = {
+  label : string;
+  allocated : int;
+  freed : int;
+  live : int;
+  era : int;
+  at : float;
+}
+
+let take alloc =
+  {
+    label = Alloc.label alloc;
+    allocated = Alloc.allocated alloc;
+    freed = Alloc.freed alloc;
+    live = Alloc.live alloc;
+    era = Alloc.era alloc;
+    at = Unix.gettimeofday ();
+  }
+
+let diff earlier later =
+  {
+    label = later.label;
+    allocated = later.allocated - earlier.allocated;
+    freed = later.freed - earlier.freed;
+    live = later.live - earlier.live;
+    era = later.era;
+    at = later.at -. earlier.at;
+  }
+
+let pp fmt s =
+  Format.fprintf fmt "%s: allocated=%d freed=%d live=%d era=%d" s.label
+    s.allocated s.freed s.live s.era
+
+let series_peak snaps =
+  List.fold_left (fun acc s -> max acc s.live) 0 snaps

@@ -1,0 +1,27 @@
+(** Point-in-time snapshots of allocator state, for experiment reporting
+    and leak forensics.
+
+    The evaluation's memory claims (Table 1 bounds, the §5 skip-list
+    footprint) are statements about *how many objects exist right now*;
+    this module gives them a stable, comparable representation. *)
+
+type snapshot = {
+  label : string;
+  allocated : int;
+  freed : int;
+  live : int;
+  era : int;
+  at : float;  (** wall-clock seconds, [Unix.gettimeofday] *)
+}
+
+val take : Alloc.t -> snapshot
+(** Snapshot an allocator's counters. *)
+
+val diff : snapshot -> snapshot -> snapshot
+(** [diff earlier later]: counter deltas over the interval (label and
+    era taken from [later], [at] is the interval length). *)
+
+val pp : Format.formatter -> snapshot -> unit
+
+val series_peak : snapshot list -> int
+(** Largest [live] over a series of snapshots. *)

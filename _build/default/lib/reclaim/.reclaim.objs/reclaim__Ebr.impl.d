@@ -1,0 +1,1 @@
+lib/reclaim/ebr.ml: Array Atomic Atomicx Link List Memdom Registry Scheme_intf

@@ -1,0 +1,1 @@
+lib/reclaim/ebr.mli: Scheme_intf

@@ -1,0 +1,1 @@
+lib/reclaim/he.ml: Array Atomic Atomicx Link List Memdom Padded Registry Scheme_intf

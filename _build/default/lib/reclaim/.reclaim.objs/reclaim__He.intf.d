@@ -1,0 +1,1 @@
+lib/reclaim/he.mli: Scheme_intf

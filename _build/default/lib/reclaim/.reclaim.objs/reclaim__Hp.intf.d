@@ -1,0 +1,1 @@
+lib/reclaim/hp.mli: Scheme_intf

@@ -1,0 +1,1 @@
+lib/reclaim/ibr.mli: Scheme_intf

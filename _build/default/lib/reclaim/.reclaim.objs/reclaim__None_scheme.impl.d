@@ -1,0 +1,1 @@
+lib/reclaim/none_scheme.ml: Array Atomic Atomicx Link List Memdom Registry Scheme_intf

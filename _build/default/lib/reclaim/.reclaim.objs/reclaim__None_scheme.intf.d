@@ -1,0 +1,1 @@
+lib/reclaim/none_scheme.mli: Scheme_intf

@@ -1,0 +1,1 @@
+lib/reclaim/ptb.ml: Array Atomic Atomicx Link List Memdom Padded Queue Registry Scheme_intf

@@ -1,0 +1,1 @@
+lib/reclaim/ptb.mli: Scheme_intf

@@ -1,0 +1,1 @@
+lib/reclaim/scheme_intf.ml: Atomicx Memdom

@@ -1,0 +1,97 @@
+(** Epoch-based reclamation (Fraser [10], Hart et al. [13]) — the
+    quiescence baseline.
+
+    Threads announce the global epoch on [begin_op] and go quiescent on
+    [end_op].  A node retired in epoch [e] is free once every active
+    thread has announced an epoch [> e]; the global epoch only advances
+    when all active threads have caught up, so a single stalled reader
+    blocks reclamation entirely — EBR's protect is cheap and wait-free,
+    but its retire is blocking and its memory usage unbounded (Table 1).
+    It is included as the performance upper bound the lock-free schemes
+    are measured against. *)
+
+open Atomicx
+
+module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
+  type node = N.t
+
+  let quiescent = max_int
+
+  type t = {
+    alloc : Memdom.Alloc.t;
+    hps : int;
+    global_epoch : int Atomic.t;
+    announce : int Atomic.t array; (* [tid]; [quiescent] when outside an op *)
+    retired : (node * int) list ref array; (* (node, retire epoch) *)
+    retired_count : int ref array;
+    scan_threshold : int;
+    pending : int Atomic.t;
+  }
+
+  let name = "ebr"
+  let max_hps t = t.hps
+
+  let create ?(max_hps = 8) alloc =
+    {
+      alloc;
+      hps = max_hps;
+      global_epoch = Atomic.make 2;
+      announce = Array.init Registry.max_threads (fun _ -> Atomic.make quiescent);
+      retired = Array.init Registry.max_threads (fun _ -> ref []);
+      retired_count = Array.init Registry.max_threads (fun _ -> ref 0);
+      scan_threshold = 128;
+      pending = Atomic.make 0;
+    }
+
+  let begin_op t ~tid = Atomic.set t.announce.(tid) (Atomic.get t.global_epoch)
+  let end_op t ~tid = Atomic.set t.announce.(tid) quiescent
+
+  (* Protection is implicit in the epoch announcement: a plain validated
+     read suffices. *)
+  let get_protected _t ~tid:_ ~idx:_ link = Link.get link
+  let protect_raw _t ~tid:_ ~idx:_ _n = ()
+  let copy_protection _t ~tid:_ ~src:_ ~dst:_ = ()
+  let clear _t ~tid:_ ~idx:_ = ()
+
+  let min_announced t =
+    let m = ref max_int in
+    for it = 0 to Registry.max_threads - 1 do
+      let e = Atomic.get t.announce.(it) in
+      if e < !m then m := e
+    done;
+    !m
+
+  let try_advance t =
+    let e = Atomic.get t.global_epoch in
+    if min_announced t >= e then ignore (Atomic.compare_and_set t.global_epoch e (e + 1))
+
+  let free_node t n =
+    Memdom.Alloc.free t.alloc (N.hdr n);
+    ignore (Atomic.fetch_and_add t.pending (-1))
+
+  let scan t ~tid =
+    try_advance t;
+    let safe = min (min_announced t) (Atomic.get t.global_epoch) in
+    let keep, release =
+      List.partition (fun (_, e) -> e >= safe - 1) !(t.retired.(tid))
+    in
+    t.retired.(tid) := keep;
+    t.retired_count.(tid) := List.length keep;
+    List.iter (fun (n, _) -> free_node t n) release
+
+  let retire t ~tid n =
+    Memdom.Hdr.mark_retired (N.hdr n);
+    ignore (Atomic.fetch_and_add t.pending 1);
+    t.retired.(tid) := (n, Atomic.get t.global_epoch) :: !(t.retired.(tid));
+    incr t.retired_count.(tid);
+    if !(t.retired_count.(tid)) >= t.scan_threshold then scan t ~tid
+
+  let unreclaimed t = Atomic.get t.pending
+
+  let flush t =
+    for _ = 1 to 3 do
+      for tid = 0 to Registry.max_threads - 1 do
+        scan t ~tid
+      done
+    done
+end

@@ -1,0 +1,133 @@
+(** Hazard eras (Ramalhete & Correia [25]) — era baseline.
+
+    Combines pointer-based protection with EBR-style epochs: instead of
+    publishing the pointer, a thread publishes the current *era*; an
+    object is protected by a published era [e] iff its lifetime interval
+    [birth_era, death_era] contains [e].  Protection avoids a store per
+    distinct pointer when the era has not moved, trading a much larger
+    memory bound — O(#L·H·t²), every object alive at a protected era is
+    pinned (Table 1).
+
+    Eras come from the allocator's era clock: each allocation stamps
+    [birth_era] and each retire stamps [death_era] and bumps the clock
+    every [era_freq] retires. *)
+
+open Atomicx
+
+module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
+  type node = N.t
+
+  let none_era = 0
+
+  type t = {
+    alloc : Memdom.Alloc.t;
+    hps : int;
+    he : int Atomic.t array array; (* published eras, [tid][idx] *)
+    retired : node list ref array;
+    retired_count : int ref array;
+    retire_count : int ref array;
+    scan_threshold : int;
+    era_freq : int;
+    pending : int Atomic.t;
+  }
+
+  let name = "he"
+  let max_hps t = t.hps
+
+  let create ?(max_hps = 8) alloc =
+    let mk_slots _ = Padded.atomic_array max_hps none_era in
+    {
+      alloc;
+      hps = max_hps;
+      he = Array.init Registry.max_threads mk_slots;
+      retired = Array.init Registry.max_threads (fun _ -> ref []);
+      retired_count = Array.init Registry.max_threads (fun _ -> ref 0);
+      retire_count = Array.init Registry.max_threads (fun _ -> ref 0);
+      scan_threshold = 128;
+      era_freq = 16;
+      pending = Atomic.make 0;
+    }
+
+  let begin_op _ ~tid:_ = ()
+
+  let clear t ~tid ~idx = Atomic.set t.he.(tid).(idx) none_era
+
+  let end_op t ~tid =
+    for idx = 0 to t.hps - 1 do
+      clear t ~tid ~idx
+    done
+
+  (* HE protect (also used by IBR 2GE): publish the era, then re-read the
+     link; stable era + stable link validate the protection. *)
+  let get_protected t ~tid ~idx link =
+    let slot = t.he.(tid).(idx) in
+    let prev = ref (Atomic.get slot) in
+    let rec loop () =
+      let st = Link.get link in
+      let era = Memdom.Alloc.era t.alloc in
+      if era = !prev then st
+      else begin
+        Atomic.set slot era;
+        prev := era;
+        loop ()
+      end
+    in
+    loop ()
+
+  let protect_raw t ~tid ~idx n =
+    match n with
+    | None -> ()
+    | Some _ -> Atomic.set t.he.(tid).(idx) (Memdom.Alloc.era t.alloc)
+
+  (* copying must carry the original era: a fresh era would not cover a
+     node already retired under an older one *)
+  let copy_protection t ~tid ~src ~dst =
+    Atomic.set t.he.(tid).(dst) (Atomic.get t.he.(tid).(src))
+
+  let protected_by_any t n =
+    let h = N.hdr n in
+    let birth = h.Memdom.Hdr.birth_era and death = h.Memdom.Hdr.death_era in
+    let found = ref false in
+    (try
+       for it = 0 to Registry.max_threads - 1 do
+         for idx = 0 to t.hps - 1 do
+           let e = Atomic.get t.he.(it).(idx) in
+           if e <> none_era && birth <= e && e <= death then begin
+             found := true;
+             raise_notrace Exit
+           end
+         done
+       done
+     with Exit -> ());
+    !found
+
+  let free_node t n =
+    Memdom.Alloc.free t.alloc (N.hdr n);
+    ignore (Atomic.fetch_and_add t.pending (-1))
+
+  let scan t ~tid =
+    let keep, release =
+      List.partition (fun n -> protected_by_any t n) !(t.retired.(tid))
+    in
+    t.retired.(tid) := keep;
+    t.retired_count.(tid) := List.length keep;
+    List.iter (free_node t) release
+
+  let retire t ~tid n =
+    Memdom.Hdr.mark_retired (N.hdr n);
+    (N.hdr n).Memdom.Hdr.death_era <- Memdom.Alloc.era t.alloc;
+    ignore (Atomic.fetch_and_add t.pending 1);
+    t.retired.(tid) := n :: !(t.retired.(tid));
+    incr t.retired_count.(tid);
+    incr t.retire_count.(tid);
+    if !(t.retire_count.(tid)) mod t.era_freq = 0 then
+      ignore (Memdom.Alloc.bump_era t.alloc);
+    if !(t.retired_count.(tid)) >= t.scan_threshold then scan t ~tid
+
+  let unreclaimed t = Atomic.get t.pending
+
+  let flush t =
+    for tid = 0 to Registry.max_threads - 1 do
+      scan t ~tid
+    done
+end

@@ -1,0 +1,11 @@
+(** Hazard eras (Ramalhete & Correia [25]) — era baseline.
+
+    Publishes *eras* instead of pointers: an object whose lifetime
+    interval [birth_era, death_era] contains a published era is pinned.
+    Cheaper protection than HP when the era has not moved, at the cost of
+    the much larger O(#L·H·t²) bound (Table 1).  Note
+    {!Scheme_intf.S.copy_protection} must copy the published era, not
+    republish the current one — a fresh era does not cover an object
+    already retired under an older era. *)
+
+module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t

@@ -1,0 +1,120 @@
+(** 2GEIBR — the two-global-epoch variant of interval-based reclamation
+    (Wen et al. [30]), the one IBR flavour the paper credits with
+    lock-free progress and bounded memory (Table 1).
+
+    Each thread maintains a single *reservation interval* [lo, hi] of
+    eras instead of per-pointer hazards: [begin_op] pins both ends at the
+    current era and every validated read extends [hi].  A retired node
+    whose lifetime interval [birth_era, death_era] overlaps no
+    reservation is free.  Reads are cheap (no store per pointer once the
+    era is pinned) at the price of the O(#L·H·t²)-class bound: every
+    object alive during a reservation stays pinned. *)
+
+open Atomicx
+
+module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
+  type node = N.t
+
+  type t = {
+    alloc : Memdom.Alloc.t;
+    hps : int;
+    lo : int Atomic.t array; (* reservation lower bound, [tid] *)
+    hi : int Atomic.t array; (* reservation upper bound, [tid] *)
+    retired : node list ref array;
+    retired_count : int ref array;
+    retire_count : int ref array;
+    scan_threshold : int;
+    era_freq : int;
+    pending : int Atomic.t;
+  }
+
+  let name = "ibr"
+  let max_hps t = t.hps
+  let no_reservation = max_int
+
+  let create ?(max_hps = 8) alloc =
+    {
+      alloc;
+      hps = max_hps;
+      lo = Array.init Registry.max_threads (fun _ -> Atomic.make no_reservation);
+      hi = Array.init Registry.max_threads (fun _ -> Atomic.make 0);
+      retired = Array.init Registry.max_threads (fun _ -> ref []);
+      retired_count = Array.init Registry.max_threads (fun _ -> ref 0);
+      retire_count = Array.init Registry.max_threads (fun _ -> ref 0);
+      scan_threshold = 128;
+      era_freq = 16;
+      pending = Atomic.make 0;
+    }
+
+  let begin_op t ~tid =
+    let e = Memdom.Alloc.era t.alloc in
+    Atomic.set t.lo.(tid) e;
+    Atomic.set t.hi.(tid) e
+
+  let end_op t ~tid =
+    Atomic.set t.lo.(tid) no_reservation;
+    Atomic.set t.hi.(tid) 0
+
+  (* Extend the reservation to cover the read: loop until the link is
+     re-read under an era already covered by [hi]. *)
+  let get_protected t ~tid ~idx:_ link =
+    let rec loop () =
+      let st = Link.get link in
+      let e = Memdom.Alloc.era t.alloc in
+      if e <= Atomic.get t.hi.(tid) then st
+      else begin
+        Atomic.set t.hi.(tid) e;
+        loop ()
+      end
+    in
+    loop ()
+
+  let protect_raw _t ~tid:_ ~idx:_ _n = ()
+  let copy_protection _t ~tid:_ ~src:_ ~dst:_ = ()
+  let clear _t ~tid:_ ~idx:_ = ()
+
+  let reserved_by_any t n =
+    let h = N.hdr n in
+    let birth = h.Memdom.Hdr.birth_era and death = h.Memdom.Hdr.death_era in
+    let found = ref false in
+    (try
+       for it = 0 to Registry.max_threads - 1 do
+         let lo = Atomic.get t.lo.(it) and hi = Atomic.get t.hi.(it) in
+         if birth <= hi && death >= lo then begin
+           found := true;
+           raise_notrace Exit
+         end
+       done
+     with Exit -> ());
+    !found
+
+  let free_node t n =
+    Memdom.Alloc.free t.alloc (N.hdr n);
+    ignore (Atomic.fetch_and_add t.pending (-1))
+
+  let scan t ~tid =
+    let keep, release =
+      List.partition (fun n -> reserved_by_any t n) !(t.retired.(tid))
+    in
+    t.retired.(tid) := keep;
+    t.retired_count.(tid) := List.length keep;
+    List.iter (free_node t) release
+
+  let retire t ~tid n =
+    Memdom.Hdr.mark_retired (N.hdr n);
+    (N.hdr n).Memdom.Hdr.death_era <- Memdom.Alloc.era t.alloc;
+    ignore (Atomic.fetch_and_add t.pending 1);
+    t.retired.(tid) := n :: !(t.retired.(tid));
+    incr t.retired_count.(tid);
+    incr t.retire_count.(tid);
+    if !(t.retire_count.(tid)) mod t.era_freq = 0 then
+      ignore (Memdom.Alloc.bump_era t.alloc);
+    if !(t.retired_count.(tid)) >= t.scan_threshold then scan t ~tid
+
+  let unreclaimed t = Atomic.get t.pending
+
+  let flush t =
+    for tid = 0 to Registry.max_threads - 1 do
+      scan t ~tid
+    done
+end

@@ -1,0 +1,10 @@
+(** 2GEIBR — two-global-epoch interval-based reclamation (Wen et
+    al. [30]), the IBR flavour the paper credits with lock-free progress
+    and bounded memory (Table 1).
+
+    Each thread reserves an era interval [lo, hi]: [begin_op] pins both
+    ends and every validated read extends [hi]; a retired node whose
+    lifetime interval overlaps no reservation is freed.  Same
+    O(#L·H·t²)-class bound as hazard eras. *)
+
+module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t

@@ -1,0 +1,79 @@
+(** Degenerate schemes used as experimental controls.
+
+    [Leak] never frees: the "no reclamation" series in the paper's plots
+    (the performance ceiling — zero reclamation overhead, unbounded
+    memory).  [Unsafe] frees at retire time, which is exactly the bug all
+    real schemes exist to prevent; the negative stress tests use it to
+    prove that the {!Memdom} substrate actually detects use-after-free
+    (i.e. that the green tests of real schemes are meaningful). *)
+
+open Atomicx
+
+module Leak (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
+  type node = N.t
+
+  type t = {
+    alloc : Memdom.Alloc.t;
+    hps : int;
+    retired : node list ref array;
+    pending : int Atomic.t;
+  }
+
+  let name = "leak"
+  let max_hps t = t.hps
+
+  let create ?(max_hps = 8) alloc =
+    {
+      alloc;
+      hps = max_hps;
+      retired = Array.init Registry.max_threads (fun _ -> ref []);
+      pending = Atomic.make 0;
+    }
+
+  let begin_op _ ~tid:_ = ()
+  let end_op _ ~tid:_ = ()
+  let get_protected _ ~tid:_ ~idx:_ link = Link.get link
+  let protect_raw _ ~tid:_ ~idx:_ _ = ()
+  let copy_protection _ ~tid:_ ~src:_ ~dst:_ = ()
+  let clear _ ~tid:_ ~idx:_ = ()
+
+  let retire t ~tid n =
+    Memdom.Hdr.mark_retired (N.hdr n);
+    ignore (Atomic.fetch_and_add t.pending 1);
+    t.retired.(tid) := n :: !(t.retired.(tid))
+
+  let unreclaimed t = Atomic.get t.pending
+
+  (* Quiesced: everything retired is reclaimable by definition. *)
+  let flush t =
+    for tid = 0 to Registry.max_threads - 1 do
+      List.iter
+        (fun n ->
+          Memdom.Alloc.free t.alloc (N.hdr n);
+          ignore (Atomic.fetch_and_add t.pending (-1)))
+        !(t.retired.(tid));
+      t.retired.(tid) := []
+    done
+end
+
+module Unsafe (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
+  type node = N.t
+  type t = { alloc : Memdom.Alloc.t; hps : int }
+
+  let name = "unsafe"
+  let max_hps t = t.hps
+  let create ?(max_hps = 8) alloc = { alloc; hps = max_hps }
+  let begin_op _ ~tid:_ = ()
+  let end_op _ ~tid:_ = ()
+  let get_protected _ ~tid:_ ~idx:_ link = Link.get link
+  let protect_raw _ ~tid:_ ~idx:_ _ = ()
+  let copy_protection _ ~tid:_ ~src:_ ~dst:_ = ()
+  let clear _ ~tid:_ ~idx:_ = ()
+
+  let retire t ~tid:_ n =
+    Memdom.Hdr.mark_retired (N.hdr n);
+    Memdom.Alloc.free t.alloc (N.hdr n)
+
+  let unreclaimed _ = 0
+  let flush _ = ()
+end

@@ -1,0 +1,11 @@
+(** Degenerate schemes used as experimental controls.
+
+    {!Leak} never frees: the "no reclamation" series in the paper's
+    plots — the performance ceiling with unbounded memory.  {!Unsafe}
+    frees at retire time, which is exactly the bug all real schemes
+    exist to prevent; the negative tests use it to prove the {!Memdom}
+    substrate detects use-after-free (i.e. that green tests of real
+    schemes are meaningful). *)
+
+module Leak (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t
+module Unsafe (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t

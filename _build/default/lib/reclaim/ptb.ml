@@ -1,0 +1,147 @@
+(** Pass-the-buck (Herlihy, Luchangco & Moir [14]) — manual baseline.
+
+    Guards are hazard slots; what differs from HP is [liberate]: a retired
+    value found trapped by a guard is *handed off* to that guard through a
+    versioned handoff slot (the paper's DWCAS — here a CAS on an immutable
+    [(value, version)] box, which is atomic over both fields for free).
+    The previous occupant of the handoff re-enters the liberation
+    worklist.  Clearing a guard drains its handoff back into the owner's
+    retired list.
+
+    Each liberating thread still gathers a list proportional to the
+    number of trapped values, so the bound stays O(Ht²) (Table 1) — the
+    handover idea is what PTP (Algorithm 2) sharpens into a linear bound
+    by *pushing* pointers forward instead of gathering them. *)
+
+open Atomicx
+
+module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
+  type node = N.t
+  type handoff = { v : node option; ver : int }
+
+  type t = {
+    alloc : Memdom.Alloc.t;
+    hps : int;
+    post : node option Atomic.t array array; (* guards, [tid][idx] *)
+    handoff : handoff Atomic.t array array;
+    retired : node list ref array;
+    scan_threshold : int;
+    pending : int Atomic.t;
+  }
+
+  let name = "ptb"
+  let max_hps t = t.hps
+
+  let create ?(max_hps = 8) alloc =
+    let mk_posts _ = Padded.atomic_array max_hps None in
+    let mk_handoffs _ =
+      Array.init max_hps (fun _ -> Atomic.make { v = None; ver = 0 })
+    in
+    {
+      alloc;
+      hps = max_hps;
+      post = Array.init Registry.max_threads mk_posts;
+      handoff = Array.init Registry.max_threads mk_handoffs;
+      retired = Array.init Registry.max_threads (fun _ -> ref []);
+      scan_threshold = 2 * max_hps * 8;
+      pending = Atomic.make 0;
+    }
+
+  let begin_op _ ~tid:_ = ()
+  let protect_raw t ~tid ~idx n = Atomic.set t.post.(tid).(idx) n
+
+  let copy_protection t ~tid ~src ~dst =
+    Atomic.set t.post.(tid).(dst) (Atomic.get t.post.(tid).(src))
+
+  let get_protected t ~tid ~idx link =
+    let slot = t.post.(tid).(idx) in
+    let rec loop st =
+      Atomic.set slot (Link.target st);
+      let st' = Link.get link in
+      if st' == st then st else loop st'
+    in
+    loop (Link.get link)
+
+  let free_node t n =
+    Memdom.Alloc.free t.alloc (N.hdr n);
+    ignore (Atomic.fetch_and_add t.pending (-1))
+
+  (* Find a guard currently trapping [p]. *)
+  let find_guard t p =
+    let found = ref None in
+    (try
+       for it = 0 to Registry.max_threads - 1 do
+         for idx = 0 to t.hps - 1 do
+           match Atomic.get t.post.(it).(idx) with
+           | Some m when m == p ->
+               found := Some (it, idx);
+               raise_notrace Exit
+           | Some _ | None -> ()
+         done
+       done
+     with Exit -> ());
+    !found
+
+  let liberate t ~tid values =
+    let work = Queue.create () in
+    List.iter (fun p -> Queue.add p work) values;
+    let budget = ref (Queue.length work + (Registry.max_threads * t.hps) + 8) in
+    let leftovers = ref [] in
+    while not (Queue.is_empty work) do
+      let p = Queue.pop work in
+      if !budget <= 0 then leftovers := p :: !leftovers
+      else begin
+        decr budget;
+        match find_guard t p with
+        | None -> free_node t p
+        | Some (it, idx) ->
+            let slot = t.handoff.(it).(idx) in
+            let rec hand () =
+              let h = Atomic.get slot in
+              if Atomic.compare_and_set slot h { v = Some p; ver = h.ver + 1 }
+              then match h.v with Some q -> Queue.add q work | None -> ()
+              else hand ()
+            in
+            hand ()
+      end
+    done;
+    t.retired.(tid) := !leftovers @ !(t.retired.(tid))
+
+  let clear t ~tid ~idx =
+    Atomic.set t.post.(tid).(idx) None;
+    let slot = t.handoff.(tid).(idx) in
+    let h = Atomic.get slot in
+    match h.v with
+    | None -> ()
+    | Some _ ->
+        let h' = Atomic.exchange slot { v = None; ver = h.ver + 1 } in
+        (match h'.v with
+        | Some q -> t.retired.(tid) := q :: !(t.retired.(tid))
+        | None -> ())
+
+  let end_op t ~tid =
+    for idx = 0 to t.hps - 1 do
+      clear t ~tid ~idx
+    done
+
+  let retire t ~tid n =
+    Memdom.Hdr.mark_retired (N.hdr n);
+    ignore (Atomic.fetch_and_add t.pending 1);
+    t.retired.(tid) := n :: !(t.retired.(tid));
+    if List.length !(t.retired.(tid)) >= t.scan_threshold then begin
+      let vs = !(t.retired.(tid)) in
+      t.retired.(tid) := [];
+      liberate t ~tid vs
+    end
+
+  let unreclaimed t = Atomic.get t.pending
+
+  let flush t =
+    for _ = 1 to 2 do
+      for tid = 0 to Registry.max_threads - 1 do
+        let vs = !(t.retired.(tid)) in
+        t.retired.(tid) := [];
+        liberate t ~tid vs
+      done
+    done
+end

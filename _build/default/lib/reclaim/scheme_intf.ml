@@ -1,0 +1,83 @@
+(** Common interface of manual memory-reclamation schemes (§2, §3).
+
+    Every scheme — the baselines here (hazard pointers, pass-the-buck,
+    epoch-based, hazard eras) and the paper's pass-the-pointer in
+    [Orc_core.Ptp] — exposes the same three operations the paper names:
+    *protect* (via {!S.get_protected}), *retire* and *clear*, plus the
+    per-operation brackets that quiescence-based schemes need.
+
+    Schemes are functors over the node type so that the hazard arrays are
+    fully typed: no [Obj], no existential trickery.  A data structure
+    instantiates [Make (N)] with its own node record, which only has to
+    expose its embedded {!Memdom.Hdr.t}. *)
+
+module type NODE = sig
+  type t
+
+  val hdr : t -> Memdom.Hdr.t
+  (** The object header embedded in the node. *)
+end
+
+module type S = sig
+  type node
+  type t
+
+  val name : string
+  (** Short name used in benchmark tables ("hp", "ptp", ...). *)
+
+  val create : ?max_hps:int -> Memdom.Alloc.t -> t
+  (** [create alloc] builds scheme state sized for
+      [Atomicx.Registry.max_threads] threads and [max_hps] hazardous
+      pointers per thread (the paper's [H], default 8).  Freed nodes are
+      returned to [alloc]. *)
+
+  val begin_op : t -> tid:int -> unit
+  (** Enter a data-structure operation.  No-op for pointer-based schemes;
+      epoch/era schemes mark the thread active here. *)
+
+  val end_op : t -> tid:int -> unit
+  (** Leave the operation: clears all this thread's protections. *)
+
+  val get_protected :
+    t -> tid:int -> idx:int -> node Atomicx.Link.t -> node Atomicx.Link.state
+  (** Read [link] and protect its target in hazard slot [idx], looping
+      until the published protection is validated against a re-read
+      (Algorithm 2 lines 4–11).  Returns the validated link state, mark
+      included.  Lock-free: a retry implies another thread made
+      progress. *)
+
+  val protect_raw : t -> tid:int -> idx:int -> node option -> unit
+  (** Publish [node] at [idx] without validation — only legal when the
+      caller already owns a safe reference (e.g. a node it just
+      allocated and has not yet shared). *)
+
+  val copy_protection : t -> tid:int -> src:int -> dst:int -> unit
+  (** Duplicate the protection held at [src] into [dst] (both slots of
+      the calling thread).  This is how traversals rotate their hazard
+      slots: unlike [protect_raw] it preserves protection even for nodes
+      already retired — essential for era-based schemes, where a freshly
+      published era would *not* cover a node whose death era has already
+      passed. *)
+
+  val clear : t -> tid:int -> idx:int -> unit
+  (** Drop the protection at [idx]. *)
+
+  val retire : t -> tid:int -> node -> unit
+  (** Hand an unreachable node to the scheme; it will be freed once no
+      thread protects it.  Precondition (same as HP/PTB/HE, §3.1): the
+      node is no longer reachable from any global reference. *)
+
+  val unreclaimed : t -> int
+  (** Nodes retired but not yet freed — the quantity the paper's memory
+      bounds constrain: O(Ht) for PTP, O(Ht²) for HP/PTB, unbounded for
+      EBR. *)
+
+  val flush : t -> unit
+  (** Quiesced best-effort drain (all worker threads stopped): free
+      whatever is no longer protected.  Used by tests and shutdown to
+      verify leak-freedom; not part of the concurrent algorithm. *)
+
+  val max_hps : t -> int
+end
+
+module type MAKER = functor (N : NODE) -> S with type node = N.t

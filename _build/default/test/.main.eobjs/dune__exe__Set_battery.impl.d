@@ -1,0 +1,1 @@
+test/set_battery.ml: Alcotest Atomic Atomicx Domain Int List Memdom Printf QCheck2 Set Util

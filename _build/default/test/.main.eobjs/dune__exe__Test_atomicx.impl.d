@@ -1,0 +1,1 @@
+test/test_atomicx.ml: Alcotest Atomic Atomicx Backoff Barrier Link List QCheck2 Registry Rng Util

@@ -1,0 +1,1 @@
+test/test_extras.ml: Alcotest Array Atomic Atomicx Buffer Domain Ds Format Link List Memdom Orc_core Padded Printf QCheck2 Reclaim Rng String Util

@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest Atomic Atomicx Domain Ds Link List Memdom Orc_core Printf Reclaim Rng Util

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Atomicx Buffer Domain Filename Format Harness List Orc_core String Sys Util

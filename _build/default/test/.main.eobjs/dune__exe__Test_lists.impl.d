@@ -1,0 +1,1 @@
+test/test_lists.ml: Alcotest Battery Ds Memdom Orc_core Reclaim Set_battery Util

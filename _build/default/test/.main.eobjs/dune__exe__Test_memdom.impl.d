@@ -1,0 +1,1 @@
+test/test_memdom.ml: Alcotest List Memdom Util

@@ -1,0 +1,1 @@
+test/test_orc.ml: Alcotest Array Atomic Atomicx Domain Link List Memdom Option Orc_core QCheck2 Rng Util

@@ -1,0 +1,1 @@
+test/test_orc_hp.ml: Alcotest Array Atomicx Link Memdom Orc_core Rng Util

@@ -1,0 +1,1 @@
+test/test_queues.ml: Alcotest Atomic Domain Ds List Memdom Orc_core Printf QCheck2 Queue Reclaim Util

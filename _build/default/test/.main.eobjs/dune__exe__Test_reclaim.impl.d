@@ -1,0 +1,1 @@
+test/test_reclaim.ml: Alcotest Array Atomic Atomicx Domain Link Memdom Orc_core Printf Reclaim Registry Rng Util

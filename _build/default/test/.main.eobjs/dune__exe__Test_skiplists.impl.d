@@ -1,0 +1,1 @@
+test/test_skiplists.ml: Alcotest Atomicx Battery Ds List Memdom Set_battery Util

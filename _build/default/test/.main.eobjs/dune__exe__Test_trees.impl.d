@@ -1,0 +1,1 @@
+test/test_trees.ml: Alcotest Array Battery Ds IntSet List Memdom Orc_core Reclaim Set_battery Util

@@ -1,0 +1,1 @@
+test/test_whitebox.ml: Alcotest Atomicx Link List Memdom Orc_core QCheck2 Util

@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Atomicx Barrier Domain List QCheck2 QCheck_alcotest Registry

@@ -1,0 +1,166 @@
+(* Unit and property tests for the atomic-utilities substrate. *)
+
+open Util
+open Atomicx
+
+let test_backoff_monotone () =
+  let b = Backoff.create ~min:1 ~max:8 () in
+  for _ = 1 to 20 do
+    Backoff.once b
+  done;
+  Backoff.reset b;
+  Backoff.once b;
+  check_bool "usable after reset" true true
+
+let test_backoff_invalid () =
+  Alcotest.check_raises "min<1" (Invalid_argument "Backoff.create") (fun () ->
+      ignore (Backoff.create ~min:0 ()));
+  Alcotest.check_raises "max<min" (Invalid_argument "Backoff.create")
+    (fun () -> ignore (Backoff.create ~min:10 ~max:2 ()))
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check_bool "same stream" true (Rng.next_int64 a = Rng.next_int64 b)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 42 in
+  let c = Rng.split a in
+  let xs = List.init 50 (fun _ -> Rng.next_int64 a) in
+  let ys = List.init 50 (fun _ -> Rng.next_int64 c) in
+  check_bool "split stream differs" true (xs <> ys)
+
+let prop_rng_int_in_bounds =
+  qtest "Rng.int stays in bounds"
+    QCheck2.Gen.(pair int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let r = Rng.create seed in
+      let v = Rng.int r bound in
+      0 <= v && v < bound)
+
+let prop_rng_float_in_unit =
+  qtest "Rng.float in [0,1)" QCheck2.Gen.int (fun seed ->
+      let r = Rng.create seed in
+      let f = Rng.float r in
+      0.0 <= f && f < 1.0)
+
+let test_registry_distinct_tids () =
+  let tids = run_domains 8 (fun ~i:_ ~tid -> tid) in
+  let uniq = List.sort_uniq compare tids in
+  check_int "distinct tids" 8 (List.length uniq);
+  List.iter
+    (fun tid ->
+      check_bool "in range" true (tid >= 0 && tid < Registry.max_threads))
+    tids
+
+let test_registry_reuse_after_release () =
+  let round () = List.sort compare (run_domains 4 (fun ~i:_ ~tid -> tid)) in
+  let r1 = round () in
+  let r2 = round () in
+  (* with_tid releases slots, so a second wave reuses the same pool *)
+  check_bool "slots recycled" true (r1 = r2)
+
+let test_registry_stable_within_domain () =
+  run_domains_exn 2 (fun ~i:_ ~tid ->
+      for _ = 1 to 10 do
+        check_int "stable" tid (Registry.tid ())
+      done)
+
+let test_barrier_aligns () =
+  let n = 6 in
+  let counter = Atomic.make 0 in
+  let b = Barrier.create n in
+  let seen =
+    run_domains n (fun ~i:_ ~tid:_ ->
+        ignore (Atomic.fetch_and_add counter 1);
+        Barrier.wait b;
+        (* after the barrier, every arrival increment must be visible *)
+        Atomic.get counter)
+  in
+  List.iter (fun c -> check_int "all arrived" n c) seen
+
+let test_barrier_reusable () =
+  let n = 4 in
+  let b = Barrier.create n in
+  run_domains_exn n (fun ~i:_ ~tid:_ ->
+      for _ = 1 to 100 do
+        Barrier.wait b
+      done)
+
+let test_link_basics () =
+  let l = Link.make Link.Null in
+  check_bool "null" true (Link.get l = Link.Null);
+  let n = ref 1 in
+  Link.set l (Link.Ptr n);
+  (match Link.target (Link.get l) with
+  | Some x -> check_bool "target" true (x == n)
+  | None -> Alcotest.fail "no target");
+  check_bool "not marked" false (Link.is_marked (Link.get l));
+  Link.set l (Link.Mark n);
+  check_bool "marked" true (Link.is_marked (Link.get l));
+  check_bool "poison" true (Link.is_poison Link.Poison)
+
+let test_link_cas_physical () =
+  let n = ref 1 in
+  let l = Link.make (Link.Ptr n) in
+  let seen = Link.get l in
+  (* CAS against a *fresh* box with equal content must fail... *)
+  check_bool "fresh box fails" false (Link.cas l (Link.Ptr n) (Link.Null));
+  (* ...while CAS against the loaded box succeeds. *)
+  check_bool "loaded box succeeds" true (Link.cas l seen Link.Null);
+  check_bool "null now" true (Link.get l = Link.Null)
+
+let test_link_same () =
+  let n = ref 1 and m = ref 2 in
+  check_bool "null=null" true (Link.same Link.Null Link.Null);
+  check_bool "ptr same target" true (Link.same (Link.Ptr n) (Link.Ptr n));
+  check_bool "ptr diff target" false (Link.same (Link.Ptr n) (Link.Ptr m));
+  check_bool "ptr vs mark" false (Link.same (Link.Ptr n) (Link.Mark n));
+  check_bool "poison" true (Link.same Link.Poison Link.Poison)
+
+let test_link_exchange () =
+  let n = ref 1 in
+  let l = Link.make (Link.Ptr n) in
+  let old = Link.exchange l Link.Poison in
+  check_bool "old returned" true (Link.same old (Link.Ptr n));
+  check_bool "new visible" true (Link.is_poison (Link.get l))
+
+let test_link_cas_parallel_single_winner () =
+  (* n domains CAS the same expected box: exactly one must win. *)
+  let v = ref 0 in
+  let l = Link.make (Link.Ptr v) in
+  let seen = Link.get l in
+  let winners =
+    run_domains 6 (fun ~i ~tid:_ ->
+        if Link.cas l seen (Link.Mark (ref i)) then 1 else 0)
+  in
+  check_int "single winner" 1 (List.fold_left ( + ) 0 winners)
+
+let suite =
+  [
+    ( "atomicx",
+      [
+        Alcotest.test_case "backoff monotone+reset" `Quick test_backoff_monotone;
+        Alcotest.test_case "backoff rejects bad args" `Quick test_backoff_invalid;
+        Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "rng split independent" `Quick
+          test_rng_split_independent;
+        prop_rng_int_in_bounds;
+        prop_rng_float_in_unit;
+        Alcotest.test_case "registry distinct tids" `Quick
+          test_registry_distinct_tids;
+        Alcotest.test_case "registry reuses released slots" `Quick
+          test_registry_reuse_after_release;
+        Alcotest.test_case "registry stable within domain" `Quick
+          test_registry_stable_within_domain;
+        Alcotest.test_case "barrier aligns" `Quick test_barrier_aligns;
+        Alcotest.test_case "barrier reusable" `Quick test_barrier_reusable;
+        Alcotest.test_case "link basics" `Quick test_link_basics;
+        Alcotest.test_case "link CAS is physical" `Quick test_link_cas_physical;
+        Alcotest.test_case "link same" `Quick test_link_same;
+        Alcotest.test_case "link exchange" `Quick test_link_exchange;
+        Alcotest.test_case "link CAS single winner" `Quick
+          test_link_cas_parallel_single_winner;
+      ] );
+  ]

@@ -1,0 +1,195 @@
+(* Tests for the benchmark harness itself: workload mixes, the report
+   formatter, the throughput runner, and smoke runs of each experiment
+   generator (tiny parameters — correctness of plumbing, not numbers). *)
+
+open Util
+
+let test_mix_percentages () =
+  let open Harness.Workload in
+  let rng = Atomicx.Rng.create 11 in
+  let n = 20_000 in
+  let count mix =
+    let a = ref 0 and r = ref 0 and l = ref 0 in
+    for _ = 1 to n do
+      match pick rng mix with
+      | Add -> incr a
+      | Remove -> incr r
+      | Lookup -> incr l
+    done;
+    (!a, !r, !l)
+  in
+  let a, r, l = count write_heavy in
+  check_int "write-heavy has no lookups" 0 l;
+  check_bool "write-heavy balanced" true (abs (a - r) < n / 10);
+  let a, r, l = count read_mostly in
+  check_bool "read-mostly ~90% lookups" true
+    (l > 8 * n / 10 && a < n / 10 && r < n / 10);
+  let a, r, l = count read_only in
+  check_int "read-only adds" 0 a;
+  check_int "read-only removes" 0 r;
+  check_int "read-only lookups" n l
+
+let test_mix_labels () =
+  check_int "three standard mixes" 3
+    (List.length Harness.Workload.standard_mixes);
+  let buf = Buffer.create 16 in
+  Format.fprintf
+    (Format.formatter_of_buffer buf)
+    "%a@?" Harness.Workload.pp_mix Harness.Workload.read_mostly;
+  check_bool "mix pretty-printer" true (Buffer.contents buf = "5i-5r-90l")
+
+let test_report_normalize () =
+  let open Harness.Report in
+  let base = { label = "base"; points = [ (1, 2.0); (2, 4.0) ] } in
+  let other = { label = "other"; points = [ (1, 4.0); (2, 2.0) ] } in
+  match normalize ~base_label:"base" [ base; other ] with
+  | [ b; o ] ->
+      check_bool "base normalizes to 1" true (b.points = [ (1, 1.0); (2, 1.0) ]);
+      check_bool "other scaled" true (o.points = [ (1, 2.0); (2, 0.5) ])
+  | _ -> Alcotest.fail "series count changed"
+
+let test_report_table_renders () =
+  let open Harness.Report in
+  let buf = Buffer.create 256 in
+  let fmt = Format.formatter_of_buffer buf in
+  print_table ~title:"t" ~out:fmt
+    [ { label = "a"; points = [ (1, 1.5) ] };
+      { label = "b"; points = [ (2, 2.5) ] } ];
+  let s = Buffer.contents buf in
+  check_bool "mentions labels" true
+    (String.length s > 0
+    && String.index_opt s 'a' <> None
+    && String.index_opt s 'b' <> None)
+
+let test_report_csv () =
+  let path = Filename.temp_file "orcgc" ".csv" in
+  Sys.remove path;
+  Harness.Report.to_csv ~path ~title:"x"
+    [ { Harness.Report.label = "s"; points = [ (1, 0.5) ] } ];
+  let ic = open_in path in
+  let l1 = input_line ic in
+  let l2 = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  check_bool "csv header" true (l1 = "# x");
+  check_bool "csv row" true (l2 = "s,1,0.500000")
+
+let test_runner_counts_and_stops () =
+  let r =
+    Harness.Runner.run ~threads:3 ~duration:0.05
+      ~worker:(fun ~i:_ ~tid:_ ~stop ->
+        let n = ref 0 in
+        while not (stop ()) do
+          incr n
+        done;
+        !n)
+      ()
+  in
+  check_int "threads recorded" 3 r.Harness.Runner.threads;
+  check_bool "did some work" true (r.total_ops > 0);
+  check_bool "elapsed close to requested" true
+    (r.elapsed >= 0.04 && r.elapsed < 2.0);
+  check_bool "mops consistent" true
+    (abs_float (r.mops -. (float_of_int r.total_ops /. r.elapsed /. 1e6))
+    < 1e-9)
+
+let test_runner_sampler_runs () =
+  let samples = ref 0 in
+  let _ =
+    Harness.Runner.run ~threads:1 ~duration:0.12 ~sample_every:0.02
+      ~sampler:(fun () -> incr samples)
+      ~worker:(fun ~i:_ ~tid:_ ~stop ->
+        while not (stop ()) do
+          Domain.cpu_relax ()
+        done;
+        0)
+      ()
+  in
+  check_bool "sampler invoked repeatedly" true (!samples >= 3)
+
+let tiny =
+  {
+    Harness.Experiments.threads = [ 1; 2 ];
+    duration = 0.03;
+    list_keys = 64;
+    big_keys = 256;
+    csv = None;
+  }
+
+let test_fig1_smoke () =
+  let series = Harness.Experiments.fig1_queues tiny in
+  check_bool "all queue series present" true (List.length series >= 10);
+  List.iter
+    (fun s ->
+      check_int
+        ("points for " ^ s.Harness.Report.label)
+        2
+        (List.length s.points);
+      List.iter (fun (_, v) -> check_bool "positive" true (v > 0.0)) s.points)
+    series
+
+let test_fig3_smoke () =
+  let tables = Harness.Experiments.fig3_list_schemes tiny in
+  check_int "three mixes" 3 (List.length tables);
+  List.iter
+    (fun (_, series) -> check_bool "schemes present" true (List.length series >= 7))
+    tables
+
+let test_table1_smoke () =
+  let rows = Harness.Experiments.table1_bounds tiny in
+  List.iter
+    (fun r ->
+      let open Harness.Experiments in
+      if r.b_bound_value >= 0 then
+        check_bool
+          (r.b_scheme ^ " within its bound")
+          true
+          (r.b_max_unreclaimed <= r.b_bound_value))
+    rows;
+  (* the linear-bound schemes must beat the quadratic ones *)
+  let find n = List.find (fun r -> r.Harness.Experiments.b_scheme = n) rows in
+  check_bool "ptp well under quadratic slack" true
+    ((find "ptp").b_max_unreclaimed
+    <= (find "leak").b_max_unreclaimed)
+
+let test_mem_smoke () =
+  let rows = Harness.Experiments.mem_footprint tiny in
+  match rows with
+  | [ hs; crf ] ->
+      let open Harness.Experiments in
+      check_bool "hs pins the removed chain" true
+        (hs.m_pinned_live > 10 * crf.m_pinned_live);
+      check_bool "both collapse after unpin" true
+        (hs.m_pinned_after <= 4 && crf.m_pinned_after <= 4)
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_ablation_smoke () =
+  let series = Harness.Experiments.ablation_publish tiny in
+  check_int "two publication modes" 2 (List.length series);
+  check_bool "knob restored" true
+    (not !Orc_core.Ptp.publish_with_exchange);
+  let rows = Harness.Experiments.ablation_clear_handover tiny in
+  check_int "two drain modes" 2 (List.length rows);
+  check_bool "knob restored" true !Orc_core.Ptp.clear_handover
+
+let suite =
+  [
+    ( "harness",
+      [
+        Alcotest.test_case "workload mix percentages" `Quick
+          test_mix_percentages;
+        Alcotest.test_case "mix labels" `Quick test_mix_labels;
+        Alcotest.test_case "report normalize" `Quick test_report_normalize;
+        Alcotest.test_case "report table renders" `Quick
+          test_report_table_renders;
+        Alcotest.test_case "report csv" `Quick test_report_csv;
+        Alcotest.test_case "runner counts and stops" `Quick
+          test_runner_counts_and_stops;
+        Alcotest.test_case "runner sampler" `Quick test_runner_sampler_runs;
+        Alcotest.test_case "fig1 smoke" `Slow test_fig1_smoke;
+        Alcotest.test_case "fig3 smoke" `Slow test_fig3_smoke;
+        Alcotest.test_case "table1 smoke" `Slow test_table1_smoke;
+        Alcotest.test_case "mem footprint smoke" `Slow test_mem_smoke;
+        Alcotest.test_case "ablation smoke" `Slow test_ablation_smoke;
+      ] );
+  ]

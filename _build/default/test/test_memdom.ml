@@ -1,0 +1,133 @@
+(* Unit tests for the explicit-lifecycle heap: the substrate all
+   reclamation guarantees are checked against. *)
+
+open Util
+
+let test_lifecycle () =
+  let a = Memdom.Alloc.create "t" in
+  let h = Memdom.Alloc.hdr a () in
+  check_bool "starts live" true (Memdom.Hdr.lifecycle h = Memdom.Hdr.Live);
+  Memdom.Hdr.check_access h;
+  Memdom.Hdr.mark_retired h;
+  check_bool "retired" true (Memdom.Hdr.lifecycle h = Memdom.Hdr.Retired);
+  (* retired objects are still accessible (obstacle 2 of the paper) *)
+  Memdom.Hdr.check_access h;
+  Memdom.Alloc.free a h;
+  check_bool "freed" true (Memdom.Hdr.is_freed h)
+
+let test_use_after_free () =
+  let a = Memdom.Alloc.create "t" in
+  let h = Memdom.Alloc.hdr a () in
+  Memdom.Alloc.free a h;
+  Alcotest.check_raises "strict access after free"
+    (Memdom.Hdr.Use_after_free "t#0") (fun () -> Memdom.Hdr.check_access h)
+
+let test_pool_mode_tolerates_uaf () =
+  let a = Memdom.Alloc.create ~mode:Memdom.Alloc.Pool "p" in
+  let h = Memdom.Alloc.hdr a () in
+  Memdom.Alloc.free a h;
+  (* type-stable pool memory: reading freed objects is defined *)
+  Memdom.Hdr.check_access h;
+  check_bool "still freed" true (Memdom.Hdr.is_freed h)
+
+let test_double_free () =
+  let a = Memdom.Alloc.create "t" in
+  let h = Memdom.Alloc.hdr a () in
+  Memdom.Alloc.free a h;
+  Alcotest.check_raises "double free" (Memdom.Hdr.Double_free "t#0") (fun () ->
+      Memdom.Alloc.free a h)
+
+let test_double_retire () =
+  let a = Memdom.Alloc.create "t" in
+  let h = Memdom.Alloc.hdr a () in
+  Memdom.Hdr.mark_retired h;
+  Alcotest.check_raises "double retire" (Memdom.Hdr.Double_retire "t#0")
+    (fun () -> Memdom.Hdr.mark_retired h)
+
+let test_unretire () =
+  let a = Memdom.Alloc.create "t" in
+  let h = Memdom.Alloc.hdr a () in
+  Memdom.Hdr.mark_retired h;
+  Memdom.Hdr.unretire h;
+  check_bool "live again" true (Memdom.Hdr.lifecycle h = Memdom.Hdr.Live);
+  (* unretire of an already-live header is a tolerated race *)
+  Memdom.Hdr.unretire h;
+  Memdom.Hdr.mark_retired h;
+  check_bool "retire after unretire" true
+    (Memdom.Hdr.lifecycle h = Memdom.Hdr.Retired)
+
+let test_generation_bumps () =
+  let a = Memdom.Alloc.create "t" in
+  let h = Memdom.Alloc.hdr a () in
+  let g0 = Memdom.Hdr.generation h in
+  Memdom.Hdr.mark_retired h;
+  Memdom.Hdr.unretire h;
+  Memdom.Alloc.free a h;
+  check_bool "generation grows" true (Memdom.Hdr.generation h > g0)
+
+let test_counters () =
+  let a = Memdom.Alloc.create "t" in
+  let hs = List.init 10 (fun _ -> Memdom.Alloc.hdr a ()) in
+  check_int "allocated" 10 (Memdom.Alloc.allocated a);
+  check_int "live" 10 (Memdom.Alloc.live a);
+  List.iteri (fun i h -> if i < 4 then Memdom.Alloc.free a h) hs;
+  check_int "freed" 4 (Memdom.Alloc.freed a);
+  check_int "live after free" 6 (Memdom.Alloc.live a)
+
+let test_uids_unique_across_domains () =
+  let a = Memdom.Alloc.create "t" in
+  let per_domain = 1000 in
+  let uid_lists =
+    run_domains 4 (fun ~i:_ ~tid:_ ->
+        List.init per_domain (fun _ -> (Memdom.Alloc.hdr a ()).Memdom.Hdr.uid))
+  in
+  let all = List.concat uid_lists in
+  let sorted = List.sort_uniq compare all in
+  check_int "no duplicate uids" (4 * per_domain) (List.length sorted);
+  check_int "allocated counter" (4 * per_domain) (Memdom.Alloc.allocated a)
+
+let test_era_clock () =
+  let a = Memdom.Alloc.create "t" in
+  let e0 = Memdom.Alloc.era a in
+  let e1 = Memdom.Alloc.bump_era a in
+  check_bool "bump advances" true (e1 = e0 + 1);
+  let h = Memdom.Alloc.hdr a () in
+  check_int "birth era snapshots clock" e1 h.Memdom.Hdr.birth_era
+
+let test_concurrent_free_single_winner () =
+  (* Two domains racing to free the same header: exactly one wins, the
+     other gets Double_free. *)
+  for _ = 1 to 50 do
+    let a = Memdom.Alloc.create "t" in
+    let h = Memdom.Alloc.hdr a () in
+    let outcomes =
+      run_domains 2 (fun ~i:_ ~tid:_ ->
+          match Memdom.Alloc.free a h with
+          | () -> `Freed
+          | exception Memdom.Hdr.Double_free _ -> `Lost)
+    in
+    let winners = List.filter (( = ) `Freed) outcomes in
+    check_int "one winner" 1 (List.length winners)
+  done
+
+let suite =
+  [
+    ( "memdom",
+      [
+        Alcotest.test_case "lifecycle transitions" `Quick test_lifecycle;
+        Alcotest.test_case "use-after-free raises (System)" `Quick
+          test_use_after_free;
+        Alcotest.test_case "pool mode tolerates stale access" `Quick
+          test_pool_mode_tolerates_uaf;
+        Alcotest.test_case "double free raises" `Quick test_double_free;
+        Alcotest.test_case "double retire raises" `Quick test_double_retire;
+        Alcotest.test_case "unretire" `Quick test_unretire;
+        Alcotest.test_case "generation bumps" `Quick test_generation_bumps;
+        Alcotest.test_case "alloc counters" `Quick test_counters;
+        Alcotest.test_case "uids unique across domains" `Quick
+          test_uids_unique_across_domains;
+        Alcotest.test_case "era clock" `Quick test_era_clock;
+        Alcotest.test_case "concurrent double-free detected" `Quick
+          test_concurrent_free_single_winner;
+      ] );
+  ]

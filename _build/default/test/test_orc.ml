@@ -1,0 +1,369 @@
+(* Unit, property and stress tests for OrcGC itself (Algorithms 3–7). *)
+
+open Util
+open Atomicx
+
+type onode = { hdr : Memdom.Hdr.t; value : int; next : onode Link.t }
+
+module O = Orc_core.Orc.Make (struct
+  type t = onode
+
+  let hdr n = n.hdr
+  let iter_links n f = f n.next
+end)
+
+let fresh () =
+  let alloc = Memdom.Alloc.create "orc-test" in
+  (alloc, O.create alloc)
+
+let mk v hdr = { hdr; value = v; next = Link.make Link.Null }
+
+let read_value n =
+  Memdom.Hdr.check_access n.hdr;
+  n.value
+
+(* A node allocated but never linked anywhere is reclaimed when its last
+   local reference dies at guard exit — the fully automatic path. *)
+let test_unlinked_alloc_reclaimed () =
+  let alloc, o = fresh () in
+  let node =
+    O.with_guard o (fun g ->
+        let p = O.alloc_node g (mk 1) in
+        let n = O.Ptr.node_exn p in
+        check_int "accessible inside guard" 1 (read_value n);
+        n)
+  in
+  check_bool "freed at guard exit" true (Memdom.Hdr.is_freed node.hdr);
+  check_int "no leak" 0 (Memdom.Alloc.live alloc);
+  check_int "nothing pending" 0 (O.unreclaimed o)
+
+(* A hard link from a root keeps the object alive across guards; dropping
+   the root reclaims it — no retire call anywhere. *)
+let test_root_link_keeps_alive () =
+  let alloc, o = fresh () in
+  let root = Link.make Link.Null in
+  let node =
+    O.with_guard o (fun g ->
+        let p = O.alloc_node g (mk 42) in
+        O.store g root (O.Ptr.state p);
+        O.Ptr.node_exn p)
+  in
+  check_bool "alive via root" false (Memdom.Hdr.is_freed node.hdr);
+  check_int "readable" 42 (read_value node);
+  O.with_guard o (fun g -> O.store g root Link.Null);
+  check_bool "freed after unlink" true (Memdom.Hdr.is_freed node.hdr);
+  check_int "no leak" 0 (Memdom.Alloc.live alloc)
+
+(* A local reference (Ptr) pins a zero-count object; the object is
+   reclaimed only when the guard scope ends — the orc_ptr contract. *)
+let test_local_ref_pins () =
+  let alloc, o = fresh () in
+  let root = Link.make Link.Null in
+  let node = ref None in
+  O.with_guard o (fun g ->
+      let p = O.alloc_node g (mk 5) in
+      O.store g root (O.Ptr.state p);
+      let q = O.ptr g in
+      O.load g root q;
+      node := O.Ptr.node q;
+      (* unlink: count drops to zero but q still protects it *)
+      O.store g root Link.Null;
+      let n = Option.get !node in
+      check_bool "pinned by local ref" false (Memdom.Hdr.is_freed n.hdr);
+      check_int "still readable" 5 (read_value n));
+  let n = Option.get !node in
+  check_bool "reclaimed at guard exit" true (Memdom.Hdr.is_freed n.hdr);
+  check_int "no leak" 0 (Memdom.Alloc.live alloc)
+
+(* Obstacle 3 of §2: a node taken out of the structure and re-inserted
+   while a local reference exists must not be reclaimed. *)
+let test_reinsertion_survives () =
+  let alloc, o = fresh () in
+  let root = Link.make Link.Null in
+  O.with_guard o (fun g ->
+      let p = O.alloc_node g (mk 9) in
+      O.store g root (O.Ptr.state p);
+      let q = O.ptr g in
+      O.load g root q;
+      O.store g root Link.Null;
+      (* temporarily unreachable, possibly already marked retired *)
+      O.store g root (O.Ptr.state q));
+  (match Link.target (Link.get root) with
+  | Some n ->
+      check_bool "alive after reinsertion" false (Memdom.Hdr.is_freed n.hdr);
+      check_int "value intact" 9 (read_value n)
+  | None -> Alcotest.fail "root lost node");
+  O.with_guard o (fun g -> O.store g root Link.Null);
+  check_int "no leak" 0 (Memdom.Alloc.live alloc);
+  check_int "nothing pending" 0 (O.unreclaimed o)
+
+(* Dropping the head of a long chain must cascade through the recursive
+   list, not the program stack (paper §4.1). *)
+let test_long_chain_cascade () =
+  let alloc, o = fresh () in
+  let n = 50_000 in
+  let root = Link.make Link.Null in
+  O.with_guard o (fun g ->
+      let p = O.ptr g in
+      let q = O.ptr g in
+      for i = 1 to n do
+        (* push-front: node.next := old head; root := node *)
+        O.load g root q;
+        let node = O.alloc_node_into g p (mk i) in
+        (match O.Ptr.state q with
+        | Link.Null -> ()
+        | st -> O.store g node.next st);
+        O.store g root (Link.Ptr node)
+      done);
+  check_int "chain allocated" n (Memdom.Alloc.live alloc);
+  O.with_guard o (fun g -> O.store g root Link.Null);
+  check_int "entire chain reclaimed" 0 (Memdom.Alloc.live alloc);
+  check_int "nothing pending" 0 (O.unreclaimed o)
+
+(* cas transitions: a mark change on the same target must not disturb the
+   count, while retargeting moves both counts. *)
+let test_cas_counts () =
+  let alloc, o = fresh () in
+  let root = Link.make Link.Null in
+  O.with_guard o (fun g ->
+      let a = O.alloc_node g (mk 1) in
+      let b = O.alloc_node g (mk 2) in
+      O.store g root (O.Ptr.state a);
+      let an = O.Ptr.node_exn a and bn = O.Ptr.node_exn b in
+      (* mark transition on same target *)
+      let st = Link.get root in
+      check_bool "mark cas" true (O.cas g root ~expected:st ~desired:(Link.Mark an));
+      check_bool "a alive" false (Memdom.Hdr.is_freed an.hdr);
+      (* retarget to b: a loses its only hard link *)
+      let st = Link.get root in
+      check_bool "retarget cas" true
+        (O.cas g root ~expected:st ~desired:(Link.Ptr bn));
+      check_bool "a pinned by local ref" false (Memdom.Hdr.is_freed an.hdr));
+  (* guard gone: a has no links and no local refs *)
+  check_int "only b remains" 1 (Memdom.Alloc.live alloc);
+  O.with_guard o (fun g -> O.store g root Link.Null);
+  check_int "no leak" 0 (Memdom.Alloc.live alloc)
+
+(* A failed cas must not move any count. *)
+let test_cas_failure_no_count_change () =
+  let alloc, o = fresh () in
+  let root = Link.make Link.Null in
+  O.with_guard o (fun g ->
+      let a = O.alloc_node g (mk 1) in
+      let b = O.alloc_node g (mk 2) in
+      O.store g root (O.Ptr.state a);
+      (* stale expected: a fresh box never matches physically *)
+      check_bool "cas fails" false
+        (O.cas g root
+           ~expected:(Link.Ptr (O.Ptr.node_exn b))
+           ~desired:Link.Null));
+  check_int "a still live via root" 1 (Memdom.Alloc.live alloc);
+  O.with_guard o (fun g -> O.store g root Link.Null);
+  check_int "no leak" 0 (Memdom.Alloc.live alloc)
+
+(* exchange returns the old state and fixes both counts. *)
+let test_exchange () =
+  let alloc, o = fresh () in
+  let root = Link.make Link.Null in
+  O.with_guard o (fun g ->
+      let a = O.alloc_node g (mk 1) in
+      let b = O.alloc_node g (mk 2) in
+      O.store g root (O.Ptr.state a);
+      let old = O.exchange g root (O.Ptr.state b) in
+      check_bool "old was a" true
+        (Link.same old (Link.Ptr (O.Ptr.node_exn a))));
+  check_int "only b remains" 1 (Memdom.Alloc.live alloc);
+  O.with_guard o (fun g -> O.store g root Link.Null);
+  check_int "no leak" 0 (Memdom.Alloc.live alloc)
+
+(* Ptr assignment in both index directions (Algorithm 7): a rotation
+   prev <- curr <- next, repeated, must keep protection sound. *)
+let test_ptr_rotation () =
+  let alloc, o = fresh () in
+  let root = Link.make Link.Null in
+  O.with_guard o (fun g ->
+      (* build a 10-node chain *)
+      let p = O.ptr g and q = O.ptr g in
+      for i = 1 to 10 do
+        O.load g root q;
+        let node = O.alloc_node_into g p (mk i) in
+        (match O.Ptr.state q with
+        | Link.Null -> ()
+        | st -> O.store g node.next st);
+        O.store g root (Link.Ptr node)
+      done);
+  O.with_guard o (fun g ->
+      let prev = O.ptr g and curr = O.ptr g and next = O.ptr g in
+      O.load g root curr;
+      let steps = ref 0 in
+      let rec walk () =
+        match O.Ptr.node curr with
+        | None -> ()
+        | Some n ->
+            incr steps;
+            ignore (read_value n);
+            O.load g n.next next;
+            O.assign g prev curr;
+            O.assign g curr next;
+            walk ()
+      in
+      walk ();
+      check_int "walked the chain" 10 !steps);
+  O.with_guard o (fun g -> O.store g root Link.Null);
+  check_int "no leak" 0 (Memdom.Alloc.live alloc)
+
+(* _orc word layout properties. *)
+let prop_ocnt_ignores_sequence =
+  qtest "ocnt ignores the sequence field"
+    QCheck2.Gen.(pair (int_range 0 1_000_000) (int_range (-1000) 1000))
+    (fun (s, c) ->
+      let word =
+        (s * Orc_core.Orc.seq_unit) + Orc_core.Orc.orc_zero + c
+      in
+      Orc_core.Orc.ocnt word = Orc_core.Orc.orc_zero + c)
+
+let prop_bretired_flag_independent =
+  qtest "BRETIRED commutes with count in ocnt"
+    QCheck2.Gen.(int_range (-1000) 1000)
+    (fun c ->
+      let base = Orc_core.Orc.orc_zero + c in
+      Orc_core.Orc.ocnt (base + Orc_core.Orc.bretired)
+      = base + Orc_core.Orc.bretired)
+
+(* Randomized single-threaded model check: a root table driven by random
+   store/cas/load ops must end with live = reachable. *)
+let prop_orc_model =
+  qtest ~count:60 "random ops conserve live = reachable"
+    QCheck2.Gen.(list_size (int_range 20 120) (pair (int_range 0 3) small_nat))
+    (fun ops ->
+      let alloc, o = fresh () in
+      let roots = Array.init 4 (fun _ -> Link.make Link.Null) in
+      O.with_guard o (fun g ->
+          let p = O.ptr g in
+          List.iter
+            (fun (r, v) ->
+              let root = roots.(r) in
+              if v land 1 = 0 then begin
+                let n = O.alloc_node_into g p (mk v) in
+                O.store g root (Link.Ptr n)
+              end
+              else O.store g root Link.Null)
+            ops);
+      let reachable =
+        Array.fold_left
+          (fun acc r ->
+            match Link.get r with Link.Ptr _ -> acc + 1 | _ -> acc)
+          0 roots
+      in
+      let ok = Memdom.Alloc.live alloc = reachable in
+      O.with_guard o (fun g ->
+          Array.iter (fun r -> O.store g r Link.Null) roots);
+      ok && Memdom.Alloc.live alloc = 0)
+
+(* The flagship stress test: concurrent domains hammer a table of root
+   links with loads, stores and cas, reading values under protection.
+   Any unsound reclamation raises Use_after_free; any missed reclamation
+   shows up in the final leak check. *)
+let test_concurrent_stress () =
+  let alloc, o = fresh () in
+  let nslots = 8 in
+  let iters = 2_500 in
+  let roots = Array.init nslots (fun _ -> Link.make Link.Null) in
+  run_domains_exn 4 (fun ~i ~tid:_ ->
+      let rng = Rng.create ((i + 1) * 104729) in
+      for k = 1 to iters do
+        let root = roots.(Rng.int rng nslots) in
+        O.with_guard o (fun g ->
+            match Rng.int rng 4 with
+            | 0 ->
+                (* replace with fresh node *)
+                let p = O.alloc_node g (mk k) in
+                O.store g root (O.Ptr.state p)
+            | 1 -> O.store g root Link.Null
+            | 2 ->
+                (* cas current -> fresh *)
+                let q = O.ptr g in
+                O.load g root q;
+                let p = O.alloc_node g (mk k) in
+                ignore
+                  (O.cas g root ~expected:(O.Ptr.state q)
+                     ~desired:(O.Ptr.state p))
+            | _ ->
+                (* read *)
+                let q = O.ptr g in
+                O.load g root q;
+                (match O.Ptr.node q with
+                | Some n -> ignore (read_value n)
+                | None -> ()))
+      done);
+  (* quiesce and drain *)
+  O.with_guard o (fun g ->
+      Array.iter (fun r -> O.store g r Link.Null) roots);
+  O.flush o;
+  check_int "no leak after stress" 0 (Memdom.Alloc.live alloc);
+  check_int "nothing pending" 0 (O.unreclaimed o)
+
+(* Cross-thread handover: a reader pins a node while a writer unlinks it;
+   the reader's guard exit must reclaim it. *)
+let test_cross_thread_handover () =
+  let alloc, o = fresh () in
+  let root = Link.make Link.Null in
+  O.with_guard o (fun g ->
+      let p = O.alloc_node g (mk 1) in
+      O.store g root (O.Ptr.state p));
+  let pinned = Atomic.make false in
+  let release = Atomic.make false in
+  run_domains_exn 2 (fun ~i ~tid:_ ->
+      if i = 0 then
+        (* reader: pin, signal, hold until released *)
+        O.with_guard o (fun g ->
+            let q = O.ptr g in
+            O.load g root q;
+            Atomic.set pinned true;
+            while not (Atomic.get release) do
+              Domain.cpu_relax ()
+            done;
+            match O.Ptr.node q with
+            | Some n -> check_int "readable while pinned" 1 (read_value n)
+            | None -> Alcotest.fail "reader lost the node")
+      else begin
+        (* writer: wait for the pin, unlink, then release the reader *)
+        while not (Atomic.get pinned) do
+          Domain.cpu_relax ()
+        done;
+        O.with_guard o (fun g -> O.store g root Link.Null);
+        check_int "node survives writer guard" 1 (Memdom.Alloc.live alloc);
+        Atomic.set release true
+      end);
+  (* reader's guard has exited: the handover must have been reclaimed *)
+  check_int "reclaimed after reader exit" 0 (Memdom.Alloc.live alloc);
+  check_int "nothing pending" 0 (O.unreclaimed o)
+
+let suite =
+  [
+    ( "orc",
+      [
+        Alcotest.test_case "unlinked alloc reclaimed" `Quick
+          test_unlinked_alloc_reclaimed;
+        Alcotest.test_case "root link keeps alive" `Quick
+          test_root_link_keeps_alive;
+        Alcotest.test_case "local ref pins" `Quick test_local_ref_pins;
+        Alcotest.test_case "reinsertion survives (obstacle 3)" `Quick
+          test_reinsertion_survives;
+        Alcotest.test_case "long chain cascade, constant stack" `Slow
+          test_long_chain_cascade;
+        Alcotest.test_case "cas count transitions" `Quick test_cas_counts;
+        Alcotest.test_case "failed cas moves nothing" `Quick
+          test_cas_failure_no_count_change;
+        Alcotest.test_case "exchange" `Quick test_exchange;
+        Alcotest.test_case "ptr rotation keeps protection" `Quick
+          test_ptr_rotation;
+        prop_ocnt_ignores_sequence;
+        prop_bretired_flag_independent;
+        prop_orc_model;
+        Alcotest.test_case "concurrent stress, no UAF, no leak" `Slow
+          test_concurrent_stress;
+        Alcotest.test_case "cross-thread handover" `Quick
+          test_cross_thread_handover;
+      ] );
+  ]

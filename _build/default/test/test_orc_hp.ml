@@ -1,0 +1,145 @@
+(* The HP-backed OrcGC variant must satisfy the same automatic-
+   reclamation contract as the PTP-backed one (paper §4: the backend is
+   pluggable); only the memory bound differs. *)
+
+open Util
+open Atomicx
+
+type onode = { hdr : Memdom.Hdr.t; value : int; next : onode Link.t }
+
+module O = Orc_core.Orc_hp.Make (struct
+  type t = onode
+
+  let hdr n = n.hdr
+  let iter_links n f = f n.next
+end)
+
+let fresh () =
+  let alloc = Memdom.Alloc.create "orc-hp-test" in
+  (alloc, O.create alloc)
+
+let mk v hdr = { hdr; value = v; next = Link.make Link.Null }
+
+let read_value n =
+  Memdom.Hdr.check_access n.hdr;
+  n.value
+
+let test_root_link_keeps_alive () =
+  let alloc, o = fresh () in
+  let root = Link.make Link.Null in
+  let node =
+    O.with_guard o (fun g ->
+        let p = O.alloc_node g (mk 42) in
+        O.store g root (O.Ptr.state p);
+        O.Ptr.node_exn p)
+  in
+  check_bool "alive via root" false (Memdom.Hdr.is_freed node.hdr);
+  check_int "readable" 42 (read_value node);
+  O.with_guard o (fun g -> O.store g root Link.Null);
+  O.flush o;
+  check_bool "freed after unlink+flush" true (Memdom.Hdr.is_freed node.hdr);
+  check_int "no leak" 0 (Memdom.Alloc.live alloc)
+
+let test_local_ref_pins () =
+  let alloc, o = fresh () in
+  let root = Link.make Link.Null in
+  O.with_guard o (fun g ->
+      let p = O.alloc_node g (mk 5) in
+      O.store g root (O.Ptr.state p);
+      let q = O.ptr g in
+      O.load g root q;
+      O.store g root Link.Null;
+      let n = O.Ptr.node_exn q in
+      check_bool "pinned by local ref" false (Memdom.Hdr.is_freed n.hdr);
+      check_int "still readable" 5 (read_value n));
+  O.flush o;
+  check_int "no leak after guard" 0 (Memdom.Alloc.live alloc)
+
+let test_reinsertion_survives () =
+  let alloc, o = fresh () in
+  let root = Link.make Link.Null in
+  O.with_guard o (fun g ->
+      let p = O.alloc_node g (mk 9) in
+      O.store g root (O.Ptr.state p);
+      let q = O.ptr g in
+      O.load g root q;
+      O.store g root Link.Null;
+      O.store g root (O.Ptr.state q));
+  (match Link.target (Link.get root) with
+  | Some n ->
+      check_bool "alive after reinsertion" false (Memdom.Hdr.is_freed n.hdr);
+      check_int "value intact" 9 (read_value n)
+  | None -> Alcotest.fail "root lost node");
+  O.with_guard o (fun g -> O.store g root Link.Null);
+  O.flush o;
+  check_int "no leak" 0 (Memdom.Alloc.live alloc)
+
+let test_long_chain_cascade_iterative () =
+  let alloc, o = fresh () in
+  let n = 50_000 in
+  let root = Link.make Link.Null in
+  O.with_guard o (fun g ->
+      let p = O.ptr g and q = O.ptr g in
+      for i = 1 to n do
+        O.load g root q;
+        let node = O.alloc_node_into g p (mk i) in
+        (match O.Ptr.state q with
+        | Link.Null -> ()
+        | st -> O.store g node.next st);
+        O.store g root (Link.Ptr node)
+      done);
+  check_int "chain allocated" n (Memdom.Alloc.live alloc);
+  O.with_guard o (fun g -> O.store g root Link.Null);
+  O.flush o;
+  check_int "entire chain reclaimed, no stack overflow" 0
+    (Memdom.Alloc.live alloc)
+
+let test_concurrent_stress () =
+  let alloc, o = fresh () in
+  let nslots = 8 in
+  let roots = Array.init nslots (fun _ -> Link.make Link.Null) in
+  run_domains_exn 4 (fun ~i ~tid:_ ->
+      let rng = Rng.create ((i + 1) * 104729) in
+      for k = 1 to 2_500 do
+        let root = roots.(Rng.int rng nslots) in
+        O.with_guard o (fun g ->
+            match Rng.int rng 4 with
+            | 0 ->
+                let p = O.alloc_node g (mk k) in
+                O.store g root (O.Ptr.state p)
+            | 1 -> O.store g root Link.Null
+            | 2 ->
+                let q = O.ptr g in
+                O.load g root q;
+                let p = O.alloc_node g (mk k) in
+                ignore
+                  (O.cas g root ~expected:(O.Ptr.state q)
+                     ~desired:(O.Ptr.state p))
+            | _ ->
+                let q = O.ptr g in
+                O.load g root q;
+                (match O.Ptr.node q with
+                | Some n -> ignore (read_value n)
+                | None -> ()))
+      done);
+  O.with_guard o (fun g ->
+      Array.iter (fun r -> O.store g r Link.Null) roots);
+  O.flush o;
+  check_int "no leak after stress" 0 (Memdom.Alloc.live alloc);
+  check_int "nothing pending" 0 (O.unreclaimed o)
+
+let suite =
+  [
+    ( "orc-hp",
+      [
+        Alcotest.test_case "root link keeps alive" `Quick
+          test_root_link_keeps_alive;
+        Alcotest.test_case "local ref pins" `Quick test_local_ref_pins;
+        Alcotest.test_case "reinsertion survives" `Quick
+          test_reinsertion_survives;
+        Alcotest.test_case "long chain cascade (iterative)" `Slow
+          test_long_chain_cascade_iterative;
+        Alcotest.test_case "concurrent stress, no UAF, no leak" `Slow
+          test_concurrent_stress;
+      ] );
+  ]

@@ -1,0 +1,303 @@
+(* Scheme-generic tests: every manual scheme (baselines and PTP) must
+   satisfy the same protect/retire contract, checked against the memdom
+   substrate.  The same functor runs over HP, PTB, EBR, HE and PTP. *)
+
+open Util
+open Atomicx
+
+type tnode = { hdr : Memdom.Hdr.t; mutable value : int }
+
+module TN = struct
+  type t = tnode
+
+  let hdr n = n.hdr
+end
+
+module Hp = Reclaim.Hp.Make (TN)
+module Ptb = Reclaim.Ptb.Make (TN)
+module Ebr = Reclaim.Ebr.Make (TN)
+module He = Reclaim.He.Make (TN)
+module Ibr = Reclaim.Ibr.Make (TN)
+module Ptp = Orc_core.Ptp.Make (TN)
+module Leak = Reclaim.None_scheme.Leak (TN)
+module Unsafe = Reclaim.None_scheme.Unsafe (TN)
+
+let read_value n =
+  Memdom.Hdr.check_access n.hdr;
+  n.value
+
+module Generic (S : Reclaim.Scheme_intf.S with type node = tnode) = struct
+  let fresh () =
+    let alloc = Memdom.Alloc.create (S.name ^ "-test") in
+    (alloc, S.create ~max_hps:4 alloc)
+
+  let mk alloc v = { hdr = Memdom.Alloc.hdr alloc (); value = v }
+
+  (* A protected node survives retirement; clearing releases it. *)
+  let test_protect_blocks_reclaim () =
+    let alloc, s = fresh () in
+    let tid = Registry.tid () in
+    S.begin_op s ~tid;
+    let n = mk alloc 7 in
+    let link = Link.make (Link.Ptr n) in
+    let st = S.get_protected s ~tid ~idx:0 link in
+    (match Link.target st with
+    | Some m -> check_bool "protected target" true (m == n)
+    | None -> Alcotest.fail "lost target");
+    Link.set link Link.Null;
+    S.retire s ~tid n;
+    S.flush s;
+    check_bool "still alive while protected" false (Memdom.Hdr.is_freed n.hdr);
+    check_int "still readable" 7 (read_value n);
+    S.end_op s ~tid;
+    S.flush s;
+    check_bool "freed after clear" true (Memdom.Hdr.is_freed n.hdr);
+    check_int "no leak" 0 (Memdom.Alloc.live alloc);
+    check_int "nothing pending" 0 (S.unreclaimed s)
+
+  (* Unprotected retirement reclaims everything eventually. *)
+  let test_churn_reclaims_all () =
+    let alloc, s = fresh () in
+    let tid = Registry.tid () in
+    for i = 1 to 2_000 do
+      S.begin_op s ~tid;
+      let n = mk alloc i in
+      let link = Link.make (Link.Ptr n) in
+      ignore (S.get_protected s ~tid ~idx:0 link);
+      Link.set link Link.Null;
+      S.end_op s ~tid;
+      S.retire s ~tid n
+    done;
+    S.flush s;
+    check_int "all reclaimed" 0 (Memdom.Alloc.live alloc);
+    check_int "nothing pending" 0 (S.unreclaimed s)
+
+  (* get_protected must chase a moving link until it validates. *)
+  let test_get_protected_validates () =
+    let alloc, s = fresh () in
+    let tid = Registry.tid () in
+    S.begin_op s ~tid;
+    let a = mk alloc 1 and b = mk alloc 2 in
+    let link = Link.make (Link.Ptr a) in
+    Link.set link (Link.Ptr b);
+    let st = S.get_protected s ~tid ~idx:0 link in
+    (match Link.target st with
+    | Some m -> check_int "sees latest" 2 (read_value m)
+    | None -> Alcotest.fail "null");
+    S.end_op s ~tid;
+    Memdom.Alloc.free alloc a.hdr;
+    Memdom.Alloc.free alloc b.hdr
+
+  (* Concurrent stress: writers replace-and-retire nodes in a shared
+     table while readers traverse them under protection.  Any premature
+     free raises Use_after_free out of a worker and fails the test. *)
+  let test_concurrent_stress () =
+    let alloc, s = fresh () in
+    let nslots = 16 in
+    let iters = 3_000 in
+    let table =
+      Array.init nslots (fun i -> Link.make (Link.Ptr (mk alloc i)))
+    in
+    run_domains_exn 4 (fun ~i ~tid ->
+        let rng = Rng.create (i * 7919) in
+        for k = 1 to iters do
+          let slot = table.(Rng.int rng nslots) in
+          S.begin_op s ~tid;
+          if i land 1 = 0 then begin
+            (* writer: swap in a fresh node, retire the old one *)
+            let n = mk alloc k in
+            S.protect_raw s ~tid ~idx:0 (Some n);
+            let old = Link.exchange slot (Link.Ptr n) in
+            S.end_op s ~tid;
+            match Link.target old with
+            | Some o -> S.retire s ~tid o
+            | None -> ()
+          end
+          else begin
+            (* reader: protect, then dereference *)
+            let st = S.get_protected s ~tid ~idx:0 slot in
+            (match Link.target st with
+            | Some n -> ignore (read_value n)
+            | None -> ());
+            S.end_op s ~tid
+          end
+        done);
+    (* quiesce: drop the table and drain *)
+    Array.iter
+      (fun slot ->
+        match Link.target (Link.exchange slot Link.Null) with
+        | Some n -> S.retire s ~tid:(Registry.tid ()) n
+        | None -> ())
+      table;
+    S.flush s;
+    check_int "no leak after stress" 0 (Memdom.Alloc.live alloc);
+    check_int "nothing pending" 0 (S.unreclaimed s)
+
+  let cases =
+    [
+      Alcotest.test_case
+        (S.name ^ ": protect blocks reclamation")
+        `Quick test_protect_blocks_reclaim;
+      Alcotest.test_case
+        (S.name ^ ": churn reclaims all")
+        `Quick test_churn_reclaims_all;
+      Alcotest.test_case
+        (S.name ^ ": get_protected validates")
+        `Quick test_get_protected_validates;
+      Alcotest.test_case
+        (S.name ^ ": concurrent stress, no UAF, no leak")
+        `Slow test_concurrent_stress;
+    ]
+end
+
+module Gen_hp = Generic (Hp)
+module Gen_ptb = Generic (Ptb)
+module Gen_ebr = Generic (Ebr)
+module Gen_he = Generic (He)
+module Gen_ibr = Generic (Ibr)
+module Gen_ptp = Generic (Ptp)
+
+(* The Unsafe control frees at retire: proves the substrate detects the
+   use-after-free the real schemes must prevent. *)
+let test_unsafe_detected () =
+  let alloc = Memdom.Alloc.create "unsafe-test" in
+  let s = Unsafe.create alloc in
+  let tid = Registry.tid () in
+  let n = { hdr = Memdom.Alloc.hdr alloc (); value = 1 } in
+  let link = Link.make (Link.Ptr n) in
+  ignore (Unsafe.get_protected s ~tid ~idx:0 link);
+  Link.set link Link.Null;
+  Unsafe.retire s ~tid n;
+  (match read_value n with
+  | _ -> Alcotest.fail "use-after-free not detected"
+  | exception Memdom.Hdr.Use_after_free _ -> ());
+  Unsafe.end_op s ~tid
+
+(* The Leak control never frees until flushed. *)
+let test_leak_defers_everything () =
+  let alloc = Memdom.Alloc.create "leak-test" in
+  let s = Leak.create alloc in
+  let tid = Registry.tid () in
+  for i = 1 to 100 do
+    let n = { hdr = Memdom.Alloc.hdr alloc (); value = i } in
+    Leak.retire s ~tid n
+  done;
+  check_int "everything pending" 100 (Leak.unreclaimed s);
+  check_int "nothing freed" 100 (Memdom.Alloc.live alloc);
+  Leak.flush s;
+  check_int "flush reclaims" 0 (Memdom.Alloc.live alloc)
+
+(* PTP-specific: the linear bound of §3.1.  With all hazard slots empty,
+   retire must free immediately (no retired list); with k protected
+   objects, at most t*(H+1) can ever be pending. *)
+let test_ptp_immediate_free_when_unprotected () =
+  let alloc = Memdom.Alloc.create "ptp-test" in
+  let s = Ptp.create ~max_hps:4 alloc in
+  let tid = Registry.tid () in
+  let n = { hdr = Memdom.Alloc.hdr alloc (); value = 1 } in
+  Ptp.retire s ~tid n;
+  (* no scan threshold, no retired list: freed on the spot *)
+  check_bool "freed immediately" true (Memdom.Hdr.is_freed n.hdr);
+  check_int "live" 0 (Memdom.Alloc.live alloc)
+
+let test_ptp_handover_parks_then_clear_frees () =
+  let alloc = Memdom.Alloc.create "ptp-test" in
+  let s = Ptp.create ~max_hps:4 alloc in
+  let tid = Registry.tid () in
+  let n = { hdr = Memdom.Alloc.hdr alloc (); value = 1 } in
+  let link = Link.make (Link.Ptr n) in
+  ignore (Ptp.get_protected s ~tid ~idx:2 link);
+  Link.set link Link.Null;
+  Ptp.retire s ~tid n;
+  (* parked in our handover slot, not freed *)
+  check_bool "parked, not freed" false (Memdom.Hdr.is_freed n.hdr);
+  check_int "one pending" 1 (Ptp.unreclaimed s);
+  Ptp.clear s ~tid ~idx:2;
+  check_bool "freed on clear" true (Memdom.Hdr.is_freed n.hdr);
+  check_int "none pending" 0 (Ptp.unreclaimed s)
+
+let test_ptp_linear_bound_under_stress () =
+  let alloc = Memdom.Alloc.create "ptp-bound" in
+  let hps = 4 in
+  let s = Ptp.create ~max_hps:hps alloc in
+  let nslots = 8 in
+  let table =
+    Array.init nslots (fun i ->
+        Link.make (Link.Ptr { hdr = Memdom.Alloc.hdr alloc (); value = i }))
+  in
+  let workers = 4 in
+  let stop = Atomic.make false in
+  let max_seen = Atomic.make 0 in
+  let watcher =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          let u = Ptp.unreclaimed s in
+          let rec bump () =
+            let m = Atomic.get max_seen in
+            if u > m && not (Atomic.compare_and_set max_seen m u) then bump ()
+          in
+          bump ();
+          Domain.cpu_relax ()
+        done)
+  in
+  run_domains_exn workers (fun ~i ~tid ->
+      let rng = Rng.create (i * 31337) in
+      for k = 1 to 4_000 do
+        let slot = table.(Rng.int rng nslots) in
+        if i land 1 = 0 then begin
+          let n = { hdr = Memdom.Alloc.hdr alloc (); value = k } in
+          match Link.target (Link.exchange slot (Link.Ptr n)) with
+          | Some o -> Ptp.retire s ~tid o
+          | None -> ()
+        end
+        else begin
+          let idx = Rng.int rng hps in
+          ignore (Ptp.get_protected s ~tid ~idx slot);
+          if Rng.bool rng then Ptp.clear s ~tid ~idx
+        end;
+        Ptp.end_op s ~tid
+      done);
+  Atomic.set stop true;
+  Domain.join watcher;
+  (* linear bound: t*(H+1), with t = workers + watcher + main slack;
+     use the registry-wide worst case to be conservative *)
+  let bound = (workers + 2) * (hps + 1) in
+  check_bool
+    (Printf.sprintf "max pending %d <= linear bound %d"
+       (Atomic.get max_seen) bound)
+    true
+    (Atomic.get max_seen <= bound);
+  Array.iter
+    (fun slot ->
+      match Link.target (Link.exchange slot Link.Null) with
+      | Some n -> Ptp.retire s ~tid:(Registry.tid ()) n
+      | None -> ())
+    table;
+  Ptp.flush s;
+  check_int "no leak" 0 (Memdom.Alloc.live alloc)
+
+let suite =
+  [
+    ("scheme:hp", Gen_hp.cases);
+    ("scheme:ptb", Gen_ptb.cases);
+    ("scheme:ebr", Gen_ebr.cases);
+    ("scheme:he", Gen_he.cases);
+    ("scheme:ibr", Gen_ibr.cases);
+    ("scheme:ptp", Gen_ptp.cases);
+    ( "scheme:controls",
+      [
+        Alcotest.test_case "unsafe control is detected" `Quick
+          test_unsafe_detected;
+        Alcotest.test_case "leak control defers everything" `Quick
+          test_leak_defers_everything;
+      ] );
+    ( "ptp:bounds",
+      [
+        Alcotest.test_case "unprotected retire frees immediately" `Quick
+          test_ptp_immediate_free_when_unprotected;
+        Alcotest.test_case "handover parks until clear" `Quick
+          test_ptp_handover_parks_then_clear_frees;
+        Alcotest.test_case "linear bound under stress" `Slow
+          test_ptp_linear_bound_under_stress;
+      ] );
+  ]

@@ -1,0 +1,86 @@
+(* Skip-list tests: the shared set battery over HS-skip and CRF-skip,
+   plus the paper's §5 claims: CRF isolates removed nodes (poison) while
+   HS keeps them traversable, and CRF's footprint after heavy removal is
+   dramatically smaller. *)
+
+open Util
+open Set_battery
+
+module Hs = Ds.Orc_hs_skiplist.Make ()
+module Crf = Ds.Orc_crf_skiplist.Make ()
+
+module B_hs = Battery (struct let name = "hs-skip" end) (Hs)
+module B_crf = Battery (struct let name = "crf-skip" end) (Crf)
+
+(* Sequential sanity over a large key range (multi-level towers). *)
+let test_tall_towers () =
+  let s = Crf.create () in
+  let n = 3_000 in
+  for i = 0 to n - 1 do
+    ignore (Crf.add s ((i * 37) mod 10_007))
+  done;
+  let l = Crf.to_list s in
+  check_bool "sorted" true (List.sort_uniq compare l = l);
+  List.iter (fun k -> check_bool "present" true (Crf.contains s k)) l;
+  List.iter (fun k -> check_bool "removed" true (Crf.remove s k)) l;
+  check_int "empty" 0 (Crf.size s);
+  Crf.destroy s;
+  Crf.flush s;
+  check_int "no leak" 0 (Memdom.Alloc.live (Crf.alloc s))
+
+(* CRF's whole point: after removing everything, live memory collapses to
+   the sentinels, while the operations raced concurrently. *)
+let test_crf_footprint_after_removal () =
+  let s = Crf.create () in
+  run_domains_exn 4 (fun ~i ~tid:_ ->
+      let rng = Atomicx.Rng.create ((i + 1) * 911) in
+      for _ = 1 to 2_000 do
+        let k = 1 + Atomicx.Rng.int rng 64 in
+        if Atomicx.Rng.bool rng then ignore (Crf.add s k)
+        else ignore (Crf.remove s k)
+      done);
+  (* quiesced: stale protections are gone, so live = sentinels + set *)
+  Crf.flush s;
+  let live = Memdom.Alloc.live (Crf.alloc s) in
+  let expected = Crf.size s + 2 in
+  check_int "live = reachable after quiesce" expected live;
+  Crf.destroy s;
+  Crf.flush s;
+  check_int "no leak" 0 (Memdom.Alloc.live (Crf.alloc s))
+
+(* HS keeps removed nodes traversable: a contains racing a remove must
+   never raise and never restart (it has no restart path). *)
+let test_hs_lookup_during_removal () =
+  let s = Hs.create () in
+  for k = 1 to 100 do
+    ignore (Hs.add s k)
+  done;
+  run_domains_exn 2 (fun ~i ~tid:_ ->
+      if i = 0 then
+        for k = 1 to 100 do
+          ignore (Hs.remove s k);
+          ignore (Hs.add s k)
+        done
+      else
+        for _ = 1 to 10 do
+          for k = 1 to 100 do
+            ignore (Hs.contains s k)
+          done
+        done);
+  Hs.destroy s;
+  Hs.flush s;
+  check_int "no leak" 0 (Memdom.Alloc.live (Hs.alloc s))
+
+let suite =
+  [
+    ("skiplist:hs", B_hs.cases);
+    ("skiplist:crf", B_crf.cases);
+    ( "skiplist:specific",
+      [
+        Alcotest.test_case "tall towers sequential" `Slow test_tall_towers;
+        Alcotest.test_case "crf footprint collapses after removal" `Slow
+          test_crf_footprint_after_removal;
+        Alcotest.test_case "hs lookup during removal" `Slow
+          test_hs_lookup_during_removal;
+      ] );
+  ]

@@ -1,0 +1,32 @@
+(* Shared helpers for the test suites. *)
+
+open Atomicx
+
+(* Run [f ~i ~tid] on [n] domains, all released from a barrier at the
+   same instant, and return their results in spawn order. *)
+let run_domains n f =
+  let barrier = Barrier.create n in
+  let doms =
+    List.init n (fun i ->
+        Domain.spawn (fun () ->
+            Registry.with_tid (fun tid ->
+                Barrier.wait barrier;
+                f ~i ~tid)))
+  in
+  List.map Domain.join doms
+
+(* Same, but ignore results and re-raise the first worker exception. *)
+let run_domains_exn n f =
+  let results =
+    run_domains n (fun ~i ~tid ->
+        match f ~i ~tid with
+        | () -> Ok ()
+        | exception e -> Error e)
+  in
+  List.iter (function Ok () -> () | Error e -> raise e) results
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
