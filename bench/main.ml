@@ -87,6 +87,7 @@ let run_micro () =
   let cfg =
     Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 100) ()
   in
+  let rows = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg [ instance ] test in
@@ -94,10 +95,13 @@ let run_micro () =
       Hashtbl.iter
         (fun name ols_result ->
           match Analyze.OLS.estimates ols_result with
-          | Some (est :: _) -> Format.printf "  %-28s %10.1f ns/op@." name est
+          | Some (est :: _) ->
+              Format.printf "  %-28s %10.1f ns/op@." name est;
+              rows := (name, est) :: !rows
           | Some [] | None -> Format.printf "  %-28s (no estimate)@." name)
         results)
-    (micro_tests ())
+    (micro_tests ());
+  List.rev !rows
 
 (* ------------------------------------------------------------------ *)
 
@@ -106,6 +110,17 @@ let print_mix_tables title tables =
     (fun (mix, series) ->
       Harness.Report.print_table ~title:(title ^ " / " ^ mix) series)
     tables
+
+(* `--json` additionally writes every result to BENCH_orc.json so CI (or
+   the next PR) can diff throughput and peak-unreclaimed mechanically
+   instead of scraping the tables above. *)
+let json_out =
+  if Array.exists (( = ) "--json") Sys.argv then Some "BENCH_orc.json"
+  else None
+
+let mixes_json tables =
+  Harness.Json.Obj
+    (List.map (fun (mix, series) -> (mix, Harness.Json.of_series series)) tables)
 
 let () =
   let open Harness in
@@ -119,15 +134,16 @@ let () =
     ~unit_label:"x vs ms-hp"
     (Report.normalize ~base_label:"ms-hp" fig1);
 
-  print_mix_tables "Fig 3/4: Michael-Harris list, schemes"
-    (Experiments.fig3_list_schemes params);
+  let fig3 = Experiments.fig3_list_schemes params in
+  print_mix_tables "Fig 3/4: Michael-Harris list, schemes" fig3;
 
-  print_mix_tables "Fig 5/6: lists with OrcGC"
-    (Experiments.fig5_orc_lists params);
+  let fig5 = Experiments.fig5_orc_lists params in
+  print_mix_tables "Fig 5/6: lists with OrcGC" fig5;
 
-  print_mix_tables "Fig 7/8: tree and skip lists"
-    (Experiments.fig7_trees params);
+  let fig7 = Experiments.fig7_trees params in
+  print_mix_tables "Fig 7/8: tree and skip lists" fig7;
 
+  let table1 = Experiments.table1_bounds params in
   Format.printf "@.== Table 1 (measured): peak unreclaimed objects ==@.";
   Format.printf "  %-10s %8s %6s %16s %12s %12s@." "scheme" "threads" "H"
     "peak-unreclaimed" "bound" "bound-value";
@@ -137,7 +153,7 @@ let () =
         r.Experiments.b_scheme r.b_threads r.b_hps r.b_max_unreclaimed
         r.b_bound
         (if r.b_bound_value < 0 then "-" else string_of_int r.b_bound_value))
-    (Experiments.table1_bounds params);
+    table1;
 
   Format.printf "@.== Memory footprint: HS-skip vs CRF-skip (5) ==@.";
   Format.printf "  %-12s %12s %12s %12s %14s %14s@." "structure" "peak-live"
@@ -161,13 +177,68 @@ let () =
   Report.print_table ~title:"Extension: Michael hash table (write-heavy)"
     (Experiments.ext_hashmap params);
 
+  let backend = Experiments.ablation_backend params in
   Format.printf "@.== Ablation: OrcGC protection backend (4) ==@.";
   List.iter
     (fun r ->
       Format.printf "  %-10s %8.3f Mops/s   peak-unreclaimed=%d@."
-        r.Harness.Experiments.k_backend r.k_mops r.k_peak_unreclaimed)
-    (Harness.Experiments.ablation_backend params);
+        r.Experiments.k_backend r.k_mops r.k_peak_unreclaimed)
+    backend;
 
+  let micro = run_micro () in
 
-  run_micro ();
+  (match json_out with
+  | None -> ()
+  | Some path ->
+      let j =
+        Json.Obj
+          [
+            ( "params",
+              Json.Obj
+                [
+                  ( "threads",
+                    Json.List (List.map (fun t -> Json.Int t) params.threads)
+                  );
+                  ("duration_s", Json.Float params.duration);
+                  ("list_keys", Json.Int params.list_keys);
+                  ("big_keys", Json.Int params.big_keys);
+                ] );
+            ("unit", Json.Str "Mops/s unless stated");
+            ("fig1_queues", Json.of_series fig1);
+            ("fig3_list_schemes", mixes_json fig3);
+            ("fig5_orc_lists", mixes_json fig5);
+            ("fig7_trees", mixes_json fig7);
+            ( "table1_bounds",
+              Json.List
+                (List.map
+                   (fun r ->
+                     Json.Obj
+                       [
+                         ("scheme", Json.Str r.Experiments.b_scheme);
+                         ("threads", Json.Int r.b_threads);
+                         ("hps", Json.Int r.b_hps);
+                         ("peak_unreclaimed", Json.Int r.b_max_unreclaimed);
+                         ("bound", Json.Str r.b_bound);
+                         ( "bound_value",
+                           if r.b_bound_value < 0 then Json.Null
+                           else Json.Int r.b_bound_value );
+                       ])
+                   table1) );
+            ( "ablation_backend",
+              Json.List
+                (List.map
+                   (fun r ->
+                     Json.Obj
+                       [
+                         ("backend", Json.Str r.Experiments.k_backend);
+                         ("mops", Json.Float r.k_mops);
+                         ("peak_unreclaimed", Json.Int r.k_peak_unreclaimed);
+                       ])
+                   backend) );
+            ( "micro_ns_per_op",
+              Json.Obj (List.map (fun (n, e) -> (n, Json.Float e)) micro) );
+          ]
+      in
+      Json.to_file path j;
+      Format.printf "@.wrote %s@." path);
   Format.printf "@.done.@."

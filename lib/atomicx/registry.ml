@@ -53,3 +53,12 @@ let active () =
   !n
 
 let high_water () = Atomic.get watermark
+let registered = high_water
+
+let reserve n =
+  if n < 0 || n > max_threads then invalid_arg "Registry.reserve";
+  let rec bump () =
+    let w = Atomic.get watermark in
+    if w < n && not (Atomic.compare_and_set watermark w n) then bump ()
+  in
+  bump ()

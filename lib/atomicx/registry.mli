@@ -33,3 +33,19 @@ val high_water : unit -> int
 (** [1 + highest tid ever handed out] — helper scans (e.g. the
     Kogan–Petrank state array) iterate to this instead of
     [max_threads]. *)
+
+val registered : unit -> int
+(** Synonym of {!high_water}, under the name the reclamation schemes
+    use: the monotonic registered-thread bound.  Every per-thread slot
+    ever written belongs to a tid in [\[0, registered ())] — slots are
+    recycled but the mark never decreases — so hazard and handover scans
+    bounded by it see every live protection while skipping the
+    [max_threads - registered ()] slots no thread ever touched. *)
+
+val reserve : int -> unit
+(** [reserve n]: raise the high-water mark so tids [< n] fall inside
+    every scan bounded by {!registered}.  For whitebox tests that stage
+    other threads' slots directly (explicit [~tid] without acquiring a
+    slot); never needed in normal use, where ids come from {!tid}.
+    Raises [Invalid_argument] if [n] is negative or exceeds
+    {!max_threads}. *)

@@ -1,0 +1,14 @@
+type t = int Atomic.t array
+
+let create () = Padded.atomic_array Registry.max_threads 0
+let add t ~tid d = ignore (Atomic.fetch_and_add t.(tid) d)
+let incr t ~tid = add t ~tid 1
+let fetch_incr t ~tid = Atomic.fetch_and_add t.(tid) 1
+
+let get t =
+  let n = Registry.registered () in
+  let sum = ref 0 in
+  for i = 0 to n - 1 do
+    sum := !sum + Atomic.get t.(i)
+  done;
+  !sum

@@ -1,0 +1,36 @@
+(** Sharded counters: one padded cell per registry slot, aggregated on
+    read.
+
+    The reclamation hot paths bump observability counters (pending
+    retires, allocation totals, …) on every operation; a single shared
+    [Atomic.t] puts every thread's fetch-and-add on one cache line and
+    serializes exactly the paths the benchmarks measure.  A [Shard.t]
+    gives each registered thread its own cache-line-spaced cell —
+    updates are uncontended — and {!get} folds the cells of the
+    [\[0, Registry.registered ())] slots.
+
+    A read concurrent with updates is not a linearizable snapshot: it
+    can miss or double-see at most one in-flight delta per active
+    thread, i.e. it is exact to within O(threads) — see DESIGN.md on why
+    this preserves the paper's Table-1 bound measurements. *)
+
+type t
+
+val create : unit -> t
+(** All cells zero; sized to [Registry.max_threads]. *)
+
+val add : t -> tid:int -> int -> unit
+(** Add a (possibly negative) delta to the caller's cell.  [tid] must be
+    a registry id; any registered thread may carry any delta — only the
+    total is meaningful. *)
+
+val incr : t -> tid:int -> unit
+
+val fetch_incr : t -> tid:int -> int
+(** Increment the caller's cell and return its previous value — a
+    per-thread monotone ticket (combine with [tid] for a process-unique
+    id without a shared counter). *)
+
+val get : t -> int
+(** Sum over the registered slots (monotonic {!Registry.registered}
+    bound, so no cell ever written is skipped). *)

@@ -59,6 +59,7 @@ module Make (N : NODE) = struct
     hp : node option Atomic.t array; (* published hazardous pointers *)
     handovers : node option Atomic.t array;
     used_haz : int array; (* orc_ptr share counts; owner-thread only *)
+    free_idx : Bitmask.t; (* taken hazard indexes; owner-thread only *)
     mutable retire_started : bool;
     recursive : node Queue.t;
   }
@@ -67,14 +68,22 @@ module Make (N : NODE) = struct
     alloc : Memdom.Alloc.t;
     tl : tl_info array;
     watermark : int Atomic.t; (* 1 + highest hazard index ever used *)
-    pending : int Atomic.t; (* BRETIRED-marked objects not yet freed *)
-    (* observability counters (monotonic) *)
-    n_retires : int Atomic.t; (* objects that entered the retired state *)
-    n_handovers : int Atomic.t; (* tryHandover successes *)
-    n_cascades : int Atomic.t; (* destructor-triggered recursive retires *)
+    pending : Shard.t; (* BRETIRED-marked objects not yet freed *)
+    (* observability counters (monotonic, per-thread sharded) *)
+    n_retires : Shard.t; (* objects that entered the retired state *)
+    n_handovers : Shard.t; (* tryHandover successes *)
+    n_cascades : Shard.t; (* destructor-triggered recursive retires *)
+    n_scans : Shard.t; (* tryHandover invocations *)
+    n_scan_slots : Shard.t; (* hazard slots visited by those scans *)
   }
 
-  type stats = { retires : int; handovers : int; cascades : int }
+  type stats = {
+    retires : int;
+    handovers : int;
+    cascades : int;
+    scans : int;
+    scan_slots : int;
+  }
 
   type guard = { t : t; tid : int; mutable ptrs : ptr list }
   and ptr = { mutable st : node Link.state; mutable idx : int }
@@ -83,10 +92,14 @@ module Make (N : NODE) = struct
 
   let create ?max_hps:_ alloc =
     let mk_tl _ =
+      let free_idx = Bitmask.create max_haz in
+      (* slot 0 is the permanently-reserved scratch hazard *)
+      ignore (Bitmask.acquire free_idx ~from:0);
       {
         hp = Padded.atomic_array max_haz None;
         handovers = Padded.atomic_array max_haz None;
         used_haz = Array.make max_haz 0;
+        free_idx;
         retire_started = false;
         recursive = Queue.create ();
       }
@@ -95,52 +108,64 @@ module Make (N : NODE) = struct
       alloc;
       tl = Array.init Registry.max_threads mk_tl;
       watermark = Atomic.make 1;
-      pending = Atomic.make 0;
-      n_retires = Atomic.make 0;
-      n_handovers = Atomic.make 0;
-      n_cascades = Atomic.make 0;
+      pending = Shard.create ();
+      n_retires = Shard.create ();
+      n_handovers = Shard.create ();
+      n_cascades = Shard.create ();
+      n_scans = Shard.create ();
+      n_scan_slots = Shard.create ();
     }
 
   let alloc_ctx t = t.alloc
   let orc_word n = (N.hdr n).Memdom.Hdr.orc
-  let unreclaimed t = Atomic.get t.pending
+  let unreclaimed t = Shard.get t.pending
+  let hazard_watermark t = Atomic.get t.watermark
 
   let stats t =
     {
-      retires = Atomic.get t.n_retires;
-      handovers = Atomic.get t.n_handovers;
-      cascades = Atomic.get t.n_cascades;
+      retires = Shard.get t.n_retires;
+      handovers = Shard.get t.n_handovers;
+      cascades = Shard.get t.n_cascades;
+      scans = Shard.get t.n_scans;
+      scan_slots = Shard.get t.n_scan_slots;
     }
 
-  let note_retired t n =
+  let note_retired t ~tid n =
     Memdom.Hdr.mark_retired (N.hdr n);
-    ignore (Atomic.fetch_and_add t.pending 1);
-    ignore (Atomic.fetch_and_add t.n_retires 1)
+    Shard.incr t.pending ~tid;
+    Shard.incr t.n_retires ~tid
 
-  let note_unretired t n =
+  let note_unretired t ~tid n =
     Memdom.Hdr.unretire (N.hdr n);
-    ignore (Atomic.fetch_and_add t.pending (-1))
+    Shard.add t.pending ~tid (-1)
 
   (* {2 Retire (Algorithm 5) and its helpers (Algorithm 6)} *)
 
   (* Scan every published hazardous pointer for [p]; on a match, swap [p]
-     into the paired handover slot and return the evictee. *)
-  let try_handover t p =
+     into the paired handover slot and return the evictee.  The scan
+     covers [registered () * watermark] slots — threads that never
+     registered cannot hold a protection, so their rows are skipped. *)
+  let try_handover t ~tid p =
     let wm = Atomic.get t.watermark in
+    let nreg = Registry.registered () in
+    let visited = ref 0 in
     let result = ref None in
     (try
-       for it = 0 to Registry.max_threads - 1 do
+       for it = 0 to nreg - 1 do
          let tl = t.tl.(it) in
          for idx = 0 to wm - 1 do
+           incr visited;
            match Atomic.get tl.hp.(idx) with
            | Some m when m == p ->
                result := Some (Atomic.exchange tl.handovers.(idx) (Some p));
-               ignore (Atomic.fetch_and_add t.n_handovers 1);
+               Shard.incr t.n_handovers ~tid;
                raise_notrace Exit
            | Some _ | None -> ()
          done
        done
      with Exit -> ());
+    Shard.incr t.n_scans ~tid;
+    Shard.add t.n_scan_slots ~tid !visited;
     !result
 
   (* clearBitRetired (Algorithm 6 lines 147–158): give up BRETIRED
@@ -150,12 +175,12 @@ module Make (N : NODE) = struct
     let tl = t.tl.(tid) in
     Atomic.set tl.hp.(0) (Some p);
     let lorc = Atomic.fetch_and_add (orc_word p) (-bretired) - bretired in
-    note_unretired t p;
+    note_unretired t ~tid p;
     if
       ocnt lorc = orc_zero
       && Atomic.compare_and_set (orc_word p) lorc (lorc + bretired)
     then begin
-      note_retired t p;
+      note_retired t ~tid p;
       Atomic.set tl.hp.(0) None;
       lorc + bretired
     end
@@ -171,7 +196,7 @@ module Make (N : NODE) = struct
         let st = Link.exchange l Link.Null in
         match Link.target st with Some child -> dec t ~tid child | None -> ());
     Memdom.Alloc.free t.alloc (N.hdr p);
-    ignore (Atomic.fetch_and_add t.pending (-1))
+    Shard.add t.pending ~tid (-1)
 
   (* retire (Algorithm 5 lines 92–118).  Precondition: the caller owns
      [p]'s BRETIRED bit.  Reentrant calls (from the destructor's [dec])
@@ -180,7 +205,7 @@ module Make (N : NODE) = struct
   and retire t ~tid p =
     let tl = t.tl.(tid) in
     if tl.retire_started then begin
-      ignore (Atomic.fetch_and_add t.n_cascades 1);
+      Shard.incr t.n_cascades ~tid;
       Queue.add p tl.recursive
     end
     else begin
@@ -199,7 +224,7 @@ module Make (N : NODE) = struct
                    if l = 0 then raise_notrace Exit;
                    lorc := l
                  end;
-                 (match try_handover t p with
+                 (match try_handover t ~tid p with
                  | Some evictee -> cur := evictee
                  | None ->
                      let lorc2 = Atomic.get (orc_word p) in
@@ -228,7 +253,7 @@ module Make (N : NODE) = struct
     let lorc = Atomic.fetch_and_add (orc_word p) (seq_unit + 1) + seq_unit + 1 in
     if ocnt lorc = orc_zero then
       if Atomic.compare_and_set (orc_word p) lorc (lorc + bretired) then begin
-        note_retired t p;
+        note_retired t ~tid p;
         retire t ~tid p
       end
 
@@ -242,7 +267,7 @@ module Make (N : NODE) = struct
       ocnt lorc = orc_zero
       && Atomic.compare_and_set (orc_word p) lorc (lorc + bretired)
     then begin
-      note_retired t p;
+      note_retired t ~tid p;
       (* Drop the scratch protection before retiring: BRETIRED ownership
          keeps [p] alive inside retire, and a live scratch hazard would
          make the scan hand [p] to ourselves. *)
@@ -257,7 +282,7 @@ module Make (N : NODE) = struct
     let lorc = Atomic.get (orc_word p) in
     if ocnt lorc = orc_zero then
       if Atomic.compare_and_set (orc_word p) lorc (lorc + bretired) then begin
-        note_retired t p;
+        note_retired t ~tid p;
         retire t ~tid p
       end
 
@@ -274,10 +299,9 @@ module Make (N : NODE) = struct
 
   let get_new_idx t ~tid ~start =
     let tl = t.tl.(tid) in
-    let rec scan idx =
-      if idx >= max_haz then raise Out_of_hazard_indexes
-      else if tl.used_haz.(idx) <> 0 then scan (idx + 1)
-      else begin
+    match Bitmask.acquire tl.free_idx ~from:(max 1 start) with
+    | None -> raise Out_of_hazard_indexes
+    | Some idx ->
         tl.used_haz.(idx) <- 1;
         let rec bump () =
           let cur = Atomic.get t.watermark in
@@ -287,9 +311,6 @@ module Make (N : NODE) = struct
         in
         bump ();
         idx
-      end
-    in
-    scan (max 1 start)
 
   let using_idx t ~tid idx =
     if idx <> 0 then t.tl.(tid).used_haz.(idx) <- t.tl.(tid).used_haz.(idx) + 1
@@ -308,6 +329,7 @@ module Make (N : NODE) = struct
       else false
     in
     if released then begin
+      Bitmask.release tl.free_idx idx;
       Atomic.set tl.hp.(idx) None;
       drain_handover t ~tid idx
     end;
@@ -485,12 +507,13 @@ module Make (N : NODE) = struct
   let flush t =
     let tid = Registry.tid () in
     let wm = Atomic.get t.watermark in
-    for it = 0 to Registry.max_threads - 1 do
+    let nreg = Registry.registered () in
+    for it = 0 to nreg - 1 do
       for idx = 0 to wm - 1 do
         Atomic.set t.tl.(it).hp.(idx) None
       done
     done;
-    for it = 0 to Registry.max_threads - 1 do
+    for it = 0 to nreg - 1 do
       for idx = 0 to wm - 1 do
         match Atomic.exchange t.tl.(it).handovers.(idx) None with
         | Some q -> retire t ~tid q

@@ -166,10 +166,22 @@ module Make (N : NODE) : sig
     cascades : int;
         (** destructor-triggered recursive retires drained through the
             recursive list (§4.1) *)
+    scans : int;  (** tryHandover invocations *)
+    scan_slots : int;
+        (** hazard slots visited by those invocations — whitebox check
+            that scan cost is [registered * watermark] per scan, not
+            [Registry.max_threads * watermark] *)
   }
 
   val stats : t -> stats
-  (** Monotonic observability counters, for benchmarks and forensics. *)
+  (** Monotonic observability counters, for benchmarks and forensics.
+      Sharded per thread and aggregated here; a read concurrent with
+      operations is exact to within one in-flight delta per thread. *)
+
+  val hazard_watermark : t -> int
+  (** [1 +] the highest hazard index ever used by any thread — the
+      per-thread width of hazard scans (the H of the O(Ht) bound as
+      actually instantiated). *)
 
   val flush : t -> unit
   (** Quiesced drain for tests and shutdown: unpublish every hazard and

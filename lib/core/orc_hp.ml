@@ -35,6 +35,7 @@ module Make (N : Orc.NODE) = struct
   type tl_info = {
     hp : node option Atomic.t array;
     used_haz : int array;
+    free_idx : Bitmask.t;
     mutable retired : node list;
     mutable retired_count : int;
   }
@@ -44,7 +45,7 @@ module Make (N : Orc.NODE) = struct
     tl : tl_info array;
     watermark : int Atomic.t;
     scan_threshold : int;
-    pending : int Atomic.t;
+    pending : Shard.t;
   }
 
   type guard = { t : t; tid : int; mutable ptrs : ptr list }
@@ -54,9 +55,12 @@ module Make (N : Orc.NODE) = struct
 
   let create ?(max_hps = 8) alloc =
     let mk_tl _ =
+      let free_idx = Bitmask.create max_haz in
+      ignore (Bitmask.acquire free_idx ~from:0) (* scratch slot 0 *);
       {
         hp = Padded.atomic_array max_haz None;
         used_haz = Array.make max_haz 0;
+        free_idx;
         retired = [];
         retired_count = 0;
       }
@@ -66,26 +70,26 @@ module Make (N : Orc.NODE) = struct
       tl = Array.init Registry.max_threads mk_tl;
       watermark = Atomic.make 1;
       scan_threshold = 2 * max_hps * 8;
-      pending = Atomic.make 0;
+      pending = Shard.create ();
     }
 
   let alloc_ctx t = t.alloc
   let orc_word n = (N.hdr n).Memdom.Hdr.orc
-  let unreclaimed t = Atomic.get t.pending
+  let unreclaimed t = Shard.get t.pending
 
-  let note_retired t n =
+  let note_retired t ~tid n =
     Memdom.Hdr.mark_retired (N.hdr n);
-    ignore (Atomic.fetch_and_add t.pending 1)
+    Shard.incr t.pending ~tid
 
-  let note_unretired t n =
+  let note_unretired t ~tid n =
     Memdom.Hdr.unretire (N.hdr n);
-    ignore (Atomic.fetch_and_add t.pending (-1))
+    Shard.add t.pending ~tid (-1)
 
   let protected_by_any t p =
     let wm = Atomic.get t.watermark in
     let found = ref false in
     (try
-       for it = 0 to Registry.max_threads - 1 do
+       for it = 0 to Registry.registered () - 1 do
          let tl = t.tl.(it) in
          for idx = 0 to wm - 1 do
            match Atomic.get tl.hp.(idx) with
@@ -103,12 +107,12 @@ module Make (N : Orc.NODE) = struct
     let tl = t.tl.(tid) in
     Atomic.set tl.hp.(0) (Some p);
     let lorc = Atomic.fetch_and_add (orc_word p) (-bretired) - bretired in
-    note_unretired t p;
+    note_unretired t ~tid p;
     if
       ocnt lorc = orc_zero
       && Atomic.compare_and_set (orc_word p) lorc (lorc + bretired)
     then begin
-      note_retired t p;
+      note_retired t ~tid p;
       Atomic.set tl.hp.(0) None;
       lorc + bretired
     end
@@ -154,13 +158,13 @@ module Make (N : Orc.NODE) = struct
         let st = Link.exchange l Link.Null in
         match Link.target st with Some child -> dec t ~tid child | None -> ());
     Memdom.Alloc.free t.alloc (N.hdr p);
-    ignore (Atomic.fetch_and_add t.pending (-1))
+    Shard.add t.pending ~tid (-1)
 
   and inc t ~tid p =
     let lorc = Atomic.fetch_and_add (orc_word p) (seq_unit + 1) + seq_unit + 1 in
     if ocnt lorc = orc_zero then
       if Atomic.compare_and_set (orc_word p) lorc (lorc + bretired) then begin
-        note_retired t p;
+        note_retired t ~tid p;
         retire t ~tid p
       end
 
@@ -172,7 +176,7 @@ module Make (N : Orc.NODE) = struct
       ocnt lorc = orc_zero
       && Atomic.compare_and_set (orc_word p) lorc (lorc + bretired)
     then begin
-      note_retired t p;
+      note_retired t ~tid p;
       Atomic.set tl.hp.(0) None;
       retire t ~tid p
     end
@@ -182,7 +186,7 @@ module Make (N : Orc.NODE) = struct
     let lorc = Atomic.get (orc_word p) in
     if ocnt lorc = orc_zero then
       if Atomic.compare_and_set (orc_word p) lorc (lorc + bretired) then begin
-        note_retired t p;
+        note_retired t ~tid p;
         retire t ~tid p
       end
 
@@ -191,10 +195,9 @@ module Make (N : Orc.NODE) = struct
 
   let get_new_idx t ~tid ~start =
     let tl = t.tl.(tid) in
-    let rec scan_idx idx =
-      if idx >= max_haz then raise Orc.Out_of_hazard_indexes
-      else if tl.used_haz.(idx) <> 0 then scan_idx (idx + 1)
-      else begin
+    match Bitmask.acquire tl.free_idx ~from:(max 1 start) with
+    | None -> raise Orc.Out_of_hazard_indexes
+    | Some idx ->
         tl.used_haz.(idx) <- 1;
         let rec bump () =
           let cur = Atomic.get t.watermark in
@@ -204,9 +207,6 @@ module Make (N : Orc.NODE) = struct
         in
         bump ();
         idx
-      end
-    in
-    scan_idx (max 1 start)
 
   let using_idx t ~tid idx =
     if idx <> 0 then t.tl.(tid).used_haz.(idx) <- t.tl.(tid).used_haz.(idx) + 1
@@ -220,7 +220,10 @@ module Make (N : Orc.NODE) = struct
       end
       else false
     in
-    if released then Atomic.set tl.hp.(idx) None;
+    if released then begin
+      Bitmask.release tl.free_idx idx;
+      Atomic.set tl.hp.(idx) None
+    end;
     match Link.target st with Some p -> maybe_retire t ~tid p | None -> ()
 
   module Ptr = struct
@@ -362,7 +365,8 @@ module Make (N : Orc.NODE) = struct
   let flush t =
     let tid = Registry.tid () in
     let wm = Atomic.get t.watermark in
-    for it = 0 to Registry.max_threads - 1 do
+    let nreg = Registry.registered () in
+    for it = 0 to nreg - 1 do
       for idx = 0 to wm - 1 do
         Atomic.set t.tl.(it).hp.(idx) None
       done
@@ -375,7 +379,7 @@ module Make (N : Orc.NODE) = struct
          stay flat while real progress happens — track the monotone
          freed counter instead *)
       let freed_before = Memdom.Alloc.freed t.alloc in
-      for it = 0 to Registry.max_threads - 1 do
+      for it = 0 to Registry.registered () - 1 do
         let tl = t.tl.(it) in
         let batch = tl.retired in
         tl.retired <- [];

@@ -36,7 +36,7 @@ module Make (N : Reclaim.Scheme_intf.NODE) :
     hps : int;
     hp : node option Atomic.t array array; (* [tid][idx] *)
     handovers : node option Atomic.t array array; (* [tid][idx] *)
-    pending : int Atomic.t;
+    pending : Shard.t;
   }
 
   let name = "ptp"
@@ -49,7 +49,7 @@ module Make (N : Reclaim.Scheme_intf.NODE) :
       hps = max_hps;
       hp = Array.init Registry.max_threads mk;
       handovers = Array.init Registry.max_threads mk;
-      pending = Atomic.make 0;
+      pending = Shard.create ();
     }
 
   let begin_op _ ~tid:_ = ()
@@ -71,17 +71,19 @@ module Make (N : Reclaim.Scheme_intf.NODE) :
     in
     loop (Link.get link)
 
-  let free_node t n =
+  let free_node t ~tid n =
     Memdom.Alloc.free t.alloc (N.hdr n);
-    ignore (Atomic.fetch_and_add t.pending (-1))
+    Shard.add t.pending ~tid (-1)
 
   (* Algorithm 2, handoverOrDelete: push [n] forward through the hazard
      scan until it is either handed to a protecting thread or proven
      unprotected and deleted. *)
-  let handover_or_delete t n ~start =
+  (* The scan covers the registered rows only: a thread that never
+     registered cannot have published a protection. *)
+  let handover_or_delete t ~tid n ~start =
     let cur = ref (Some n) in
     (try
-       for it = start to Registry.max_threads - 1 do
+       for it = start to Registry.registered () - 1 do
          let idx = ref 0 in
          while !idx < t.hps do
            match !cur with
@@ -103,12 +105,12 @@ module Make (N : Reclaim.Scheme_intf.NODE) :
          done
        done
      with Exit -> ());
-    match !cur with Some p -> free_node t p | None -> ()
+    match !cur with Some p -> free_node t ~tid p | None -> ()
 
-  let retire t ~tid:_ n =
+  let retire t ~tid n =
     Memdom.Hdr.mark_retired (N.hdr n);
-    ignore (Atomic.fetch_and_add t.pending 1);
-    handover_or_delete t n ~start:0
+    Shard.incr t.pending ~tid;
+    handover_or_delete t ~tid n ~start:0
 
   let clear t ~tid ~idx =
     Atomic.set t.hp.(tid).(idx) None;
@@ -117,7 +119,7 @@ module Make (N : Reclaim.Scheme_intf.NODE) :
       | None -> ()
       | Some _ -> (
           match Atomic.exchange t.handovers.(tid).(idx) None with
-          | Some p -> handover_or_delete t p ~start:tid
+          | Some p -> handover_or_delete t ~tid p ~start:tid
           | None -> ())
 
   let end_op t ~tid =
@@ -125,16 +127,17 @@ module Make (N : Reclaim.Scheme_intf.NODE) :
       clear t ~tid ~idx
     done
 
-  let unreclaimed t = Atomic.get t.pending
+  let unreclaimed t = Shard.get t.pending
 
   (* Drain every handover slot; anything still protected simply parks
      again, anything unprotected is freed.  Unlike the other schemes PTP
      has no retired lists, so this is all a drain can mean. *)
   let flush t =
-    for tid = 0 to Registry.max_threads - 1 do
+    let self = Registry.tid () in
+    for tid = 0 to Registry.registered () - 1 do
       for idx = 0 to t.hps - 1 do
         match Atomic.exchange t.handovers.(tid).(idx) None with
-        | Some p -> handover_or_delete t p ~start:0
+        | Some p -> handover_or_delete t ~tid:self p ~start:0
         | None -> ()
       done
     done

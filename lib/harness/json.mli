@@ -1,0 +1,19 @@
+(** Minimal JSON construction and serialization — enough for the bench
+    harness to emit machine-readable results ([BENCH_orc.json]) without
+    pulling a JSON dependency into the tree. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** nan/inf serialize as [null] *)
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+val to_file : string -> t -> unit
+
+val of_series : Report.series list -> t
+(** A result table as
+    [[{"label": .., "points": [{"threads": .., "value": ..}]}]]. *)

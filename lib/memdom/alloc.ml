@@ -1,11 +1,17 @@
 type mode = System | Pool
 
+(* Allocation and free totals are sharded per registry slot: every
+   [hdr]/[free] touches only the calling thread's padded cell, so the
+   allocator hot path carries no shared cache line (the era clock is
+   global but only written by explicit [bump_era] calls).  The uid is
+   derived from the same per-thread cell — [local * max_threads + tid]
+   — which keeps it unique without a global counter: cells are
+   monotonic and survive tid reuse across domains. *)
 type t = {
   mode : mode;
   name : string;
-  uid_ctr : int Atomic.t;
-  n_alloc : int Atomic.t;
-  n_freed : int Atomic.t;
+  n_alloc : Atomicx.Shard.t;
+  n_freed : Atomicx.Shard.t;
   era_clock : int Atomic.t;
 }
 
@@ -13,9 +19,8 @@ let create ?(mode = System) name =
   {
     mode;
     name;
-    uid_ctr = Atomic.make 0;
-    n_alloc = Atomic.make 0;
-    n_freed = Atomic.make 0;
+    n_alloc = Atomicx.Shard.create ();
+    n_freed = Atomicx.Shard.create ();
     era_clock = Atomic.make 1;
   }
 
@@ -23,19 +28,20 @@ let mode t = t.mode
 let label t = t.name
 
 let hdr t ?label () =
-  let uid = Atomic.fetch_and_add t.uid_ctr 1 in
-  ignore (Atomic.fetch_and_add t.n_alloc 1);
+  let tid = Atomicx.Registry.tid () in
+  let local = Atomicx.Shard.fetch_incr t.n_alloc ~tid in
+  let uid = (local * Atomicx.Registry.max_threads) + tid in
   let label = Option.value label ~default:t.name in
   Hdr.make ~uid ~label ~strict:(t.mode = System) ~birth_era:(Atomic.get t.era_clock)
 
 let free t h =
   Hdr.mark_freed h;
-  ignore (Atomic.fetch_and_add t.n_freed 1)
+  Atomicx.Shard.incr t.n_freed ~tid:(Atomicx.Registry.tid ())
 
 let era t = Atomic.get t.era_clock
 let bump_era t = 1 + Atomic.fetch_and_add t.era_clock 1
-let allocated t = Atomic.get t.n_alloc
-let freed t = Atomic.get t.n_freed
+let allocated t = Atomicx.Shard.get t.n_alloc
+let freed t = Atomicx.Shard.get t.n_freed
 let live t = allocated t - freed t
 
 let pp_stats fmt t =

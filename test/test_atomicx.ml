@@ -67,6 +67,119 @@ let test_registry_stable_within_domain () =
         check_int "stable" tid (Registry.tid ())
       done)
 
+let test_bitmask_sequential_acquire () =
+  let b = Bitmask.create 10 in
+  check_int "capacity" 10 (Bitmask.capacity b);
+  for i = 0 to 9 do
+    check_bool "lowest free" true (Bitmask.acquire b ~from:0 = Some i)
+  done;
+  check_bool "exhausted" true (Bitmask.acquire b ~from:0 = None);
+  check_int "all taken" 10 (Bitmask.count b)
+
+let test_bitmask_release_reuses_lowest () =
+  let b = Bitmask.create 8 in
+  for _ = 0 to 7 do
+    ignore (Bitmask.acquire b ~from:0)
+  done;
+  Bitmask.release b 5;
+  Bitmask.release b 2;
+  check_bool "freed 2 not taken" false (Bitmask.mem b 2);
+  check_bool "lowest freed wins" true (Bitmask.acquire b ~from:0 = Some 2);
+  check_bool "then the next" true (Bitmask.acquire b ~from:0 = Some 5);
+  check_bool "full again" true (Bitmask.acquire b ~from:0 = None)
+
+let test_bitmask_from_floor () =
+  let b = Bitmask.create 8 in
+  check_bool "respects from" true (Bitmask.acquire b ~from:3 = Some 3);
+  check_bool "0 still free below the floor" false (Bitmask.mem b 0);
+  check_bool "skips taken 3" true (Bitmask.acquire b ~from:3 = Some 4);
+  check_bool "negative from is 0" true (Bitmask.acquire b ~from:(-5) = Some 0);
+  check_bool "from at capacity" true (Bitmask.acquire b ~from:8 = None)
+
+let test_bitmask_cross_word () =
+  (* 100 > 62 bits: exercises the multi-word carry path *)
+  let b = Bitmask.create 100 in
+  for i = 0 to 99 do
+    check_bool "dense fill" true (Bitmask.acquire b ~from:0 = Some i)
+  done;
+  check_bool "exhausted" true (Bitmask.acquire b ~from:0 = None);
+  Bitmask.release b 63;
+  Bitmask.release b 99;
+  check_bool "free slot in word 1" true (Bitmask.acquire b ~from:0 = Some 63);
+  check_bool "last slot" true (Bitmask.acquire b ~from:70 = Some 99);
+  check_bool "exhausted again" true (Bitmask.acquire b ~from:0 = None)
+
+let test_bitmask_invalid () =
+  Alcotest.check_raises "capacity<1" (Invalid_argument "Bitmask.create")
+    (fun () -> ignore (Bitmask.create 0));
+  let b = Bitmask.create 4 in
+  Alcotest.check_raises "release out of range"
+    (Invalid_argument "Bitmask.release") (fun () -> Bitmask.release b 4);
+  Alcotest.check_raises "release negative"
+    (Invalid_argument "Bitmask.release") (fun () -> Bitmask.release b (-1))
+
+module IntSet = Set.Make (Int)
+
+let prop_bitmask_matches_set_model =
+  qtest ~count:100 "Bitmask matches free-set model"
+    QCheck2.Gen.(
+      pair (int_range 1 130)
+        (list_size (int_range 1 200) (pair (int_range 0 1) (int_range 0 129))))
+    (fun (cap, ops) ->
+      let b = Bitmask.create cap in
+      let taken = ref IntSet.empty in
+      List.for_all
+        (fun (op, k) ->
+          if op = 0 then begin
+            (* acquire from k: model says lowest i >= k not taken *)
+            let from = k mod cap in
+            let expect =
+              let rec go i =
+                if i >= cap then None
+                else if IntSet.mem i !taken then go (i + 1)
+                else Some i
+              in
+              go from
+            in
+            let got = Bitmask.acquire b ~from in
+            (match got with
+            | Some i -> taken := IntSet.add i !taken
+            | None -> ());
+            got = expect
+          end
+          else begin
+            let i = k mod cap in
+            if IntSet.mem i !taken then begin
+              Bitmask.release b i;
+              taken := IntSet.remove i !taken
+            end;
+            Bitmask.count b = IntSet.cardinal !taken
+          end)
+        ops)
+
+let test_shard_aggregates_across_domains () =
+  let s = Shard.create () in
+  let per = 10_000 in
+  run_domains_exn 4 (fun ~i ~tid ->
+      for _ = 1 to per do
+        Shard.incr s ~tid
+      done;
+      (* negative deltas from a different pattern per domain *)
+      Shard.add s ~tid (-i));
+  check_int "sum of all cells" ((4 * per) - (0 + 1 + 2 + 3)) (Shard.get s)
+
+let test_shard_fetch_incr_tickets () =
+  let s = Shard.create () in
+  let tickets =
+    run_domains 4 (fun ~i:_ ~tid ->
+        List.init 1_000 (fun _ -> Shard.fetch_incr s ~tid))
+  in
+  (* per-thread tickets are each a dense 0..n-1 sequence *)
+  List.iter
+    (fun ts -> check_bool "dense per-cell" true (ts = List.init 1_000 Fun.id))
+    tickets;
+  check_int "total" 4_000 (Shard.get s)
+
 let test_barrier_aligns () =
   let n = 6 in
   let counter = Atomic.make 0 in
@@ -154,6 +267,19 @@ let suite =
           test_registry_reuse_after_release;
         Alcotest.test_case "registry stable within domain" `Quick
           test_registry_stable_within_domain;
+        Alcotest.test_case "bitmask sequential acquire" `Quick
+          test_bitmask_sequential_acquire;
+        Alcotest.test_case "bitmask release reuses lowest" `Quick
+          test_bitmask_release_reuses_lowest;
+        Alcotest.test_case "bitmask from floor" `Quick test_bitmask_from_floor;
+        Alcotest.test_case "bitmask cross word" `Quick test_bitmask_cross_word;
+        Alcotest.test_case "bitmask rejects bad args" `Quick
+          test_bitmask_invalid;
+        prop_bitmask_matches_set_model;
+        Alcotest.test_case "shard aggregates across domains" `Quick
+          test_shard_aggregates_across_domains;
+        Alcotest.test_case "shard fetch_incr dense tickets" `Quick
+          test_shard_fetch_incr_tickets;
         Alcotest.test_case "barrier aligns" `Quick test_barrier_aligns;
         Alcotest.test_case "barrier reusable" `Quick test_barrier_reusable;
         Alcotest.test_case "link basics" `Quick test_link_basics;

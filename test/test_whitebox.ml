@@ -22,7 +22,14 @@ let mk alloc v = { hdr = Memdom.Alloc.hdr alloc (); value = v }
 (* Algorithm 2's defining behaviour: a retired-but-protected object is
    *passed forward* through the protecting slots in scan order, and
    freed the moment the last protection disappears. *)
+(* These tests stage slots for tids the suite never registers (e.g. 5,
+   7).  The handover scan only covers [0, Registry.registered ()), so
+   reserve the watermark explicitly rather than relying on earlier
+   suites having registered enough domains. *)
+let reserve_staged_tids () = Registry.reserve 8
+
 let test_ptp_passes_the_pointer_forward () =
+  reserve_staged_tids ();
   let alloc = Memdom.Alloc.create "ptp-wb" in
   let s = Ptp.create ~max_hps:4 alloc in
   let n = mk alloc 1 in
@@ -48,6 +55,7 @@ let test_ptp_passes_the_pointer_forward () =
    protected by the same slot evicts the first, which continues its scan
    and, with no other protection, is freed. *)
 let test_ptp_handover_eviction () =
+  reserve_staged_tids ();
   let alloc = Memdom.Alloc.create "ptp-wb" in
   let s = Ptp.create ~max_hps:4 alloc in
   let a = mk alloc 1 and b = mk alloc 2 in
@@ -68,6 +76,7 @@ let test_ptp_handover_eviction () =
    protected retired objects — pending equals the protected population,
    and one more unprotected retire still frees immediately. *)
 let test_ptp_bound_saturation () =
+  reserve_staged_tids ();
   let alloc = Memdom.Alloc.create "ptp-wb" in
   let hps = 3 in
   let s = Ptp.create ~max_hps:hps alloc in
@@ -160,6 +169,44 @@ let test_orc_stats_counters () =
   check_bool "handover counted" true (st2.O.handovers > st.O.handovers);
   check_int "reclaimed after guard exit" 0 (Memdom.Alloc.live alloc)
 
+(* The acceptance check for the bounded-scan rework: tryHandover's cost
+   per invocation is [registered () * hazard_watermark] slots, not
+   [max_threads * max_haz].  The counters are read after the run, and
+   both [registered] and the watermark are monotone, so the product is a
+   sound upper bound on every individual scan. *)
+let test_orc_scan_cost_bounded () =
+  let alloc = Memdom.Alloc.create "orc-wb" in
+  let o = O.create alloc in
+  let root = Link.make Link.Null in
+  let mk hdr = { hdr; next = Link.make Link.Null } in
+  O.with_guard o (fun g ->
+      let p = O.ptr g and q = O.ptr g in
+      for _ = 1 to 200 do
+        O.load g root q;
+        let n = O.alloc_node_into g p mk in
+        (match O.Ptr.state q with
+        | Link.Null -> ()
+        | st -> O.store g n.next st);
+        O.store g root (Link.Ptr n)
+      done);
+  O.with_guard o (fun g -> O.store g root Link.Null);
+  let st = O.stats o in
+  check_bool "retires drove scans" true (st.O.scans >= 200);
+  let per_scan_bound = Registry.registered () * O.hazard_watermark o in
+  check_bool
+    (Printf.sprintf "scan slots %d <= scans %d * registered*watermark %d"
+       st.O.scan_slots st.O.scans per_scan_bound)
+    true
+    (st.O.scan_slots <= st.O.scans * per_scan_bound);
+  (* the old code visited max_threads rows per scan regardless of how
+     many threads exist; the new cost must sit far below that *)
+  check_bool
+    (Printf.sprintf "scan slots %d < scans %d * max_threads %d"
+       st.O.scan_slots st.O.scans Registry.max_threads)
+    true
+    (st.O.scan_slots < st.O.scans * Registry.max_threads);
+  check_int "all reclaimed" 0 (Memdom.Alloc.live alloc)
+
 (* ------------------------------------------------------------------ *)
 (* Hdr lifecycle automaton vs a reference model *)
 
@@ -218,6 +265,8 @@ let suite =
         Alcotest.test_case "orc indexes recycle across guards" `Quick
           test_orc_indexes_recycle_across_guards;
         Alcotest.test_case "orc stats counters" `Quick test_orc_stats_counters;
+        Alcotest.test_case "orc scan cost bounded by registered threads"
+          `Quick test_orc_scan_cost_bounded;
         prop_hdr_matches_model;
       ] );
   ]
