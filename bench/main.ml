@@ -10,6 +10,15 @@
      Table 1  - measured peak unreclaimed objects vs theoretical bounds
      Mem      - HS-skip vs CRF-skip footprint
      Ablation - PTP publish instruction, handover drain on clear
+     Tracing  - per-scheme retire→free latency + null-sink overhead
+
+   Flags:
+     --json         also write every result to BENCH_orc.json
+     --trace=FILE   dump a Chrome-trace (Perfetto-loadable) of the traced
+                    queue runs to FILE
+     --smoke        seconds-not-minutes mode: only the traced runs, the
+                    overhead check and the micros — enough to exercise
+                    `--json --trace` end to end
 
    On this single-machine setup the Intel/AMD pair of each figure
    collapses to one series; EXPERIMENTS.md records the mapping. *)
@@ -17,14 +26,38 @@
 open Bechamel
 open Toolkit
 
+let arg_flag name = Array.exists (( = ) name) Sys.argv
+
+let arg_value prefix =
+  Array.fold_left
+    (fun acc a ->
+      if String.length a > String.length prefix && String.starts_with ~prefix a
+      then Some (String.sub a (String.length prefix) (String.length a - String.length prefix))
+      else acc)
+    None Sys.argv
+
+let smoke = arg_flag "--smoke"
+let trace_out = arg_value "--trace="
+
+let json_out = if arg_flag "--json" then Some "BENCH_orc.json" else None
+
 let params =
-  {
-    Harness.Experiments.threads = [ 1; 2; 4 ];
-    duration = 0.15;
-    list_keys = 1_000;
-    big_keys = 20_000;
-    csv = None;
-  }
+  if smoke then
+    {
+      Harness.Experiments.threads = [ 1; 2 ];
+      duration = 0.05;
+      list_keys = 200;
+      big_keys = 1_000;
+      csv = None;
+    }
+  else
+    {
+      Harness.Experiments.threads = [ 1; 2; 4 ];
+      duration = 0.15;
+      list_keys = 1_000;
+      big_keys = 20_000;
+      csv = None;
+    }
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one per structure family, measuring the
@@ -104,6 +137,86 @@ let run_micro () =
   List.rev !rows
 
 (* ------------------------------------------------------------------ *)
+(* Reclamation tracing: traced queue runs + null-sink overhead.        *)
+
+let hist_report get sink =
+  Option.map (fun h -> Obs.Hist.report h) (get sink)
+
+let run_tracing () =
+  let open Harness in
+  Format.printf "@.== Reclamation tracing (MS queue, enq/deq pairs) ==@.";
+  let traced = Experiments.traced_queue_runs params in
+  Format.printf "  %-10s %10s %14s %14s %12s@." "scheme" "Mops/s"
+    "retire-free-p50" "retire-free-p99" "samples";
+  List.iter
+    (fun r ->
+      match hist_report Obs.Sink.retire_free_hist r.Experiments.t_sink with
+      | Some rep ->
+          Format.printf "  %-10s %10.3f %12dns %12dns %12d@."
+            r.Experiments.t_name r.t_mops rep.Obs.Hist.p50 rep.Obs.Hist.p99
+            rep.Obs.Hist.count
+      | None ->
+          Format.printf "  %-10s %10.3f %14s %14s %12s@." r.Experiments.t_name
+            r.t_mops "-" "-" "-")
+    traced;
+  let null_mops, active_mops = Experiments.tracing_overhead params in
+  let overhead_pct =
+    if active_mops > 0. then 100. *. (1. -. (active_mops /. null_mops)) else 0.
+  in
+  Format.printf
+    "  null-sink %8.3f Mops/s   active-sink %8.3f Mops/s   capture cost \
+     %.1f%%@."
+    null_mops active_mops overhead_pct;
+  (match trace_out with
+  | None -> ()
+  | Some path ->
+      let doc =
+        Obs.Trace.combined
+          (List.map
+             (fun r -> (r.Experiments.t_name, r.Experiments.t_sink))
+             traced)
+      in
+      (match Obs.Trace.validate doc with
+      | Ok () -> ()
+      | Error e -> Format.printf "  WARNING: trace failed validation: %s@." e);
+      Obs.Json.to_file path doc;
+      Format.printf "  wrote %s (load it at https://ui.perfetto.dev)@." path);
+  (traced, null_mops, active_mops)
+
+let tracing_json (traced, null_mops, active_mops) =
+  let open Harness in
+  let scheme_json r =
+    let hist name get =
+      match hist_report get r.Experiments.t_sink with
+      | Some rep -> [ (name, Obs.Hist.report_to_json rep) ]
+      | None -> []
+    in
+    Json.Obj
+      ([
+         ("scheme", Json.Str r.Experiments.t_name);
+         ("mops", Json.Float r.t_mops);
+       ]
+      @ hist "retire_free_ns" Obs.Sink.retire_free_hist
+      @ hist "guard_ns" Obs.Sink.guard_hist
+      @ hist "scan_ns" Obs.Sink.scan_hist)
+  in
+  Json.Obj
+    [
+      ( "overhead",
+        Json.Obj
+          [
+            ("null_sink_mops", Json.Float null_mops);
+            ("active_sink_mops", Json.Float active_mops);
+            ( "capture_cost_pct",
+              Json.Float
+                (if null_mops > 0. then
+                   100. *. (1. -. (active_mops /. null_mops))
+                 else 0.) );
+          ] );
+      ("schemes", Json.List (List.map scheme_json traced));
+    ]
+
+(* ------------------------------------------------------------------ *)
 
 let print_mix_tables title tables =
   List.iter
@@ -111,23 +224,43 @@ let print_mix_tables title tables =
       Harness.Report.print_table ~title:(title ^ " / " ^ mix) series)
     tables
 
-(* `--json` additionally writes every result to BENCH_orc.json so CI (or
-   the next PR) can diff throughput and peak-unreclaimed mechanically
-   instead of scraping the tables above. *)
-let json_out =
-  if Array.exists (( = ) "--json") Sys.argv then Some "BENCH_orc.json"
-  else None
-
 let mixes_json tables =
   Harness.Json.Obj
     (List.map (fun (mix, series) -> (mix, Harness.Json.of_series series)) tables)
 
-let () =
+let params_json () =
   let open Harness in
-  Format.printf "OrcGC reproduction benchmarks (threads: %s, %.2fs/point)@."
-    (String.concat "," (List.map string_of_int params.threads))
-    params.duration;
+  Json.Obj
+    [
+      ("threads", Json.List (List.map (fun t -> Json.Int t) params.threads));
+      ("duration_s", Json.Float params.duration);
+      ("list_keys", Json.Int params.list_keys);
+      ("big_keys", Json.Int params.big_keys);
+      ("smoke", Json.Bool smoke);
+    ]
 
+let run_smoke () =
+  let open Harness in
+  let tracing = run_tracing () in
+  let micro = run_micro () in
+  match json_out with
+  | None -> ()
+  | Some path ->
+      let j =
+        Json.Obj
+          [
+            ("params", params_json ());
+            ("unit", Json.Str "Mops/s unless stated");
+            ("reclamation_tracing", tracing_json tracing);
+            ( "micro_ns_per_op",
+              Json.Obj (List.map (fun (n, e) -> (n, Json.Float e)) micro) );
+          ]
+      in
+      Json.to_file path j;
+      Format.printf "@.wrote %s@." path
+
+let run_full () =
+  let open Harness in
   let fig1 = Experiments.fig1_queues params in
   Report.print_table ~title:"Fig 1/2: queues, enq/deq pairs" fig1;
   Report.print_table ~title:"Fig 1/2 normalized (vs ms-hp)"
@@ -185,24 +318,16 @@ let () =
         r.Experiments.k_backend r.k_mops r.k_peak_unreclaimed)
     backend;
 
+  let tracing = run_tracing () in
   let micro = run_micro () in
 
-  (match json_out with
+  match json_out with
   | None -> ()
   | Some path ->
       let j =
         Json.Obj
           [
-            ( "params",
-              Json.Obj
-                [
-                  ( "threads",
-                    Json.List (List.map (fun t -> Json.Int t) params.threads)
-                  );
-                  ("duration_s", Json.Float params.duration);
-                  ("list_keys", Json.Int params.list_keys);
-                  ("big_keys", Json.Int params.big_keys);
-                ] );
+            ("params", params_json ());
             ("unit", Json.Str "Mops/s unless stated");
             ("fig1_queues", Json.of_series fig1);
             ("fig3_list_schemes", mixes_json fig3);
@@ -235,10 +360,19 @@ let () =
                          ("peak_unreclaimed", Json.Int r.k_peak_unreclaimed);
                        ])
                    backend) );
+            ("reclamation_tracing", tracing_json tracing);
             ( "micro_ns_per_op",
               Json.Obj (List.map (fun (n, e) -> (n, Json.Float e)) micro) );
           ]
       in
       Json.to_file path j;
-      Format.printf "@.wrote %s@." path);
+      Format.printf "@.wrote %s@." path
+
+let () =
+  Format.printf
+    "OrcGC reproduction benchmarks (threads: %s, %.2fs/point%s)@."
+    (String.concat "," (List.map string_of_int params.threads))
+    params.duration
+    (if smoke then ", smoke" else "");
+  if smoke then run_smoke () else run_full ();
   Format.printf "@.done.@."

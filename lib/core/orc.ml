@@ -66,6 +66,7 @@ module Make (N : NODE) = struct
 
   type t = {
     alloc : Memdom.Alloc.t;
+    sink : Obs.Sink.t;
     tl : tl_info array;
     watermark : int Atomic.t; (* 1 + highest hazard index ever used *)
     pending : Shard.t; (* BRETIRED-marked objects not yet freed *)
@@ -90,7 +91,10 @@ module Make (N : NODE) = struct
 
   let name = "orc"
 
-  let create ?max_hps:_ alloc =
+  let create ?max_hps:_ ?sink alloc =
+    let sink =
+      match sink with Some s -> s | None -> Memdom.Alloc.sink alloc
+    in
     let mk_tl _ =
       let free_idx = Bitmask.create max_haz in
       (* slot 0 is the permanently-reserved scratch hazard *)
@@ -106,6 +110,7 @@ module Make (N : NODE) = struct
     in
     {
       alloc;
+      sink;
       tl = Array.init Registry.max_threads mk_tl;
       watermark = Atomic.make 1;
       pending = Shard.create ();
@@ -131,12 +136,20 @@ module Make (N : NODE) = struct
     }
 
   let note_retired t ~tid n =
-    Memdom.Hdr.mark_retired (N.hdr n);
+    let h = N.hdr n in
+    Memdom.Hdr.mark_retired h;
+    h.Memdom.Hdr.retired_ns <-
+      Obs.Sink.on_retire t.sink ~tid ~uid:h.Memdom.Hdr.uid;
     Shard.incr t.pending ~tid;
     Shard.incr t.n_retires ~tid
 
   let note_unretired t ~tid n =
-    Memdom.Hdr.unretire (N.hdr n);
+    let h = N.hdr n in
+    Memdom.Hdr.unretire h;
+    (* unreachable-again objects are no longer "waiting to be freed": a
+       later free must not report a latency measured from this aborted
+       retire *)
+    h.Memdom.Hdr.retired_ns <- 0;
     Shard.add t.pending ~tid (-1)
 
   (* {2 Retire (Algorithm 5) and its helpers (Algorithm 6)} *)
@@ -146,6 +159,7 @@ module Make (N : NODE) = struct
      covers [registered () * watermark] slots — threads that never
      registered cannot hold a protection, so their rows are skipped. *)
   let try_handover t ~tid p =
+    let began = Obs.Sink.scan_begin t.sink in
     let wm = Atomic.get t.watermark in
     let nreg = Registry.registered () in
     let visited = ref 0 in
@@ -159,6 +173,7 @@ module Make (N : NODE) = struct
            | Some m when m == p ->
                result := Some (Atomic.exchange tl.handovers.(idx) (Some p));
                Shard.incr t.n_handovers ~tid;
+               Obs.Sink.on_handover t.sink ~tid ~uid:(N.hdr p).Memdom.Hdr.uid;
                raise_notrace Exit
            | Some _ | None -> ()
          done
@@ -166,6 +181,7 @@ module Make (N : NODE) = struct
      with Exit -> ());
     Shard.incr t.n_scans ~tid;
     Shard.add t.n_scan_slots ~tid !visited;
+    Obs.Sink.scan_end t.sink ~tid ~slots:!visited ~began;
     !result
 
   (* clearBitRetired (Algorithm 6 lines 147–158): give up BRETIRED
@@ -206,6 +222,7 @@ module Make (N : NODE) = struct
     let tl = t.tl.(tid) in
     if tl.retire_started then begin
       Shard.incr t.n_cascades ~tid;
+      Obs.Sink.on_cascade t.sink ~tid ~uid:(N.hdr p).Memdom.Hdr.uid;
       Queue.add p tl.recursive
     end
     else begin
@@ -491,12 +508,14 @@ module Make (N : NODE) = struct
   let with_guard t f =
     let tid = Registry.tid () in
     let g = { t; tid; ptrs = [] } in
+    Obs.Sink.guard_begin t.sink ~tid;
     let finally () =
       List.iter (fun p -> clear t ~tid p.st p.idx ~reuse:false) g.ptrs;
       g.ptrs <- [];
       let tl = t.tl.(tid) in
       Atomic.set tl.hp.(0) None;
-      drain_handover t ~tid 0
+      drain_handover t ~tid 0;
+      Obs.Sink.guard_end t.sink ~tid
     in
     Fun.protect ~finally (fun () -> f g)
 

@@ -70,10 +70,12 @@ module Make (N : NODE) : sig
 
   val name : string
 
-  val create : ?max_hps:int -> Memdom.Alloc.t -> t
+  val create : ?max_hps:int -> ?sink:Obs.Sink.t -> Memdom.Alloc.t -> t
   (** [create alloc] builds an instance whose reclaimed objects return to
       [alloc].  [max_hps] is accepted for interface symmetry with the
-      manual schemes and ignored (the hazard array is self-sizing). *)
+      manual schemes and ignored (the hazard array is self-sizing).
+      [sink] receives lifecycle events (retire, handover, cascade, scan,
+      guard) and defaults to [Memdom.Alloc.sink alloc]. *)
 
   val with_guard : t -> (guard -> 'a) -> 'a
   (** Run one data-structure operation.  On exit — normal or exceptional

@@ -42,6 +42,7 @@ module Make (N : Orc.NODE) = struct
 
   type t = {
     alloc : Memdom.Alloc.t;
+    sink : Obs.Sink.t;
     tl : tl_info array;
     watermark : int Atomic.t;
     scan_threshold : int;
@@ -53,7 +54,10 @@ module Make (N : Orc.NODE) = struct
 
   let name = "orc-hp"
 
-  let create ?(max_hps = 8) alloc =
+  let create ?(max_hps = 8) ?sink alloc =
+    let sink =
+      match sink with Some s -> s | None -> Memdom.Alloc.sink alloc
+    in
     let mk_tl _ =
       let free_idx = Bitmask.create max_haz in
       ignore (Bitmask.acquire free_idx ~from:0) (* scratch slot 0 *);
@@ -67,6 +71,7 @@ module Make (N : Orc.NODE) = struct
     in
     {
       alloc;
+      sink;
       tl = Array.init Registry.max_threads mk_tl;
       watermark = Atomic.make 1;
       scan_threshold = 2 * max_hps * 8;
@@ -78,20 +83,26 @@ module Make (N : Orc.NODE) = struct
   let unreclaimed t = Shard.get t.pending
 
   let note_retired t ~tid n =
-    Memdom.Hdr.mark_retired (N.hdr n);
+    let h = N.hdr n in
+    Memdom.Hdr.mark_retired h;
+    h.Memdom.Hdr.retired_ns <-
+      Obs.Sink.on_retire t.sink ~tid ~uid:h.Memdom.Hdr.uid;
     Shard.incr t.pending ~tid
 
   let note_unretired t ~tid n =
-    Memdom.Hdr.unretire (N.hdr n);
+    let h = N.hdr n in
+    Memdom.Hdr.unretire h;
+    h.Memdom.Hdr.retired_ns <- 0;
     Shard.add t.pending ~tid (-1)
 
-  let protected_by_any t p =
+  let protected_by_any t ~visited p =
     let wm = Atomic.get t.watermark in
     let found = ref false in
     (try
        for it = 0 to Registry.registered () - 1 do
          let tl = t.tl.(it) in
          for idx = 0 to wm - 1 do
+           incr visited;
            match Atomic.get tl.hp.(idx) with
            | Some m when m == p ->
                found := true;
@@ -131,6 +142,8 @@ module Make (N : Orc.NODE) = struct
     if tl.retired_count >= t.scan_threshold then scan t ~tid
 
   and scan t ~tid =
+    let began = Obs.Sink.scan_begin t.sink in
+    let visited = ref 0 in
     let tl = t.tl.(tid) in
     let batch = tl.retired in
     tl.retired <- [];
@@ -146,12 +159,13 @@ module Make (N : Orc.NODE) = struct
           (* resurrected: release ownership; re-park only if re-claimed *)
           if clear_bit_retired t ~tid p <> 0 then keep ()
         end
-        else if protected_by_any t p then keep ()
+        else if protected_by_any t ~visited p then keep ()
         else
           (* Lemma 1: the seq must not have moved across the hazard scan *)
           let lorc2 = Atomic.get (orc_word p) in
           if lorc2 <> lorc then keep () else delete t ~tid p)
-      batch
+      batch;
+    Obs.Sink.scan_end t.sink ~tid ~slots:!visited ~began
 
   and delete t ~tid p =
     N.iter_links p (fun l ->
@@ -353,10 +367,12 @@ module Make (N : Orc.NODE) = struct
   let with_guard t f =
     let tid = Registry.tid () in
     let g = { t; tid; ptrs = [] } in
+    Obs.Sink.guard_begin t.sink ~tid;
     let finally () =
       List.iter (fun p -> clear t ~tid p.st p.idx ~reuse:false) g.ptrs;
       g.ptrs <- [];
-      Atomic.set t.tl.(tid).hp.(0) None
+      Atomic.set t.tl.(tid).hp.(0) None;
+      Obs.Sink.guard_end t.sink ~tid
     in
     Fun.protect ~finally (fun () -> f g)
 

@@ -33,26 +33,31 @@ module Make (N : Reclaim.Scheme_intf.NODE) :
 
   type t = {
     alloc : Memdom.Alloc.t;
+    sink : Obs.Sink.t;
     hps : int;
     hp : node option Atomic.t array array; (* [tid][idx] *)
     handovers : node option Atomic.t array array; (* [tid][idx] *)
-    pending : Shard.t;
+    counters : Reclaim.Scheme_intf.Counters.t;
   }
 
   let name = "ptp"
   let max_hps t = t.hps
 
-  let create ?(max_hps = 8) alloc =
+  let create ?(max_hps = 8) ?sink alloc =
+    let sink =
+      match sink with Some s -> s | None -> Memdom.Alloc.sink alloc
+    in
     let mk _ = Padded.atomic_array max_hps None in
     {
       alloc;
+      sink;
       hps = max_hps;
       hp = Array.init Registry.max_threads mk;
       handovers = Array.init Registry.max_threads mk;
-      pending = Shard.create ();
+      counters = Reclaim.Scheme_intf.Counters.create ();
     }
 
-  let begin_op _ ~tid:_ = ()
+  let begin_op t ~tid = Obs.Sink.guard_begin t.sink ~tid
 
   let publish t ~tid ~idx n =
     if !publish_with_exchange then ignore (Atomic.exchange t.hp.(tid).(idx) n)
@@ -72,8 +77,8 @@ module Make (N : Reclaim.Scheme_intf.NODE) :
     loop (Link.get link)
 
   let free_node t ~tid n =
-    Memdom.Alloc.free t.alloc (N.hdr n);
-    Shard.add t.pending ~tid (-1)
+    Reclaim.Scheme_intf.Counters.freed t.counters ~tid;
+    Memdom.Alloc.free t.alloc (N.hdr n)
 
   (* Algorithm 2, handoverOrDelete: push [n] forward through the hazard
      scan until it is either handed to a protecting thread or proven
@@ -81,6 +86,8 @@ module Make (N : Reclaim.Scheme_intf.NODE) :
   (* The scan covers the registered rows only: a thread that never
      registered cannot have published a protection. *)
   let handover_or_delete t ~tid n ~start =
+    let began = Obs.Sink.scan_begin t.sink in
+    let visited = ref 0 in
     let cur = ref (Some n) in
     (try
        for it = start to Registry.registered () - 1 do
@@ -89,9 +96,12 @@ module Make (N : Reclaim.Scheme_intf.NODE) :
            match !cur with
            | None -> raise_notrace Exit
            | Some p -> (
+               incr visited;
                match Atomic.get t.hp.(it).(!idx) with
                | Some m when m == p -> (
                    let prev = Atomic.exchange t.handovers.(it).(!idx) (Some p) in
+                   Obs.Sink.on_handover t.sink ~tid
+                     ~uid:(N.hdr p).Memdom.Hdr.uid;
                    cur := prev;
                    match prev with
                    | None -> raise_notrace Exit
@@ -105,11 +115,16 @@ module Make (N : Reclaim.Scheme_intf.NODE) :
          done
        done
      with Exit -> ());
+    Reclaim.Scheme_intf.Counters.scanned t.counters ~tid ~slots:!visited;
+    Obs.Sink.scan_end t.sink ~tid ~slots:!visited ~began;
     match !cur with Some p -> free_node t ~tid p | None -> ()
 
   let retire t ~tid n =
-    Memdom.Hdr.mark_retired (N.hdr n);
-    Shard.incr t.pending ~tid;
+    let h = N.hdr n in
+    Memdom.Hdr.mark_retired h;
+    h.Memdom.Hdr.retired_ns <-
+      Obs.Sink.on_retire t.sink ~tid ~uid:h.Memdom.Hdr.uid;
+    Reclaim.Scheme_intf.Counters.retired t.counters ~tid;
     handover_or_delete t ~tid n ~start:0
 
   let clear t ~tid ~idx =
@@ -125,9 +140,12 @@ module Make (N : Reclaim.Scheme_intf.NODE) :
   let end_op t ~tid =
     for idx = 0 to t.hps - 1 do
       clear t ~tid ~idx
-    done
+    done;
+    Obs.Sink.guard_end t.sink ~tid
 
-  let unreclaimed t = Shard.get t.pending
+  let unreclaimed t = Reclaim.Scheme_intf.Counters.unreclaimed t.counters
+  let stats t = Reclaim.Scheme_intf.Counters.stats t.counters
+  let pp_stats fmt t = Reclaim.Scheme_intf.pp_stats_record fmt (stats t)
 
   (* Drain every handover slot; anything still protected simply parks
      again, anything unprotected is freed.  Unlike the other schemes PTP

@@ -577,3 +577,45 @@ let ablation_backend p =
         Ob_hp.flush o)
   in
   [ ptp_row; hp_row ]
+
+(* ------------------------------------------------------------------ *)
+(* Traced runs (observability): the same queue pairs workload with an  *)
+(* active event sink installed, so the trace/histogram exporters have  *)
+(* real lifecycle data per scheme.                                     *)
+
+type traced_run = { t_name : string; t_mops : float; t_sink : Obs.Sink.t }
+
+let traced_scheme_names =
+  [ "ms-hp"; "ms-ptb"; "ms-ebr"; "ms-he"; "ms-ptp"; "ms-orc" ]
+
+let traced_queue_runs ?(capacity = 1 lsl 15) p =
+  let threads = List.fold_left max 1 p.threads in
+  List.filter_map
+    (fun mk ->
+      let name = (mk ()).q_name in
+      if not (List.mem name traced_scheme_names) then None
+      else
+        (* The sink must be ambient while the queue (and its internal
+           allocator + scheme) is constructed: [run_queue_pairs] builds
+           the structure inside, on this thread, so rebinding the
+           default here is race-free. *)
+        let sink = Obs.Sink.make ~capacity () in
+        let mops =
+          Obs.Sink.with_default sink (fun () ->
+              run_queue_pairs mk ~threads ~duration:p.duration)
+        in
+        Some { t_name = name; t_mops = mops; t_sink = sink })
+    queue_factories
+
+(* Null-sink tracing overhead on the ms-orc micro: the hooks compile to
+   one branch when the sink is Null, so these two numbers should agree
+   to within noise; the active-sink number prices full event capture. *)
+let tracing_overhead p =
+  let threads = List.fold_left max 1 p.threads in
+  let mk = make_queue "ms-orc" (module Msq_orc) in
+  let run () = run_queue_pairs mk ~threads ~duration:p.duration in
+  ignore (run ()) (* warm-up *);
+  let null_mops = run () in
+  let sink = Obs.Sink.make () in
+  let active_mops = Obs.Sink.with_default sink (fun () -> run ()) in
+  (null_mops, active_mops)

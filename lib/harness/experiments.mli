@@ -89,3 +89,23 @@ val ablation_backend : params -> backend_row list
 (** §4's pluggable-backend remark, measured: the automatic layer over
     the PTP backend vs an HP backend — similar throughput, different
     unreclaimed-memory class. *)
+
+type traced_run = {
+  t_name : string;
+  t_mops : float;
+  t_sink : Obs.Sink.t;  (** holds the event rings and latency histograms *)
+}
+
+val traced_queue_runs : ?capacity:int -> params -> traced_run list
+(** Enqueue/dequeue pairs on the MS queue under each scheme with an
+    active {!Obs.Sink} installed: the sink collects lifecycle events
+    (per-thread rings of [capacity] entries) and retire→free / guard /
+    scan latency histograms.  Feed the sinks to {!Obs.Trace.combined}
+    for a Chrome-trace file and to [Obs.Sink.retire_free_hist] for the
+    per-scheme latency quantiles in BENCH_orc.json. *)
+
+val tracing_overhead : params -> float * float
+(** [(null_mops, active_mops)] on the ms-orc pairs micro: throughput
+    with the compiled-in hooks left disabled (null sink — the default)
+    vs with full event capture.  The null number prices the
+    instrumentation itself and belongs in EXPERIMENTS.md. *)

@@ -1,71 +1,8 @@
-type t =
-  | Null
-  | Bool of bool
-  | Int of int
-  | Float of float
-  | Str of string
-  | List of t list
-  | Obj of (string * t) list
-
-let escape s =
-  let b = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let rec write b = function
-  | Null -> Buffer.add_string b "null"
-  | Bool v -> Buffer.add_string b (if v then "true" else "false")
-  | Int i -> Buffer.add_string b (string_of_int i)
-  | Float f ->
-      (* JSON has no nan/inf; map them to null *)
-      if Float.is_finite f then Buffer.add_string b (Printf.sprintf "%.6g" f)
-      else Buffer.add_string b "null"
-  | Str s ->
-      Buffer.add_char b '"';
-      Buffer.add_string b (escape s);
-      Buffer.add_char b '"'
-  | List xs ->
-      Buffer.add_char b '[';
-      List.iteri
-        (fun i x ->
-          if i > 0 then Buffer.add_char b ',';
-          write b x)
-        xs;
-      Buffer.add_char b ']'
-  | Obj kvs ->
-      Buffer.add_char b '{';
-      List.iteri
-        (fun i (k, v) ->
-          if i > 0 then Buffer.add_char b ',';
-          write b (Str k);
-          Buffer.add_char b ':';
-          write b v)
-        kvs;
-      Buffer.add_char b '}'
-
-let to_string j =
-  let b = Buffer.create 4096 in
-  write b j;
-  Buffer.contents b
-
-let to_file path j =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc (to_string j);
-      output_char oc '\n')
+(* The JSON core now lives in [Obs.Json] (the observability layer needs
+   it below the harness in the dependency order, for trace export and
+   validation); re-exporting it here keeps every [Harness.Json.Obj]-style
+   call site working. *)
+include Obs.Json
 
 let of_series series =
   List

@@ -1,18 +1,12 @@
-(** Minimal JSON construction and serialization — enough for the bench
-    harness to emit machine-readable results ([BENCH_orc.json]) without
-    pulling a JSON dependency into the tree. *)
+(** Bench-harness view of the JSON module.
 
-type t =
-  | Null
-  | Bool of bool
-  | Int of int
-  | Float of float  (** nan/inf serialize as [null] *)
-  | Str of string
-  | List of t list
-  | Obj of (string * t) list
+    The type and serializer live in {!Obs.Json} (the observability layer
+    sits below the harness and needs them for Chrome-trace export); this
+    re-export adds only the harness-specific {!of_series}. *)
 
-val to_string : t -> string
-val to_file : string -> t -> unit
+include module type of struct
+  include Obs.Json
+end
 
 val of_series : Report.series list -> t
 (** A result table as

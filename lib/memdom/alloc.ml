@@ -10,15 +10,18 @@ type mode = System | Pool
 type t = {
   mode : mode;
   name : string;
+  sink : Obs.Sink.t;
   n_alloc : Atomicx.Shard.t;
   n_freed : Atomicx.Shard.t;
   era_clock : int Atomic.t;
 }
 
-let create ?(mode = System) name =
+let create ?(mode = System) ?sink name =
+  let sink = match sink with Some s -> s | None -> !Obs.Sink.default in
   {
     mode;
     name;
+    sink;
     n_alloc = Atomicx.Shard.create ();
     n_freed = Atomicx.Shard.create ();
     era_clock = Atomic.make 1;
@@ -26,17 +29,21 @@ let create ?(mode = System) name =
 
 let mode t = t.mode
 let label t = t.name
+let sink t = t.sink
 
 let hdr t ?label () =
   let tid = Atomicx.Registry.tid () in
   let local = Atomicx.Shard.fetch_incr t.n_alloc ~tid in
   let uid = (local * Atomicx.Registry.max_threads) + tid in
   let label = Option.value label ~default:t.name in
+  Obs.Sink.on_alloc t.sink ~tid ~uid;
   Hdr.make ~uid ~label ~strict:(t.mode = System) ~birth_era:(Atomic.get t.era_clock)
 
 let free t h =
   Hdr.mark_freed h;
-  Atomicx.Shard.incr t.n_freed ~tid:(Atomicx.Registry.tid ())
+  let tid = Atomicx.Registry.tid () in
+  Atomicx.Shard.incr t.n_freed ~tid;
+  Obs.Sink.on_free t.sink ~tid ~uid:h.Hdr.uid ~retired_ns:h.Hdr.retired_ns
 
 let era t = Atomic.get t.era_clock
 let bump_era t = 1 + Atomic.fetch_and_add t.era_clock 1

@@ -19,12 +19,20 @@ type mode = System | Pool
 
 type t
 
-val create : ?mode:mode -> string -> t
+val create : ?mode:mode -> ?sink:Obs.Sink.t -> string -> t
 (** [create label] makes an allocator named [label] (defaults to
-    [System], the stricter checking). *)
+    [System], the stricter checking).  [sink] receives Alloc/Free
+    lifecycle events and the retire→free latency samples (measured
+    against [Hdr.retired_ns], which the retiring scheme stamps); it
+    defaults to the ambient [!Obs.Sink.default] — the null sink unless a
+    bench or test opts in — and is what schemes created over this
+    allocator inherit. *)
 
 val mode : t -> mode
 val label : t -> string
+
+val sink : t -> Obs.Sink.t
+(** The sink this allocator reports to (schemes default to it). *)
 
 val hdr : t -> ?label:string -> unit -> Hdr.t
 (** Allocate a fresh header.  [label] defaults to the allocator's own.

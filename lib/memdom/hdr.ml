@@ -16,6 +16,7 @@ type t = {
   orc : int Atomic.t;
   mutable birth_era : int;
   mutable death_era : int;
+  mutable retired_ns : int;
 }
 
 let orc_initial = 1 lsl 22
@@ -33,6 +34,7 @@ let make ~uid ~label ~strict ~birth_era =
     orc = Atomic.make orc_initial;
     birth_era;
     death_era = max_int;
+    retired_ns = 0;
   }
 
 let decode bits =

@@ -32,6 +32,12 @@ type t = {
   orc : int Atomic.t;  (** OrcGC word: 22-bit count, BRETIRED, sequence *)
   mutable birth_era : int;  (** hazard-eras: era at allocation *)
   mutable death_era : int;  (** hazard-eras: era at retire *)
+  mutable retired_ns : int;
+      (** tracing: timestamp of the last retire ([Obs.Sink.on_retire]),
+          0 when never retired or traced with a null sink.  Written by
+          the retiring thread, read by the freeing thread — the free
+          side measures retire→free latency from it without any shared
+          lookup table. *)
 }
 
 val lifecycle : t -> lifecycle

@@ -7,14 +7,17 @@ type snapshot = {
   at : float;
 }
 
-let take alloc =
+(* The only wall-clock read in the module lives at this edge so that
+   deterministic tests can inject a fake clock and exercise the
+   interval math of [diff]. *)
+let take ?(clock = Unix.gettimeofday) alloc =
   {
     label = Alloc.label alloc;
     allocated = Alloc.allocated alloc;
     freed = Alloc.freed alloc;
     live = Alloc.live alloc;
     era = Alloc.era alloc;
-    at = Unix.gettimeofday ();
+    at = clock ();
   }
 
 let diff earlier later =

@@ -14,8 +14,10 @@ type snapshot = {
   at : float;  (** wall-clock seconds, [Unix.gettimeofday] *)
 }
 
-val take : Alloc.t -> snapshot
-(** Snapshot an allocator's counters. *)
+val take : ?clock:(unit -> float) -> Alloc.t -> snapshot
+(** Snapshot an allocator's counters.  [clock] stamps [at] and defaults
+    to [Unix.gettimeofday]; inject a fake clock to make interval math
+    ({!diff}'s [at]) deterministic in tests. *)
 
 val diff : snapshot -> snapshot -> snapshot
 (** [diff earlier later]: counter deltas over the interval (label and

@@ -1,0 +1,53 @@
+type kind =
+  | Alloc
+  | Retire
+  | Handover
+  | Cascade
+  | Free
+  | Scan
+  | Guard_begin
+  | Guard_end
+
+let to_int = function
+  | Alloc -> 0
+  | Retire -> 1
+  | Handover -> 2
+  | Cascade -> 3
+  | Free -> 4
+  | Scan -> 5
+  | Guard_begin -> 6
+  | Guard_end -> 7
+
+let of_int = function
+  | 0 -> Alloc
+  | 1 -> Retire
+  | 2 -> Handover
+  | 3 -> Cascade
+  | 4 -> Free
+  | 5 -> Scan
+  | 6 -> Guard_begin
+  | 7 -> Guard_end
+  | n -> invalid_arg (Printf.sprintf "Obs.Event.of_int: %d" n)
+
+let name = function
+  | Alloc -> "alloc"
+  | Retire -> "retire"
+  | Handover -> "handover"
+  | Cascade -> "cascade"
+  | Free -> "free"
+  | Scan -> "scan"
+  | Guard_begin -> "guard_begin"
+  | Guard_end -> "guard_end"
+
+type t = {
+  seq : int;  (** per-thread emission index, contiguous within a ring *)
+  ts : int;  (** nanoseconds, monotone non-decreasing per thread *)
+  tid : int;
+  kind : kind;
+  uid : int;  (** object uid, or 0 when the event has no subject *)
+  arg : int;  (** kind-specific payload (e.g. slots visited by a scan) *)
+}
+
+let pp fmt e =
+  Format.fprintf fmt "[%d.%d @%dns %s uid=%d arg=%d]" e.tid e.seq e.ts
+    (name e.kind) e.uid e.arg

@@ -1,0 +1,150 @@
+open Atomicx
+
+(* 63 buckets cover the full non-negative int range: bucket b holds
+   values whose highest set bit is b, i.e. [2^b, 2^(b+1)); bucket 0
+   holds 0 and 1. *)
+let buckets = 63
+
+type shard = {
+  counts : int array;
+  mutable s_count : int;
+  mutable s_sum : int;
+  mutable s_max : int;
+}
+
+type t = { shards : shard option Atomic.t array (* [tid], lazy *) }
+
+let create () = { shards = Padded.atomic_array Registry.max_threads None }
+
+let bucket_of v =
+  if v <= 1 then 0
+  else begin
+    let b = ref 0 in
+    let v = ref v in
+    while !v > 1 do
+      v := !v lsr 1;
+      incr b
+    done;
+    !b
+  end
+
+(* Lower edge of a bucket — what quantile estimates report.  With
+   power-of-two buckets any estimate is within 2x of the true value,
+   which is the right resolution for latency orders of magnitude. *)
+let bucket_floor b = if b = 0 then 0 else 1 lsl b
+
+let shard_of t ~tid =
+  match Atomic.get t.shards.(tid) with
+  | Some s -> s
+  | None ->
+      (* only the owning tid creates (and ever writes) its shard *)
+      let s =
+        { counts = Array.make buckets 0; s_count = 0; s_sum = 0; s_max = 0 }
+      in
+      Atomic.set t.shards.(tid) (Some s);
+      s
+
+let record t ~tid v =
+  let v = if v < 0 then 0 else v in
+  let s = shard_of t ~tid in
+  let b = bucket_of v in
+  s.counts.(b) <- s.counts.(b) + 1;
+  s.s_count <- s.s_count + 1;
+  s.s_sum <- s.s_sum + v;
+  if v > s.s_max then s.s_max <- v
+
+type report = {
+  count : int;
+  mean : float;
+  p50 : int;
+  p99 : int;
+  max : int;
+  by_bucket : (int * int) list;  (** (bucket floor, count), non-empty only *)
+}
+
+(* Merge-on-read: fold the registered shards.  Same caveat as
+   [Shard.get] — concurrent with writers the view is exact to within one
+   in-flight update per thread. *)
+let merged t =
+  let counts = Array.make buckets 0 in
+  let count = ref 0 and sum = ref 0 and mx = ref 0 in
+  for tid = 0 to Registry.registered () - 1 do
+    match Atomic.get t.shards.(tid) with
+    | None -> ()
+    | Some s ->
+        for b = 0 to buckets - 1 do
+          counts.(b) <- counts.(b) + s.counts.(b)
+        done;
+        count := !count + s.s_count;
+        sum := !sum + s.s_sum;
+        if s.s_max > !mx then mx := s.s_max
+  done;
+  (counts, !count, !sum, !mx)
+
+let quantile_of counts total q =
+  if total = 0 then 0
+  else begin
+    let rank = int_of_float (ceil (q *. float_of_int total)) in
+    let rank = if rank < 1 then 1 else rank in
+    let acc = ref 0 and result = ref 0 in
+    (try
+       for b = 0 to buckets - 1 do
+         acc := !acc + counts.(b);
+         if !acc >= rank then begin
+           result := bucket_floor b;
+           raise_notrace Exit
+         end
+       done
+     with Exit -> ());
+    !result
+  end
+
+let report t =
+  let counts, count, sum, mx = merged t in
+  let by_bucket = ref [] in
+  for b = buckets - 1 downto 0 do
+    if counts.(b) > 0 then by_bucket := (bucket_floor b, counts.(b)) :: !by_bucket
+  done;
+  {
+    count;
+    mean = (if count = 0 then 0. else float_of_int sum /. float_of_int count);
+    p50 = quantile_of counts count 0.50;
+    p99 = quantile_of counts count 0.99;
+    max = mx;
+    by_bucket = !by_bucket;
+  }
+
+let count t =
+  let _, count, _, _ = merged t in
+  count
+
+let pp ?(unit_label = "ns") fmt t =
+  let r = report t in
+  if r.count = 0 then Format.fprintf fmt "(empty)"
+  else begin
+    Format.fprintf fmt "n=%d mean=%.0f%s p50=%d%s p99=%d%s max=%d%s@." r.count
+      r.mean unit_label r.p50 unit_label r.p99 unit_label r.max unit_label;
+    List.iter
+      (fun (floor, n) ->
+        Format.fprintf fmt "  >=%-12d %6d %s@." floor n
+          (String.make (min 60 (60 * n / r.count)) '#'))
+      r.by_bucket
+  end
+
+let report_to_json r =
+  Json.Obj
+    [
+      ("count", Json.Int r.count);
+      ("mean_ns", Json.Float r.mean);
+      ("p50_ns", Json.Int r.p50);
+      ("p99_ns", Json.Int r.p99);
+      ("max_ns", Json.Int r.max);
+      ( "buckets",
+        Json.List
+          (List.map
+             (fun (floor, n) ->
+               Json.Obj [ ("ge", Json.Int floor); ("n", Json.Int n) ])
+             r.by_bucket) );
+    ]
+
+let to_json t = report_to_json (report t)

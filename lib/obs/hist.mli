@@ -1,0 +1,42 @@
+(** Power-of-two-bucket latency histograms, sharded per thread.
+
+    Recording touches only the calling thread's lazily-created shard
+    (single writer, like {!Ring} and [Atomicx.Shard]), so the hot paths
+    the benchmarks measure stay uncontended; {!report} merges the
+    registered shards on read.  Bucket [b] holds values in
+    [2^b, 2^(b+1)), so any quantile estimate is within 2x of the true
+    value — the right resolution for retire→free latencies, guard
+    durations and scan costs that span orders of magnitude. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> tid:int -> int -> unit
+(** Record a non-negative sample (negatives clamp to 0) into the
+    caller's shard.  [tid] must be the caller's registry id. *)
+
+val bucket_of : int -> int
+(** Bucket index of a value (index of its highest set bit). *)
+
+val bucket_floor : int -> int
+(** Smallest value landing in bucket [b]. *)
+
+type report = {
+  count : int;
+  mean : float;
+  p50 : int;  (** bucket-floor estimate: within 2x below the true p50 *)
+  p99 : int;
+  max : int;  (** exact *)
+  by_bucket : (int * int) list;  (** (bucket floor, count), non-empty only *)
+}
+
+val report : t -> report
+(** Merge the shards and summarize.  Concurrent with writers the view is
+    exact to within one in-flight sample per thread (same caveat as
+    [Atomicx.Shard.get]). *)
+
+val count : t -> int
+val pp : ?unit_label:string -> Format.formatter -> t -> unit
+val report_to_json : report -> Json.t
+val to_json : t -> Json.t

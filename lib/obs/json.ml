@@ -1,0 +1,236 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let rec write b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f ->
+      (* JSON has no nan/inf; map them to null *)
+      if Float.is_finite f then Buffer.add_string b (Printf.sprintf "%.6g" f)
+      else Buffer.add_string b "null"
+  | Str s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape s);
+      Buffer.add_char b '"'
+  | List xs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char b ',';
+          write b x)
+        xs;
+      Buffer.add_char b ']'
+  | Obj kvs ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          write b (Str k);
+          Buffer.add_char b ':';
+          write b v)
+        kvs;
+      Buffer.add_char b '}'
+
+let to_string j =
+  let b = Buffer.create 4096 in
+  write b j;
+  Buffer.contents b
+
+let to_file path j =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string j);
+      output_char oc '\n')
+
+(* {2 Parsing} — a recursive-descent reader, enough to re-read what
+   [to_string] writes (and any standard JSON) for trace validation. *)
+
+exception Parse_error of string
+
+let parse_fail pos msg =
+  raise (Parse_error (Printf.sprintf "at offset %d: %s" pos msg))
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> parse_fail !pos (Printf.sprintf "expected %c, got %c" c c')
+    | None -> parse_fail !pos (Printf.sprintf "expected %c, got end" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else parse_fail !pos ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then parse_fail !pos "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+            advance ();
+            (if !pos >= n then parse_fail !pos "unterminated escape"
+             else
+               match s.[!pos] with
+               | '"' -> Buffer.add_char b '"'
+               | '\\' -> Buffer.add_char b '\\'
+               | '/' -> Buffer.add_char b '/'
+               | 'n' -> Buffer.add_char b '\n'
+               | 'r' -> Buffer.add_char b '\r'
+               | 't' -> Buffer.add_char b '\t'
+               | 'b' -> Buffer.add_char b '\b'
+               | 'f' -> Buffer.add_char b '\012'
+               | 'u' ->
+                   if !pos + 4 >= n then parse_fail !pos "truncated \\u"
+                   else begin
+                     let hex = String.sub s (!pos + 1) 4 in
+                     let code =
+                       try int_of_string ("0x" ^ hex)
+                       with _ -> parse_fail !pos ("bad \\u" ^ hex)
+                     in
+                     (* non-ASCII code points round-trip as '?'; the
+                        traces we validate are ASCII *)
+                     Buffer.add_char b
+                       (if code < 0x80 then Char.chr code else '?');
+                     pos := !pos + 4
+                   end
+               | c -> parse_fail !pos (Printf.sprintf "bad escape \\%c" c));
+            advance ();
+            loop ()
+        | c ->
+            Buffer.add_char b c;
+            advance ();
+            loop ()
+    in
+    loop ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    let tok = String.sub s start (!pos - start) in
+    match int_of_string_opt tok with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt tok with
+        | Some f -> Float f
+        | None -> parse_fail start ("bad number " ^ tok))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> parse_fail !pos "unexpected end of input"
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some ('0' .. '9' | '-') -> parse_number ()
+    | Some '"' -> Str (parse_string ())
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let items = ref [ parse_value () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            items := parse_value () :: !items;
+            skip_ws ()
+          done;
+          expect ']';
+          List (List.rev !items)
+        end
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (k, v)
+          in
+          let fields = ref [ field () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            fields := field () :: !fields;
+            skip_ws ()
+          done;
+          expect '}';
+          Obj (List.rev !fields)
+        end
+    | Some c -> parse_fail !pos (Printf.sprintf "unexpected %c" c)
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then parse_fail !pos "trailing garbage";
+  v
+
+let of_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+let member key = function
+  | Obj kvs -> List.assoc_opt key kvs
+  | _ -> None

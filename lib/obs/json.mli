@@ -1,0 +1,28 @@
+(** Minimal JSON construction, serialization and parsing — enough for
+    machine-readable results ([BENCH_orc.json]), Chrome-trace export and
+    trace validation without pulling a JSON dependency into the tree.
+    [Harness.Json] re-exports this and adds benchmark-table helpers. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** nan/inf serialize as [null] *)
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+val to_file : string -> t -> unit
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Parse one JSON document.  Raises {!Parse_error} with an offset on
+    malformed input.  Non-ASCII [\u] escapes decode to ['?'] (the traces
+    this validates are ASCII). *)
+
+val of_file : string -> t
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on missing field or non-object. *)

@@ -1,0 +1,121 @@
+open Atomicx
+
+(* One ring per thread, single writer (the owning tid), snapshot
+   readers.  The payload lives in four plain int arrays indexed by
+   [seq land mask]; [head] is the number of events ever emitted and is
+   the only cross-thread synchronization: the writer stores the slot
+   *before* publishing [head = seq + 1] (Atomic.set is a release on
+   OCaml's memory model), so a reader that copies slots and then
+   re-reads [head] knows exactly which copied entries the writer could
+   have been overwriting — see [snapshot]. *)
+type ring = {
+  mask : int;
+  ts : int array;
+  kind : int array;
+  uid : int array;
+  arg : int array;
+  head : int Atomic.t; (* events ever emitted by this thread *)
+  mutable last_ts : int; (* owner-only: enforces per-ring monotonicity *)
+}
+
+type t = {
+  capacity : int;
+  rings : ring option Atomic.t array; (* [tid]; created lazily by owner *)
+}
+
+let default_capacity = 4096
+
+let create ?(capacity = default_capacity) () =
+  if capacity <= 0 || capacity land (capacity - 1) <> 0 then
+    invalid_arg "Obs.Ring.create: capacity must be a positive power of two";
+  { capacity; rings = Padded.atomic_array Registry.max_threads None }
+
+let capacity t = t.capacity
+
+let mk_ring capacity =
+  {
+    mask = capacity - 1;
+    ts = Array.make capacity 0;
+    kind = Array.make capacity 0;
+    uid = Array.make capacity 0;
+    arg = Array.make capacity 0;
+    head = Atomic.make 0;
+    last_ts = 0;
+  }
+
+(* Only the owning tid creates its ring, so the slot has a single
+   writer and a plain [Atomic.set] publishes it. *)
+let ring_of t ~tid =
+  match Atomic.get t.rings.(tid) with
+  | Some r -> r
+  | None ->
+      let r = mk_ring t.capacity in
+      Atomic.set t.rings.(tid) (Some r);
+      r
+
+let emit t ~tid ~ts ~kind ~uid ~arg =
+  let r = ring_of t ~tid in
+  let ts = if ts > r.last_ts then ts else r.last_ts in
+  r.last_ts <- ts;
+  let seq = Atomic.get r.head in
+  let i = seq land r.mask in
+  r.ts.(i) <- ts;
+  r.kind.(i) <- Event.to_int kind;
+  r.uid.(i) <- uid;
+  r.arg.(i) <- arg;
+  Atomic.set r.head (seq + 1)
+
+let emitted t ~tid =
+  match Atomic.get t.rings.(tid) with
+  | None -> 0
+  | Some r -> Atomic.get r.head
+
+(* Copy the ring's most recent events, then drop every copied entry the
+   writer could have touched during the copy: after re-reading [head] as
+   [h2], any seq < h2 - capacity aliases a slot the writer has already
+   republished, and seq = h2 - capacity aliases the slot it may be
+   writing right now (slot stores precede the head bump) — both go.
+   What survives is a gap-free, per-thread-monotone suffix. *)
+let snapshot_ring capacity r ~tid =
+  let h1 = Atomic.get r.head in
+  let lo = max 0 (h1 - capacity) in
+  let count = h1 - lo in
+  if count = 0 then [||]
+  else begin
+    let ts = Array.make count 0
+    and kind = Array.make count 0
+    and uid = Array.make count 0
+    and arg = Array.make count 0 in
+    for k = 0 to count - 1 do
+      let i = (lo + k) land r.mask in
+      ts.(k) <- r.ts.(i);
+      kind.(k) <- r.kind.(i);
+      uid.(k) <- r.uid.(i);
+      arg.(k) <- r.arg.(i)
+    done;
+    let h2 = Atomic.get r.head in
+    let safe_lo = max lo (h2 - capacity + 1) in
+    Array.init (h1 - safe_lo) (fun k ->
+        let j = safe_lo - lo + k in
+        {
+          Event.seq = safe_lo + k;
+          ts = ts.(j);
+          tid;
+          kind = Event.of_int kind.(j);
+          uid = uid.(j);
+          arg = arg.(j);
+        })
+  end
+
+let snapshot t ~tid =
+  match Atomic.get t.rings.(tid) with
+  | None -> [||]
+  | Some r -> snapshot_ring t.capacity r ~tid
+
+let snapshot_all t =
+  let out = ref [] in
+  for tid = Registry.registered () - 1 downto 0 do
+    let evs = snapshot t ~tid in
+    if Array.length evs > 0 then out := evs :: !out
+  done;
+  !out

@@ -1,0 +1,44 @@
+(** Per-thread fixed-capacity event rings: one single-writer ring per
+    registry tid, lock-free snapshot readers.
+
+    The writer (always the owning thread) stores an event's payload into
+    plain int arrays and then publishes the new head with a release
+    store; it never blocks, never allocates after the ring exists, and
+    wraps by overwriting the oldest entry.  A reader copies the window
+    and uses a second head read to discard every entry the writer could
+    have republished during the copy, so a snapshot taken under full
+    writer traffic is still a gap-free, monotonically-timestamped suffix
+    of that thread's history (same single-writer/merge-on-read soundness
+    argument as [Atomicx.Shard]; see DESIGN.md §8).
+
+    Rings are created lazily on a thread's first emit, so an idle
+    [Registry] slot costs one padded word. *)
+
+type t
+
+val default_capacity : int
+(** 4096 events (power of two). *)
+
+val create : ?capacity:int -> unit -> t
+(** [create ()] sizes every per-thread ring at [capacity] events
+    (default {!default_capacity}).  Raises [Invalid_argument] unless
+    [capacity] is a positive power of two. *)
+
+val capacity : t -> int
+
+val emit : t -> tid:int -> ts:int -> kind:Event.kind -> uid:int -> arg:int -> unit
+(** Record one event.  MUST be called only by the thread owning registry
+    slot [tid] (single-writer).  [ts] is clamped to be non-decreasing
+    within the ring.  O(1), allocation-free after the tid's first
+    call. *)
+
+val emitted : t -> tid:int -> int
+(** Events ever emitted by [tid] (not capped by capacity). *)
+
+val snapshot : t -> tid:int -> Event.t array
+(** The still-valid suffix of [tid]'s history, oldest first: contiguous
+    [seq]s, non-decreasing [ts], at most [capacity] entries.  Safe to
+    call from any thread at any time. *)
+
+val snapshot_all : t -> Event.t array list
+(** {!snapshot} of every registered tid with at least one event. *)

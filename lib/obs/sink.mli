@@ -1,0 +1,88 @@
+(** The tracing hook the reclamation hot paths call.
+
+    Every instrumentation point in the allocator, the manual schemes and
+    the OrcGC core routes through one of these functions.  A sink is
+    either {!null} — a constant constructor, so each hook is a single
+    branch that returns before touching the clock or allocating: tracing
+    is compiled-in but zero-cost when disabled — or active, backed by
+    per-thread {!Ring}s plus three {!Hist}s (retire→free latency, guard
+    duration, scan cost).
+
+    All per-event functions take the caller's registry [tid] and are
+    single-writer per tid, like the rings and histograms beneath them. *)
+
+type t
+
+val null : t
+(** The no-op sink; the default everywhere. *)
+
+val now_ns : unit -> int
+(** The default clock: wall-clock nanoseconds.  Rings additionally clamp
+    timestamps to be non-decreasing per thread. *)
+
+val make : ?capacity:int -> ?clock:(unit -> int) -> unit -> t
+(** An active sink.  [capacity] sizes the per-thread rings (power of
+    two, default {!Ring.default_capacity}); [clock] defaults to
+    {!now_ns} and is injectable for deterministic tests. *)
+
+val is_null : t -> bool
+val enabled : t -> bool
+
+val default : t ref
+(** Ambient sink consulted by [Memdom.Alloc.create] when none is passed
+    explicitly — the one knob a bench or test flips to trace every
+    structure it builds.  {!null} unless opted in. *)
+
+val with_default : t -> (unit -> 'a) -> 'a
+(** Run [f] with {!default} rebound, restoring on exit. *)
+
+val now : t -> int
+(** [clock ()] of an active sink, [0] for {!null}. *)
+
+(** {2 Instrumentation points} *)
+
+val emit : t -> tid:int -> kind:Event.kind -> uid:int -> arg:int -> unit
+(** Generic escape hatch; the typed wrappers below are preferred. *)
+
+val on_alloc : t -> tid:int -> uid:int -> unit
+
+val on_retire : t -> tid:int -> uid:int -> int
+(** Records the Retire event and returns its timestamp (0 under
+    {!null}).  The caller stamps it into the object header
+    ([Memdom.Hdr.retired_ns]) so the free side — possibly another
+    thread, much later — can measure retire→free latency without a
+    shared lookup table. *)
+
+val on_free : t -> tid:int -> uid:int -> retired_ns:int -> unit
+(** Records the Free event; when [retired_ns > 0] also records
+    [now - retired_ns] into the retire→free histogram. *)
+
+val on_handover : t -> tid:int -> uid:int -> unit
+val on_cascade : t -> tid:int -> uid:int -> unit
+
+val scan_begin : t -> int
+(** Timestamp token to pass to {!scan_end} (0 under {!null}). *)
+
+val scan_end : t -> tid:int -> slots:int -> began:int -> unit
+(** Records the Scan event ([arg] = hazard slots visited) and the scan
+    duration into the scan histogram. *)
+
+val guard_begin : t -> tid:int -> unit
+
+val guard_end : t -> tid:int -> unit
+(** Guards may nest; the duration histogram records the outermost span,
+    the ring records every begin/end pair (event [arg] = depth). *)
+
+(** {2 Introspection} *)
+
+val ring : t -> Ring.t option
+val retire_free_hist : t -> Hist.t option
+val guard_hist : t -> Hist.t option
+val scan_hist : t -> Hist.t option
+
+val events : t -> Event.t array list
+(** Snapshot of every thread's ring ([[]] for {!null}). *)
+
+val hists : t -> (string * Hist.t) list
+(** [("retire_free", h); ("guard", h); ("scan", h)] for an active sink,
+    [[]] for {!null}. *)

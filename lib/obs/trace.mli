@@ -1,0 +1,27 @@
+(** Chrome trace-event export: merge a sink's per-thread rings into the
+    JSON format Perfetto (https://ui.perfetto.dev) and chrome://tracing
+    load directly.
+
+    Guard_begin/Guard_end become "B"/"E" duration slices named "guard";
+    every other lifecycle event becomes a thread-scoped instant event
+    carrying the object uid.  Ring wraparound can orphan one side of a
+    guard pair, so the exporter repairs pairing per thread (drops
+    depth-0 "E"s, closes unterminated "B"s at the thread's last
+    timestamp): an emitted trace always passes {!validate}. *)
+
+val to_json : ?pid:int -> ?process_name:string -> Sink.t -> Json.t
+(** The full trace document for one sink ([pid] defaults to 1). *)
+
+val combined : (string * Sink.t) list -> Json.t
+(** One document from several sinks, each as its own named process —
+    how the bench emits one file covering every traced scheme. *)
+
+val to_file : ?pid:int -> ?process_name:string -> string -> Sink.t -> unit
+
+val wrap : Json.t list -> Json.t
+(** Wrap pre-built trace events into a document. *)
+
+val validate : Json.t -> (unit, string) result
+(** Check a parsed trace document: [traceEvents] is a list, every event
+    has name/ph/ts/pid/tid, and per (pid, tid) every "E" closes a "B"
+    with none left open at the end. *)

@@ -19,32 +19,42 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
 
   type t = {
     alloc : Memdom.Alloc.t;
+    sink : Obs.Sink.t;
     hps : int;
     global_epoch : int Atomic.t;
     announce : int Atomic.t array; (* [tid]; [quiescent] when outside an op *)
     retired : (node * int) list ref array; (* (node, retire epoch) *)
     retired_count : int ref array;
     scan_threshold : int;
-    pending : int Atomic.t;
+    counters : Scheme_intf.Counters.t;
   }
 
   let name = "ebr"
   let max_hps t = t.hps
 
-  let create ?(max_hps = 8) alloc =
+  let create ?(max_hps = 8) ?sink alloc =
+    let sink =
+      match sink with Some s -> s | None -> Memdom.Alloc.sink alloc
+    in
     {
       alloc;
+      sink;
       hps = max_hps;
       global_epoch = Atomic.make 2;
       announce = Array.init Registry.max_threads (fun _ -> Atomic.make quiescent);
       retired = Array.init Registry.max_threads (fun _ -> ref []);
       retired_count = Array.init Registry.max_threads (fun _ -> ref 0);
       scan_threshold = 128;
-      pending = Atomic.make 0;
+      counters = Scheme_intf.Counters.create ();
     }
 
-  let begin_op t ~tid = Atomic.set t.announce.(tid) (Atomic.get t.global_epoch)
-  let end_op t ~tid = Atomic.set t.announce.(tid) quiescent
+  let begin_op t ~tid =
+    Atomic.set t.announce.(tid) (Atomic.get t.global_epoch);
+    Obs.Sink.guard_begin t.sink ~tid
+
+  let end_op t ~tid =
+    Atomic.set t.announce.(tid) quiescent;
+    Obs.Sink.guard_end t.sink ~tid
 
   (* Protection is implicit in the epoch announcement: a plain validated
      read suffices. *)
@@ -53,44 +63,55 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
   let copy_protection _t ~tid:_ ~src:_ ~dst:_ = ()
   let clear _t ~tid:_ ~idx:_ = ()
 
-  let min_announced t =
+  let min_announced t ~visited =
     let m = ref max_int in
     for it = 0 to Registry.max_threads - 1 do
+      incr visited;
       let e = Atomic.get t.announce.(it) in
       if e < !m then m := e
     done;
     !m
 
-  let try_advance t =
+  let try_advance t ~visited =
     let e = Atomic.get t.global_epoch in
-    if min_announced t >= e then ignore (Atomic.compare_and_set t.global_epoch e (e + 1))
+    if min_announced t ~visited >= e then
+      ignore (Atomic.compare_and_set t.global_epoch e (e + 1))
 
-  let free_node t n =
-    Memdom.Alloc.free t.alloc (N.hdr n);
-    ignore (Atomic.fetch_and_add t.pending (-1))
+  let free_node t ~tid n =
+    Scheme_intf.Counters.freed t.counters ~tid;
+    Memdom.Alloc.free t.alloc (N.hdr n)
 
   let scan t ~tid =
-    try_advance t;
-    let safe = min (min_announced t) (Atomic.get t.global_epoch) in
+    let began = Obs.Sink.scan_begin t.sink in
+    let visited = ref 0 in
+    try_advance t ~visited;
+    let safe = min (min_announced t ~visited) (Atomic.get t.global_epoch) in
     let keep, release =
       List.partition (fun (_, e) -> e >= safe - 1) !(t.retired.(tid))
     in
     t.retired.(tid) := keep;
     t.retired_count.(tid) := List.length keep;
-    List.iter (fun (n, _) -> free_node t n) release
+    List.iter (fun (n, _) -> free_node t ~tid n) release;
+    Scheme_intf.Counters.scanned t.counters ~tid ~slots:!visited;
+    Obs.Sink.scan_end t.sink ~tid ~slots:!visited ~began
 
   let retire t ~tid n =
-    Memdom.Hdr.mark_retired (N.hdr n);
-    ignore (Atomic.fetch_and_add t.pending 1);
+    let h = N.hdr n in
+    Memdom.Hdr.mark_retired h;
+    h.Memdom.Hdr.retired_ns <-
+      Obs.Sink.on_retire t.sink ~tid ~uid:h.Memdom.Hdr.uid;
+    Scheme_intf.Counters.retired t.counters ~tid;
     t.retired.(tid) := (n, Atomic.get t.global_epoch) :: !(t.retired.(tid));
     incr t.retired_count.(tid);
     if !(t.retired_count.(tid)) >= t.scan_threshold then scan t ~tid
 
-  let unreclaimed t = Atomic.get t.pending
+  let unreclaimed t = Scheme_intf.Counters.unreclaimed t.counters
+  let stats t = Scheme_intf.Counters.stats t.counters
+  let pp_stats fmt t = Scheme_intf.pp_stats_record fmt (stats t)
 
   let flush t =
     for _ = 1 to 3 do
-      for tid = 0 to Registry.max_threads - 1 do
+      for tid = 0 to Registry.registered () - 1 do
         scan t ~tid
       done
     done

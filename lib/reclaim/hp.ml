@@ -15,30 +15,35 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
 
   type t = {
     alloc : Memdom.Alloc.t;
+    sink : Obs.Sink.t;
     hps : int;
     hp : node option Atomic.t array array; (* [tid][idx] *)
     retired : node list ref array; (* thread-local retired lists *)
     retired_count : int ref array;
     scan_threshold : int;
-    pending : int Atomic.t;
+    counters : Scheme_intf.Counters.t;
   }
 
   let name = "hp"
   let max_hps t = t.hps
 
-  let create ?(max_hps = 8) alloc =
+  let create ?(max_hps = 8) ?sink alloc =
+    let sink =
+      match sink with Some s -> s | None -> Memdom.Alloc.sink alloc
+    in
     let mk_slots _ = Padded.atomic_array max_hps None in
     {
       alloc;
+      sink;
       hps = max_hps;
       hp = Array.init Registry.max_threads mk_slots;
       retired = Array.init Registry.max_threads (fun _ -> ref []);
       retired_count = Array.init Registry.max_threads (fun _ -> ref 0);
       scan_threshold = 2 * max_hps * 8;
-      pending = Atomic.make 0;
+      counters = Scheme_intf.Counters.create ();
     }
 
-  let begin_op _ ~tid:_ = ()
+  let begin_op t ~tid = Obs.Sink.guard_begin t.sink ~tid
 
   let protect_raw t ~tid ~idx n = Atomic.set t.hp.(tid).(idx) n
 
@@ -50,7 +55,8 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
   let end_op t ~tid =
     for idx = 0 to t.hps - 1 do
       clear t ~tid ~idx
-    done
+    done;
+    Obs.Sink.guard_end t.sink ~tid
 
   let get_protected t ~tid ~idx link =
     let slot = t.hp.(tid).(idx) in
@@ -63,11 +69,12 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     in
     loop (Link.get link)
 
-  let protected_by_any t n =
+  let protected_by_any t ~visited n =
     let found = ref false in
     (try
        for it = 0 to Registry.max_threads - 1 do
          for idx = 0 to t.hps - 1 do
+           incr visited;
            match Atomic.get t.hp.(it).(idx) with
            | Some m when m == n ->
                found := true;
@@ -78,29 +85,38 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
      with Exit -> ());
     !found
 
-  let free_node t n =
-    Memdom.Alloc.free t.alloc (N.hdr n);
-    ignore (Atomic.fetch_and_add t.pending (-1))
+  let free_node t ~tid n =
+    Scheme_intf.Counters.freed t.counters ~tid;
+    Memdom.Alloc.free t.alloc (N.hdr n)
 
   let scan t ~tid =
+    let began = Obs.Sink.scan_begin t.sink in
+    let visited = ref 0 in
     let keep, release =
-      List.partition (fun n -> protected_by_any t n) !(t.retired.(tid))
+      List.partition (fun n -> protected_by_any t ~visited n) !(t.retired.(tid))
     in
     t.retired.(tid) := keep;
     t.retired_count.(tid) := List.length keep;
-    List.iter (free_node t) release
+    List.iter (free_node t ~tid) release;
+    Scheme_intf.Counters.scanned t.counters ~tid ~slots:!visited;
+    Obs.Sink.scan_end t.sink ~tid ~slots:!visited ~began
 
   let retire t ~tid n =
-    Memdom.Hdr.mark_retired (N.hdr n);
-    ignore (Atomic.fetch_and_add t.pending 1);
+    let h = N.hdr n in
+    Memdom.Hdr.mark_retired h;
+    h.Memdom.Hdr.retired_ns <-
+      Obs.Sink.on_retire t.sink ~tid ~uid:h.Memdom.Hdr.uid;
+    Scheme_intf.Counters.retired t.counters ~tid;
     t.retired.(tid) := n :: !(t.retired.(tid));
     incr t.retired_count.(tid);
     if !(t.retired_count.(tid)) >= t.scan_threshold then scan t ~tid
 
-  let unreclaimed t = Atomic.get t.pending
+  let unreclaimed t = Scheme_intf.Counters.unreclaimed t.counters
+  let stats t = Scheme_intf.Counters.stats t.counters
+  let pp_stats fmt t = Scheme_intf.pp_stats_record fmt (stats t)
 
   let flush t =
-    for tid = 0 to Registry.max_threads - 1 do
+    for tid = 0 to Registry.registered () - 1 do
       scan t ~tid
     done
 end

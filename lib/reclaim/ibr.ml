@@ -17,6 +17,7 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
 
   type t = {
     alloc : Memdom.Alloc.t;
+    sink : Obs.Sink.t;
     hps : int;
     lo : int Atomic.t array; (* reservation lower bound, [tid] *)
     hi : int Atomic.t array; (* reservation upper bound, [tid] *)
@@ -25,16 +26,20 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     retire_count : int ref array;
     scan_threshold : int;
     era_freq : int;
-    pending : int Atomic.t;
+    counters : Scheme_intf.Counters.t;
   }
 
   let name = "ibr"
   let max_hps t = t.hps
   let no_reservation = max_int
 
-  let create ?(max_hps = 8) alloc =
+  let create ?(max_hps = 8) ?sink alloc =
+    let sink =
+      match sink with Some s -> s | None -> Memdom.Alloc.sink alloc
+    in
     {
       alloc;
+      sink;
       hps = max_hps;
       lo = Array.init Registry.max_threads (fun _ -> Atomic.make no_reservation);
       hi = Array.init Registry.max_threads (fun _ -> Atomic.make 0);
@@ -43,17 +48,19 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
       retire_count = Array.init Registry.max_threads (fun _ -> ref 0);
       scan_threshold = 128;
       era_freq = 16;
-      pending = Atomic.make 0;
+      counters = Scheme_intf.Counters.create ();
     }
 
   let begin_op t ~tid =
     let e = Memdom.Alloc.era t.alloc in
     Atomic.set t.lo.(tid) e;
-    Atomic.set t.hi.(tid) e
+    Atomic.set t.hi.(tid) e;
+    Obs.Sink.guard_begin t.sink ~tid
 
   let end_op t ~tid =
     Atomic.set t.lo.(tid) no_reservation;
-    Atomic.set t.hi.(tid) 0
+    Atomic.set t.hi.(tid) 0;
+    Obs.Sink.guard_end t.sink ~tid
 
   (* Extend the reservation to cover the read: loop until the link is
      re-read under an era already covered by [hi]. *)
@@ -73,12 +80,13 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
   let copy_protection _t ~tid:_ ~src:_ ~dst:_ = ()
   let clear _t ~tid:_ ~idx:_ = ()
 
-  let reserved_by_any t n =
+  let reserved_by_any t ~visited n =
     let h = N.hdr n in
     let birth = h.Memdom.Hdr.birth_era and death = h.Memdom.Hdr.death_era in
     let found = ref false in
     (try
        for it = 0 to Registry.max_threads - 1 do
+         incr visited;
          let lo = Atomic.get t.lo.(it) and hi = Atomic.get t.hi.(it) in
          if birth <= hi && death >= lo then begin
            found := true;
@@ -88,22 +96,29 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
      with Exit -> ());
     !found
 
-  let free_node t n =
-    Memdom.Alloc.free t.alloc (N.hdr n);
-    ignore (Atomic.fetch_and_add t.pending (-1))
+  let free_node t ~tid n =
+    Scheme_intf.Counters.freed t.counters ~tid;
+    Memdom.Alloc.free t.alloc (N.hdr n)
 
   let scan t ~tid =
+    let began = Obs.Sink.scan_begin t.sink in
+    let visited = ref 0 in
     let keep, release =
-      List.partition (fun n -> reserved_by_any t n) !(t.retired.(tid))
+      List.partition (fun n -> reserved_by_any t ~visited n) !(t.retired.(tid))
     in
     t.retired.(tid) := keep;
     t.retired_count.(tid) := List.length keep;
-    List.iter (free_node t) release
+    List.iter (free_node t ~tid) release;
+    Scheme_intf.Counters.scanned t.counters ~tid ~slots:!visited;
+    Obs.Sink.scan_end t.sink ~tid ~slots:!visited ~began
 
   let retire t ~tid n =
-    Memdom.Hdr.mark_retired (N.hdr n);
-    (N.hdr n).Memdom.Hdr.death_era <- Memdom.Alloc.era t.alloc;
-    ignore (Atomic.fetch_and_add t.pending 1);
+    let h = N.hdr n in
+    Memdom.Hdr.mark_retired h;
+    h.Memdom.Hdr.death_era <- Memdom.Alloc.era t.alloc;
+    h.Memdom.Hdr.retired_ns <-
+      Obs.Sink.on_retire t.sink ~tid ~uid:h.Memdom.Hdr.uid;
+    Scheme_intf.Counters.retired t.counters ~tid;
     t.retired.(tid) := n :: !(t.retired.(tid));
     incr t.retired_count.(tid);
     incr t.retire_count.(tid);
@@ -111,10 +126,12 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
       ignore (Memdom.Alloc.bump_era t.alloc);
     if !(t.retired_count.(tid)) >= t.scan_threshold then scan t ~tid
 
-  let unreclaimed t = Atomic.get t.pending
+  let unreclaimed t = Scheme_intf.Counters.unreclaimed t.counters
+  let stats t = Scheme_intf.Counters.stats t.counters
+  let pp_stats fmt t = Scheme_intf.pp_stats_record fmt (stats t)
 
   let flush t =
-    for tid = 0 to Registry.max_threads - 1 do
+    for tid = 0 to Registry.registered () - 1 do
       scan t ~tid
     done
 end

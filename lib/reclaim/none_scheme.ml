@@ -14,43 +14,53 @@ module Leak (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
 
   type t = {
     alloc : Memdom.Alloc.t;
+    sink : Obs.Sink.t;
     hps : int;
     retired : node list ref array;
-    pending : int Atomic.t;
+    counters : Scheme_intf.Counters.t;
   }
 
   let name = "leak"
   let max_hps t = t.hps
 
-  let create ?(max_hps = 8) alloc =
+  let create ?(max_hps = 8) ?sink alloc =
+    let sink =
+      match sink with Some s -> s | None -> Memdom.Alloc.sink alloc
+    in
     {
       alloc;
+      sink;
       hps = max_hps;
       retired = Array.init Registry.max_threads (fun _ -> ref []);
-      pending = Atomic.make 0;
+      counters = Scheme_intf.Counters.create ();
     }
 
-  let begin_op _ ~tid:_ = ()
-  let end_op _ ~tid:_ = ()
+  let begin_op t ~tid = Obs.Sink.guard_begin t.sink ~tid
+  let end_op t ~tid = Obs.Sink.guard_end t.sink ~tid
   let get_protected _ ~tid:_ ~idx:_ link = Link.get link
   let protect_raw _ ~tid:_ ~idx:_ _ = ()
   let copy_protection _ ~tid:_ ~src:_ ~dst:_ = ()
   let clear _ ~tid:_ ~idx:_ = ()
 
   let retire t ~tid n =
-    Memdom.Hdr.mark_retired (N.hdr n);
-    ignore (Atomic.fetch_and_add t.pending 1);
+    let h = N.hdr n in
+    Memdom.Hdr.mark_retired h;
+    h.Memdom.Hdr.retired_ns <-
+      Obs.Sink.on_retire t.sink ~tid ~uid:h.Memdom.Hdr.uid;
+    Scheme_intf.Counters.retired t.counters ~tid;
     t.retired.(tid) := n :: !(t.retired.(tid))
 
-  let unreclaimed t = Atomic.get t.pending
+  let unreclaimed t = Scheme_intf.Counters.unreclaimed t.counters
+  let stats t = Scheme_intf.Counters.stats t.counters
+  let pp_stats fmt t = Scheme_intf.pp_stats_record fmt (stats t)
 
   (* Quiesced: everything retired is reclaimable by definition. *)
   let flush t =
-    for tid = 0 to Registry.max_threads - 1 do
+    for tid = 0 to Registry.registered () - 1 do
       List.iter
         (fun n ->
-          Memdom.Alloc.free t.alloc (N.hdr n);
-          ignore (Atomic.fetch_and_add t.pending (-1)))
+          Scheme_intf.Counters.freed t.counters ~tid;
+          Memdom.Alloc.free t.alloc (N.hdr n))
         !(t.retired.(tid));
       t.retired.(tid) := []
     done
@@ -58,22 +68,41 @@ end
 
 module Unsafe (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
   type node = N.t
-  type t = { alloc : Memdom.Alloc.t; hps : int }
+
+  type t = {
+    alloc : Memdom.Alloc.t;
+    sink : Obs.Sink.t;
+    hps : int;
+    counters : Scheme_intf.Counters.t;
+  }
 
   let name = "unsafe"
   let max_hps t = t.hps
-  let create ?(max_hps = 8) alloc = { alloc; hps = max_hps }
-  let begin_op _ ~tid:_ = ()
-  let end_op _ ~tid:_ = ()
+
+  let create ?(max_hps = 8) ?sink alloc =
+    let sink =
+      match sink with Some s -> s | None -> Memdom.Alloc.sink alloc
+    in
+    { alloc; sink; hps = max_hps; counters = Scheme_intf.Counters.create () }
+
+  let begin_op t ~tid = Obs.Sink.guard_begin t.sink ~tid
+  let end_op t ~tid = Obs.Sink.guard_end t.sink ~tid
   let get_protected _ ~tid:_ ~idx:_ link = Link.get link
   let protect_raw _ ~tid:_ ~idx:_ _ = ()
   let copy_protection _ ~tid:_ ~src:_ ~dst:_ = ()
   let clear _ ~tid:_ ~idx:_ = ()
 
-  let retire t ~tid:_ n =
-    Memdom.Hdr.mark_retired (N.hdr n);
+  let retire t ~tid n =
+    let h = N.hdr n in
+    Memdom.Hdr.mark_retired h;
+    h.Memdom.Hdr.retired_ns <-
+      Obs.Sink.on_retire t.sink ~tid ~uid:h.Memdom.Hdr.uid;
+    Scheme_intf.Counters.retired t.counters ~tid;
+    Scheme_intf.Counters.freed t.counters ~tid;
     Memdom.Alloc.free t.alloc (N.hdr n)
 
   let unreclaimed _ = 0
+  let stats t = Scheme_intf.Counters.stats t.counters
+  let pp_stats fmt t = Scheme_intf.pp_stats_record fmt (stats t)
   let flush _ = ()
 end

@@ -21,33 +21,38 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
 
   type t = {
     alloc : Memdom.Alloc.t;
+    sink : Obs.Sink.t;
     hps : int;
     post : node option Atomic.t array array; (* guards, [tid][idx] *)
     handoff : handoff Atomic.t array array;
     retired : node list ref array;
     scan_threshold : int;
-    pending : int Atomic.t;
+    counters : Scheme_intf.Counters.t;
   }
 
   let name = "ptb"
   let max_hps t = t.hps
 
-  let create ?(max_hps = 8) alloc =
+  let create ?(max_hps = 8) ?sink alloc =
+    let sink =
+      match sink with Some s -> s | None -> Memdom.Alloc.sink alloc
+    in
     let mk_posts _ = Padded.atomic_array max_hps None in
     let mk_handoffs _ =
       Array.init max_hps (fun _ -> Atomic.make { v = None; ver = 0 })
     in
     {
       alloc;
+      sink;
       hps = max_hps;
       post = Array.init Registry.max_threads mk_posts;
       handoff = Array.init Registry.max_threads mk_handoffs;
       retired = Array.init Registry.max_threads (fun _ -> ref []);
       scan_threshold = 2 * max_hps * 8;
-      pending = Atomic.make 0;
+      counters = Scheme_intf.Counters.create ();
     }
 
-  let begin_op _ ~tid:_ = ()
+  let begin_op t ~tid = Obs.Sink.guard_begin t.sink ~tid
   let protect_raw t ~tid ~idx n = Atomic.set t.post.(tid).(idx) n
 
   let copy_protection t ~tid ~src ~dst =
@@ -62,16 +67,17 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     in
     loop (Link.get link)
 
-  let free_node t n =
-    Memdom.Alloc.free t.alloc (N.hdr n);
-    ignore (Atomic.fetch_and_add t.pending (-1))
+  let free_node t ~tid n =
+    Scheme_intf.Counters.freed t.counters ~tid;
+    Memdom.Alloc.free t.alloc (N.hdr n)
 
   (* Find a guard currently trapping [p]. *)
-  let find_guard t p =
+  let find_guard t ~visited p =
     let found = ref None in
     (try
        for it = 0 to Registry.max_threads - 1 do
          for idx = 0 to t.hps - 1 do
+           incr visited;
            match Atomic.get t.post.(it).(idx) with
            | Some m when m == p ->
                found := Some (it, idx);
@@ -83,6 +89,8 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     !found
 
   let liberate t ~tid values =
+    let began = Obs.Sink.scan_begin t.sink in
+    let visited = ref 0 in
     let work = Queue.create () in
     List.iter (fun p -> Queue.add p work) values;
     let budget = ref (Queue.length work + (Registry.max_threads * t.hps) + 8) in
@@ -92,8 +100,8 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
       if !budget <= 0 then leftovers := p :: !leftovers
       else begin
         decr budget;
-        match find_guard t p with
-        | None -> free_node t p
+        match find_guard t ~visited p with
+        | None -> free_node t ~tid p
         | Some (it, idx) ->
             let slot = t.handoff.(it).(idx) in
             let rec hand () =
@@ -105,7 +113,9 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
             hand ()
       end
     done;
-    t.retired.(tid) := !leftovers @ !(t.retired.(tid))
+    t.retired.(tid) := !leftovers @ !(t.retired.(tid));
+    Scheme_intf.Counters.scanned t.counters ~tid ~slots:!visited;
+    Obs.Sink.scan_end t.sink ~tid ~slots:!visited ~began
 
   let clear t ~tid ~idx =
     Atomic.set t.post.(tid).(idx) None;
@@ -122,11 +132,15 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
   let end_op t ~tid =
     for idx = 0 to t.hps - 1 do
       clear t ~tid ~idx
-    done
+    done;
+    Obs.Sink.guard_end t.sink ~tid
 
   let retire t ~tid n =
-    Memdom.Hdr.mark_retired (N.hdr n);
-    ignore (Atomic.fetch_and_add t.pending 1);
+    let h = N.hdr n in
+    Memdom.Hdr.mark_retired h;
+    h.Memdom.Hdr.retired_ns <-
+      Obs.Sink.on_retire t.sink ~tid ~uid:h.Memdom.Hdr.uid;
+    Scheme_intf.Counters.retired t.counters ~tid;
     t.retired.(tid) := n :: !(t.retired.(tid));
     if List.length !(t.retired.(tid)) >= t.scan_threshold then begin
       let vs = !(t.retired.(tid)) in
@@ -134,11 +148,13 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
       liberate t ~tid vs
     end
 
-  let unreclaimed t = Atomic.get t.pending
+  let unreclaimed t = Scheme_intf.Counters.unreclaimed t.counters
+  let stats t = Scheme_intf.Counters.stats t.counters
+  let pp_stats fmt t = Scheme_intf.pp_stats_record fmt (stats t)
 
   let flush t =
     for _ = 1 to 2 do
-      for tid = 0 to Registry.max_threads - 1 do
+      for tid = 0 to Registry.registered () - 1 do
         let vs = !(t.retired.(tid)) in
         t.retired.(tid) := [];
         liberate t ~tid vs

@@ -11,6 +11,64 @@
     instantiates [Make (N)] with its own node record, which only has to
     expose its embedded {!Memdom.Hdr.t}. *)
 
+open Atomicx
+
+(** Unified introspection record: every scheme counts the same four
+    monotonic quantities, so Table-1 bound measurements and forensics
+    no longer special-case OrcGC's richer stats. *)
+type stats = {
+  retires : int;  (** objects handed to [retire] *)
+  frees : int;  (** objects returned to the allocator *)
+  scans : int;  (** protection-scan passes (HP scan, PTP handover walk,
+                    PTB liberate, EBR/HE/IBR reclaim pass) *)
+  scan_slots : int;  (** protection slots visited by those passes *)
+}
+
+let pp_stats_record fmt s =
+  Format.fprintf fmt
+    "retires=%d frees=%d unreclaimed=%d scans=%d scan-slots=%d" s.retires
+    s.frees (s.retires - s.frees) s.scans s.scan_slots
+
+(** The per-thread-sharded counter bundle behind {!stats}, shared by all
+    scheme implementations (one padded cell per registry slot, merged on
+    read — the [Atomicx.Shard] soundness caveat applies: a concurrent
+    read is exact to within one in-flight delta per thread). *)
+module Counters = struct
+  type t = {
+    retires : Shard.t;
+    frees : Shard.t;
+    scans : Shard.t;
+    scan_slots : Shard.t;
+  }
+
+  let create () =
+    {
+      retires = Shard.create ();
+      frees = Shard.create ();
+      scans = Shard.create ();
+      scan_slots = Shard.create ();
+    }
+
+  let retired t ~tid = Shard.incr t.retires ~tid
+  let freed t ~tid = Shard.incr t.frees ~tid
+
+  let scanned t ~tid ~slots =
+    Shard.incr t.scans ~tid;
+    Shard.add t.scan_slots ~tid slots
+
+  let stats t : stats =
+    {
+      retires = Shard.get t.retires;
+      frees = Shard.get t.frees;
+      scans = Shard.get t.scans;
+      scan_slots = Shard.get t.scan_slots;
+    }
+
+  (* retires and frees are monotonic and frees never outruns retires in
+     quiescence, so the difference is the unreclaimed population. *)
+  let unreclaimed t = max 0 (Shard.get t.retires - Shard.get t.frees)
+end
+
 module type NODE = sig
   type t
 
@@ -25,11 +83,14 @@ module type S = sig
   val name : string
   (** Short name used in benchmark tables ("hp", "ptp", ...). *)
 
-  val create : ?max_hps:int -> Memdom.Alloc.t -> t
+  val create : ?max_hps:int -> ?sink:Obs.Sink.t -> Memdom.Alloc.t -> t
   (** [create alloc] builds scheme state sized for
       [Atomicx.Registry.max_threads] threads and [max_hps] hazardous
       pointers per thread (the paper's [H], default 8).  Freed nodes are
-      returned to [alloc]. *)
+      returned to [alloc].  [sink] receives lifecycle events
+      (retire/scan/guard) and defaults to [Memdom.Alloc.sink alloc], so
+      a structure traced through its allocator needs no extra
+      plumbing. *)
 
   val begin_op : t -> tid:int -> unit
   (** Enter a data-structure operation.  No-op for pointer-based schemes;
@@ -71,6 +132,12 @@ module type S = sig
   (** Nodes retired but not yet freed — the quantity the paper's memory
       bounds constrain: O(Ht) for PTP, O(Ht²) for HP/PTB, unbounded for
       EBR. *)
+
+  val stats : t -> stats
+  (** Monotonic observability counters (sharded per thread, merged on
+      read; exact to within one in-flight delta per thread). *)
+
+  val pp_stats : Format.formatter -> t -> unit
 
   val flush : t -> unit
   (** Quiesced best-effort drain (all worker threads stopped): free

@@ -180,7 +180,7 @@ struct
   (* Memory stays bounded while the structure churns: sample live objects
      mid-run; they must stay within reachable + the scheme's slack, not
      grow with the operation count. *)
-  let live_objects_peak () =
+  let live_objects_run () =
     let s = S.create () in
     let keys = 32 in
     for k = 1 to keys do
@@ -188,11 +188,15 @@ struct
     done;
     let stop = Atomic.make false in
     let peak = ref 0 in
+    let series = ref [] in
     let watcher =
       Domain.spawn (fun () ->
+          let ticks = ref 0 in
           while not (Atomic.get stop) do
             let l = Memdom.Alloc.live (S.alloc s) in
             if l > !peak then peak := l;
+            incr ticks;
+            if !ticks land 1023 = 0 then series := l :: !series;
             Domain.cpu_relax ()
           done)
     in
@@ -208,16 +212,16 @@ struct
     S.destroy s;
     S.flush s;
     check_int "no leak" 0 (Memdom.Alloc.live (S.alloc s));
-    !peak
+    (!peak, List.rev !series)
+
+  let live_objects_peak () = fst (live_objects_run ())
 
   let test_live_objects_bounded () =
     (* generous slack: sentinels, per-thread scan thresholds, skip-list
        towers; the point is that 16k ops on 32 keys don't accumulate.
-       A scheduler stall of the reclaiming thread on this oversubscribed
-       single-core host can pin a quantum's worth of churn, so a blown
-       bound gets one clean retry: a real accumulator blows both. *)
+       A blown bound gets one traced retry; see [Util.trace_retry]. *)
     let peak = live_objects_peak () in
-    let peak = if peak < 4_096 then peak else live_objects_peak () in
+    let peak = trace_retry ~name:L.name ~bound:4_096 ~first:peak live_objects_run in
     check_bool
       (Printf.sprintf "peak live %d bounded (not O(ops))" peak)
       true (peak < 4_096)

@@ -110,6 +110,29 @@ let test_concurrent_free_single_winner () =
     check_int "one winner" 1 (List.length winners)
   done
 
+let test_stats_fake_clock () =
+  (* [?clock] makes interval math deterministic: no sleeping, no
+     wall-clock slop in the [diff] interval. *)
+  let t = ref 10.0 in
+  let clock () =
+    let now = !t in
+    t := now +. 2.5;
+    now
+  in
+  let a = Memdom.Alloc.create "t" in
+  let h1 = Memdom.Alloc.hdr a () in
+  let s0 = Memdom.Stats.take ~clock a in
+  let _h2 = Memdom.Alloc.hdr a () in
+  Memdom.Alloc.free a h1;
+  let s1 = Memdom.Stats.take ~clock a in
+  check_bool "fake clock stamps at" true (s0.Memdom.Stats.at = 10.0);
+  check_bool "fake clock advances" true (s1.Memdom.Stats.at = 12.5);
+  let d = Memdom.Stats.diff s0 s1 in
+  check_int "allocated delta" 1 d.Memdom.Stats.allocated;
+  check_int "freed delta" 1 d.Memdom.Stats.freed;
+  check_int "live delta" 0 d.Memdom.Stats.live;
+  check_bool "interval is exact" true (d.Memdom.Stats.at = 2.5)
+
 let suite =
   [
     ( "memdom",
@@ -129,5 +152,7 @@ let suite =
         Alcotest.test_case "era clock" `Quick test_era_clock;
         Alcotest.test_case "concurrent double-free detected" `Quick
           test_concurrent_free_single_winner;
+        Alcotest.test_case "stats snapshots with a fake clock" `Quick
+          test_stats_fake_clock;
       ] );
   ]

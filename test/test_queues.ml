@@ -158,15 +158,19 @@ module Battery (Q : QUEUE) = struct
     check_int "no leak after bursts" 0 (Memdom.Alloc.live (Q.alloc q))
 
   (* Steady-state memory: pairs of enq/deq must not accumulate nodes. *)
-  let steady_state_peak () =
+  let steady_state_run () =
     let q = Q.create () in
     let stop = Atomic.make false in
     let peak = ref 0 in
+    let series = ref [] in
     let watcher =
       Domain.spawn (fun () ->
+          let ticks = ref 0 in
           while not (Atomic.get stop) do
             let l = Memdom.Alloc.live (Q.alloc q) in
             if l > !peak then peak := l;
+            incr ticks;
+            if !ticks land 1023 = 0 then series := l :: !series;
             Domain.cpu_relax ()
           done)
     in
@@ -180,7 +184,9 @@ module Battery (Q : QUEUE) = struct
     Q.destroy q;
     Q.flush q;
     check_int "no leak" 0 (Memdom.Alloc.live (Q.alloc q));
-    !peak
+    (!peak, List.rev !series)
+
+  let steady_state_peak () = fst (steady_state_run ())
 
   let test_steady_state_bounded () =
     let peak = steady_state_peak () in
@@ -191,12 +197,12 @@ module Battery (Q : QUEUE) = struct
         (Printf.sprintf "leak control unbounded (peak %d)" peak)
         true (peak > 4_096)
     else begin
-      (* One scheduler stall of the reclaiming thread on this
-         oversubscribed single-core host can pin a quantum's worth of
-         churn (thousands of nodes) without the scheme being at fault,
-         so a blown bound gets one clean retry: a real O(ops)
-         accumulator blows both runs deterministically. *)
-      let peak = if peak < 4_096 then peak else steady_state_peak () in
+      (* a blown bound gets one traced retry; see [Util.trace_retry] *)
+      let peak =
+        trace_retry
+          ~name:("msq-" ^ Q.scheme_name)
+          ~bound:4_096 ~first:peak steady_state_run
+      in
       check_bool
         (Printf.sprintf "peak live %d bounded (not O(ops))" peak)
         true (peak < 4_096)

@@ -28,5 +28,43 @@ let run_domains_exn n f =
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
+(* Trace-assisted retry for the steady-state memory-bound tests.  A
+   scheduler stall of the reclaiming thread on an oversubscribed host
+   can pin a quantum's worth of churn without the scheme being at
+   fault, so a blown bound gets one clean retry — but blind retries
+   hide real regressions, so the retry reruns under an active [Obs]
+   sink and, if the bound blows again, dumps the retire→free latency
+   histogram and the sampled live-object series before the caller
+   fails: enough to tell "reclamation stalled" from "nothing was ever
+   freed".  [run] must build its structures inside the callback so they
+   pick up the ambient sink; it returns (peak, live series). *)
+let trace_retry ~name ~bound ~first run =
+  if first < bound then first
+  else begin
+    Printf.eprintf
+      "%s: peak live %d blew the bound %d; retrying under an active trace \
+       sink\n\
+       %!"
+      name first bound;
+    let sink = Obs.Sink.make () in
+    let peak, series = Obs.Sink.with_default sink run in
+    if peak >= bound then begin
+      (match Obs.Sink.retire_free_hist sink with
+      | Some h when Obs.Hist.count h > 0 ->
+          Format.eprintf "%s: retire->free latency on the failing run:@.%a@."
+            name
+            (Obs.Hist.pp ~unit_label:"ns")
+            h
+      | _ ->
+          Format.eprintf
+            "%s: no retire->free samples on the failing run (nothing was \
+             freed)@."
+            name);
+      Format.eprintf "%s: live-object series (sampled): %s@." name
+        (String.concat " " (List.map string_of_int series))
+    end;
+    peak
+  end
+
 let qtest ?(count = 200) name gen prop =
   QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)

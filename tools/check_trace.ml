@@ -1,0 +1,34 @@
+(* Validate a Chrome-trace JSON file emitted by `bench/main.exe --trace`
+   (or any [Obs.Trace] export): the document must parse, carry a
+   well-formed [traceEvents] list, and pair every guard "B" with an "E"
+   per (pid, tid) lane — the property Perfetto needs to render the guard
+   slices instead of silently dropping them.
+
+     dune exec tools/check_trace.exe -- trace.json
+
+   Exits 0 on a valid trace, 1 otherwise. *)
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; path |] -> path
+    | _ -> fail "usage: check_trace <trace.json>"
+  in
+  let doc =
+    match Obs.Json.of_file path with
+    | doc -> doc
+    | exception Obs.Json.Parse_error e -> fail "%s: JSON parse error: %s" path e
+    | exception Sys_error e -> fail "%s" e
+  in
+  match Obs.Trace.validate doc with
+  | Error e -> fail "%s: invalid trace: %s" path e
+  | Ok () ->
+      let n =
+        match Obs.Json.member "traceEvents" doc with
+        | Some (Obs.Json.List evs) -> List.length evs
+        | Some _ | None -> 0
+      in
+      Printf.printf "%s: OK (%d events, all guard begin/end pairs balanced)\n"
+        path n
