@@ -37,6 +37,7 @@ let arg_value prefix =
     None Sys.argv
 
 let smoke = arg_flag "--smoke"
+let churn_only = arg_flag "--churn"
 let trace_out = arg_value "--trace="
 
 let json_out = if arg_flag "--json" then Some "BENCH_orc.json" else None
@@ -217,6 +218,68 @@ let tracing_json (traced, null_mops, active_mops) =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Domain churn: reclamation latency while short-lived domains die at
+   random points.  The interesting number is the retire->free p99 —
+   how long an object can linger when its retirer dies and a survivor
+   has to adopt it — plus the orphan-publish -> adopt latency. *)
+
+let run_churn () =
+  Format.printf
+    "@.== Domain churn: reclamation under thread death (%d domains/battery) \
+     ==@."
+    (Chaos.default.waves * Chaos.default.domains_per_wave);
+  Format.printf "  %-8s %14s %14s %12s %10s %6s@." "scheme" "retire-free-p50"
+    "retire-free-p99" "adopt-p99" "domains" "ok";
+  List.map
+    (fun (name, battery) ->
+      let sink = Obs.Sink.make () in
+      let r = battery { Chaos.default with sink } in
+      let rf =
+        match Obs.Sink.retire_free_hist sink with
+        | Some h when Obs.Hist.count h > 0 -> Some (Obs.Hist.report h)
+        | _ -> None
+      in
+      let ad =
+        match Obs.Sink.adopt_hist sink with
+        | Some h when Obs.Hist.count h > 0 -> Some (Obs.Hist.report h)
+        | _ -> None
+      in
+      let p get = function
+        | Some (rep : Obs.Hist.report) -> Printf.sprintf "%dns" (get rep)
+        | None -> "-"
+      in
+      Format.printf "  %-8s %14s %14s %12s %10d %6b@." name
+        (p (fun rep -> rep.Obs.Hist.p50) rf)
+        (p (fun rep -> rep.Obs.Hist.p99) rf)
+        (p (fun rep -> rep.Obs.Hist.p99) ad)
+        r.Chaos.domains (Chaos.ok r);
+      (name, r, rf, ad))
+    Chaos.batteries
+
+let churn_json results =
+  let open Harness in
+  Json.Obj
+    (List.map
+       (fun (name, (r : Chaos.report), rf, ad) ->
+         ( name,
+           Json.Obj
+             ([
+                ("domains", Json.Int r.Chaos.domains);
+                ("killed", Json.Int r.Chaos.killed);
+                ("abandoned", Json.Int r.Chaos.abandoned);
+                ("peak_unreclaimed", Json.Int r.Chaos.peak_unreclaimed);
+                ("ok", Json.Bool (Chaos.ok r));
+              ]
+             @ (match rf with
+               | Some rep -> [ ("retire_free_ns", Obs.Hist.report_to_json rep) ]
+               | None -> [])
+             @
+             match ad with
+             | Some rep -> [ ("adopt_ns", Obs.Hist.report_to_json rep) ]
+             | None -> []) ))
+       results)
+
+(* ------------------------------------------------------------------ *)
 
 let print_mix_tables title tables =
   List.iter
@@ -319,6 +382,7 @@ let run_full () =
     backend;
 
   let tracing = run_tracing () in
+  let churn = run_churn () in
   let micro = run_micro () in
 
   match json_out with
@@ -361,9 +425,25 @@ let run_full () =
                        ])
                    backend) );
             ("reclamation_tracing", tracing_json tracing);
+            ("domain_churn", churn_json churn);
             ( "micro_ns_per_op",
               Json.Obj (List.map (fun (n, e) -> (n, Json.Float e)) micro) );
           ]
+      in
+      Json.to_file path j;
+      Format.printf "@.wrote %s@." path
+
+(* Standalone churn mode: just the domain-churn section, fast enough
+   to run on every change. *)
+let run_churn_only () =
+  let open Harness in
+  let churn = run_churn () in
+  match json_out with
+  | None -> ()
+  | Some path ->
+      let j =
+        Json.Obj
+          [ ("params", params_json ()); ("domain_churn", churn_json churn) ]
       in
       Json.to_file path j;
       Format.printf "@.wrote %s@." path
@@ -374,5 +454,7 @@ let () =
     (String.concat "," (List.map string_of_int params.threads))
     params.duration
     (if smoke then ", smoke" else "");
-  if smoke then run_smoke () else run_full ();
+  if churn_only then run_churn_only ()
+  else if smoke then run_smoke ()
+  else run_full ();
   Format.printf "@.done.@."

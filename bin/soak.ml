@@ -106,7 +106,49 @@ let targets () =
     set_target "hashmap-orc" ~keys:1024 (module Hm_orc);
   ]
 
-let run seconds workers seed =
+(* Domain-churn chaos mode (--churn): instead of long-lived workers,
+   spawn waves of short-lived domains through the Chaos batteries until
+   the time budget runs out, killing them at randomized points.  Every
+   battery must hold the lifecycle contract on every repetition. *)
+let run_churn seconds seed =
+  Printf.printf "soak --churn: %.0fs budget, seed %d, %d batteries\n%!"
+    seconds seed
+    (List.length Chaos.batteries);
+  let t0 = Unix.gettimeofday () in
+  let bad = ref 0 in
+  let round = ref 0 in
+  let total_domains = ref 0 in
+  while
+    Unix.gettimeofday () -. t0 < seconds && (!bad = 0 || !round = 0)
+  do
+    incr round;
+    let cfg = { Chaos.default with seed = seed + !round } in
+    List.iter
+      (fun (name, battery) ->
+        let r = battery cfg in
+        total_domains := !total_domains + r.Chaos.domains;
+        if not (Chaos.ok r) then begin
+          incr bad;
+          Format.eprintf "round %d %s: lifecycle contract violated@.%a@."
+            !round name Chaos.pp_report r
+        end)
+      Chaos.batteries
+  done;
+  Printf.printf "churned %d short-lived domains over %d rounds\n%!"
+    !total_domains !round;
+  if !bad = 0 then begin
+    Printf.printf
+      "churn passed: no UAF, no lost orphans, no slot exhaustion\n";
+    0
+  end
+  else begin
+    Printf.eprintf "churn FAILED: %d battery violations\n" !bad;
+    1
+  end
+
+let run seconds workers seed churn =
+  if churn then run_churn seconds seed
+  else
   let ts = targets () in
   Printf.printf "soak: %d structures, %d workers, %.0fs, seed %d\n%!"
     (List.length ts) workers seconds seed;
@@ -167,9 +209,17 @@ let workers_arg =
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.")
 
+let churn_arg =
+  Arg.(
+    value & flag
+    & info [ "churn" ]
+        ~doc:
+          "Domain-churn chaos mode: waves of short-lived domains dying at \
+           randomized points, instead of long-lived workers.")
+
 let cmd =
   Cmd.v
     (Cmd.info "soak" ~doc:"randomized cross-structure soak test")
-    Term.(const run $ seconds_arg $ workers_arg $ seed_arg)
+    Term.(const run $ seconds_arg $ workers_arg $ seed_arg $ churn_arg)
 
 let () = exit (Cmd.eval' cmd)

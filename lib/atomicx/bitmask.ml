@@ -20,6 +20,13 @@ let create capacity =
 
 let capacity t = t.capacity
 
+let reset t =
+  let nwords = Array.length t.words in
+  Array.fill t.words 0 nwords 0;
+  let valid_last = t.capacity - ((nwords - 1) * bits_per_word) in
+  if valid_last < bits_per_word then
+    t.words.(nwords - 1) <- full lxor ((1 lsl valid_last) - 1)
+
 (* Index of a one-bit value, by constant-step binary descent. *)
 let bit_index b =
   let n = ref 0 and b = ref b in

@@ -19,6 +19,11 @@ val create : int -> t
 
 val capacity : t -> int
 
+val reset : t -> unit
+(** Mark every index free again, as if freshly created.  Used by the
+    registry quarantine pass so a recycled tid starts from an empty
+    hazard-index mask. *)
+
 val acquire : t -> from:int -> int option
 (** [acquire t ~from]: mark and return the lowest free index [>= from],
     or [None] if every index in [\[from, capacity)] is taken.  Negative

@@ -1,8 +1,24 @@
 let max_threads = 128
 
-exception Too_many_threads
+exception Too_many_threads of string
 
-let slots = Array.init max_threads (fun _ -> Atomic.make false)
+(* Slot word: low 2 bits are the lifecycle state, the rest is a
+   generation counter bumped every time the slot completes a
+   Quarantined -> Free transition.  A reused tid therefore carries a
+   fresh generation, and tests can assert "this is really a recycled
+   slot, and its quarantine pass ran". *)
+let st_free = 0
+
+let st_active = 1
+let st_quarantined = 2
+
+(* [reserve]d on behalf of a thread that never acquires: visible to
+   protection scans like Active, never claimable, never released. *)
+let st_staged = 3
+let state_bits = 3
+let state_of v = v land state_bits
+let gen_of v = v lsr 2
+let slots = Array.init max_threads (fun _ -> Atomic.make 0)
 
 (* 1 + highest tid ever handed out: lets per-thread scans stop early *)
 let watermark = Atomic.make 0
@@ -10,22 +26,125 @@ let watermark = Atomic.make 0
 (* -1 encodes "no slot held by this domain". *)
 let key = Domain.DLS.new_key (fun () -> ref (-1))
 
+(* Has this domain registered its at-exit release hook yet? *)
+let exit_hooked = Domain.DLS.new_key (fun () -> ref false)
+
+(* {2 Quarantine cleaners}
+
+   Schemes register a cleaner at creation; [release]/[force_release]
+   run every live cleaner with the quarantined tid before the slot is
+   re-issued, so the new owner never inherits stale hazards, parked
+   handovers or retire lists.  The registry is process-global but
+   schemes are not, so cleaners are held weakly: a scheme keeps its own
+   closure alive (strong field in its record) and the entry evaporates
+   with the scheme instead of pinning it forever. *)
+let cleaners : (int -> unit) Weak.t ref = ref (Weak.create 16)
+
+let cleaners_lock = Mutex.create ()
+
+let on_quarantine f =
+  Mutex.lock cleaners_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock cleaners_lock)
+    (fun () ->
+      let w = !cleaners in
+      let len = Weak.length w in
+      let rec free i =
+        if i >= len then None else if Weak.check w i then free (i + 1) else Some i
+      in
+      match free 0 with
+      | Some i -> Weak.set w i (Some f)
+      | None ->
+          let w' = Weak.create (2 * len) in
+          Weak.blit w 0 w' 0 len;
+          Weak.set w' len (Some f);
+          cleaners := w')
+
+(* Snapshot the live cleaners under the lock, run them outside it (a
+   cleaner may allocate, trace, even register further cleaners).  Every
+   cleaner runs even if one raises; the first exception is re-raised
+   after the pass so a buggy scheme cannot leave another's state
+   dirty. *)
+let run_cleaners dead =
+  let fs =
+    Mutex.lock cleaners_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock cleaners_lock)
+      (fun () ->
+        let w = !cleaners in
+        let acc = ref [] in
+        for i = 0 to Weak.length w - 1 do
+          match Weak.get w i with Some f -> acc := f :: !acc | None -> ()
+        done;
+        !acc)
+  in
+  let first_exn = ref None in
+  List.iter
+    (fun f ->
+      try f dead
+      with e -> if !first_exn = None then first_exn := Some e)
+    fs;
+  match !first_exn with Some e -> raise e | None -> ()
+
+(* The quarantine pass proper: [i] is already Quarantined and owned by
+   the caller.  Even if a cleaner raises, the slot still becomes Free
+   (with a bumped generation) — the exception is the signal, a wedged
+   slot would just turn one failure into registry exhaustion. *)
+let quarantine_and_free i =
+  Fun.protect
+    ~finally:(fun () ->
+      let v = Atomic.get slots.(i) in
+      Atomic.set slots.(i) (((gen_of v + 1) lsl 2) lor st_free))
+    (fun () -> run_cleaners i)
+
 let acquire () =
   let rec scan i =
-    if i >= max_threads then raise Too_many_threads
-    else if (not (Atomic.get slots.(i))) && Atomic.compare_and_set slots.(i) false true
-    then begin
-      let rec bump () =
-        let w = Atomic.get watermark in
-        if w <= i && not (Atomic.compare_and_set watermark w (i + 1)) then
-          bump ()
-      in
-      bump ();
-      i
-    end
-    else scan (i + 1)
+    if i >= max_threads then
+      raise
+        (Too_many_threads
+           (Printf.sprintf
+              "Registry.acquire: no free slot (max_threads=%d, watermark=%d, \
+               active=%d, quarantined=%d); long-lived domains should release \
+               with Registry.release / Registry.with_tid, and dead domains' \
+               slots can be reclaimed with Registry.force_release"
+              max_threads (Atomic.get watermark)
+              (Array.fold_left
+                 (fun n s ->
+                   if state_of (Atomic.get s) = st_active then n + 1 else n)
+                 0 slots)
+              (Array.fold_left
+                 (fun n s ->
+                   if state_of (Atomic.get s) = st_quarantined then n + 1 else n)
+                 0 slots)))
+    else
+      let v = Atomic.get slots.(i) in
+      if state_of v = st_free && Atomic.compare_and_set slots.(i) v (v lor st_active)
+      then begin
+        let rec bump () =
+          let w = Atomic.get watermark in
+          if w <= i && not (Atomic.compare_and_set watermark w (i + 1)) then
+            bump ()
+        in
+        bump ();
+        i
+      end
+      else scan (i + 1)
   in
   scan 0
+
+let release () =
+  let r = Domain.DLS.get key in
+  if !r >= 0 then begin
+    let i = !r in
+    (* Owner-only Active -> Quarantined; no other thread transitions an
+       Active slot except [force_release], which targets dead owners. *)
+    let v = Atomic.get slots.(i) in
+    Atomic.set slots.(i) (v land lnot state_bits lor st_quarantined);
+    (* Cleaners run while the DLS ref still points at [i]: on the exit
+       path a scheme's cleaner sees [tid () = i] and can retire into
+       its own (still valid) per-thread state. *)
+    Fun.protect ~finally:(fun () -> r := -1) (fun () -> quarantine_and_free i)
+  end
 
 let tid () =
   let r = Domain.DLS.get key in
@@ -33,30 +152,84 @@ let tid () =
   else begin
     let id = acquire () in
     r := id;
+    (* First acquisition by this domain: arrange for the slot to be
+       quarantined even if the domain terminates without calling
+       [release] — [release] is idempotent, so the Fun.protect path in
+       [with_tid] and this hook compose. *)
+    let hooked = Domain.DLS.get exit_hooked in
+    if not !hooked then begin
+      hooked := true;
+      Domain.at_exit release
+    end;
     id
-  end
-
-let release () =
-  let r = Domain.DLS.get key in
-  if !r >= 0 then begin
-    Atomic.set slots.(!r) false;
-    r := -1
   end
 
 let with_tid f =
   let id = tid () in
   Fun.protect ~finally:release (fun () -> f id)
 
+let force_release i =
+  if i < 0 || i >= max_threads then invalid_arg "Registry.force_release";
+  let v = Atomic.get slots.(i) in
+  if
+    state_of v = st_active
+    && Atomic.compare_and_set slots.(i) v (v land lnot state_bits lor st_quarantined)
+  then begin
+    quarantine_and_free i;
+    true
+  end
+  else false
+
+let abandon () =
+  let r = Domain.DLS.get key in
+  let i = !r in
+  if i >= 0 then r := -1;
+  i
+
 let active () =
   let n = ref 0 in
-  Array.iter (fun s -> if Atomic.get s then incr n) slots;
+  for i = 0 to Atomic.get watermark - 1 do
+    if state_of (Atomic.get slots.(i)) = st_active then incr n
+  done;
   !n
+
+let in_use i =
+  if i < 0 || i >= max_threads then invalid_arg "Registry.in_use";
+  state_of (Atomic.get slots.(i)) <> st_free
+
+let generation i =
+  if i < 0 || i >= max_threads then invalid_arg "Registry.generation";
+  gen_of (Atomic.get slots.(i))
+
+let slot_state i =
+  if i < 0 || i >= max_threads then invalid_arg "Registry.slot_state";
+  match state_of (Atomic.get slots.(i)) with
+  | 0 -> `Free
+  | 1 -> `Active
+  | 2 -> `Quarantined
+  | _ -> `Staged
 
 let high_water () = Atomic.get watermark
 let registered = high_water
 
 let reserve n =
   if n < 0 || n > max_threads then invalid_arg "Registry.reserve";
+  (* staged slots must look in-use, or protection scans would skip the
+     rows the test is staging; Free -> Staged is one-way *)
+  for i = 0 to n - 1 do
+    let rec stage () =
+      let v = Atomic.get slots.(i) in
+      if
+        state_of v = st_free
+        && not
+             (Atomic.compare_and_set slots.(i)
+                (* keep the generation bits *)
+                v
+                (v land lnot state_bits lor st_staged))
+      then stage ()
+    in
+    stage ()
+  done;
   let rec bump () =
     let w = Atomic.get watermark in
     if w < n && not (Atomic.compare_and_set watermark w n) then bump ()

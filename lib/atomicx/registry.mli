@@ -1,10 +1,29 @@
-(** Domain-to-thread-id registry.
+(** Domain-to-thread-id registry with lifecycle-aware slot recycling.
 
     All reclamation schemes in the paper index their per-thread state by a
     small dense integer [tid] in [\[0, max_threads)].  OCaml domains have
     no such id, so this registry hands them out: a domain acquires a slot
     on first use (cached in domain-local storage) and releases it when its
-    work item finishes, allowing slot reuse across benchmark phases.
+    work item finishes, allowing slot reuse across benchmark phases and
+    across domain churn.
+
+    Slots move through [Active -> Quarantined -> Free].  The quarantine
+    pass between "owner gone" and "slot re-issuable" runs every cleaner
+    registered with {!on_quarantine} — the reclamation schemes use this to
+    force-clear the departing tid's hazards and publish its pending retire
+    list to an orphan pool — so a reused tid never inherits stale
+    protections, parked handovers or retire lists.  Each completed pass
+    bumps the slot's {!generation}.
+
+    {b Churn safety.}  Short-lived domains should wrap their work in
+    {!with_tid} (release on return or exception).  Independently, the
+    first [tid ()] in a domain installs a [Domain.at_exit] hook that
+    releases the slot when the domain terminates, so even a worker that
+    never calls [release] cannot leak its slot.  Only a domain that dies
+    without running its at-exit hooks (killed process) — or one simulated
+    with {!abandon} — leaves an Active slot behind; such slots are
+    reclaimed by {!force_release} once the owner is provably dead (e.g.
+    after [Domain.join]).
 
     The registry is process-global: every scheme instance sizes its arrays
     with [max_threads] and indexes them with [tid ()]. *)
@@ -12,22 +31,92 @@
 val max_threads : int
 (** Upper bound on simultaneously registered domains (128). *)
 
-exception Too_many_threads
+exception Too_many_threads of string
+(** Raised by [tid ()] when every slot is Active or Quarantined.  The
+    message reports the active count, quarantined count, watermark and
+    [max_threads], and points at the churn-safe alternatives
+    ({!with_tid}, release-on-exit, {!force_release}). *)
 
 val tid : unit -> int
-(** The calling domain's thread id, acquiring a slot on first call.
-    Raises {!Too_many_threads} if all slots are taken. *)
+(** The calling domain's thread id, acquiring a slot on first call (and
+    installing the at-exit release hook).  Raises {!Too_many_threads} if
+    all slots are taken. *)
 
 val release : unit -> unit
-(** Give the calling domain's slot back.  The next [tid ()] from this
-    domain acquires a fresh slot.  No-op if the domain holds no slot. *)
+(** Give the calling domain's slot back: mark it Quarantined, run the
+    {!on_quarantine} cleaners with this tid (the domain-local id is
+    still valid while they run, so a scheme's cleaner may operate on the
+    departing thread's own state), then free it with a bumped
+    generation.  The next [tid ()] from this domain acquires a fresh
+    slot.  No-op if the domain holds no slot; idempotent, so the
+    [with_tid] finaliser and the at-exit hook compose. *)
 
 val with_tid : (int -> 'a) -> 'a
 (** [with_tid f] runs [f (tid ())] and releases the slot afterwards, even
     on exception.  Worker domains should wrap their body in this. *)
 
+val on_quarantine : (int -> unit) -> unit
+(** Register a lifecycle cleaner, called with the departing tid during
+    every quarantine pass ({!release} and {!force_release}).  Cleaners
+    are held {b weakly}: the caller must keep the closure reachable for
+    as long as it wants callbacks (schemes store it in their own record,
+    so the entry dies with the scheme).  Cleaners run outside the
+    registry lock and must tolerate any registered tid, including ones
+    their scheme never saw.  If a cleaner raises, the remaining cleaners
+    still run, the slot is still freed, and the first exception is
+    re-raised. *)
+
+val force_release : int -> bool
+(** [force_release i] quarantines and frees slot [i] on behalf of an
+    owner that died without releasing it (e.g. simulated abrupt death
+    via {!abandon}).  Runs the same cleaner pass as {!release}, from the
+    calling thread.  Returns [false] if the slot was not Active.
+
+    {b Precondition:} the owner must be provably dead (its domain
+    joined) — forcing a live thread's slot hands its tid to someone else
+    while it is still publishing protections. *)
+
+val abandon : unit -> int
+(** Simulate abrupt domain death for the chaos harness: drop the
+    domain-local slot reference {i without} touching the slot state, so
+    the slot stays Active with whatever hazards the caller published,
+    and the at-exit hook becomes a no-op.  Returns the abandoned tid, or
+    [-1] if the domain held no slot.  The slot is unreachable until
+    {!force_release} reclaims it. *)
+
 val active : unit -> int
-(** Number of currently registered domains (diagnostics). *)
+(** Number of currently Active slots (diagnostics).  Scans only up to
+    the high-water mark, not all [max_threads] slots. *)
+
+val in_use : int -> bool
+(** [in_use i] is true while slot [i] is Active or Quarantined — i.e.
+    its protection rows may still carry published hazards or undrained
+    handovers.  Protection scans skip rows that are not in use, so scan
+    cost tracks the {e live} slot population rather than the monotone
+    {!high_water} mark: after a churn burst recycles its slots, scans
+    shrink back down.
+
+    Skipping a row observed Free is safe under OCaml's SC atomics: a
+    protection published {e before} the scanner's state read requires
+    the slot's Free→Active transition to also precede it, so the
+    scanner would have seen the slot in use; a protection published
+    {e after} the read belongs to a thread whose validation re-reads
+    the link and finds the object already unlinked (retire requires
+    unreachability first), so it retries without ever dereferencing the
+    freed object.  Drain paths (scheme [flush]/[orphan]) deliberately
+    do {b not} skip: a racing scanner can park a handover into a row
+    just after its quarantine drain, and only an exhaustive walk
+    recovers it. *)
+
+val generation : int -> int
+(** Completed quarantine passes for this slot — bumps on every
+    [Quarantined -> Free] transition, so a recycled tid carries a higher
+    generation than its previous life. *)
+
+val slot_state : int -> [ `Free | `Active | `Quarantined | `Staged ]
+(** Current lifecycle state of a slot (tests, diagnostics).  [`Staged]
+    slots were claimed by {!reserve} on behalf of threads that never
+    acquire: in use for scan purposes, never issued by [tid ()]. *)
 
 val high_water : unit -> int
 (** [1 + highest tid ever handed out] — helper scans (e.g. the
@@ -43,9 +132,11 @@ val registered : unit -> int
     [max_threads - registered ()] slots no thread ever touched. *)
 
 val reserve : int -> unit
-(** [reserve n]: raise the high-water mark so tids [< n] fall inside
-    every scan bounded by {!registered}.  For whitebox tests that stage
-    other threads' slots directly (explicit [~tid] without acquiring a
-    slot); never needed in normal use, where ids come from {!tid}.
-    Raises [Invalid_argument] if [n] is negative or exceeds
-    {!max_threads}. *)
+(** [reserve n]: make tids [< n] visible to every protection scan —
+    the high-water mark is raised to at least [n] and every slot below
+    [n] still Free is marked [`Staged], a one-way transition that keeps
+    it {!in_use} forever without ever being issued by [tid ()].  For
+    whitebox tests that stage other threads' slots directly (explicit
+    [~tid] without acquiring a slot); never needed in normal use, where
+    ids come from {!tid}.  Raises [Invalid_argument] if [n] is negative
+    or exceeds {!max_threads}. *)

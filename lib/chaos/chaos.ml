@@ -1,0 +1,346 @@
+(** Chaos harness: waves of short-lived domains dying at adversarial
+    points, asserting the registry + orphan lifecycle contract.  See
+    the mli for the model. *)
+
+open Atomicx
+
+type cfg = {
+  waves : int;
+  domains_per_wave : int;
+  ops : int;
+  kill_every : int;
+  burst : int;
+  slots : int;
+  seed : int;
+  sink : Obs.Sink.t;
+}
+
+let default =
+  {
+    waves = 20;
+    domains_per_wave = 8;
+    ops = 120;
+    kill_every = 40;
+    burst = 96;
+    slots = 8;
+    seed = 0xC11A05;
+    sink = Obs.Sink.null;
+  }
+
+type report = {
+  name : string;
+  domains : int;
+  killed : int;
+  abandoned : int;
+  force_released : int;
+  peak_unreclaimed : int;
+  leaked : int;
+  unreclaimed_after : int;
+  orphaned_after : int;
+  errors : string list;
+}
+
+let ok r =
+  r.errors = [] && r.leaked = 0 && r.unreclaimed_after = 0
+  && r.orphaned_after = 0
+  && r.force_released = r.abandoned
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "@[<v 2>%s: %d domains, %d killed (%d abandoned, %d force-released)@,\
+     peak unreclaimed %d; after quiesce: leaked %d, unreclaimed %d, \
+     orphaned %d%a@]"
+    r.name r.domains r.killed r.abandoned r.force_released r.peak_unreclaimed
+    r.leaked r.unreclaimed_after r.orphaned_after
+    (fun fmt -> function
+      | [] -> ()
+      | es ->
+          Format.fprintf fmt "@,errors:@,%a"
+            (Format.pp_print_list Format.pp_print_string)
+            es)
+    r.errors
+
+(* Deaths are modelled as this exception escaping the worker; the spawn
+   wrapper eats it (and only it), exactly like a thread falling off its
+   entry point mid-operation. *)
+exception Killed
+
+(* Wave controller shared by all batteries.  [worker] runs registered
+   (inside [Registry.with_tid]); it reports how it died through [out]
+   and may raise [Killed].  [sample] is read at every wave join for the
+   peak-unreclaimed series. *)
+let drive cfg ~worker ~sample =
+  let rng0 = Rng.create cfg.seed in
+  let killed = ref 0
+  and abandoned = ref 0
+  and forced = ref 0
+  and peak = ref 0
+  and errors = ref [] in
+  for _wave = 1 to cfg.waves do
+    let seeds =
+      List.init cfg.domains_per_wave (fun _ -> Rng.int rng0 0x3FFF_FFFF)
+    in
+    let doms =
+      List.map
+        (fun seed ->
+          Domain.spawn (fun () ->
+              let out = ref `Done in
+              (try
+                 Registry.with_tid (fun tid ->
+                     worker ~tid ~rng:(Rng.create seed) ~out)
+               with
+              | Killed -> ()
+              | e -> out := `Error (Printexc.to_string e));
+              !out))
+        seeds
+    in
+    List.iter
+      (fun d ->
+        match Domain.join d with
+        | `Done -> ()
+        | `Killed -> incr killed
+        | `Abandoned tid ->
+            (* the domain is joined, so its owner is provably gone:
+               reclaim the still-Active slot from here *)
+            incr killed;
+            incr abandoned;
+            if Registry.force_release tid then incr forced
+        | `Error msg -> errors := msg :: !errors)
+      doms;
+    peak := max !peak (sample ())
+  done;
+  (!killed, !abandoned, !forced, !peak, List.rev !errors)
+
+(* ------------------------------------------------------------------ *)
+(* Manual schemes (protect/retire API)                                 *)
+(* ------------------------------------------------------------------ *)
+
+type cnode = { hdr : Memdom.Hdr.t; mutable payload : int }
+
+module CN = struct
+  type t = cnode
+
+  let hdr n = n.hdr
+end
+
+module Battery (S : Reclaim.Scheme_intf.S with type node = cnode) = struct
+  let mk alloc v = { hdr = Memdom.Alloc.hdr alloc (); payload = v }
+
+  let read n =
+    Memdom.Hdr.check_access n.hdr;
+    n.payload
+
+  let worker s alloc table cfg ~tid ~rng ~out =
+    let nslots = Array.length table in
+    for k = 1 to cfg.ops do
+      let slot = table.(Rng.int rng nslots) in
+      let kill = cfg.kill_every > 0 && Rng.int rng cfg.kill_every = 0 in
+      if kill then
+        match Rng.int rng 3 with
+        | 0 ->
+            (* die inside the guard, protection published: the exit
+               path must unpublish it or the node pins forever *)
+            S.begin_op s ~tid;
+            ignore (S.get_protected s ~tid ~idx:0 slot);
+            out := `Killed;
+            raise Killed
+        | 1 ->
+            (* die with a backlog of unscanned retires: the orphan
+               protocol must hand them to survivors *)
+            for j = 1 to cfg.burst do
+              S.retire s ~tid (mk alloc (-j))
+            done;
+            out := `Killed;
+            raise Killed
+        | _ ->
+            (* abrupt death: hazards up, slot left Active; only the
+               controller's [force_release] can reclaim it *)
+            S.begin_op s ~tid;
+            ignore (S.get_protected s ~tid ~idx:0 slot);
+            out := `Abandoned (Registry.abandon ());
+            raise Killed
+      else begin
+        S.begin_op s ~tid;
+        if Rng.bool rng then begin
+          (* writer: swap in a fresh node, retire the evictee *)
+          let n = mk alloc k in
+          S.protect_raw s ~tid ~idx:0 (Some n);
+          let old = Link.exchange slot (Link.Ptr n) in
+          S.end_op s ~tid;
+          match Link.target old with
+          | Some o -> S.retire s ~tid o
+          | None -> ()
+        end
+        else begin
+          let st = S.get_protected s ~tid ~idx:(1 + Rng.int rng 3) slot in
+          (match Link.target st with
+          | Some n -> ignore (Sys.opaque_identity (read n))
+          | None -> ());
+          S.end_op s ~tid
+        end
+      end
+    done
+
+  let run cfg =
+    let alloc = Memdom.Alloc.create ~sink:cfg.sink (S.name ^ "-chaos") in
+    let s = S.create ~max_hps:4 ~sink:cfg.sink alloc in
+    let table =
+      Array.init cfg.slots (fun i -> Link.make (Link.Ptr (mk alloc i)))
+    in
+    let killed, abandoned, forced, peak, errors =
+      drive cfg
+        ~worker:(fun ~tid ~rng ~out -> worker s alloc table cfg ~tid ~rng ~out)
+        ~sample:(fun () -> S.unreclaimed s)
+    in
+    (* quiesce: unlink the table, then drain retired lists, handovers
+       and the orphan pool *)
+    let tid = Registry.tid () in
+    Array.iter
+      (fun slot ->
+        match Link.target (Link.exchange slot Link.Null) with
+        | Some n -> S.retire s ~tid n
+        | None -> ())
+      table;
+    S.flush s;
+    {
+      name = S.name;
+      domains = cfg.waves * cfg.domains_per_wave;
+      killed;
+      abandoned;
+      force_released = forced;
+      peak_unreclaimed = peak;
+      leaked = Memdom.Alloc.live alloc;
+      unreclaimed_after = S.unreclaimed s;
+      orphaned_after = S.orphaned s;
+      errors;
+    }
+end
+
+module Hp = Battery (Reclaim.Hp.Make (CN))
+module Ptb = Battery (Reclaim.Ptb.Make (CN))
+module Ebr = Battery (Reclaim.Ebr.Make (CN))
+module He = Battery (Reclaim.He.Make (CN))
+module Ibr = Battery (Reclaim.Ibr.Make (CN))
+module Ptp = Battery (Orc_core.Ptp.Make (CN))
+
+(* ------------------------------------------------------------------ *)
+(* Automatic schemes (guard API)                                       *)
+(* ------------------------------------------------------------------ *)
+
+type anode = { hdr : Memdom.Hdr.t; av : int; next : anode Link.t }
+
+module AN = struct
+  type t = anode
+
+  let hdr n = n.hdr
+  let iter_links n f = f n.next
+end
+
+(* The slice of the Orc/Orc_hp interfaces the battery needs; both
+   functors produce supermodules of this. *)
+module type AUTO = sig
+  type t
+  type guard
+
+  module Ptr : sig
+    type t
+
+    val state : t -> anode Link.state
+    val node : t -> anode option
+  end
+
+  val name : string
+  val create : ?max_hps:int -> ?sink:Obs.Sink.t -> Memdom.Alloc.t -> t
+  val with_guard : t -> (guard -> 'a) -> 'a
+  val ptr : guard -> Ptr.t
+  val load : guard -> anode Link.t -> Ptr.t -> unit
+  val store : guard -> anode Link.t -> anode Link.state -> unit
+  val alloc_node : guard -> (Memdom.Hdr.t -> anode) -> Ptr.t
+  val new_link : guard -> anode Link.state -> anode Link.t
+  val unreclaimed : t -> int
+  val flush : t -> unit
+end
+
+module Auto_battery (O : AUTO) = struct
+  let amk v hdr = { hdr; av = v; next = Link.make Link.Null }
+
+  (* [with_guard] scopes cannot be skipped the way manual [end_op]
+     calls can, so the kill points are an exception escaping the guard
+     (protections must unwind) and an abrupt between-guard abandon
+     (the slot's hazard row must be reclaimed by [force_release]). *)
+  let worker o table cfg ~tid:_ ~rng ~out =
+    let nslots = Array.length table in
+    for k = 1 to cfg.ops do
+      let slot = table.(Rng.int rng nslots) in
+      let kill = cfg.kill_every > 0 && Rng.int rng cfg.kill_every = 0 in
+      if kill && Rng.int rng 3 = 0 then begin
+        out := `Abandoned (Registry.abandon ());
+        raise Killed
+      end
+      else
+        O.with_guard o (fun g ->
+            let p = O.ptr g in
+            O.load g slot p;
+            (match O.Ptr.node p with
+            | Some n ->
+                Memdom.Hdr.check_access n.hdr;
+                ignore (Sys.opaque_identity n.av)
+            | None -> ());
+            if Rng.bool rng then begin
+              let np = O.alloc_node g (amk k) in
+              O.store g slot (O.Ptr.state np)
+            end;
+            if kill then begin
+              out := `Killed;
+              raise Killed
+            end)
+    done
+
+  let run cfg =
+    let alloc = Memdom.Alloc.create ~sink:cfg.sink (O.name ^ "-chaos") in
+    let o = O.create ~sink:cfg.sink alloc in
+    let table =
+      O.with_guard o (fun g ->
+          Array.init cfg.slots (fun i ->
+              let p = O.alloc_node g (amk i) in
+              O.new_link g (O.Ptr.state p)))
+    in
+    let killed, abandoned, forced, peak, errors =
+      drive cfg
+        ~worker:(fun ~tid ~rng ~out -> worker o table cfg ~tid ~rng ~out)
+        ~sample:(fun () -> O.unreclaimed o)
+    in
+    O.with_guard o (fun g ->
+        Array.iter (fun slot -> O.store g slot Link.Null) table);
+    O.flush o;
+    {
+      name = O.name;
+      domains = cfg.waves * cfg.domains_per_wave;
+      killed;
+      abandoned;
+      force_released = forced;
+      peak_unreclaimed = peak;
+      leaked = Memdom.Alloc.live alloc;
+      unreclaimed_after = O.unreclaimed o;
+      orphaned_after = 0;
+      errors;
+    }
+end
+
+module Orc = Auto_battery (Orc_core.Orc.Make (AN))
+module Orc_hp = Auto_battery (Orc_core.Orc_hp.Make (AN))
+
+let batteries =
+  [
+    ("hp", Hp.run);
+    ("ptb", Ptb.run);
+    ("ebr", Ebr.run);
+    ("he", He.run);
+    ("ibr", Ibr.run);
+    ("ptp", Ptp.run);
+    ("orc", Orc.run);
+    ("orc-hp", Orc_hp.run);
+  ]
+
+let run name cfg = (List.assoc name batteries) cfg
+let run_all cfg = List.map (fun (_, f) -> f cfg) batteries

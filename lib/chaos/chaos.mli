@@ -1,0 +1,69 @@
+(** Chaos harness for domain-lifecycle robustness.
+
+    Spawns waves of short-lived domains — far more than
+    {!Atomicx.Registry.max_threads} over a run — that hammer a shared
+    table of nodes through a reclamation scheme while dying at
+    randomized, adversarial points: inside a guard with protections
+    published, right after retiring, after a burst of retires that has
+    not been scanned yet, or abruptly ({!Atomicx.Registry.abandon}, so
+    the slot is left Active with hazards up until the controller
+    force-releases it).
+
+    The harness asserts the lifecycle contract end to end: no
+    [Use_after_free] / [Double_free] / [Too_many_threads], every retired
+    object reclaimed once the run quiesces, and the registry's slot
+    recycling + orphan adoption keeping memory bounded across arbitrary
+    churn.  One battery per scheme; {!run_all} runs every battery and is
+    what the [chaos] test alias and [soak --churn] drive. *)
+
+type cfg = {
+  waves : int;  (** join point between spawn bursts *)
+  domains_per_wave : int;
+      (** concurrent short-lived domains per wave (plus the controller) *)
+  ops : int;  (** table operations attempted per domain *)
+  kill_every : int;
+      (** mean ops between kill events inside one domain; [0] disables
+          killing entirely (pure churn) *)
+  burst : int;  (** retire-burst size for the die-with-backlog kill *)
+  slots : int;  (** width of the shared node table *)
+  seed : int;  (** master seed; every domain derives its own stream *)
+  sink : Obs.Sink.t;  (** receives retire/orphan/adopt/... events *)
+}
+
+val default : cfg
+(** 20 waves x 8 domains x 120 ops, kill roughly every 40 ops.  One
+    battery spawns 160 domains; the full {!run_all} spawns
+    [8 * 160 = 1280 = 10 * Registry.max_threads]. *)
+
+(** What one battery observed. *)
+type report = {
+  name : string;  (** scheme name *)
+  domains : int;  (** domains spawned *)
+  killed : int;  (** domains that died at a kill point *)
+  abandoned : int;  (** of those, abrupt deaths (slot left Active) *)
+  force_released : int;  (** abandoned slots reclaimed by the controller *)
+  peak_unreclaimed : int;  (** max [S.unreclaimed] sampled at wave joins *)
+  leaked : int;  (** [Alloc.live] after quiesce + flush — must be 0 *)
+  unreclaimed_after : int;  (** [S.unreclaimed] after quiesce — must be 0 *)
+  orphaned_after : int;  (** orphan-pool residue after quiesce — must be 0 *)
+  errors : string list;
+      (** unexpected exceptions from workers ([Use_after_free],
+          [Too_many_threads], ...) — must be empty *)
+}
+
+val ok : report -> bool
+(** No errors, nothing leaked, nothing left unreclaimed or orphaned,
+    and every abandoned slot force-released. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val batteries : (string * (cfg -> report)) list
+(** One battery per scheme: hp, ptb, ebr, he, ibr, ptp (manual
+    protect/retire API) and orc, orc-hp (automatic guard API; their
+    kill points are exceptions and between-guard abandons, since
+    [with_guard] scopes cannot be skipped). *)
+
+val run : string -> cfg -> report
+(** Run the named battery.  Raises [Not_found] on an unknown name. *)
+
+val run_all : cfg -> report list

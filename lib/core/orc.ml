@@ -76,6 +76,9 @@ module Make (N : NODE) = struct
     n_cascades : Shard.t; (* destructor-triggered recursive retires *)
     n_scans : Shard.t; (* tryHandover invocations *)
     n_scan_slots : Shard.t; (* hazard slots visited by those scans *)
+    (* strong reference keeping the weakly-registered quarantine
+       cleaner alive exactly as long as this scheme *)
+    mutable lifecycle : int -> unit;
   }
 
   type stats = {
@@ -90,37 +93,6 @@ module Make (N : NODE) = struct
   and ptr = { mutable st : node Link.state; mutable idx : int }
 
   let name = "orc"
-
-  let create ?max_hps:_ ?sink alloc =
-    let sink =
-      match sink with Some s -> s | None -> Memdom.Alloc.sink alloc
-    in
-    let mk_tl _ =
-      let free_idx = Bitmask.create max_haz in
-      (* slot 0 is the permanently-reserved scratch hazard *)
-      ignore (Bitmask.acquire free_idx ~from:0);
-      {
-        hp = Padded.atomic_array max_haz None;
-        handovers = Padded.atomic_array max_haz None;
-        used_haz = Array.make max_haz 0;
-        free_idx;
-        retire_started = false;
-        recursive = Queue.create ();
-      }
-    in
-    {
-      alloc;
-      sink;
-      tl = Array.init Registry.max_threads mk_tl;
-      watermark = Atomic.make 1;
-      pending = Shard.create ();
-      n_retires = Shard.create ();
-      n_handovers = Shard.create ();
-      n_cascades = Shard.create ();
-      n_scans = Shard.create ();
-      n_scan_slots = Shard.create ();
-    }
-
   let alloc_ctx t = t.alloc
   let orc_word n = (N.hdr n).Memdom.Hdr.orc
   let unreclaimed t = Shard.get t.pending
@@ -156,8 +128,12 @@ module Make (N : NODE) = struct
 
   (* Scan every published hazardous pointer for [p]; on a match, swap [p]
      into the paired handover slot and return the evictee.  The scan
-     covers [registered () * watermark] slots — threads that never
-     registered cannot hold a protection, so their rows are skipped. *)
+     covers [registered () * watermark] slots, and rows whose registry
+     slot is Free are skipped entirely — a recycled slot cannot hold a
+     protection (see [Registry.in_use] for the memory-ordering
+     argument), so after a churn burst the scan cost shrinks back to
+     the live slot population instead of staying at the monotone
+     high-water mark forever. *)
   let try_handover t ~tid p =
     let began = Obs.Sink.scan_begin t.sink in
     let wm = Atomic.get t.watermark in
@@ -166,17 +142,20 @@ module Make (N : NODE) = struct
     let result = ref None in
     (try
        for it = 0 to nreg - 1 do
-         let tl = t.tl.(it) in
-         for idx = 0 to wm - 1 do
-           incr visited;
-           match Atomic.get tl.hp.(idx) with
-           | Some m when m == p ->
-               result := Some (Atomic.exchange tl.handovers.(idx) (Some p));
-               Shard.incr t.n_handovers ~tid;
-               Obs.Sink.on_handover t.sink ~tid ~uid:(N.hdr p).Memdom.Hdr.uid;
-               raise_notrace Exit
-           | Some _ | None -> ()
-         done
+         if Registry.in_use it then begin
+           let tl = t.tl.(it) in
+           for idx = 0 to wm - 1 do
+             incr visited;
+             match Atomic.get tl.hp.(idx) with
+             | Some m when m == p ->
+                 result := Some (Atomic.exchange tl.handovers.(idx) (Some p));
+                 Shard.incr t.n_handovers ~tid;
+                 Obs.Sink.on_handover t.sink ~tid
+                   ~uid:(N.hdr p).Memdom.Hdr.uid;
+                 raise_notrace Exit
+             | Some _ | None -> ()
+           done
+         end
        done
      with Exit -> ());
     Shard.incr t.n_scans ~tid;
@@ -311,6 +290,79 @@ module Make (N : NODE) = struct
         match Atomic.exchange tl.handovers.(idx) None with
         | Some q -> retire t ~tid q (* q carries BRETIRED: we own it now *)
         | None -> ())
+
+  (* Quarantine cleaner (registered with [Registry.on_quarantine] by
+     [create]): make a departing tid's row safe to re-issue.  Hazards
+     come down first — once the row is all-None, no concurrent
+     [try_handover] can park anything new on it — then the owner-local
+     hazard-index bookkeeping is reset so the next owner starts from an
+     empty mask (scratch slot 0 re-reserved), and finally everything
+     the dead row still owned is adopted: queued recursive retires
+     (possible only under abrupt death mid-retire) and parked handovers
+     all carry BRETIRED, so the operating thread — the departing thread
+     itself on the exit path, the survivor under [force_release] —
+     owns them the moment it takes them and can run them through the
+     normal retire path. *)
+  let thread_exit t ~tid =
+    let tl = t.tl.(tid) in
+    let wm = Atomic.get t.watermark in
+    for idx = 0 to wm - 1 do
+      Atomic.set tl.hp.(idx) None
+    done;
+    Array.fill tl.used_haz 0 (Array.length tl.used_haz) 0;
+    Bitmask.reset tl.free_idx;
+    ignore (Bitmask.acquire tl.free_idx ~from:0);
+    tl.retire_started <- false;
+    let self = Registry.tid () in
+    let rec drain_queue () =
+      match Queue.take_opt tl.recursive with
+      | Some q ->
+          retire t ~tid:self q;
+          drain_queue ()
+      | None -> ()
+    in
+    drain_queue ();
+    for idx = 0 to wm - 1 do
+      match Atomic.exchange tl.handovers.(idx) None with
+      | Some q -> retire t ~tid:self q
+      | None -> ()
+    done
+
+  let create ?max_hps:_ ?sink alloc =
+    let sink =
+      match sink with Some s -> s | None -> Memdom.Alloc.sink alloc
+    in
+    let mk_tl _ =
+      let free_idx = Bitmask.create max_haz in
+      (* slot 0 is the permanently-reserved scratch hazard *)
+      ignore (Bitmask.acquire free_idx ~from:0);
+      {
+        hp = Padded.atomic_array max_haz None;
+        handovers = Padded.atomic_array max_haz None;
+        used_haz = Array.make max_haz 0;
+        free_idx;
+        retire_started = false;
+        recursive = Queue.create ();
+      }
+    in
+    let t =
+      {
+        alloc;
+        sink;
+        tl = Array.init Registry.max_threads mk_tl;
+        watermark = Atomic.make 1;
+        pending = Shard.create ();
+        n_retires = Shard.create ();
+        n_handovers = Shard.create ();
+        n_cascades = Shard.create ();
+        n_scans = Shard.create ();
+        n_scan_slots = Shard.create ();
+        lifecycle = ignore;
+      }
+    in
+    t.lifecycle <- (fun tid -> thread_exit t ~tid);
+    Registry.on_quarantine t.lifecycle;
+    t
 
   (* {2 Hazard-index management (Algorithm 6 lines 119–132)} *)
 

@@ -75,7 +75,19 @@ module Make (N : NODE) : sig
       [alloc].  [max_hps] is accepted for interface symmetry with the
       manual schemes and ignored (the hazard array is self-sizing).
       [sink] receives lifecycle events (retire, handover, cascade, scan,
-      guard) and defaults to [Memdom.Alloc.sink alloc]. *)
+      guard) and defaults to [Memdom.Alloc.sink alloc].  [create] also
+      registers {!thread_exit} with [Atomicx.Registry.on_quarantine],
+      so domain exit and [force_release] clean up departing tids
+      automatically. *)
+
+  val thread_exit : t -> tid:int -> unit
+  (** Quarantine cleaner for a departing [tid]: unpublish its hazards,
+      reset its hazard-index bookkeeping (so a recycled tid starts from
+      an empty mask) and adopt everything its row still owned — queued
+      recursive retires and parked handovers — through the operating
+      thread's retire path.  Registered automatically by {!create};
+      callable directly only when [tid]'s owner has exited or is
+      provably stopped. *)
 
   val with_guard : t -> (guard -> 'a) -> 'a
   (** Run one data-structure operation.  On exit — normal or exceptional

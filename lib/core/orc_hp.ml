@@ -47,37 +47,16 @@ module Make (N : Orc.NODE) = struct
     watermark : int Atomic.t;
     scan_threshold : int;
     pending : Shard.t;
+    orphans : node Reclaim.Orphan.t;
+    (* strong reference keeping the weakly-registered quarantine
+       cleaner alive exactly as long as this scheme *)
+    mutable lifecycle : int -> unit;
   }
 
   type guard = { t : t; tid : int; mutable ptrs : ptr list }
   and ptr = { mutable st : node Link.state; mutable idx : int }
 
   let name = "orc-hp"
-
-  let create ?(max_hps = 8) ?sink alloc =
-    let sink =
-      match sink with Some s -> s | None -> Memdom.Alloc.sink alloc
-    in
-    let mk_tl _ =
-      let free_idx = Bitmask.create max_haz in
-      ignore (Bitmask.acquire free_idx ~from:0) (* scratch slot 0 *);
-      {
-        hp = Padded.atomic_array max_haz None;
-        used_haz = Array.make max_haz 0;
-        free_idx;
-        retired = [];
-        retired_count = 0;
-      }
-    in
-    {
-      alloc;
-      sink;
-      tl = Array.init Registry.max_threads mk_tl;
-      watermark = Atomic.make 1;
-      scan_threshold = 2 * max_hps * 8;
-      pending = Shard.create ();
-    }
-
   let alloc_ctx t = t.alloc
   let orc_word n = (N.hdr n).Memdom.Hdr.orc
   let unreclaimed t = Shard.get t.pending
@@ -99,16 +78,21 @@ module Make (N : Orc.NODE) = struct
     let wm = Atomic.get t.watermark in
     let found = ref false in
     (try
+       (* rows whose registry slot is Free cannot hold a protection —
+          skip them so scan cost tracks live slots, not the monotone
+          high-water mark (see [Registry.in_use]) *)
        for it = 0 to Registry.registered () - 1 do
-         let tl = t.tl.(it) in
-         for idx = 0 to wm - 1 do
-           incr visited;
-           match Atomic.get tl.hp.(idx) with
-           | Some m when m == p ->
-               found := true;
-               raise_notrace Exit
-           | Some _ | None -> ()
-         done
+         if Registry.in_use it then begin
+           let tl = t.tl.(it) in
+           for idx = 0 to wm - 1 do
+             incr visited;
+             match Atomic.get tl.hp.(idx) with
+             | Some m when m == p ->
+                 found := true;
+                 raise_notrace Exit
+             | Some _ | None -> ()
+           done
+         end
        done
      with Exit -> ());
     !found
@@ -145,7 +129,12 @@ module Make (N : Orc.NODE) = struct
     let began = Obs.Sink.scan_begin t.sink in
     let visited = ref 0 in
     let tl = t.tl.(tid) in
-    let batch = tl.retired in
+    (* fold dead threads' published lists into this scan's batch *)
+    let batch =
+      List.rev_append
+        (Reclaim.Orphan.adopt t.orphans t.sink ~tid)
+        tl.retired
+    in
     tl.retired <- [];
     tl.retired_count <- 0;
     List.iter
@@ -203,6 +192,61 @@ module Make (N : Orc.NODE) = struct
         note_retired t ~tid p;
         retire t ~tid p
       end
+
+  (* Quarantine cleaner: lower the departing tid's hazards (a leftover
+     hazard would pin its target in every survivor's scan forever),
+     reset the owner-local index bookkeeping for the next owner of this
+     tid, and publish the retired list to the orphan pool — survivors
+     fold it into their next [scan], which re-runs the full Lemma-1 /
+     resurrection checks on every adopted node.  (Publishing rather
+     than re-retiring matters on the exit path: re-retiring would just
+     re-park onto the very list being vacated.) *)
+  let thread_exit t ~tid =
+    let tl = t.tl.(tid) in
+    let wm = Atomic.get t.watermark in
+    for idx = 0 to wm - 1 do
+      Atomic.set tl.hp.(idx) None
+    done;
+    Array.fill tl.used_haz 0 (Array.length tl.used_haz) 0;
+    Bitmask.reset tl.free_idx;
+    ignore (Bitmask.acquire tl.free_idx ~from:0);
+    match tl.retired with
+    | [] -> ()
+    | batch ->
+        tl.retired <- [];
+        tl.retired_count <- 0;
+        Reclaim.Orphan.publish t.orphans t.sink ~tid batch
+
+  let create ?(max_hps = 8) ?sink alloc =
+    let sink =
+      match sink with Some s -> s | None -> Memdom.Alloc.sink alloc
+    in
+    let mk_tl _ =
+      let free_idx = Bitmask.create max_haz in
+      ignore (Bitmask.acquire free_idx ~from:0) (* scratch slot 0 *);
+      {
+        hp = Padded.atomic_array max_haz None;
+        used_haz = Array.make max_haz 0;
+        free_idx;
+        retired = [];
+        retired_count = 0;
+      }
+    in
+    let t =
+      {
+        alloc;
+        sink;
+        tl = Array.init Registry.max_threads mk_tl;
+        watermark = Atomic.make 1;
+        scan_threshold = 2 * max_hps * 8;
+        pending = Shard.create ();
+        orphans = Reclaim.Orphan.create ();
+        lifecycle = ignore;
+      }
+    in
+    t.lifecycle <- (fun tid -> thread_exit t ~tid);
+    Registry.on_quarantine t.lifecycle;
+    t
 
   (* {2 Hazard-index management and pointer handles — identical to the
      PTP-backed implementation, minus the handover drains.} *)

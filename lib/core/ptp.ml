@@ -38,24 +38,13 @@ module Make (N : Reclaim.Scheme_intf.NODE) :
     hp : node option Atomic.t array array; (* [tid][idx] *)
     handovers : node option Atomic.t array array; (* [tid][idx] *)
     counters : Reclaim.Scheme_intf.Counters.t;
+    (* strong reference keeping the weakly-registered quarantine
+       cleaner alive exactly as long as this scheme *)
+    mutable lifecycle : int -> unit;
   }
 
   let name = "ptp"
   let max_hps t = t.hps
-
-  let create ?(max_hps = 8) ?sink alloc =
-    let sink =
-      match sink with Some s -> s | None -> Memdom.Alloc.sink alloc
-    in
-    let mk _ = Padded.atomic_array max_hps None in
-    {
-      alloc;
-      sink;
-      hps = max_hps;
-      hp = Array.init Registry.max_threads mk;
-      handovers = Array.init Registry.max_threads mk;
-      counters = Reclaim.Scheme_intf.Counters.create ();
-    }
 
   let begin_op t ~tid = Obs.Sink.guard_begin t.sink ~tid
 
@@ -83,36 +72,44 @@ module Make (N : Reclaim.Scheme_intf.NODE) :
   (* Algorithm 2, handoverOrDelete: push [n] forward through the hazard
      scan until it is either handed to a protecting thread or proven
      unprotected and deleted. *)
-  (* The scan covers the registered rows only: a thread that never
-     registered cannot have published a protection. *)
+  (* The scan covers the registered rows only — a thread that never
+     registered cannot have published a protection — and skips rows
+     whose registry slot has been recycled back to Free (see
+     [Registry.in_use]): a dead row's hazards are all cleared, so the
+     scan cost tracks the live slot population, not the monotone
+     high-water mark. *)
   let handover_or_delete t ~tid n ~start =
     let began = Obs.Sink.scan_begin t.sink in
     let visited = ref 0 in
     let cur = ref (Some n) in
     (try
        for it = start to Registry.registered () - 1 do
-         let idx = ref 0 in
-         while !idx < t.hps do
-           match !cur with
-           | None -> raise_notrace Exit
-           | Some p -> (
-               incr visited;
-               match Atomic.get t.hp.(it).(!idx) with
-               | Some m when m == p -> (
-                   let prev = Atomic.exchange t.handovers.(it).(!idx) (Some p) in
-                   Obs.Sink.on_handover t.sink ~tid
-                     ~uid:(N.hdr p).Memdom.Hdr.uid;
-                   cur := prev;
-                   match prev with
-                   | None -> raise_notrace Exit
-                   | Some q -> (
-                       (* Check it is not the new pointer (line 31): if the
-                          slot protects the evictee, stay on this slot. *)
-                       match Atomic.get t.hp.(it).(!idx) with
-                       | Some m2 when m2 == q -> ()
-                       | Some _ | None -> incr idx))
-               | Some _ | None -> incr idx)
-         done
+         if Registry.in_use it then begin
+           let idx = ref 0 in
+           while !idx < t.hps do
+             match !cur with
+             | None -> raise_notrace Exit
+             | Some p -> (
+                 incr visited;
+                 match Atomic.get t.hp.(it).(!idx) with
+                 | Some m when m == p -> (
+                     let prev =
+                       Atomic.exchange t.handovers.(it).(!idx) (Some p)
+                     in
+                     Obs.Sink.on_handover t.sink ~tid
+                       ~uid:(N.hdr p).Memdom.Hdr.uid;
+                     cur := prev;
+                     match prev with
+                     | None -> raise_notrace Exit
+                     | Some q -> (
+                         (* Check it is not the new pointer (line 31): if the
+                            slot protects the evictee, stay on this slot. *)
+                         match Atomic.get t.hp.(it).(!idx) with
+                         | Some m2 when m2 == q -> ()
+                         | Some _ | None -> incr idx))
+                 | Some _ | None -> incr idx)
+           done
+         end
        done
      with Exit -> ());
     Reclaim.Scheme_intf.Counters.scanned t.counters ~tid ~slots:!visited;
@@ -142,6 +139,49 @@ module Make (N : Reclaim.Scheme_intf.NODE) :
       clear t ~tid ~idx
     done;
     Obs.Sink.guard_end t.sink ~tid
+
+  (* Quarantine cleaner.  PTP has no retired lists, so thread death
+     leaves exactly two things behind: published hazards (which would
+     trap objects in other threads' scans forever) and parked
+     handovers (which have no owner left to drain them on [clear]).
+     Lower the hazards *first* — once [hp.(tid)] is all-None, no
+     concurrent handover scan can park anything new on this row — then
+     re-run each evicted object through the normal handover path on
+     the operating thread (the departing thread itself on the exit
+     path, the reclaiming survivor under [force_release]). *)
+  let orphan t ~tid =
+    for idx = 0 to t.hps - 1 do
+      Atomic.set t.hp.(tid).(idx) None
+    done;
+    let self = Registry.tid () in
+    for idx = 0 to t.hps - 1 do
+      match Atomic.exchange t.handovers.(tid).(idx) None with
+      | Some p -> handover_or_delete t ~tid:self p ~start:0
+      | None -> ()
+    done
+
+  (* Handover drains re-park or free immediately; nothing pools. *)
+  let orphaned _ = 0
+
+  let create ?(max_hps = 8) ?sink alloc =
+    let sink =
+      match sink with Some s -> s | None -> Memdom.Alloc.sink alloc
+    in
+    let mk _ = Padded.atomic_array max_hps None in
+    let t =
+      {
+        alloc;
+        sink;
+        hps = max_hps;
+        hp = Array.init Registry.max_threads mk;
+        handovers = Array.init Registry.max_threads mk;
+        counters = Reclaim.Scheme_intf.Counters.create ();
+        lifecycle = ignore;
+      }
+    in
+    t.lifecycle <- (fun tid -> orphan t ~tid);
+    Registry.on_quarantine t.lifecycle;
+    t
 
   let unreclaimed t = Reclaim.Scheme_intf.Counters.unreclaimed t.counters
   let stats t = Reclaim.Scheme_intf.Counters.stats t.counters

@@ -49,7 +49,16 @@ let era t = Atomic.get t.era_clock
 let bump_era t = 1 + Atomic.fetch_and_add t.era_clock 1
 let allocated t = Atomicx.Shard.get t.n_alloc
 let freed t = Atomicx.Shard.get t.n_freed
-let live t = allocated t - freed t
+(* Sequence allocated-first: both shards only grow, so reading [freed]
+   second can only shrink the difference — a concurrent sampler never
+   reports more live objects than actually existed at the first read.
+   (`allocated t - freed t` evaluates right to left, and a sampler
+   descheduled between the reads overcounts by everything allocated in
+   the gap.) *)
+let live t =
+  let a = allocated t in
+  let f = freed t in
+  a - f
 
 let pp_stats fmt t =
   Format.fprintf fmt "%s: allocated=%d freed=%d live=%d" t.name (allocated t)

@@ -7,6 +7,8 @@ type kind =
   | Scan
   | Guard_begin
   | Guard_end
+  | Orphan
+  | Adopt
 
 let to_int = function
   | Alloc -> 0
@@ -17,6 +19,8 @@ let to_int = function
   | Scan -> 5
   | Guard_begin -> 6
   | Guard_end -> 7
+  | Orphan -> 8
+  | Adopt -> 9
 
 let of_int = function
   | 0 -> Alloc
@@ -27,6 +31,8 @@ let of_int = function
   | 5 -> Scan
   | 6 -> Guard_begin
   | 7 -> Guard_end
+  | 8 -> Orphan
+  | 9 -> Adopt
   | n -> invalid_arg (Printf.sprintf "Obs.Event.of_int: %d" n)
 
 let name = function
@@ -38,6 +44,8 @@ let name = function
   | Scan -> "scan"
   | Guard_begin -> "guard_begin"
   | Guard_end -> "guard_end"
+  | Orphan -> "orphan"
+  | Adopt -> "adopt"
 
 type t = {
   seq : int;  (** per-thread emission index, contiguous within a ring *)

@@ -17,9 +17,12 @@ type kind =
   | Scan  (** hazard scan; [arg] = slots visited *)
   | Guard_begin  (** protection scope opened *)
   | Guard_end  (** protection scope closed *)
+  | Orphan
+      (** departing thread published its retire list; [arg] = batch size *)
+  | Adopt  (** surviving thread adopted an orphan batch; [arg] = size *)
 
 val to_int : kind -> int
-(** Dense encoding in [0, 7] — what the rings store. *)
+(** Dense encoding in [0, 9] — what the rings store. *)
 
 val of_int : int -> kind
 (** Inverse of {!to_int}; raises [Invalid_argument] out of range. *)

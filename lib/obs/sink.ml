@@ -7,6 +7,7 @@ type active = {
   retire_free : Hist.t;
   guard : Hist.t;
   scan : Hist.t;
+  adopt : Hist.t; (* orphan publish -> adoption latency *)
   guard_begin_ns : int array; (* [tid]; owner-written nesting-outermost ts *)
   guard_depth : int array; (* [tid]; owner-written *)
   clock : unit -> int;
@@ -26,6 +27,7 @@ let make ?capacity ?(clock = now_ns) () =
       retire_free = Hist.create ();
       guard = Hist.create ();
       scan = Hist.create ();
+      adopt = Hist.create ();
       guard_begin_ns = Array.make Registry.max_threads 0;
       guard_depth = Array.make Registry.max_threads 0;
       clock;
@@ -88,6 +90,25 @@ let on_cascade t ~tid ~uid =
   | Active a ->
       Ring.emit a.ring ~tid ~ts:(a.clock ()) ~kind:Event.Cascade ~uid ~arg:0
 
+(* Returns the publication timestamp (0 under the null sink); the
+   orphan pool keeps it with the batch so the adopting thread — another
+   thread, arbitrarily later — can record publish→adopt latency. *)
+let on_orphan t ~tid ~count =
+  match t with
+  | Null -> 0
+  | Active a ->
+      let ts = a.clock () in
+      Ring.emit a.ring ~tid ~ts ~kind:Event.Orphan ~uid:0 ~arg:count;
+      ts
+
+let on_adopt t ~tid ~count ~published_ns =
+  match t with
+  | Null -> ()
+  | Active a ->
+      let ts = a.clock () in
+      Ring.emit a.ring ~tid ~ts ~kind:Event.Adopt ~uid:0 ~arg:count;
+      if published_ns > 0 then Hist.record a.adopt ~tid (ts - published_ns)
+
 let scan_begin t = match t with Null -> 0 | Active a -> a.clock ()
 
 let scan_end t ~tid ~slots ~began =
@@ -129,6 +150,7 @@ let ring = function Null -> None | Active a -> Some a.ring
 let retire_free_hist = function Null -> None | Active a -> Some a.retire_free
 let guard_hist = function Null -> None | Active a -> Some a.guard
 let scan_hist = function Null -> None | Active a -> Some a.scan
+let adopt_hist = function Null -> None | Active a -> Some a.adopt
 
 let events t =
   match t with Null -> [] | Active a -> Ring.snapshot_all a.ring
@@ -138,5 +160,8 @@ let hists t =
   | Null -> []
   | Active a ->
       [
-        ("retire_free", a.retire_free); ("guard", a.guard); ("scan", a.scan);
+        ("retire_free", a.retire_free);
+        ("guard", a.guard);
+        ("scan", a.scan);
+        ("adopt", a.adopt);
       ]

@@ -5,8 +5,8 @@
     either {!null} — a constant constructor, so each hook is a single
     branch that returns before touching the clock or allocating: tracing
     is compiled-in but zero-cost when disabled — or active, backed by
-    per-thread {!Ring}s plus three {!Hist}s (retire→free latency, guard
-    duration, scan cost).
+    per-thread {!Ring}s plus four {!Hist}s (retire→free latency, guard
+    duration, scan cost, orphan-adoption latency).
 
     All per-event functions take the caller's registry [tid] and are
     single-writer per tid, like the rings and histograms beneath them. *)
@@ -60,6 +60,18 @@ val on_free : t -> tid:int -> uid:int -> retired_ns:int -> unit
 val on_handover : t -> tid:int -> uid:int -> unit
 val on_cascade : t -> tid:int -> uid:int -> unit
 
+val on_orphan : t -> tid:int -> count:int -> int
+(** Records the Orphan event ([arg] = batch size) for a departing
+    thread publishing its pending retire list, and returns the
+    publication timestamp (0 under {!null}).  The orphan pool keeps the
+    timestamp with the batch so {!on_adopt} can measure adoption
+    latency. *)
+
+val on_adopt : t -> tid:int -> count:int -> published_ns:int -> unit
+(** Records the Adopt event for a surviving thread adopting an orphan
+    batch; when [published_ns > 0] also records [now - published_ns]
+    into the adoption-latency histogram. *)
+
 val scan_begin : t -> int
 (** Timestamp token to pass to {!scan_end} (0 under {!null}). *)
 
@@ -79,10 +91,11 @@ val ring : t -> Ring.t option
 val retire_free_hist : t -> Hist.t option
 val guard_hist : t -> Hist.t option
 val scan_hist : t -> Hist.t option
+val adopt_hist : t -> Hist.t option
 
 val events : t -> Event.t array list
 (** Snapshot of every thread's ring ([[]] for {!null}). *)
 
 val hists : t -> (string * Hist.t) list
-(** [("retire_free", h); ("guard", h); ("scan", h)] for an active sink,
-    [[]] for {!null}. *)
+(** [("retire_free", h); ("guard", h); ("scan", h); ("adopt", h)] for an
+    active sink, [[]] for {!null}. *)

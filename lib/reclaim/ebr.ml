@@ -27,26 +27,14 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     retired_count : int ref array;
     scan_threshold : int;
     counters : Scheme_intf.Counters.t;
+    orphans : (node * int) Orphan.t; (* batches keep their retire epochs *)
+    (* strong reference keeping the weakly-registered quarantine
+       cleaner alive exactly as long as this scheme *)
+    mutable lifecycle : int -> unit;
   }
 
   let name = "ebr"
   let max_hps t = t.hps
-
-  let create ?(max_hps = 8) ?sink alloc =
-    let sink =
-      match sink with Some s -> s | None -> Memdom.Alloc.sink alloc
-    in
-    {
-      alloc;
-      sink;
-      hps = max_hps;
-      global_epoch = Atomic.make 2;
-      announce = Array.init Registry.max_threads (fun _ -> Atomic.make quiescent);
-      retired = Array.init Registry.max_threads (fun _ -> ref []);
-      retired_count = Array.init Registry.max_threads (fun _ -> ref 0);
-      scan_threshold = 128;
-      counters = Scheme_intf.Counters.create ();
-    }
 
   let begin_op t ~tid =
     Atomic.set t.announce.(tid) (Atomic.get t.global_epoch);
@@ -65,10 +53,16 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
 
   let min_announced t ~visited =
     let m = ref max_int in
-    for it = 0 to Registry.max_threads - 1 do
-      incr visited;
-      let e = Atomic.get t.announce.(it) in
-      if e < !m then m := e
+    (* a Free row is quiescent by construction (the quarantine cleaner
+       resets its announcement), so skipping it cannot hold the epoch
+       back; a thread activating after our state read announces the
+       current global epoch and cannot reach older retirees *)
+    for it = 0 to Registry.registered () - 1 do
+      if Registry.in_use it then begin
+        incr visited;
+        let e = Atomic.get t.announce.(it) in
+        if e < !m then m := e
+      end
     done;
     !m
 
@@ -82,6 +76,11 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     Memdom.Alloc.free t.alloc (N.hdr n)
 
   let scan t ~tid =
+    (match Orphan.adopt t.orphans t.sink ~tid with
+    | [] -> ()
+    | adopted ->
+        t.retired.(tid) := List.rev_append adopted !(t.retired.(tid));
+        t.retired_count.(tid) := !(t.retired_count.(tid)) + List.length adopted);
     let began = Obs.Sink.scan_begin t.sink in
     let visited = ref 0 in
     try_advance t ~visited;
@@ -104,6 +103,45 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     t.retired.(tid) := (n, Atomic.get t.global_epoch) :: !(t.retired.(tid));
     incr t.retired_count.(tid);
     if !(t.retired_count.(tid)) >= t.scan_threshold then scan t ~tid
+
+  (* Quarantine cleaner: a departing thread must go quiescent (a stale
+     announcement would stall the global epoch — §2's blocked-reclamation
+     failure made permanent) and its epoch-stamped retired list goes to
+     the orphan pool, where survivors fold it into their next scan. *)
+  let orphan t ~tid =
+    Atomic.set t.announce.(tid) quiescent;
+    match !(t.retired.(tid)) with
+    | [] -> ()
+    | batch ->
+        t.retired.(tid) := [];
+        t.retired_count.(tid) := 0;
+        Orphan.publish t.orphans t.sink ~tid batch
+
+  let orphaned t = Orphan.pending t.orphans
+
+  let create ?(max_hps = 8) ?sink alloc =
+    let sink =
+      match sink with Some s -> s | None -> Memdom.Alloc.sink alloc
+    in
+    let t =
+      {
+        alloc;
+        sink;
+        hps = max_hps;
+        global_epoch = Atomic.make 2;
+        announce =
+          Array.init Registry.max_threads (fun _ -> Atomic.make quiescent);
+        retired = Array.init Registry.max_threads (fun _ -> ref []);
+        retired_count = Array.init Registry.max_threads (fun _ -> ref 0);
+        scan_threshold = 128;
+        counters = Scheme_intf.Counters.create ();
+        orphans = Orphan.create ();
+        lifecycle = ignore;
+      }
+    in
+    t.lifecycle <- (fun tid -> orphan t ~tid);
+    Registry.on_quarantine t.lifecycle;
+    t
 
   let unreclaimed t = Scheme_intf.Counters.unreclaimed t.counters
   let stats t = Scheme_intf.Counters.stats t.counters

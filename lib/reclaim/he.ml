@@ -30,29 +30,14 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     scan_threshold : int;
     era_freq : int;
     counters : Scheme_intf.Counters.t;
+    orphans : node Orphan.t;
+    (* strong reference keeping the weakly-registered quarantine
+       cleaner alive exactly as long as this scheme *)
+    mutable lifecycle : int -> unit;
   }
 
   let name = "he"
   let max_hps t = t.hps
-
-  let create ?(max_hps = 8) ?sink alloc =
-    let sink =
-      match sink with Some s -> s | None -> Memdom.Alloc.sink alloc
-    in
-    let mk_slots _ = Padded.atomic_array max_hps none_era in
-    {
-      alloc;
-      sink;
-      hps = max_hps;
-      he = Array.init Registry.max_threads mk_slots;
-      retired = Array.init Registry.max_threads (fun _ -> ref []);
-      retired_count = Array.init Registry.max_threads (fun _ -> ref 0);
-      retire_count = Array.init Registry.max_threads (fun _ -> ref 0);
-      scan_threshold = 128;
-      era_freq = 16;
-      counters = Scheme_intf.Counters.create ();
-    }
-
   let begin_op t ~tid = Obs.Sink.guard_begin t.sink ~tid
 
   let clear t ~tid ~idx = Atomic.set t.he.(tid).(idx) none_era
@@ -95,15 +80,18 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     let birth = h.Memdom.Hdr.birth_era and death = h.Memdom.Hdr.death_era in
     let found = ref false in
     (try
-       for it = 0 to Registry.max_threads - 1 do
-         for idx = 0 to t.hps - 1 do
-           incr visited;
-           let e = Atomic.get t.he.(it).(idx) in
-           if e <> none_era && birth <= e && e <= death then begin
-             found := true;
-             raise_notrace Exit
-           end
-         done
+       (* Free rows carry no era reservations (cleared on quarantine) —
+          skip them, see [Registry.in_use] *)
+       for it = 0 to Registry.registered () - 1 do
+         if Registry.in_use it then
+           for idx = 0 to t.hps - 1 do
+             incr visited;
+             let e = Atomic.get t.he.(it).(idx) in
+             if e <> none_era && birth <= e && e <= death then begin
+               found := true;
+               raise_notrace Exit
+             end
+           done
        done
      with Exit -> ());
     !found
@@ -113,6 +101,11 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     Memdom.Alloc.free t.alloc (N.hdr n)
 
   let scan t ~tid =
+    (match Orphan.adopt t.orphans t.sink ~tid with
+    | [] -> ()
+    | adopted ->
+        t.retired.(tid) := List.rev_append adopted !(t.retired.(tid));
+        t.retired_count.(tid) := !(t.retired_count.(tid)) + List.length adopted);
     let began = Obs.Sink.scan_begin t.sink in
     let visited = ref 0 in
     let keep, release =
@@ -137,6 +130,49 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     if !(t.retire_count.(tid)) mod t.era_freq = 0 then
       ignore (Memdom.Alloc.bump_era t.alloc);
     if !(t.retired_count.(tid)) >= t.scan_threshold then scan t ~tid
+
+  (* Quarantine cleaner: drop the departing tid's published eras (an
+     era left behind would pin every object alive at it, forever) and
+     publish its retired list for adoption.  Retire-epoch stamps live in
+     the headers, so the bare nodes carry everything a survivor's scan
+     needs. *)
+  let orphan t ~tid =
+    for idx = 0 to t.hps - 1 do
+      Atomic.set t.he.(tid).(idx) none_era
+    done;
+    match !(t.retired.(tid)) with
+    | [] -> ()
+    | batch ->
+        t.retired.(tid) := [];
+        t.retired_count.(tid) := 0;
+        Orphan.publish t.orphans t.sink ~tid batch
+
+  let orphaned t = Orphan.pending t.orphans
+
+  let create ?(max_hps = 8) ?sink alloc =
+    let sink =
+      match sink with Some s -> s | None -> Memdom.Alloc.sink alloc
+    in
+    let mk_slots _ = Padded.atomic_array max_hps none_era in
+    let t =
+      {
+        alloc;
+        sink;
+        hps = max_hps;
+        he = Array.init Registry.max_threads mk_slots;
+        retired = Array.init Registry.max_threads (fun _ -> ref []);
+        retired_count = Array.init Registry.max_threads (fun _ -> ref 0);
+        retire_count = Array.init Registry.max_threads (fun _ -> ref 0);
+        scan_threshold = 128;
+        era_freq = 16;
+        counters = Scheme_intf.Counters.create ();
+        orphans = Orphan.create ();
+        lifecycle = ignore;
+      }
+    in
+    t.lifecycle <- (fun tid -> orphan t ~tid);
+    Registry.on_quarantine t.lifecycle;
+    t
 
   let unreclaimed t = Scheme_intf.Counters.unreclaimed t.counters
   let stats t = Scheme_intf.Counters.stats t.counters

@@ -22,27 +22,14 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     retired_count : int ref array;
     scan_threshold : int;
     counters : Scheme_intf.Counters.t;
+    orphans : node Orphan.t;
+    (* strong reference keeping the weakly-registered quarantine
+       cleaner alive exactly as long as this scheme *)
+    mutable lifecycle : int -> unit;
   }
 
   let name = "hp"
   let max_hps t = t.hps
-
-  let create ?(max_hps = 8) ?sink alloc =
-    let sink =
-      match sink with Some s -> s | None -> Memdom.Alloc.sink alloc
-    in
-    let mk_slots _ = Padded.atomic_array max_hps None in
-    {
-      alloc;
-      sink;
-      hps = max_hps;
-      hp = Array.init Registry.max_threads mk_slots;
-      retired = Array.init Registry.max_threads (fun _ -> ref []);
-      retired_count = Array.init Registry.max_threads (fun _ -> ref 0);
-      scan_threshold = 2 * max_hps * 8;
-      counters = Scheme_intf.Counters.create ();
-    }
-
   let begin_op t ~tid = Obs.Sink.guard_begin t.sink ~tid
 
   let protect_raw t ~tid ~idx n = Atomic.set t.hp.(tid).(idx) n
@@ -72,15 +59,20 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
   let protected_by_any t ~visited n =
     let found = ref false in
     (try
-       for it = 0 to Registry.max_threads - 1 do
-         for idx = 0 to t.hps - 1 do
-           incr visited;
-           match Atomic.get t.hp.(it).(idx) with
-           | Some m when m == n ->
-               found := true;
-               raise_notrace Exit
-           | Some _ | None -> ()
-         done
+       (* bounded by the registered high-water, and rows whose registry
+          slot is Free are skipped outright: a recycled slot's hazards
+          are cleared before it is re-issued, so scan cost tracks the
+          live slot population (see [Registry.in_use]) *)
+       for it = 0 to Registry.registered () - 1 do
+         if Registry.in_use it then
+           for idx = 0 to t.hps - 1 do
+             incr visited;
+             match Atomic.get t.hp.(it).(idx) with
+             | Some m when m == n ->
+                 found := true;
+                 raise_notrace Exit
+             | Some _ | None -> ()
+           done
        done
      with Exit -> ());
     !found
@@ -90,6 +82,11 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     Memdom.Alloc.free t.alloc (N.hdr n)
 
   let scan t ~tid =
+    (match Orphan.adopt t.orphans t.sink ~tid with
+    | [] -> ()
+    | adopted ->
+        t.retired.(tid) := List.rev_append adopted !(t.retired.(tid));
+        t.retired_count.(tid) := !(t.retired_count.(tid)) + List.length adopted);
     let began = Obs.Sink.scan_begin t.sink in
     let visited = ref 0 in
     let keep, release =
@@ -110,6 +107,47 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     t.retired.(tid) := n :: !(t.retired.(tid));
     incr t.retired_count.(tid);
     if !(t.retired_count.(tid)) >= t.scan_threshold then scan t ~tid
+
+  (* Quarantine cleaner: force-clear the departing tid's hazards and
+     publish its pending retired list for adoption at survivors' next
+     scan.  On the exit path this runs on the departing thread itself;
+     on the force path the owner is provably dead, so the plain-ref
+     fields are single-owner either way. *)
+  let orphan t ~tid =
+    for idx = 0 to t.hps - 1 do
+      Atomic.set t.hp.(tid).(idx) None
+    done;
+    match !(t.retired.(tid)) with
+    | [] -> ()
+    | batch ->
+        t.retired.(tid) := [];
+        t.retired_count.(tid) := 0;
+        Orphan.publish t.orphans t.sink ~tid batch
+
+  let orphaned t = Orphan.pending t.orphans
+
+  let create ?(max_hps = 8) ?sink alloc =
+    let sink =
+      match sink with Some s -> s | None -> Memdom.Alloc.sink alloc
+    in
+    let mk_slots _ = Padded.atomic_array max_hps None in
+    let t =
+      {
+        alloc;
+        sink;
+        hps = max_hps;
+        hp = Array.init Registry.max_threads mk_slots;
+        retired = Array.init Registry.max_threads (fun _ -> ref []);
+        retired_count = Array.init Registry.max_threads (fun _ -> ref 0);
+        scan_threshold = 2 * max_hps * 8;
+        counters = Scheme_intf.Counters.create ();
+        orphans = Orphan.create ();
+        lifecycle = ignore;
+      }
+    in
+    t.lifecycle <- (fun tid -> orphan t ~tid);
+    Registry.on_quarantine t.lifecycle;
+    t
 
   let unreclaimed t = Scheme_intf.Counters.unreclaimed t.counters
   let stats t = Scheme_intf.Counters.stats t.counters

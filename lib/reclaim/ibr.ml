@@ -27,29 +27,15 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     scan_threshold : int;
     era_freq : int;
     counters : Scheme_intf.Counters.t;
+    orphans : node Orphan.t;
+    (* strong reference keeping the weakly-registered quarantine
+       cleaner alive exactly as long as this scheme *)
+    mutable lifecycle : int -> unit;
   }
 
   let name = "ibr"
   let max_hps t = t.hps
   let no_reservation = max_int
-
-  let create ?(max_hps = 8) ?sink alloc =
-    let sink =
-      match sink with Some s -> s | None -> Memdom.Alloc.sink alloc
-    in
-    {
-      alloc;
-      sink;
-      hps = max_hps;
-      lo = Array.init Registry.max_threads (fun _ -> Atomic.make no_reservation);
-      hi = Array.init Registry.max_threads (fun _ -> Atomic.make 0);
-      retired = Array.init Registry.max_threads (fun _ -> ref []);
-      retired_count = Array.init Registry.max_threads (fun _ -> ref 0);
-      retire_count = Array.init Registry.max_threads (fun _ -> ref 0);
-      scan_threshold = 128;
-      era_freq = 16;
-      counters = Scheme_intf.Counters.create ();
-    }
 
   let begin_op t ~tid =
     let e = Memdom.Alloc.era t.alloc in
@@ -85,12 +71,16 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     let birth = h.Memdom.Hdr.birth_era and death = h.Memdom.Hdr.death_era in
     let found = ref false in
     (try
-       for it = 0 to Registry.max_threads - 1 do
-         incr visited;
-         let lo = Atomic.get t.lo.(it) and hi = Atomic.get t.hi.(it) in
-         if birth <= hi && death >= lo then begin
-           found := true;
-           raise_notrace Exit
+       (* Free rows carry no interval reservation (cleared on
+          quarantine) — skip them, see [Registry.in_use] *)
+       for it = 0 to Registry.registered () - 1 do
+         if Registry.in_use it then begin
+           incr visited;
+           let lo = Atomic.get t.lo.(it) and hi = Atomic.get t.hi.(it) in
+           if birth <= hi && death >= lo then begin
+             found := true;
+             raise_notrace Exit
+           end
          end
        done
      with Exit -> ());
@@ -101,6 +91,11 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     Memdom.Alloc.free t.alloc (N.hdr n)
 
   let scan t ~tid =
+    (match Orphan.adopt t.orphans t.sink ~tid with
+    | [] -> ()
+    | adopted ->
+        t.retired.(tid) := List.rev_append adopted !(t.retired.(tid));
+        t.retired_count.(tid) := !(t.retired_count.(tid)) + List.length adopted);
     let began = Obs.Sink.scan_begin t.sink in
     let visited = ref 0 in
     let keep, release =
@@ -125,6 +120,49 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     if !(t.retire_count.(tid)) mod t.era_freq = 0 then
       ignore (Memdom.Alloc.bump_era t.alloc);
     if !(t.retired_count.(tid)) >= t.scan_threshold then scan t ~tid
+
+  (* Quarantine cleaner: retract the departing tid's reservation
+     interval (a leftover [lo, hi] would pin every overlapping lifetime
+     forever — the §2 stalled-reader failure made permanent) and
+     publish its retired list for adoption. *)
+  let orphan t ~tid =
+    Atomic.set t.lo.(tid) no_reservation;
+    Atomic.set t.hi.(tid) 0;
+    match !(t.retired.(tid)) with
+    | [] -> ()
+    | batch ->
+        t.retired.(tid) := [];
+        t.retired_count.(tid) := 0;
+        Orphan.publish t.orphans t.sink ~tid batch
+
+  let orphaned t = Orphan.pending t.orphans
+
+  let create ?(max_hps = 8) ?sink alloc =
+    let sink =
+      match sink with Some s -> s | None -> Memdom.Alloc.sink alloc
+    in
+    let t =
+      {
+        alloc;
+        sink;
+        hps = max_hps;
+        lo =
+          Array.init Registry.max_threads (fun _ ->
+              Atomic.make no_reservation);
+        hi = Array.init Registry.max_threads (fun _ -> Atomic.make 0);
+        retired = Array.init Registry.max_threads (fun _ -> ref []);
+        retired_count = Array.init Registry.max_threads (fun _ -> ref 0);
+        retire_count = Array.init Registry.max_threads (fun _ -> ref 0);
+        scan_threshold = 128;
+        era_freq = 16;
+        counters = Scheme_intf.Counters.create ();
+        orphans = Orphan.create ();
+        lifecycle = ignore;
+      }
+    in
+    t.lifecycle <- (fun tid -> orphan t ~tid);
+    Registry.on_quarantine t.lifecycle;
+    t
 
   let unreclaimed t = Scheme_intf.Counters.unreclaimed t.counters
   let stats t = Scheme_intf.Counters.stats t.counters

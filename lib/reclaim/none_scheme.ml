@@ -18,22 +18,43 @@ module Leak (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     hps : int;
     retired : node list ref array;
     counters : Scheme_intf.Counters.t;
+    orphans : node Orphan.t;
+    mutable lifecycle : int -> unit;
   }
 
   let name = "leak"
   let max_hps t = t.hps
 
+  (* Even the leak control participates in the lifecycle protocol: a
+     recycled tid must start with an empty park list, and [flush] must
+     still see (and free) what departed threads parked. *)
+  let orphan t ~tid =
+    match !(t.retired.(tid)) with
+    | [] -> ()
+    | batch ->
+        t.retired.(tid) := [];
+        Orphan.publish t.orphans t.sink ~tid batch
+
+  let orphaned t = Orphan.pending t.orphans
+
   let create ?(max_hps = 8) ?sink alloc =
     let sink =
       match sink with Some s -> s | None -> Memdom.Alloc.sink alloc
     in
-    {
-      alloc;
-      sink;
-      hps = max_hps;
-      retired = Array.init Registry.max_threads (fun _ -> ref []);
-      counters = Scheme_intf.Counters.create ();
-    }
+    let t =
+      {
+        alloc;
+        sink;
+        hps = max_hps;
+        retired = Array.init Registry.max_threads (fun _ -> ref []);
+        counters = Scheme_intf.Counters.create ();
+        orphans = Orphan.create ();
+        lifecycle = ignore;
+      }
+    in
+    t.lifecycle <- (fun tid -> orphan t ~tid);
+    Registry.on_quarantine t.lifecycle;
+    t
 
   let begin_op t ~tid = Obs.Sink.guard_begin t.sink ~tid
   let end_op t ~tid = Obs.Sink.guard_end t.sink ~tid
@@ -57,11 +78,15 @@ module Leak (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
   (* Quiesced: everything retired is reclaimable by definition. *)
   let flush t =
     for tid = 0 to Registry.registered () - 1 do
+      let mine = !(t.retired.(tid)) in
+      let all =
+        List.rev_append (Orphan.adopt t.orphans t.sink ~tid) mine
+      in
       List.iter
         (fun n ->
           Scheme_intf.Counters.freed t.counters ~tid;
           Memdom.Alloc.free t.alloc (N.hdr n))
-        !(t.retired.(tid));
+        all;
       t.retired.(tid) := []
     done
 end
@@ -101,6 +126,9 @@ module Unsafe (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = stru
     Scheme_intf.Counters.freed t.counters ~tid;
     Memdom.Alloc.free t.alloc (N.hdr n)
 
+  (* Nothing is ever pending, so thread death leaves nothing behind. *)
+  let orphan _ ~tid:_ = ()
+  let orphaned _ = 0
   let unreclaimed _ = 0
   let stats t = Scheme_intf.Counters.stats t.counters
   let pp_stats fmt t = Scheme_intf.pp_stats_record fmt (stats t)

@@ -1,0 +1,29 @@
+(** Lock-free orphan pool for dead threads' pending retire lists.
+
+    When a thread's registry slot is quarantined (domain exit, or
+    [Registry.force_release] after abrupt death), each scheme publishes
+    the departing tid's un-scanned retire list here as one batch;
+    surviving threads adopt the whole pool at the start of their next
+    scan, so a dead thread's garbage is reclaimed within O(1) scans
+    instead of leaking forever.  The element type is per-scheme (EBR
+    keeps its retire epochs, everyone else keeps bare nodes).
+
+    Publish is a CAS-prepend, adopt a single exchange: a batch is
+    adopted exactly once, by exactly one survivor.  Both emit sink
+    events ([Orphan]/[Adopt]); adoption also records publish→adopt
+    latency into the sink's adopt histogram. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val publish : 'a t -> Obs.Sink.t -> tid:int -> 'a list -> unit
+(** Publish a departing thread's pending items as one batch ([tid] is
+    the departing thread, for event attribution).  No-op on [[]]. *)
+
+val adopt : 'a t -> Obs.Sink.t -> tid:int -> 'a list
+(** Take every pending batch ([tid] is the adopter), concatenated.
+    Returns [[]] without writing when the pool is empty. *)
+
+val pending : 'a t -> int
+(** Items currently awaiting adoption (diagnostics). *)

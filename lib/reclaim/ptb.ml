@@ -28,29 +28,14 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     retired : node list ref array;
     scan_threshold : int;
     counters : Scheme_intf.Counters.t;
+    orphans : node Orphan.t;
+    (* strong reference keeping the weakly-registered quarantine
+       cleaner alive exactly as long as this scheme *)
+    mutable lifecycle : int -> unit;
   }
 
   let name = "ptb"
   let max_hps t = t.hps
-
-  let create ?(max_hps = 8) ?sink alloc =
-    let sink =
-      match sink with Some s -> s | None -> Memdom.Alloc.sink alloc
-    in
-    let mk_posts _ = Padded.atomic_array max_hps None in
-    let mk_handoffs _ =
-      Array.init max_hps (fun _ -> Atomic.make { v = None; ver = 0 })
-    in
-    {
-      alloc;
-      sink;
-      hps = max_hps;
-      post = Array.init Registry.max_threads mk_posts;
-      handoff = Array.init Registry.max_threads mk_handoffs;
-      retired = Array.init Registry.max_threads (fun _ -> ref []);
-      scan_threshold = 2 * max_hps * 8;
-      counters = Scheme_intf.Counters.create ();
-    }
 
   let begin_op t ~tid = Obs.Sink.guard_begin t.sink ~tid
   let protect_raw t ~tid ~idx n = Atomic.set t.post.(tid).(idx) n
@@ -71,24 +56,31 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     Scheme_intf.Counters.freed t.counters ~tid;
     Memdom.Alloc.free t.alloc (N.hdr n)
 
-  (* Find a guard currently trapping [p]. *)
+  (* Find a guard currently trapping [p].  Free rows post no guards
+     (cleared on quarantine) — skip them, see [Registry.in_use]. *)
   let find_guard t ~visited p =
     let found = ref None in
     (try
-       for it = 0 to Registry.max_threads - 1 do
-         for idx = 0 to t.hps - 1 do
-           incr visited;
-           match Atomic.get t.post.(it).(idx) with
-           | Some m when m == p ->
-               found := Some (it, idx);
-               raise_notrace Exit
-           | Some _ | None -> ()
-         done
+       for it = 0 to Registry.registered () - 1 do
+         if Registry.in_use it then
+           for idx = 0 to t.hps - 1 do
+             incr visited;
+             match Atomic.get t.post.(it).(idx) with
+             | Some m when m == p ->
+                 found := Some (it, idx);
+                 raise_notrace Exit
+             | Some _ | None -> ()
+           done
        done
      with Exit -> ());
     !found
 
   let liberate t ~tid values =
+    let values =
+      match Orphan.adopt t.orphans t.sink ~tid with
+      | [] -> values
+      | adopted -> List.rev_append adopted values
+    in
     let began = Obs.Sink.scan_begin t.sink in
     let visited = ref 0 in
     let work = Queue.create () in
@@ -147,6 +139,58 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
       t.retired.(tid) := [];
       liberate t ~tid vs
     end
+
+  (* Quarantine cleaner: lower the departing tid's guards, then drain
+     its handoff slots — a value trapped in a dead guard's handoff has
+     no owner left to [clear] it back into a retired list — and publish
+     everything for adoption by the next liberator. *)
+  let orphan t ~tid =
+    for idx = 0 to t.hps - 1 do
+      Atomic.set t.post.(tid).(idx) None
+    done;
+    let trapped = ref [] in
+    for idx = 0 to t.hps - 1 do
+      let slot = t.handoff.(tid).(idx) in
+      let h = Atomic.get slot in
+      match h.v with
+      | None -> ()
+      | Some _ -> (
+          let h' = Atomic.exchange slot { v = None; ver = h.ver + 1 } in
+          match h'.v with
+          | Some q -> trapped := q :: !trapped
+          | None -> ())
+    done;
+    let batch = !trapped @ !(t.retired.(tid)) in
+    t.retired.(tid) := [];
+    Orphan.publish t.orphans t.sink ~tid batch
+
+  let orphaned t = Orphan.pending t.orphans
+
+  let create ?(max_hps = 8) ?sink alloc =
+    let sink =
+      match sink with Some s -> s | None -> Memdom.Alloc.sink alloc
+    in
+    let mk_posts _ = Padded.atomic_array max_hps None in
+    let mk_handoffs _ =
+      Array.init max_hps (fun _ -> Atomic.make { v = None; ver = 0 })
+    in
+    let t =
+      {
+        alloc;
+        sink;
+        hps = max_hps;
+        post = Array.init Registry.max_threads mk_posts;
+        handoff = Array.init Registry.max_threads mk_handoffs;
+        retired = Array.init Registry.max_threads (fun _ -> ref []);
+        scan_threshold = 2 * max_hps * 8;
+        counters = Scheme_intf.Counters.create ();
+        orphans = Orphan.create ();
+        lifecycle = ignore;
+      }
+    in
+    t.lifecycle <- (fun tid -> orphan t ~tid);
+    Registry.on_quarantine t.lifecycle;
+    t
 
   let unreclaimed t = Scheme_intf.Counters.unreclaimed t.counters
   let stats t = Scheme_intf.Counters.stats t.counters

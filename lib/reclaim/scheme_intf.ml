@@ -65,8 +65,18 @@ module Counters = struct
     }
 
   (* retires and frees are monotonic and frees never outruns retires in
-     quiescence, so the difference is the unreclaimed population. *)
-  let unreclaimed t = max 0 (Shard.get t.retires - Shard.get t.frees)
+     quiescence, so the difference is the unreclaimed population.  The
+     reads must be sequenced retires-first: both counters only grow, so
+     reading [frees] second can only shrink the difference, and the
+     report is bounded by the true population at the first read.  (The
+     one-expression form read [frees] first — OCaml evaluates operands
+     right to left — and a descheduled reader could see the whole
+     workload retire in between, reporting thousands of phantom
+     pending objects on a single-core host.) *)
+  let unreclaimed t =
+    let r = Shard.get t.retires in
+    let f = Shard.get t.frees in
+    max 0 (r - f)
 end
 
 module type NODE = sig
@@ -90,7 +100,10 @@ module type S = sig
       returned to [alloc].  [sink] receives lifecycle events
       (retire/scan/guard) and defaults to [Memdom.Alloc.sink alloc], so
       a structure traced through its allocator needs no extra
-      plumbing. *)
+      plumbing.  [create] also registers the scheme's {!orphan} hook
+      with [Atomicx.Registry.on_quarantine], so domain exit and
+      [force_release] clean up the departing tid automatically for the
+      scheme's whole lifetime. *)
 
   val begin_op : t -> tid:int -> unit
   (** Enter a data-structure operation.  No-op for pointer-based schemes;
@@ -127,6 +140,22 @@ module type S = sig
   (** Hand an unreachable node to the scheme; it will be freed once no
       thread protects it.  Precondition (same as HP/PTB/HE, §3.1): the
       node is no longer reachable from any global reference. *)
+
+  val orphan : t -> tid:int -> unit
+  (** Lifecycle cleaner for a departing thread: force-clear every
+      protection slot [tid] published, drain anything parked on it, and
+      publish its pending retire list to the scheme's orphan pool (or
+      re-retire it through the handover path), so the next owner of a
+      recycled [tid] starts from clean state and the dead thread's
+      garbage is adopted by survivors within O(1) scans.  Registered
+      with [Registry.on_quarantine] by [create]; runs on the departing
+      thread during [Registry.release] and on the reclaiming thread
+      during [force_release] (the owner provably dead).  Idempotent and
+      safe for tids the scheme never saw. *)
+
+  val orphaned : t -> int
+  (** Nodes awaiting adoption in the orphan pool (diagnostics; always 0
+      for schemes that drain through handover instead of pooling). *)
 
   val unreclaimed : t -> int
   (** Nodes retired but not yet freed — the quantity the paper's memory

@@ -67,6 +67,108 @@ let test_registry_stable_within_domain () =
         check_int "stable" tid (Registry.tid ())
       done)
 
+(* Slot release bumps the generation: a recycled tid is distinguishable
+   from its previous life. *)
+let test_registry_generation_bumps () =
+  let tid, gen =
+    Domain.join
+      (Domain.spawn (fun () ->
+           Registry.with_tid (fun tid -> (tid, Registry.generation tid))))
+  in
+  check_bool "released" true (Registry.slot_state tid = `Free);
+  check_bool "generation bumped on release" true (Registry.generation tid > gen)
+
+(* The quarantine pass runs registered cleaners while the slot is still
+   Quarantined (so the tid cannot be re-issued mid-cleanup), then frees
+   it. *)
+let test_registry_quarantine_runs_cleaners () =
+  let seen = ref [] in
+  let cleaner tid = seen := (tid, Registry.slot_state tid) :: !seen in
+  Registry.on_quarantine cleaner;
+  let tid =
+    Domain.join (Domain.spawn (fun () -> Registry.with_tid (fun tid -> tid)))
+  in
+  check_bool "cleaner saw the dying tid quarantined" true
+    (List.mem (tid, `Quarantined) !seen);
+  check_bool "slot free afterwards" true (Registry.slot_state tid = `Free);
+  (* keep the closure alive until here: registration is weak *)
+  ignore (Sys.opaque_identity (Some cleaner))
+
+(* [abandon] models abrupt death: the slot stays Active (still pinned
+   by whatever the dead thread published) until a survivor proves the
+   owner gone and calls [force_release], which runs the same quarantine
+   pass on the caller. *)
+let test_registry_abandon_and_force_release () =
+  let cleaned = ref [] in
+  let cleaner tid = cleaned := tid :: !cleaned in
+  Registry.on_quarantine cleaner;
+  let tid =
+    Domain.join
+      (Domain.spawn (fun () -> Registry.with_tid (fun _ -> Registry.abandon ())))
+  in
+  check_bool "abandoned slot stays Active" true
+    (Registry.slot_state tid = `Active);
+  check_bool "no cleanup yet" true (not (List.mem tid !cleaned));
+  check_bool "force_release reclaims" true (Registry.force_release tid);
+  check_bool "cleaner ran on the survivor" true (List.mem tid !cleaned);
+  check_bool "slot free" true (Registry.slot_state tid = `Free);
+  check_bool "second force_release is a no-op" false (Registry.force_release tid);
+  ignore (Sys.opaque_identity (Some cleaner))
+
+(* [active] counts Active slots, scanning only up to the watermark. *)
+let test_registry_active_counts () =
+  let n = 4 in
+  let barrier = Barrier.create n in
+  let doms =
+    List.init n (fun _ ->
+        Domain.spawn (fun () ->
+            Registry.with_tid (fun _ ->
+                Barrier.wait barrier;
+                let a = Registry.active () in
+                Barrier.wait barrier;
+                a)))
+  in
+  let counts = List.map Domain.join doms in
+  List.iter
+    (fun a ->
+      check_bool "sees all concurrent registrants" true (a >= n);
+      check_bool "bounded by watermark" true (a <= Registry.high_water ()))
+    counts
+
+(* Exhaustion raises a diagnostic, and force_release recovers from it:
+   the registry survives a full wipe-out of leaked slots. *)
+let test_registry_too_many_threads_diagnostic () =
+  let leaked = ref [] in
+  (try
+     while true do
+       let tid =
+         Domain.join
+           (Domain.spawn (fun () ->
+                match Registry.with_tid (fun _ -> Registry.abandon ()) with
+                | tid -> Ok tid
+                | exception e -> Error e))
+       in
+       match tid with Ok t -> leaked := t :: !leaked | Error e -> raise e
+     done
+   with Registry.Too_many_threads msg ->
+     check_bool "message names max_threads" true
+       (let sub = Printf.sprintf "max_threads=%d" Registry.max_threads in
+      let len = String.length sub in
+      let ok = ref false in
+      for i = 0 to String.length msg - len do
+        if String.sub msg i len = sub then ok := true
+      done;
+      !ok));
+  List.iter
+    (fun t -> check_bool "recovered" true (Registry.force_release t))
+    !leaked;
+  (* the pool is usable again *)
+  let tid =
+    Domain.join (Domain.spawn (fun () -> Registry.with_tid (fun t -> t)))
+  in
+  check_bool "slots re-issued after recovery" true
+    (tid >= 0 && tid < Registry.max_threads)
+
 let test_bitmask_sequential_acquire () =
   let b = Bitmask.create 10 in
   check_int "capacity" 10 (Bitmask.capacity b);
@@ -265,6 +367,16 @@ let suite =
           test_registry_distinct_tids;
         Alcotest.test_case "registry reuses released slots" `Quick
           test_registry_reuse_after_release;
+        Alcotest.test_case "registry generation bumps" `Quick
+          test_registry_generation_bumps;
+        Alcotest.test_case "registry quarantine runs cleaners" `Quick
+          test_registry_quarantine_runs_cleaners;
+        Alcotest.test_case "registry abandon + force_release" `Quick
+          test_registry_abandon_and_force_release;
+        Alcotest.test_case "registry active counts" `Quick
+          test_registry_active_counts;
+        Alcotest.test_case "registry exhaustion diagnostic" `Quick
+          test_registry_too_many_threads_diagnostic;
         Alcotest.test_case "registry stable within domain" `Quick
           test_registry_stable_within_domain;
         Alcotest.test_case "bitmask sequential acquire" `Quick

@@ -101,6 +101,9 @@ let test_worker_deaths_mid_workload () =
    a pointer-based scheme pins only what that reader actually protects. *)
 let stalled_reader_growth (module S : Reclaim.Scheme_intf.S
                             with type node = tnode) name =
+  (* tid 9 is staged, not acquired: reserve it so protection scans
+     treat its row as in use *)
+  Atomicx.Registry.reserve 10;
   let alloc = Memdom.Alloc.create name in
   let s = S.create ~max_hps:4 alloc in
   (* the stalled reader: enters an operation (EBR) / protects one node

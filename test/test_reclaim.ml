@@ -133,6 +133,48 @@ module Generic (S : Reclaim.Scheme_intf.S with type node = tnode) = struct
     check_int "no leak after stress" 0 (Memdom.Alloc.live alloc);
     check_int "nothing pending" 0 (S.unreclaimed s)
 
+  (* Tid recycling: the first life dies mid-operation — protection
+     published, retires pending below any scan threshold, no [end_op].
+     The exit path must orphan the backlog and clear the hazards, so
+     the second life (same slot, bumped generation) starts from a
+     clean slate and nothing is lost once the scheme quiesces. *)
+  let test_tid_recycling () =
+    let alloc, s = fresh () in
+    let node = mk alloc 1 in
+    let link = Link.make (Link.Ptr node) in
+    let tid1, gen1 =
+      Domain.join
+        (Domain.spawn (fun () ->
+             Registry.with_tid (fun tid ->
+                 S.begin_op s ~tid;
+                 ignore (S.get_protected s ~tid ~idx:0 link);
+                 Link.set link Link.Null;
+                 S.retire s ~tid node;
+                 for i = 1 to 8 do
+                   S.retire s ~tid (mk alloc i)
+                 done;
+                 (* die here: no end_op, no explicit cleanup *)
+                 (tid, Registry.generation tid))))
+    in
+    let tid2, gen2 =
+      Domain.join
+        (Domain.spawn (fun () ->
+             Registry.with_tid (fun tid ->
+                 (* the recycled slot must behave like a fresh one *)
+                 S.begin_op s ~tid;
+                 let st = S.get_protected s ~tid ~idx:0 link in
+                 check_bool "sees the unlinked table" true
+                   (Link.target st = None);
+                 S.end_op s ~tid;
+                 (tid, Registry.generation tid))))
+    in
+    check_int "same slot re-issued" tid1 tid2;
+    check_bool "generation bumped across lives" true (gen2 > gen1);
+    S.flush s;
+    check_int "nothing lost across recycling" 0 (Memdom.Alloc.live alloc);
+    check_int "nothing pending" 0 (S.unreclaimed s);
+    check_int "orphan pool drained" 0 (S.orphaned s)
+
   let cases =
     [
       Alcotest.test_case
@@ -147,6 +189,9 @@ module Generic (S : Reclaim.Scheme_intf.S with type node = tnode) = struct
       Alcotest.test_case
         (S.name ^ ": concurrent stress, no UAF, no leak")
         `Slow test_concurrent_stress;
+      Alcotest.test_case
+        (S.name ^ ": tid recycling starts clean")
+        `Quick test_tid_recycling;
     ]
 end
 

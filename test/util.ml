@@ -61,7 +61,23 @@ let trace_retry ~name ~bound ~first run =
              freed)@."
             name);
       Format.eprintf "%s: live-object series (sampled): %s@." name
-        (String.concat " " (List.map string_of_int series))
+        (String.concat " " (List.map string_of_int series));
+      (* the event-ring tail is the play-by-play right before the
+         bound blew — orphan publishes with no matching adopts, scans
+         that stopped visiting slots, and so on *)
+      match Obs.Sink.ring sink with
+      | None -> ()
+      | Some ring ->
+          let tail =
+            List.concat_map Array.to_list (Obs.Ring.snapshot_all ring)
+            |> List.sort (fun (a : Obs.Event.t) b -> compare a.ts b.ts)
+          in
+          let n = List.length tail in
+          let skip = max 0 (n - 64) in
+          Format.eprintf "%s: last %d of %d ring events:@." name (n - skip) n;
+          List.iteri
+            (fun i e -> if i >= skip then Format.eprintf "  %a@." Obs.Event.pp e)
+            tail
     end;
     peak
   end
