@@ -17,8 +17,12 @@
      --trace=FILE   dump a Chrome-trace (Perfetto-loadable) of the traced
                     queue runs to FILE
      --smoke        seconds-not-minutes mode: only the traced runs, the
-                    overhead check and the micros — enough to exercise
-                    `--json --trace` end to end
+                    overhead check, the allocator comparison and the
+                    micros — enough to exercise `--json --trace` end to
+                    end
+     --alloc        just the System-vs-Pool allocator comparison
+                    (per-scheme throughput + minor-GC deltas at equal
+                    op count)
 
    On this single-machine setup the Intel/AMD pair of each figure
    collapses to one series; EXPERIMENTS.md records the mapping. *)
@@ -38,6 +42,7 @@ let arg_value prefix =
 
 let smoke = arg_flag "--smoke"
 let churn_only = arg_flag "--churn"
+let alloc_only = arg_flag "--alloc"
 let trace_out = arg_value "--trace="
 
 let json_out = if arg_flag "--json" then Some "BENCH_orc.json" else None
@@ -280,6 +285,50 @@ let churn_json results =
        results)
 
 (* ------------------------------------------------------------------ *)
+(* Allocator modes: System vs the type-stable Pool at equal op count.
+   Single-domain runs so the per-domain Gc.quick_stat deltas (minor
+   words / minor collections) are well-defined; the claim to observe is
+   a ≥90% pool hit rate at steady state and strictly fewer minor
+   collections than System. *)
+
+let run_alloc () =
+  let ops = if smoke then 50_000 else 200_000 in
+  Format.printf
+    "@.== Allocator: System vs type-stable Pool (%d ops, 1 domain) ==@." ops;
+  let rows = Harness.Experiments.alloc_modes ~ops params in
+  Format.printf "  %-10s %-8s %8s %9s %12s %14s %10s@." "workload" "mode"
+    "Mops/s" "hit-rate" "remote-free" "minor-words" "minor-gcs";
+  List.iter
+    (fun r ->
+      let open Harness.Experiments in
+      Format.printf "  %-10s %-8s %8.3f %8.1f%% %12d %14.0f %10d@." r.a_workload
+        r.a_mode r.a_mops
+        (100. *. r.a_hit_rate)
+        r.a_remote_frees r.a_minor_words r.a_minor_collections)
+    rows;
+  rows
+
+let alloc_json rows =
+  let open Harness in
+  Json.List
+    (List.map
+       (fun r ->
+         let open Experiments in
+         Json.Obj
+           [
+             ("workload", Json.Str r.a_workload);
+             ("mode", Json.Str r.a_mode);
+             ("ops", Json.Int r.a_ops);
+             ("mops", Json.Float r.a_mops);
+             ("hit_rate", Json.Float r.a_hit_rate);
+             ("pool_hits", Json.Int r.a_hits);
+             ("pool_misses", Json.Int r.a_misses);
+             ("remote_frees", Json.Int r.a_remote_frees);
+             ("refills", Json.Int r.a_refills);
+             ("minor_words", Json.Float r.a_minor_words);
+             ("minor_collections", Json.Int r.a_minor_collections);
+           ])
+       rows)
 
 let print_mix_tables title tables =
   List.iter
@@ -305,6 +354,7 @@ let params_json () =
 let run_smoke () =
   let open Harness in
   let tracing = run_tracing () in
+  let allocator = run_alloc () in
   let micro = run_micro () in
   match json_out with
   | None -> ()
@@ -315,6 +365,7 @@ let run_smoke () =
             ("params", params_json ());
             ("unit", Json.Str "Mops/s unless stated");
             ("reclamation_tracing", tracing_json tracing);
+            ("allocator", alloc_json allocator);
             ( "micro_ns_per_op",
               Json.Obj (List.map (fun (n, e) -> (n, Json.Float e)) micro) );
           ]
@@ -383,6 +434,7 @@ let run_full () =
 
   let tracing = run_tracing () in
   let churn = run_churn () in
+  let allocator = run_alloc () in
   let micro = run_micro () in
 
   match json_out with
@@ -426,6 +478,7 @@ let run_full () =
                    backend) );
             ("reclamation_tracing", tracing_json tracing);
             ("domain_churn", churn_json churn);
+            ("allocator", alloc_json allocator);
             ( "micro_ns_per_op",
               Json.Obj (List.map (fun (n, e) -> (n, Json.Float e)) micro) );
           ]
@@ -433,18 +486,19 @@ let run_full () =
       Json.to_file path j;
       Format.printf "@.wrote %s@." path
 
-(* Standalone churn mode: just the domain-churn section, fast enough
-   to run on every change. *)
-let run_churn_only () =
+(* Standalone section modes: `--churn` and/or `--alloc` run just those
+   sections (composable), fast enough to run on every change. *)
+let run_sections () =
   let open Harness in
-  let churn = run_churn () in
+  let sections =
+    (if churn_only then [ ("domain_churn", churn_json (run_churn ())) ] else [])
+    @
+    if alloc_only then [ ("allocator", alloc_json (run_alloc ())) ] else []
+  in
   match json_out with
   | None -> ()
   | Some path ->
-      let j =
-        Json.Obj
-          [ ("params", params_json ()); ("domain_churn", churn_json churn) ]
-      in
+      let j = Json.Obj (("params", params_json ()) :: sections) in
       Json.to_file path j;
       Format.printf "@.wrote %s@." path
 
@@ -454,7 +508,7 @@ let () =
     (String.concat "," (List.map string_of_int params.threads))
     params.duration
     (if smoke then ", smoke" else "");
-  if churn_only then run_churn_only ()
+  if churn_only || alloc_only then run_sections ()
   else if smoke then run_smoke ()
   else run_full ();
   Format.printf "@.done.@."

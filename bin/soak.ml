@@ -23,11 +23,12 @@ type target = {
   teardown : unit -> unit;
   live : unit -> int;
   coherent : unit -> bool; (* cheap structural invariant, quiesced *)
+  stats : unit -> string; (* [Alloc.pp_stats] incl. pool hit rate *)
 }
 
-let queue_target (type a) name
+let queue_target (type a) ?mode name
     (module Q : Ds.Intf.QUEUE with type item = int and type t = a) =
-  let q = Q.create () in
+  let q = Q.create ?mode () in
   {
     name;
     op =
@@ -40,11 +41,12 @@ let queue_target (type a) name
         Q.flush q);
     live = (fun () -> Memdom.Alloc.live (Q.alloc q));
     coherent = (fun () -> true);
+    stats = (fun () -> Format.asprintf "%a" Memdom.Alloc.pp_stats (Q.alloc q));
   }
 
-let set_target (type a) name ~keys
+let set_target (type a) ?mode name ~keys
     (module S : Ds.Intf.SET with type t = a) =
-  let s = S.create () in
+  let s = S.create ?mode () in
   {
     name;
     op =
@@ -63,6 +65,7 @@ let set_target (type a) name ~keys
       (fun () ->
         let l = S.to_list s in
         List.sort_uniq compare l = l);
+    stats = (fun () -> Format.asprintf "%a" Memdom.Alloc.pp_stats (S.alloc s));
   }
 
 module Msq_hp = Ds.Ms_queue.Make (Int_item) (Reclaim.Hp.Make)
@@ -84,26 +87,26 @@ module Skip_crf = Ds.Orc_crf_skiplist.Make ()
 module Hm_hp = Ds.Hash_map.Make (Reclaim.Hp.Make)
 module Hm_orc = Ds.Orc_hash_map.Make ()
 
-let targets () =
+let targets ?mode () =
   [
-    queue_target "ms-hp" (module Msq_hp);
-    queue_target "ms-ptp" (module Msq_ptp);
-    queue_target "ms-orc" (module Msq_orc);
-    queue_target "lcrq-orc" (module Lcrq_orc);
-    queue_target "kp-orc" (module Kpq);
-    queue_target "turn-orc" (module Turn);
-    set_target "michael-hp" ~keys:256 (module Ml_hp);
-    set_target "michael-ptp" ~keys:256 (module Ml_ptp);
-    set_target "michael-orc" ~keys:256 (module Ml_orc);
-    set_target "harris-orc" ~keys:256 (module Harris);
-    set_target "hs-orc" ~keys:256 (module Hsl);
-    set_target "tbkp-orc" ~keys:64 (module Tbkp);
-    set_target "nmtree-hp" ~keys:1024 (module Nm_hp);
-    set_target "nmtree-orc" ~keys:1024 (module Nm_orc);
-    set_target "hs-skip" ~keys:1024 (module Skip_hs);
-    set_target "crf-skip" ~keys:1024 (module Skip_crf);
-    set_target "hashmap-hp" ~keys:1024 (module Hm_hp);
-    set_target "hashmap-orc" ~keys:1024 (module Hm_orc);
+    queue_target ?mode "ms-hp" (module Msq_hp);
+    queue_target ?mode "ms-ptp" (module Msq_ptp);
+    queue_target ?mode "ms-orc" (module Msq_orc);
+    queue_target ?mode "lcrq-orc" (module Lcrq_orc);
+    queue_target ?mode "kp-orc" (module Kpq);
+    queue_target ?mode "turn-orc" (module Turn);
+    set_target ?mode "michael-hp" ~keys:256 (module Ml_hp);
+    set_target ?mode "michael-ptp" ~keys:256 (module Ml_ptp);
+    set_target ?mode "michael-orc" ~keys:256 (module Ml_orc);
+    set_target ?mode "harris-orc" ~keys:256 (module Harris);
+    set_target ?mode "hs-orc" ~keys:256 (module Hsl);
+    set_target ?mode "tbkp-orc" ~keys:64 (module Tbkp);
+    set_target ?mode "nmtree-hp" ~keys:1024 (module Nm_hp);
+    set_target ?mode "nmtree-orc" ~keys:1024 (module Nm_orc);
+    set_target ?mode "hs-skip" ~keys:1024 (module Skip_hs);
+    set_target ?mode "crf-skip" ~keys:1024 (module Skip_crf);
+    set_target ?mode "hashmap-hp" ~keys:1024 (module Hm_hp);
+    set_target ?mode "hashmap-orc" ~keys:1024 (module Hm_orc);
   ]
 
 (* Domain-churn chaos mode (--churn): instead of long-lived workers,
@@ -146,12 +149,14 @@ let run_churn seconds seed =
     1
   end
 
-let run seconds workers seed churn =
+let run seconds workers seed churn pool =
   if churn then run_churn seconds seed
   else
-  let ts = targets () in
-  Printf.printf "soak: %d structures, %d workers, %.0fs, seed %d\n%!"
-    (List.length ts) workers seconds seed;
+  let mode = if pool then Some Memdom.Alloc.Pool else None in
+  let ts = targets ?mode () in
+  Printf.printf "soak: %d structures, %d workers, %.0fs, seed %d%s\n%!"
+    (List.length ts) workers seconds seed
+    (if pool then ", pool allocators" else "");
   let stop = Atomic.make false in
   let failures = Atomic.make 0 in
   let ops = Atomic.make 0 in
@@ -190,7 +195,8 @@ let run seconds workers seed churn =
       if live <> 0 then begin
         incr bad;
         Printf.eprintf "%s: %d objects leaked\n%!" t.name live
-      end)
+      end;
+      if pool then Printf.printf "  %s\n%!" (t.stats ()))
     ts;
   if !bad = 0 then begin
     Printf.printf "soak passed: no UAF, no incoherence, no leaks\n";
@@ -217,9 +223,18 @@ let churn_arg =
           "Domain-churn chaos mode: waves of short-lived domains dying at \
            randomized points, instead of long-lived workers.")
 
+let pool_arg =
+  Arg.(
+    value & flag
+    & info [ "pool" ]
+        ~doc:
+          "Build every structure over a type-stable Pool allocator instead \
+           of System, and print per-target allocator stats (pool hit rate, \
+           remote frees) at teardown.")
+
 let cmd =
   Cmd.v
     (Cmd.info "soak" ~doc:"randomized cross-structure soak test")
-    Term.(const run $ seconds_arg $ workers_arg $ seed_arg $ churn_arg)
+    Term.(const run $ seconds_arg $ workers_arg $ seed_arg $ churn_arg $ pool_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -37,6 +37,9 @@ type report = {
   leaked : int;
   unreclaimed_after : int;
   orphaned_after : int;
+  pool_hits : int;
+  pool_misses : int;
+  remote_frees : int;
   errors : string list;
 }
 
@@ -49,9 +52,13 @@ let pp_report fmt r =
   Format.fprintf fmt
     "@[<v 2>%s: %d domains, %d killed (%d abandoned, %d force-released)@,\
      peak unreclaimed %d; after quiesce: leaked %d, unreclaimed %d, \
-     orphaned %d%a@]"
+     orphaned %d%t%a@]"
     r.name r.domains r.killed r.abandoned r.force_released r.peak_unreclaimed
     r.leaked r.unreclaimed_after r.orphaned_after
+    (fun fmt ->
+      if r.pool_hits + r.pool_misses > 0 then
+        Format.fprintf fmt "@,pool: hits %d, misses %d, remote frees %d"
+          r.pool_hits r.pool_misses r.remote_frees)
     (fun fmt -> function
       | [] -> ()
       | es ->
@@ -181,8 +188,11 @@ module Battery (S : Reclaim.Scheme_intf.S with type node = cnode) = struct
       end
     done
 
-  let run cfg =
-    let alloc = Memdom.Alloc.create ~sink:cfg.sink (S.name ^ "-chaos") in
+  let run ?(mode = Memdom.Alloc.System) cfg =
+    let suffix = match mode with Memdom.Alloc.System -> "" | Pool -> "-pool" in
+    let alloc =
+      Memdom.Alloc.create ~mode ~sink:cfg.sink (S.name ^ suffix ^ "-chaos")
+    in
     let s = S.create ~max_hps:4 ~sink:cfg.sink alloc in
     let table =
       Array.init cfg.slots (fun i -> Link.make (Link.Ptr (mk alloc i)))
@@ -203,7 +213,7 @@ module Battery (S : Reclaim.Scheme_intf.S with type node = cnode) = struct
       table;
     S.flush s;
     {
-      name = S.name;
+      name = S.name ^ suffix;
       domains = cfg.waves * cfg.domains_per_wave;
       killed;
       abandoned;
@@ -212,6 +222,9 @@ module Battery (S : Reclaim.Scheme_intf.S with type node = cnode) = struct
       leaked = Memdom.Alloc.live alloc;
       unreclaimed_after = S.unreclaimed s;
       orphaned_after = S.orphaned s;
+      pool_hits = Memdom.Alloc.pool_hits alloc;
+      pool_misses = Memdom.Alloc.pool_misses alloc;
+      remote_frees = Memdom.Alloc.remote_frees alloc;
       errors;
     }
 end
@@ -296,8 +309,11 @@ module Auto_battery (O : AUTO) = struct
             end)
     done
 
-  let run cfg =
-    let alloc = Memdom.Alloc.create ~sink:cfg.sink (O.name ^ "-chaos") in
+  let run ?(mode = Memdom.Alloc.System) cfg =
+    let suffix = match mode with Memdom.Alloc.System -> "" | Pool -> "-pool" in
+    let alloc =
+      Memdom.Alloc.create ~mode ~sink:cfg.sink (O.name ^ suffix ^ "-chaos")
+    in
     let o = O.create ~sink:cfg.sink alloc in
     let table =
       O.with_guard o (fun g ->
@@ -314,7 +330,7 @@ module Auto_battery (O : AUTO) = struct
         Array.iter (fun slot -> O.store g slot Link.Null) table);
     O.flush o;
     {
-      name = O.name;
+      name = O.name ^ suffix;
       domains = cfg.waves * cfg.domains_per_wave;
       killed;
       abandoned;
@@ -323,6 +339,9 @@ module Auto_battery (O : AUTO) = struct
       leaked = Memdom.Alloc.live alloc;
       unreclaimed_after = O.unreclaimed o;
       orphaned_after = 0;
+      pool_hits = Memdom.Alloc.pool_hits alloc;
+      pool_misses = Memdom.Alloc.pool_misses alloc;
+      remote_frees = Memdom.Alloc.remote_frees alloc;
       errors;
     }
 end
@@ -330,16 +349,23 @@ end
 module Orc = Auto_battery (Orc_core.Orc.Make (AN))
 module Orc_hp = Auto_battery (Orc_core.Orc_hp.Make (AN))
 
+(* Pool-mode batteries are a representative subset (one manual HP-style
+   scheme, the paper's PTP, and automatic OrcGC) rather than all eight:
+   the pool machinery under test is the same for every scheme, and the
+   full cross-product would double the slowest test in the suite. *)
 let batteries =
   [
-    ("hp", Hp.run);
-    ("ptb", Ptb.run);
-    ("ebr", Ebr.run);
-    ("he", He.run);
-    ("ibr", Ibr.run);
-    ("ptp", Ptp.run);
-    ("orc", Orc.run);
-    ("orc-hp", Orc_hp.run);
+    ("hp", fun cfg -> Hp.run cfg);
+    ("ptb", fun cfg -> Ptb.run cfg);
+    ("ebr", fun cfg -> Ebr.run cfg);
+    ("he", fun cfg -> He.run cfg);
+    ("ibr", fun cfg -> Ibr.run cfg);
+    ("ptp", fun cfg -> Ptp.run cfg);
+    ("orc", fun cfg -> Orc.run cfg);
+    ("orc-hp", fun cfg -> Orc_hp.run cfg);
+    ("hp-pool", fun cfg -> Hp.run ~mode:Memdom.Alloc.Pool cfg);
+    ("ptp-pool", fun cfg -> Ptp.run ~mode:Memdom.Alloc.Pool cfg);
+    ("orc-pool", fun cfg -> Orc.run ~mode:Memdom.Alloc.Pool cfg);
   ]
 
 let run name cfg = (List.assoc name batteries) cfg

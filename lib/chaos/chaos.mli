@@ -32,8 +32,9 @@ type cfg = {
 
 val default : cfg
 (** 20 waves x 8 domains x 120 ops, kill roughly every 40 ops.  One
-    battery spawns 160 domains; the full {!run_all} spawns
-    [8 * 160 = 1280 = 10 * Registry.max_threads]. *)
+    battery spawns 160 domains; the full {!run_all} (11 batteries)
+    spawns [11 * 160 = 1760], well over ten times
+    [Registry.max_threads]. *)
 
 (** What one battery observed. *)
 type report = {
@@ -46,6 +47,9 @@ type report = {
   leaked : int;  (** [Alloc.live] after quiesce + flush — must be 0 *)
   unreclaimed_after : int;  (** [S.unreclaimed] after quiesce — must be 0 *)
   orphaned_after : int;  (** orphan-pool residue after quiesce — must be 0 *)
+  pool_hits : int;  (** recycled hand-outs (0 for System batteries) *)
+  pool_misses : int;  (** fresh builds under Pool mode *)
+  remote_frees : int;  (** frees routed via a transfer stack *)
   errors : string list;
       (** unexpected exceptions from workers ([Use_after_free],
           [Too_many_threads], ...) — must be empty *)
@@ -61,7 +65,11 @@ val batteries : (string * (cfg -> report)) list
 (** One battery per scheme: hp, ptb, ebr, he, ibr, ptp (manual
     protect/retire API) and orc, orc-hp (automatic guard API; their
     kill points are exceptions and between-guard abandons, since
-    [with_guard] scopes cannot be skipped). *)
+    [with_guard] scopes cannot be skipped).  The hp-pool, ptp-pool and
+    orc-pool batteries re-run a representative subset over a
+    type-stable [Memdom.Alloc.Pool] allocator, so domain churn also
+    exercises header recycling, remote frees, and the pool's own
+    quarantine→orphan hand-off. *)
 
 val run : string -> cfg -> report
 (** Run the named battery.  Raises [Not_found] on an unknown name. *)

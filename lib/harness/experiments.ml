@@ -579,6 +579,117 @@ let ablation_backend p =
   [ ptp_row; hp_row ]
 
 (* ------------------------------------------------------------------ *)
+(* Allocator modes: System vs the type-stable Pool, at equal op count. *)
+
+type alloc_row = {
+  a_workload : string;
+  a_mode : string;
+  a_ops : int;
+  a_mops : float;
+  a_hit_rate : float;
+  a_hits : int;
+  a_misses : int;
+  a_remote_frees : int;
+  a_refills : int;
+  a_minor_words : float;
+  a_minor_collections : int;
+}
+
+(* Single-domain, fixed-op-count runs on purpose: [Gc.quick_stat] is
+   per-domain, so this is the configuration where "minor words / minor
+   collections at equal op count" is well-defined.  The counter window
+   excludes structure construction and a short warm-up, so Pool numbers
+   price steady-state recycling rather than the cold free-list. *)
+let alloc_measure ~warm ~window ~alloc ~ops =
+  warm ();
+  let s0 = Memdom.Stats.take alloc in
+  Gc.full_major ();
+  let g0 = Gc.quick_stat () in
+  let t0 = Unix.gettimeofday () in
+  window ();
+  let dt = Unix.gettimeofday () -. t0 in
+  let g1 = Gc.quick_stat () in
+  let s1 = Memdom.Stats.take alloc in
+  let d = Memdom.Stats.diff s0 s1 in
+  ( float_of_int ops /. dt /. 1e6,
+    d,
+    g1.Gc.minor_words -. g0.Gc.minor_words,
+    g1.Gc.minor_collections - g0.Gc.minor_collections )
+
+let alloc_queue_run (module Q : QUEUE) ~mode ~ops =
+  let t = Q.create ~mode () in
+  let pairs n =
+    for i = 1 to n do
+      Q.enqueue t i;
+      ignore (Q.dequeue t)
+    done
+  in
+  let r =
+    alloc_measure
+      ~warm:(fun () -> pairs 1_000)
+      ~window:(fun () -> pairs (ops / 2))
+      ~alloc:(Q.alloc t) ~ops
+  in
+  Q.destroy t;
+  Q.flush t;
+  r
+
+(* Rotating add/remove over a small key range: every add allocates a
+   node and every remove retires one, so at steady state the pool
+   recycles the entire working set (misses are bounded by the scheme's
+   scan-threshold backlog).  The key range is kept small so per-op
+   traversal allocation (boxed link states) doesn't drown the header
+   savings the experiment is about. *)
+let alloc_list_run (module S : SET) ~mode ~ops =
+  let t = S.create ~mode () in
+  let keys = 16 in
+  let churn n =
+    for i = 1 to n do
+      let k = 1 + (i mod keys) in
+      ignore (S.add t k);
+      ignore (S.remove t k)
+    done
+  in
+  let r =
+    alloc_measure
+      ~warm:(fun () -> churn 1_000)
+      ~window:(fun () -> churn (ops / 2))
+      ~alloc:(S.alloc t) ~ops
+  in
+  S.destroy t;
+  S.flush t;
+  r
+
+let alloc_modes ?(ops = 200_000) (_ : params) =
+  let workloads =
+    [
+      ("msq-ptp", fun ~mode -> alloc_queue_run (module Msq_ptp) ~mode ~ops);
+      ("msq-hp", fun ~mode -> alloc_queue_run (module Msq_hp) ~mode ~ops);
+      ("list-hp", fun ~mode -> alloc_list_run (module Ml_hp) ~mode ~ops);
+    ]
+  in
+  List.concat_map
+    (fun (wname, run) ->
+      List.map
+        (fun (mname, mode) ->
+          let mops, d, minor_words, minor_collections = run ~mode in
+          {
+            a_workload = wname;
+            a_mode = mname;
+            a_ops = ops;
+            a_mops = mops;
+            a_hit_rate = Memdom.Stats.hit_rate d;
+            a_hits = d.Memdom.Stats.pool_hits;
+            a_misses = d.Memdom.Stats.pool_misses;
+            a_remote_frees = d.Memdom.Stats.remote_frees;
+            a_refills = d.Memdom.Stats.refills;
+            a_minor_words = minor_words;
+            a_minor_collections = minor_collections;
+          })
+        [ ("system", Memdom.Alloc.System); ("pool", Memdom.Alloc.Pool) ])
+    workloads
+
+(* ------------------------------------------------------------------ *)
 (* Traced runs (observability): the same queue pairs workload with an  *)
 (* active event sink installed, so the trace/histogram exporters have  *)
 (* real lifecycle data per scheme.                                     *)

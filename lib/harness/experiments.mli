@@ -90,6 +90,28 @@ val ablation_backend : params -> backend_row list
     the PTP backend vs an HP backend — similar throughput, different
     unreclaimed-memory class. *)
 
+type alloc_row = {
+  a_workload : string;  (** msq-ptp | msq-hp | list-hp *)
+  a_mode : string;  (** "system" or "pool" *)
+  a_ops : int;  (** operations in the measured window *)
+  a_mops : float;
+  a_hit_rate : float;  (** pool hit rate over the window (0 for system) *)
+  a_hits : int;
+  a_misses : int;
+  a_remote_frees : int;
+  a_refills : int;
+  a_minor_words : float;  (** minor-heap words allocated in the window *)
+  a_minor_collections : int;  (** minor GCs triggered in the window *)
+}
+
+val alloc_modes : ?ops:int -> params -> alloc_row list
+(** System vs type-stable Pool allocator on steady-state queue and list
+    workloads at equal op count ([ops] each, default 200k), single
+    domain so the [Gc.quick_stat] deltas are well-defined.  The window
+    excludes construction and a warm-up, so the pool numbers price
+    steady-state recycling; expected shape: pool hit rate ≥ 0.9 and
+    strictly fewer minor words / collections than system. *)
+
 type traced_run = {
   t_name : string;
   t_mops : float;

@@ -6,7 +6,14 @@ type mode = System | Pool
    global but only written by explicit [bump_era] calls).  The uid is
    derived from the same per-thread cell — [local * max_threads + tid]
    — which keeps it unique without a global counter: cells are
-   monotonic and survive tid reuse across domains. *)
+   monotonic and survive tid reuse across domains.  Recycled headers
+   draw a fresh ticket too, so uids never repeat even in Pool mode.
+
+   [pool] is the type-stable free-list machinery behind Pool mode
+   (Some iff mode = Pool): freed headers go back to per-slot LIFOs and
+   come out again through [Hdr.recycle] instead of being rebuilt.
+   System mode never touches it — strict headers, fresh records,
+   poisoning on free — byte-for-byte the pre-pool behaviour. *)
 type t = {
   mode : mode;
   name : string;
@@ -14,6 +21,7 @@ type t = {
   n_alloc : Atomicx.Shard.t;
   n_freed : Atomicx.Shard.t;
   era_clock : int Atomic.t;
+  pool : Pool.t option;
 }
 
 let create ?(mode = System) ?sink name =
@@ -25,25 +33,47 @@ let create ?(mode = System) ?sink name =
     n_alloc = Atomicx.Shard.create ();
     n_freed = Atomicx.Shard.create ();
     era_clock = Atomic.make 1;
+    pool = (match mode with System -> None | Pool -> Some (Pool.create sink));
   }
 
 let mode t = t.mode
 let label t = t.name
 let sink t = t.sink
 
-let hdr t ?label () =
-  let tid = Atomicx.Registry.tid () in
+let next_uid t ~tid =
   let local = Atomicx.Shard.fetch_incr t.n_alloc ~tid in
-  let uid = (local * Atomicx.Registry.max_threads) + tid in
+  (local * Atomicx.Registry.max_threads) + tid
+
+let fresh t ~tid ?label () =
+  let uid = next_uid t ~tid in
   let label = Option.value label ~default:t.name in
   Obs.Sink.on_alloc t.sink ~tid ~uid;
-  Hdr.make ~uid ~label ~strict:(t.mode = System) ~birth_era:(Atomic.get t.era_clock)
+  Hdr.make ~uid ~label ~strict:(t.mode = System)
+    ~birth_era:(Atomic.get t.era_clock)
+
+let hdr t ?label () =
+  let tid = Atomicx.Registry.tid () in
+  match t.pool with
+  | None -> fresh t ~tid ?label ()
+  | Some p -> (
+      match Pool.acquire p ~tid with
+      | None -> fresh t ~tid ?label ()
+      | Some h ->
+          (* recycled hit: restamp the same header — one CAS plus field
+             stores, no minor-heap allocation.  The first life's label
+             is kept (per-call [?label] is a diagnostic nicety; the
+             pool trades it for the alloc-free hit path). *)
+          let uid = next_uid t ~tid in
+          Hdr.recycle h ~uid ~birth_era:(Atomic.get t.era_clock);
+          Obs.Sink.on_recycle t.sink ~tid ~uid ~gen:(Hdr.generation h);
+          h)
 
 let free t h =
   Hdr.mark_freed h;
   let tid = Atomicx.Registry.tid () in
   Atomicx.Shard.incr t.n_freed ~tid;
-  Obs.Sink.on_free t.sink ~tid ~uid:h.Hdr.uid ~retired_ns:h.Hdr.retired_ns
+  Obs.Sink.on_free t.sink ~tid ~uid:h.Hdr.uid ~retired_ns:h.Hdr.retired_ns;
+  match t.pool with None -> () | Some p -> Pool.release p ~tid h
 
 let era t = Atomic.get t.era_clock
 let bump_era t = 1 + Atomic.fetch_and_add t.era_clock 1
@@ -60,6 +90,26 @@ let live t =
   let f = freed t in
   a - f
 
+let pool_hits t = match t.pool with None -> 0 | Some p -> Pool.hits p
+let pool_misses t = match t.pool with None -> 0 | Some p -> Pool.misses p
+
+let remote_frees t =
+  match t.pool with None -> 0 | Some p -> Pool.remote_frees p
+
+let refills t = match t.pool with None -> 0 | Some p -> Pool.refills p
+
+let hit_rate t =
+  let h = pool_hits t and m = pool_misses t in
+  if h + m = 0 then 0. else float_of_int h /. float_of_int (h + m)
+
 let pp_stats fmt t =
   Format.fprintf fmt "%s: allocated=%d freed=%d live=%d" t.name (allocated t)
-    (freed t) (live t)
+    (freed t) (live t);
+  match t.pool with
+  | None -> ()
+  | Some p ->
+      Format.fprintf fmt
+        " pool: hits=%d misses=%d hit-rate=%.1f%% remote-frees=%d refills=%d"
+        (Pool.hits p) (Pool.misses p)
+        (100. *. hit_rate t)
+        (Pool.remote_frees p) (Pool.refills p)

@@ -6,10 +6,13 @@ type lifecycle = Live | Retired | Freed
 
 (* Lifecycle lives in the low two bits of [state]; the generation counter
    occupies the remaining bits and is bumped on every transition so that
-   tests can detect reuse/ABA without extra fields. *)
+   tests can detect reuse/ABA without extra fields.  The generation is
+   carried across [recycle], so it is strictly monotone over a header's
+   whole pooled lifetime: no two lives of the same header ever share a
+   generation. *)
 
 type t = {
-  uid : int;
+  mutable uid : int;
   label : string;
   strict : bool;
   state : int Atomic.t;
@@ -24,6 +27,7 @@ let orc_initial = 1 lsl 22
 let live_bits = 0
 let retired_bits = 1
 let freed_bits = 2
+let state_mask = 3
 
 let make ~uid ~label ~strict ~birth_era =
   {
@@ -38,7 +42,7 @@ let make ~uid ~label ~strict ~birth_era =
   }
 
 let decode bits =
-  match bits land 3 with
+  match bits land state_mask with
   | 0 -> Live
   | 1 -> Retired
   | _ -> Freed
@@ -49,42 +53,65 @@ let generation t = Atomic.get t.state lsr 2
 let describe t = Printf.sprintf "%s#%d" t.label t.uid
 
 let check_access t =
-  if t.strict && decode (Atomic.get t.state) = Freed then
+  if t.strict && Atomic.get t.state land state_mask = freed_bits then
     raise (Use_after_free (describe t))
 
-let is_freed t = decode (Atomic.get t.state) = Freed
+let is_freed t = Atomic.get t.state land state_mask = freed_bits
 
-(* Transition with a CAS loop so concurrent double-free attempts are
-   reported rather than racing each other silently. *)
-let rec transition t ~expect ~bits ~bad =
+(* State transitions: a CAS loop per transition so concurrent
+   double-free/retire attempts are reported rather than racing each
+   other silently.  These are the hottest lifecycle paths (every
+   retire, every free), so each is its own loop over direct bit tests —
+   no lifecycle list, no per-call closure, no allocation.  Every
+   successful CAS bumps the generation exactly once. *)
+
+let next_state cur bits = (((cur lsr 2) + 1) lsl 2) lor bits
+
+let rec mark_retired t =
   let cur = Atomic.get t.state in
-  let gen = cur lsr 2 in
-  let cur_lc = decode cur in
-  if not (List.mem cur_lc expect) then bad cur_lc
-  else
-    let next = ((gen + 1) lsl 2) lor bits in
-    if not (Atomic.compare_and_set t.state cur next) then
-      transition t ~expect ~bits ~bad
+  match cur land state_mask with
+  | 0 (* Live *) ->
+      if not (Atomic.compare_and_set t.state cur (next_state cur retired_bits))
+      then mark_retired t
+  | 1 (* Retired *) -> raise (Double_retire (describe t))
+  | _ (* Freed *) -> raise (Use_after_free (describe t))
 
-let mark_retired t =
-  transition t ~expect:[ Live ] ~bits:retired_bits ~bad:(fun lc ->
-      match lc with
-      | Retired -> raise (Double_retire (describe t))
-      | Freed -> raise (Use_after_free (describe t))
-      | Live -> assert false)
+let rec unretire t =
+  let cur = Atomic.get t.state in
+  match cur land state_mask with
+  | 1 (* Retired *) ->
+      if not (Atomic.compare_and_set t.state cur (next_state cur live_bits))
+      then unretire t
+  | 0 (* Live *) -> () (* lost a race with another unretire; already live *)
+  | _ (* Freed *) -> raise (Use_after_free (describe t))
 
-let unretire t =
-  transition t ~expect:[ Retired ] ~bits:live_bits ~bad:(fun lc ->
-      match lc with
-      | Freed -> raise (Use_after_free (describe t))
-      | Live -> () (* lost a race with another unretire; already live *)
-      | Retired -> assert false)
+let rec mark_freed t =
+  let cur = Atomic.get t.state in
+  match cur land state_mask with
+  | 0 | 1 (* Live | Retired *) ->
+      if not (Atomic.compare_and_set t.state cur (next_state cur freed_bits))
+      then mark_freed t
+  | _ (* Freed *) -> raise (Double_free (describe t))
 
-let mark_freed t =
-  transition t ~expect:[ Live; Retired ] ~bits:freed_bits ~bad:(fun lc ->
-      match lc with
-      | Freed -> raise (Double_free (describe t))
-      | Live | Retired -> assert false)
+(* Recycling (type-stable pool allocator): the Freed -> Live CAS is the
+   authority — exactly one recycler wins it, so the per-object words are
+   reset only by the winner, after the win.  A stale reader racing the
+   reset can observe a torn (new state, old uid) combination; that is
+   precisely the type-stable-pool semantics the generation counter
+   exists to expose, and the generation itself is never torn (it lives
+   in the same atomic word as the lifecycle). *)
+let rec recycle t ~uid ~birth_era =
+  let cur = Atomic.get t.state in
+  if cur land state_mask <> freed_bits then raise (Double_free (describe t))
+  else if not (Atomic.compare_and_set t.state cur (next_state cur live_bits))
+  then recycle t ~uid ~birth_era
+  else begin
+    t.uid <- uid;
+    t.birth_era <- birth_era;
+    t.death_era <- max_int;
+    t.retired_ns <- 0;
+    Atomic.set t.orc orc_initial
+  end
 
 let pp fmt t =
   let lc =

@@ -25,7 +25,10 @@ exception Double_retire of string
 type lifecycle = Live | Retired | Freed
 
 type t = {
-  uid : int;  (** unique allocation id, for diagnostics *)
+  mutable uid : int;
+      (** unique allocation id, for diagnostics.  Mutable only so
+          {!recycle} can restamp a pooled header; uids never repeat —
+          every hand-out (fresh or recycled) draws a new one. *)
   label : string;  (** type/owner label, for diagnostics *)
   strict : bool;  (** raise on access-after-free? *)
   state : int Atomic.t;  (** lifecycle in low bits, generation above *)
@@ -69,6 +72,18 @@ val pp : Format.formatter -> t -> unit
     through an allocator, not build headers directly. *)
 
 val make : uid:int -> label:string -> strict:bool -> birth_era:int -> t
+
+val recycle : t -> uid:int -> birth_era:int -> unit
+(** [Freed -> Live], the type-stable pool allocator's reuse path: resets
+    the header to a freshly allocated state — new [uid], new
+    [birth_era], [death_era]/[retired_ns] cleared, the [_orc] word back
+    to {!orc_initial} — while {b bumping the generation}, which is
+    carried across lives so it is strictly monotone over the header's
+    whole pooled lifetime (the ABA/use-after-free batteries key on
+    this).  The [label] of the first life is kept.  Raises
+    {!Double_free} when the header is not [Freed]: recycling something
+    still live (or racing another recycler for the same header) is a
+    pool bug, reported with the same exception a double [free] gets. *)
 
 val orc_initial : int
 (** Initial value of the [_orc] word ([ORC_ZERO], Algorithm 3 line 8). *)

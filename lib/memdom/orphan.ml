@@ -1,0 +1,48 @@
+(* Lock-free orphan pool: a Treiber-style list of published batches.
+   Publish is a CAS-prepend by the departing (or quarantining) thread;
+   adopt is a single [Atomic.exchange] by a survivor, so a batch is
+   adopted exactly once and the pool is wait-free to drain.  Batches
+   carry their publication timestamp so adoption latency lands in the
+   sink's adopt histogram.
+
+   Lives in [memdom] (moved from [lib/reclaim]) because both layers
+   publish through it: the reclamation schemes orphan a dead thread's
+   pending retire list, and the pool allocator orphans a dead thread's
+   recycled-header free-list.  [Reclaim.Orphan] re-exports it under the
+   old name. *)
+
+type 'a batch = { items : 'a list; count : int; published_ns : int }
+type 'a t = 'a batch list Atomic.t
+
+let create () = Atomic.make []
+
+let pending t =
+  List.fold_left (fun n b -> n + b.count) 0 (Atomic.get t)
+
+let publish t sink ~tid items =
+  match items with
+  | [] -> ()
+  | _ ->
+      let count = List.length items in
+      let published_ns = Obs.Sink.on_orphan sink ~tid ~count in
+      let b = { items; count; published_ns } in
+      let rec push () =
+        let cur = Atomic.get t in
+        if not (Atomic.compare_and_set t cur (b :: cur)) then push ()
+      in
+      push ()
+
+let adopt t sink ~tid =
+  (* Fast path: reading an empty pool costs one load and no write, so
+     putting adoption at the head of every scan is free in the steady
+     state with no churn. *)
+  match Atomic.get t with
+  | [] -> []
+  | _ ->
+      let batches = Atomic.exchange t [] in
+      List.concat_map
+        (fun b ->
+          Obs.Sink.on_adopt sink ~tid ~count:b.count
+            ~published_ns:b.published_ns;
+          b.items)
+        batches

@@ -1,0 +1,34 @@
+(** Lock-free orphan pool for dead threads' unfinished bookkeeping.
+
+    When a thread's registry slot is quarantined (domain exit, or
+    [Atomicx.Registry.force_release] after abrupt death), whoever holds
+    per-thread state for the departing tid publishes it here as one
+    batch; survivors adopt the whole pool at a natural point in their
+    own hot path, so a dead thread's backlog is absorbed within O(1)
+    operations instead of leaking forever.  Two layers publish through
+    it: every reclamation scheme orphans the dead tid's un-scanned
+    retire list (adopted at the start of the next scan), and the pool
+    allocator ({!Pool}) orphans the dead tid's recycled-header
+    free-list (adopted on the next free-list miss).  The element type
+    is per-publisher (EBR keeps its retire epochs, the pool keeps bare
+    headers, everyone else bare nodes).
+
+    Publish is a CAS-prepend, adopt a single exchange: a batch is
+    adopted exactly once, by exactly one survivor.  Both emit sink
+    events ([Orphan]/[Adopt]); adoption also records publish→adopt
+    latency into the sink's adopt histogram. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val publish : 'a t -> Obs.Sink.t -> tid:int -> 'a list -> unit
+(** Publish a departing thread's pending items as one batch ([tid] is
+    the departing thread, for event attribution).  No-op on [[]]. *)
+
+val adopt : 'a t -> Obs.Sink.t -> tid:int -> 'a list
+(** Take every pending batch ([tid] is the adopter), concatenated.
+    Returns [[]] without writing when the pool is empty. *)
+
+val pending : 'a t -> int
+(** Items currently awaiting adoption (diagnostics). *)

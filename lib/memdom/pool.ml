@@ -1,0 +1,154 @@
+(* Type-stable header pool: per-registry-slot LIFO free-lists with a
+   lock-free transfer stack for remote frees and orphan hand-off on
+   domain death.  See the mli for the model. *)
+
+open Atomicx
+
+(* [local] is owner-only (the slot's current tid): plain mutable list,
+   no atomics on the hit path.  [transfer] is the remote-free Treiber
+   stack: any thread CAS-pushes, only the owner pops. *)
+type slot = {
+  mutable local : Hdr.t list;
+  mutable local_size : int;
+  transfer : Hdr.t list Atomic.t;
+}
+
+type t = {
+  slots : slot array;
+  orphans : Hdr.t Orphan.t;
+  sink : Obs.Sink.t;
+  hits : Shard.t;
+  misses : Shard.t;
+  remote : Shard.t;
+  refills : Shard.t;
+  _cleaner : int -> unit;
+      (* strong reference: the registry holds quarantine cleaners
+         weakly, so the registration lives exactly as long as the
+         pool *)
+}
+
+let drain_batch = 64
+
+(* Slots hold the owner's hottest mutable word; space them out the same
+   way [Padded] spaces atomics so two owners' free-lists don't share a
+   cache line. *)
+let spacer_words = 16
+
+let mk_slots () =
+  Array.init Registry.max_threads (fun _ ->
+      let s = { local = []; local_size = 0; transfer = Atomic.make [] } in
+      ignore (Sys.opaque_identity (Array.make spacer_words 0));
+      s)
+
+(* The allocating owner, recovered from the uid encoding
+   [local_ticket * max_threads + tid] that [Alloc] stamps. *)
+let owner_of h = h.Hdr.uid mod Registry.max_threads
+
+let rec push_transfer stack h =
+  let cur = Atomic.get stack in
+  if not (Atomic.compare_and_set stack cur (h :: cur)) then
+    push_transfer stack h
+
+(* Pop up to [drain_batch] headers in one CAS: take the current head
+   list, split after K cells, and swing the head to the remainder.
+   Only the owner drains, so the CAS fails only against concurrent
+   pushers (then retry); physical equality makes the CAS ABA-free —
+   cons cells are never reused. *)
+let rec take_batch stack =
+  match Atomic.get stack with
+  | [] -> ([], 0)
+  | cur ->
+      let rec split n acc = function
+        | rest when n = 0 -> (acc, n, rest)
+        | [] -> (acc, n, [])
+        | h :: tl -> split (n - 1) (h :: acc) tl
+      in
+      let taken, left, rest = split drain_batch [] cur in
+      if Atomic.compare_and_set stack cur rest then
+        (taken, drain_batch - left)
+      else take_batch stack
+
+let release t ~tid h =
+  let o = owner_of h in
+  if o = tid then begin
+    let s = t.slots.(tid) in
+    s.local <- h :: s.local;
+    s.local_size <- s.local_size + 1
+  end
+  else begin
+    Shard.incr t.remote ~tid;
+    push_transfer t.slots.(o).transfer h
+  end
+
+let acquire t ~tid =
+  let s = t.slots.(tid) in
+  let pop () =
+    match s.local with
+    | [] -> None
+    | h :: rest ->
+        s.local <- rest;
+        s.local_size <- s.local_size - 1;
+        Shard.incr t.hits ~tid;
+        Some h
+  in
+  match pop () with
+  | Some _ as r -> r
+  | None -> (
+      (* dry: amortized slow path — drain remote frees, then orphans *)
+      let refill batch n =
+        if n > 0 then begin
+          s.local <- List.rev_append batch s.local;
+          s.local_size <- s.local_size + n;
+          Shard.incr t.refills ~tid;
+          Obs.Sink.on_refill t.sink ~tid ~count:n
+        end
+      in
+      let batch, n = take_batch s.transfer in
+      refill batch n;
+      if n = 0 then begin
+        let adopted = Orphan.adopt t.orphans t.sink ~tid in
+        refill adopted (List.length adopted)
+      end;
+      match pop () with
+      | Some _ as r -> r
+      | None ->
+          Shard.incr t.misses ~tid;
+          None)
+
+let create sink =
+  let slots = mk_slots () in
+  let orphans = Orphan.create () in
+  (* Quarantine cleaner: the dead tid's free-list and transfer stack
+     are one batch for the orphan pool.  The slot is Quarantined while
+     this runs (owner gone, not yet re-issuable), so [local] has no
+     concurrent writer; a remote free racing the transfer-stack
+     exchange can land a header after it — recovered by the slot's
+     next owner's first miss, never lost. *)
+  let cleaner dead =
+    let s = slots.(dead) in
+    let local = s.local in
+    s.local <- [];
+    s.local_size <- 0;
+    let remote = Atomic.exchange s.transfer [] in
+    Orphan.publish orphans sink ~tid:dead (List.rev_append local remote)
+  in
+  Registry.on_quarantine cleaner;
+  {
+    slots;
+    orphans;
+    sink;
+    hits = Shard.create ();
+    misses = Shard.create ();
+    remote = Shard.create ();
+    refills = Shard.create ();
+    _cleaner = cleaner;
+  }
+
+let hits t = Shard.get t.hits
+let misses t = Shard.get t.misses
+let remote_frees t = Shard.get t.remote
+let refills t = Shard.get t.refills
+let orphaned t = Orphan.pending t.orphans
+let local_size t ~tid = t.slots.(tid).local_size
+
+let transfer_size t ~tid = List.length (Atomic.get t.slots.(tid).transfer)

@@ -4,6 +4,10 @@ type snapshot = {
   freed : int;
   live : int;
   era : int;
+  pool_hits : int;
+  pool_misses : int;
+  remote_frees : int;
+  refills : int;
   at : float;
 }
 
@@ -17,6 +21,10 @@ let take ?(clock = Unix.gettimeofday) alloc =
     freed = Alloc.freed alloc;
     live = Alloc.live alloc;
     era = Alloc.era alloc;
+    pool_hits = Alloc.pool_hits alloc;
+    pool_misses = Alloc.pool_misses alloc;
+    remote_frees = Alloc.remote_frees alloc;
+    refills = Alloc.refills alloc;
     at = clock ();
   }
 
@@ -27,12 +35,26 @@ let diff earlier later =
     freed = later.freed - earlier.freed;
     live = later.live - earlier.live;
     era = later.era;
+    pool_hits = later.pool_hits - earlier.pool_hits;
+    pool_misses = later.pool_misses - earlier.pool_misses;
+    remote_frees = later.remote_frees - earlier.remote_frees;
+    refills = later.refills - earlier.refills;
     at = later.at -. earlier.at;
   }
 
+let hit_rate s =
+  let n = s.pool_hits + s.pool_misses in
+  if n = 0 then 0. else float_of_int s.pool_hits /. float_of_int n
+
 let pp fmt s =
   Format.fprintf fmt "%s: allocated=%d freed=%d live=%d era=%d" s.label
-    s.allocated s.freed s.live s.era
+    s.allocated s.freed s.live s.era;
+  if s.pool_hits + s.pool_misses > 0 then
+    Format.fprintf fmt
+      " pool: hits=%d misses=%d hit-rate=%.1f%% remote-frees=%d refills=%d"
+      s.pool_hits s.pool_misses
+      (100. *. hit_rate s)
+      s.remote_frees s.refills
 
 let series_peak snaps =
   List.fold_left (fun acc s -> max acc s.live) 0 snaps

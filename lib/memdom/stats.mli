@@ -3,7 +3,10 @@
 
     The evaluation's memory claims (Table 1 bounds, the §5 skip-list
     footprint) are statements about *how many objects exist right now*;
-    this module gives them a stable, comparable representation. *)
+    this module gives them a stable, comparable representation.  Pool
+    allocators additionally expose their free-list economy
+    (hits/misses/remote-frees/refills) so a soak or bench can print the
+    hit rate alongside allocated/freed/live. *)
 
 type snapshot = {
   label : string;
@@ -11,6 +14,10 @@ type snapshot = {
   freed : int;
   live : int;
   era : int;
+  pool_hits : int;  (** recycled hand-outs (0 for System allocators) *)
+  pool_misses : int;  (** fresh-header hand-outs in Pool mode *)
+  remote_frees : int;  (** frees routed via a transfer stack *)
+  refills : int;  (** batched drains into a local free-list *)
   at : float;  (** wall-clock seconds, [Unix.gettimeofday] *)
 }
 
@@ -23,7 +30,13 @@ val diff : snapshot -> snapshot -> snapshot
 (** [diff earlier later]: counter deltas over the interval (label and
     era taken from [later], [at] is the interval length). *)
 
+val hit_rate : snapshot -> float
+(** Pool hit rate in [0, 1] ([0.] when no pool traffic); meaningful on
+    {!diff} results too. *)
+
 val pp : Format.formatter -> snapshot -> unit
+(** Prints the core counters, plus the pool section when the snapshot
+    saw pool traffic. *)
 
 val series_peak : snapshot list -> int
 (** Largest [live] over a series of snapshots. *)

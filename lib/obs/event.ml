@@ -9,6 +9,8 @@ type kind =
   | Guard_end
   | Orphan
   | Adopt
+  | Recycle
+  | Refill
 
 let to_int = function
   | Alloc -> 0
@@ -21,6 +23,8 @@ let to_int = function
   | Guard_end -> 7
   | Orphan -> 8
   | Adopt -> 9
+  | Recycle -> 10
+  | Refill -> 11
 
 let of_int = function
   | 0 -> Alloc
@@ -33,6 +37,8 @@ let of_int = function
   | 7 -> Guard_end
   | 8 -> Orphan
   | 9 -> Adopt
+  | 10 -> Recycle
+  | 11 -> Refill
   | n -> invalid_arg (Printf.sprintf "Obs.Event.of_int: %d" n)
 
 let name = function
@@ -46,6 +52,8 @@ let name = function
   | Guard_end -> "guard_end"
   | Orphan -> "orphan"
   | Adopt -> "adopt"
+  | Recycle -> "recycle"
+  | Refill -> "refill"
 
 type t = {
   seq : int;  (** per-thread emission index, contiguous within a ring *)

@@ -20,9 +20,17 @@ type kind =
   | Orphan
       (** departing thread published its retire list; [arg] = batch size *)
   | Adopt  (** surviving thread adopted an orphan batch; [arg] = size *)
+  | Recycle
+      (** pool allocator handed out a recycled header instead of building
+          a fresh one ([Alloc] is {e not} also emitted); [arg] = the
+          header's new generation *)
+  | Refill
+      (** pool owner drained a batch from its remote-free transfer stack
+          (or adopted an orphaned free-list) into the local LIFO;
+          [arg] = batch size *)
 
 val to_int : kind -> int
-(** Dense encoding in [0, 9] — what the rings store. *)
+(** Dense encoding in [0, 11] — what the rings store. *)
 
 val of_int : int -> kind
 (** Inverse of {!to_int}; raises [Invalid_argument] out of range. *)

@@ -78,6 +78,19 @@ let on_free t ~tid ~uid ~retired_ns =
       Ring.emit a.ring ~tid ~ts ~kind:Event.Free ~uid ~arg:0;
       if retired_ns > 0 then Hist.record a.retire_free ~tid (ts - retired_ns)
 
+let on_recycle t ~tid ~uid ~gen =
+  match t with
+  | Null -> ()
+  | Active a ->
+      Ring.emit a.ring ~tid ~ts:(a.clock ()) ~kind:Event.Recycle ~uid ~arg:gen
+
+let on_refill t ~tid ~count =
+  match t with
+  | Null -> ()
+  | Active a ->
+      Ring.emit a.ring ~tid ~ts:(a.clock ()) ~kind:Event.Refill ~uid:0
+        ~arg:count
+
 let on_handover t ~tid ~uid =
   match t with
   | Null -> ()

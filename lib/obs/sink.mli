@@ -57,6 +57,18 @@ val on_free : t -> tid:int -> uid:int -> retired_ns:int -> unit
 (** Records the Free event; when [retired_ns > 0] also records
     [now - retired_ns] into the retire→free histogram. *)
 
+val on_recycle : t -> tid:int -> uid:int -> gen:int -> unit
+(** Records the Recycle event: the pool allocator handed out a recycled
+    header ([uid] is its {e new} uid, [gen] its new generation).
+    Emitted {e instead of} {!on_alloc}, so [alloc] events count fresh
+    headers only and [recycle / (alloc + recycle)] is the pool hit
+    rate. *)
+
+val on_refill : t -> tid:int -> count:int -> unit
+(** Records the Refill event: a pool owner moved a batch of [count]
+    headers from its remote-free transfer stack (or an adopted orphan
+    free-list) into its local LIFO. *)
+
 val on_handover : t -> tid:int -> uid:int -> unit
 val on_cascade : t -> tid:int -> uid:int -> unit
 

@@ -1,19 +1,11 @@
-(** Lock-free orphan pool for dead threads' pending retire lists.
+(** Re-export of {!Memdom.Orphan} under the name the reclamation
+    schemes use.  The pool lives in [memdom] (so the allocator layer
+    can orphan dying domains' free-lists through the exact same
+    machinery); see {!Memdom.Orphan} for the model: publish is a
+    CAS-prepend by the departing thread, adopt a single exchange by one
+    survivor, both emitting sink events with publish→adopt latency. *)
 
-    When a thread's registry slot is quarantined (domain exit, or
-    [Registry.force_release] after abrupt death), each scheme publishes
-    the departing tid's un-scanned retire list here as one batch;
-    surviving threads adopt the whole pool at the start of their next
-    scan, so a dead thread's garbage is reclaimed within O(1) scans
-    instead of leaking forever.  The element type is per-scheme (EBR
-    keeps its retire epochs, everyone else keeps bare nodes).
-
-    Publish is a CAS-prepend, adopt a single exchange: a batch is
-    adopted exactly once, by exactly one survivor.  Both emit sink
-    events ([Orphan]/[Adopt]); adoption also records publish→adopt
-    latency into the sink's adopt histogram. *)
-
-type 'a t
+type 'a t = 'a Memdom.Orphan.t
 
 val create : unit -> 'a t
 

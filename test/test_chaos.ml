@@ -58,7 +58,22 @@ let test_churn_all_schemes () =
           Chaos.pp_report r;
       check_bool (name ^ " spawned its share of churn") true
         (r.Chaos.domains = Chaos.default.waves * Chaos.default.domains_per_wave);
-      check_bool (name ^ " actually killed domains") true (r.Chaos.killed > 0))
+      check_bool (name ^ " actually killed domains") true (r.Chaos.killed > 0);
+      (* pool batteries must actually exercise the recycler: headers
+         recycled across domain deaths, some through remote frees
+         (dying writers' evictees freed by survivors) *)
+      let is_pool =
+        String.length name > 5
+        && String.sub name (String.length name - 5) 5 = "-pool"
+      in
+      if is_pool then begin
+        check_bool (name ^ " recycled headers under churn") true
+          (r.Chaos.pool_hits > 0);
+        check_bool (name ^ " saw remote frees") true (r.Chaos.remote_frees > 0)
+      end
+      else
+        check_bool (name ^ " system battery has no pool traffic") true
+          (r.Chaos.pool_hits = 0 && r.Chaos.pool_misses = 0))
     Chaos.batteries
 
 (* Abrupt death must stay contained for PTP: a dead thread's published

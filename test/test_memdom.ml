@@ -133,6 +133,150 @@ let test_stats_fake_clock () =
   check_int "live delta" 0 d.Memdom.Stats.live;
   check_bool "interval is exact" true (d.Memdom.Stats.at = 2.5)
 
+(* ------------------------------------------------------------------ *)
+(* Type-stable pool allocator.                                         *)
+
+(* Every lifecycle CAS advances the generation word by exactly one —
+   the whitebox property behind "a reader can detect any interleaved
+   transition by comparing generations". *)
+let test_gen_bumps_once_per_transition () =
+  let h = Memdom.Hdr.make ~uid:1 ~label:"w" ~strict:false ~birth_era:1 in
+  let step name g f =
+    f ();
+    check_int name (g + 1) (Memdom.Hdr.generation h);
+    g + 1
+  in
+  let g = Memdom.Hdr.generation h in
+  let g = step "retire bumps once" g (fun () -> Memdom.Hdr.mark_retired h) in
+  let g = step "unretire bumps once" g (fun () -> Memdom.Hdr.unretire h) in
+  let g = step "free bumps once" g (fun () -> Memdom.Hdr.mark_freed h) in
+  let _ =
+    step "recycle bumps once" g (fun () ->
+        Memdom.Hdr.recycle h ~uid:2 ~birth_era:3)
+  in
+  check_bool "recycle revives" true (Memdom.Hdr.lifecycle h = Memdom.Hdr.Live);
+  check_int "recycle restamps uid" 2 h.Memdom.Hdr.uid;
+  check_int "recycle restamps birth era" 3 h.Memdom.Hdr.birth_era
+
+let test_recycle_live_raises () =
+  let a = Memdom.Alloc.create ~mode:Memdom.Alloc.Pool "p" in
+  let h = Memdom.Alloc.hdr a () in
+  check_bool "recycling a live header is a double free" true
+    (match Memdom.Hdr.recycle h ~uid:99 ~birth_era:1 with
+    | () -> false
+    | exception Memdom.Hdr.Double_free _ -> true);
+  Memdom.Hdr.mark_retired h;
+  check_bool "recycling a retired header is a double free" true
+    (match Memdom.Hdr.recycle h ~uid:99 ~birth_era:1 with
+    | () -> false
+    | exception Memdom.Hdr.Double_free _ -> true)
+
+(* The tentpole contract: the pool hands back the same physical header
+   (no allocation), with a fresh uid and a strictly monotone generation
+   across its whole pooled lifetime. *)
+let test_pool_recycles_same_header () =
+  let a = Memdom.Alloc.create ~mode:Memdom.Alloc.Pool "p" in
+  let h0 = Memdom.Alloc.hdr a () in
+  let gens = ref [ Memdom.Hdr.generation h0 ] in
+  let uids = ref [ h0.Memdom.Hdr.uid ] in
+  Memdom.Alloc.free a h0;
+  for _ = 1 to 50 do
+    let h = Memdom.Alloc.hdr a () in
+    check_bool "physically the same header" true (h == h0);
+    gens := Memdom.Hdr.generation h :: !gens;
+    uids := h.Memdom.Hdr.uid :: !uids;
+    Memdom.Alloc.free a h
+  done;
+  let strictly_decreasing l =
+    (* gens were consed newest-first *)
+    fst
+      (List.fold_left
+         (fun (ok, prev) g ->
+           match prev with
+           | None -> (ok, Some g)
+           | Some p -> (ok && g < p, Some g))
+         (true, None) l)
+  in
+  check_bool "generation strictly monotone across recycles" true
+    (strictly_decreasing !gens);
+  check_int "uids never repeat" 51 (List.length (List.sort_uniq compare !uids));
+  check_int "one miss (the first build)" 1 (Memdom.Alloc.pool_misses a);
+  check_int "fifty hits" 50 (Memdom.Alloc.pool_hits a);
+  check_bool "hit rate" true (Memdom.Alloc.hit_rate a > 0.97);
+  check_int "allocated counts recycled hand-outs" 51 (Memdom.Alloc.allocated a)
+
+(* Remote free: a different domain returns the header, which lands on
+   the allocating slot's transfer stack and comes back to the owner on
+   its next (batched) refill. *)
+let test_pool_remote_free () =
+  let a = Memdom.Alloc.create ~mode:Memdom.Alloc.Pool "p" in
+  let owner_tid = Atomicx.Registry.tid () in
+  let h = Memdom.Alloc.hdr a () in
+  (match
+     run_domains 1 (fun ~i:_ ~tid ->
+         check_bool "freeing from a different slot" true (tid <> owner_tid);
+         Memdom.Alloc.free a h)
+   with
+  | [ () ] -> ()
+  | _ -> assert false);
+  check_int "routed through the transfer stack" 1 (Memdom.Alloc.remote_frees a);
+  let h2 = Memdom.Alloc.hdr a () in
+  check_bool "owner recycles the remotely freed header" true (h2 == h);
+  check_int "one batched refill" 1 (Memdom.Alloc.refills a);
+  check_int "counted as a hit" 1 (Memdom.Alloc.pool_hits a)
+
+(* Domain death: the dying slot's free-list is published to the orphan
+   pool by the quarantine cleaner, and a survivor's first dry acquire
+   adopts it — no header is ever stranded. *)
+let test_pool_orphan_adoption () =
+  let a = Memdom.Alloc.create ~mode:Memdom.Alloc.Pool "p" in
+  let n = 8 in
+  let dead =
+    run_domains 1 (fun ~i:_ ~tid:_ ->
+        let hs = List.init n (fun _ -> Memdom.Alloc.hdr a ()) in
+        (* local frees: they sit on this domain's own free-list when it
+           dies *)
+        List.iter (Memdom.Alloc.free a) hs;
+        hs)
+    |> List.concat
+  in
+  let adopted = List.init n (fun _ -> Memdom.Alloc.hdr a ()) in
+  List.iter
+    (fun h ->
+      check_bool "adopted from the dead domain's free-list" true
+        (List.memq h dead))
+    adopted;
+  check_int "all hits after adoption" n (Memdom.Alloc.pool_hits a);
+  check_bool "gens still monotone: every adoptee is live again" true
+    (List.for_all
+       (fun h -> Memdom.Hdr.lifecycle h = Memdom.Hdr.Live)
+       adopted)
+
+let contains_substr hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_pool_stats_and_pp () =
+  let a = Memdom.Alloc.create ~mode:Memdom.Alloc.Pool "p" in
+  let h = Memdom.Alloc.hdr a () in
+  Memdom.Alloc.free a h;
+  ignore (Memdom.Alloc.hdr a ());
+  let s = Memdom.Stats.take a in
+  check_int "snapshot hits" 1 s.Memdom.Stats.pool_hits;
+  check_int "snapshot misses" 1 s.Memdom.Stats.pool_misses;
+  check_bool "snapshot hit rate" true (Memdom.Stats.hit_rate s = 0.5);
+  let printed = Format.asprintf "%a" Memdom.Alloc.pp_stats a in
+  check_bool "pp_stats prints hit rate" true (contains_substr printed "hit-rate");
+  (* System allocators stay pool-silent in both stats and pp *)
+  let sys = Memdom.Alloc.create "s" in
+  ignore (Memdom.Alloc.hdr sys ());
+  check_int "system has no pool traffic" 0
+    (Memdom.Stats.take sys).Memdom.Stats.pool_hits;
+  let sys_printed = Format.asprintf "%a" Memdom.Alloc.pp_stats sys in
+  check_bool "system pp omits pool section" true
+    (not (contains_substr sys_printed "pool"))
+
 let suite =
   [
     ( "memdom",
@@ -154,5 +298,17 @@ let suite =
           test_concurrent_free_single_winner;
         Alcotest.test_case "stats snapshots with a fake clock" `Quick
           test_stats_fake_clock;
+        Alcotest.test_case "generation bumps once per transition" `Quick
+          test_gen_bumps_once_per_transition;
+        Alcotest.test_case "recycling a non-freed header raises" `Quick
+          test_recycle_live_raises;
+        Alcotest.test_case "pool recycles the same physical header" `Quick
+          test_pool_recycles_same_header;
+        Alcotest.test_case "pool remote free via transfer stack" `Quick
+          test_pool_remote_free;
+        Alcotest.test_case "pool orphan adoption on domain death" `Quick
+          test_pool_orphan_adoption;
+        Alcotest.test_case "pool counters, stats and pp" `Quick
+          test_pool_stats_and_pp;
       ] );
   ]

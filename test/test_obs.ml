@@ -90,6 +90,8 @@ let test_null_sink_zero_cost () =
       Obs.Sink.on_free s ~tid ~uid:i ~retired_ns:ts;
       Obs.Sink.on_handover s ~tid ~uid:i;
       Obs.Sink.on_cascade s ~tid ~uid:i;
+      Obs.Sink.on_recycle s ~tid ~uid:i ~gen:i;
+      Obs.Sink.on_refill s ~tid ~count:i;
       Obs.Sink.guard_begin s ~tid;
       Obs.Sink.guard_end s ~tid;
       let began = Obs.Sink.scan_begin s in
@@ -295,6 +297,34 @@ let test_scheme_sink_events () =
   | Ok () -> ()
   | Error e -> Alcotest.failf "scheme-driven trace should validate: %s" e
 
+(* Pool allocators report recycled hand-outs as Recycle instead of
+   Alloc, so trace tallies can compute the hit rate as
+   recycle / (alloc + recycle). *)
+let test_pool_sink_events () =
+  let sink = Obs.Sink.make () in
+  let alloc = Memdom.Alloc.create ~mode:Memdom.Alloc.Pool ~sink "obs-pool" in
+  let h = Memdom.Alloc.hdr alloc () in
+  Memdom.Alloc.free alloc h;
+  let h2 = Memdom.Alloc.hdr alloc () in
+  let kinds = Hashtbl.create 8 in
+  List.iter
+    (Array.iter (fun (e : Obs.Event.t) ->
+         Hashtbl.replace kinds e.kind
+           (1 + Option.value ~default:0 (Hashtbl.find_opt kinds e.kind))))
+    (Obs.Sink.events sink);
+  let count k = Option.value ~default:0 (Hashtbl.find_opt kinds k) in
+  check_int "one fresh alloc event" 1 (count Obs.Event.Alloc);
+  check_int "one recycle event instead of a second alloc" 1
+    (count Obs.Event.Recycle);
+  check_int "one free event" 1 (count Obs.Event.Free);
+  let recycle_ev =
+    List.concat_map Array.to_list (Obs.Sink.events sink)
+    |> List.find (fun (e : Obs.Event.t) -> e.kind = Obs.Event.Recycle)
+  in
+  check_int "recycle carries the new uid" h2.Memdom.Hdr.uid recycle_ev.uid;
+  check_int "recycle arg is the bumped generation"
+    (Memdom.Hdr.generation h2) recycle_ev.arg
+
 let suite =
   [
     ( "obs",
@@ -317,5 +347,7 @@ let suite =
         Alcotest.test_case "scheme stats (hp)" `Quick test_scheme_stats_hp;
         Alcotest.test_case "scheme sink events (ptp)" `Quick
           test_scheme_sink_events;
+        Alcotest.test_case "pool recycle/refill events" `Quick
+          test_pool_sink_events;
       ] );
   ]

@@ -2,13 +2,29 @@
    (or any [Obs.Trace] export): the document must parse, carry a
    well-formed [traceEvents] list, and pair every guard "B" with an "E"
    per (pid, tid) lane — the property Perfetto needs to render the guard
-   slices instead of silently dropping them.
+   slices instead of silently dropping them.  Also tallies the instant
+   lifecycle events by name; when the trace carries pool-allocator
+   traffic (recycle/refill), prints the effective pool hit rate
+   [recycle / (alloc + recycle)] — the Recycle event replaces Alloc on
+   the hit path, so the two tallies partition hand-outs.
 
      dune exec tools/check_trace.exe -- trace.json
 
    Exits 0 on a valid trace, 1 otherwise. *)
 
 let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
+
+let tally evs =
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun ev ->
+      match (Obs.Json.member "ph" ev, Obs.Json.member "name" ev) with
+      | Some (Obs.Json.Str "i"), Some (Obs.Json.Str name) ->
+          Hashtbl.replace counts name
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts name))
+      | _ -> ())
+    evs;
+  counts
 
 let () =
   let path =
@@ -25,10 +41,20 @@ let () =
   match Obs.Trace.validate doc with
   | Error e -> fail "%s: invalid trace: %s" path e
   | Ok () ->
-      let n =
+      let evs =
         match Obs.Json.member "traceEvents" doc with
-        | Some (Obs.Json.List evs) -> List.length evs
-        | Some _ | None -> 0
+        | Some (Obs.Json.List evs) -> evs
+        | Some _ | None -> []
       in
       Printf.printf "%s: OK (%d events, all guard begin/end pairs balanced)\n"
-        path n
+        path (List.length evs);
+      let counts = tally evs in
+      let count name = Option.value ~default:0 (Hashtbl.find_opt counts name) in
+      Hashtbl.fold (fun name n acc -> (name, n) :: acc) counts []
+      |> List.sort compare
+      |> List.iter (fun (name, n) -> Printf.printf "  %-10s %8d\n" name n);
+      let alloc = count "alloc" and recycle = count "recycle" in
+      if recycle + count "refill" > 0 then
+        Printf.printf "  pool hit rate: %.1f%% (%d recycled of %d hand-outs)\n"
+          (100. *. float_of_int recycle /. float_of_int (alloc + recycle))
+          recycle (alloc + recycle)
