@@ -23,6 +23,8 @@
      --alloc        just the System-vs-Pool allocator comparison
                     (per-scheme throughput + minor-GC deltas at equal
                     op count)
+     --scan         just the scan-overhaul A/B: snapshot scans and
+                    publication elision vs the legacy walk, per scheme
 
    On this single-machine setup the Intel/AMD pair of each figure
    collapses to one series; EXPERIMENTS.md records the mapping. *)
@@ -43,6 +45,7 @@ let arg_value prefix =
 let smoke = arg_flag "--smoke"
 let churn_only = arg_flag "--churn"
 let alloc_only = arg_flag "--alloc"
+let scan_only = arg_flag "--scan"
 let trace_out = arg_value "--trace="
 
 let json_out = if arg_flag "--json" then Some "BENCH_orc.json" else None
@@ -330,6 +333,184 @@ let alloc_json rows =
            ])
        rows)
 
+(* ------------------------------------------------------------------ *)
+(* Scan overhaul: per-scheme scan cost and read-side publish cost,
+   legacy walk vs snapshot scan + publication elision (A/B over the
+   [Reclaim.Scan_set] ablation refs).  Each run drives a scheme
+   directly: a few staged rows carry protections so scans have real
+   hazard populations to walk, then unprotected nodes are retired until
+   the scheme has performed a fixed number of batching scans.  The
+   headline number is scan_slots per retire — O(H·t) per scan under the
+   snapshot (≈ Ht/R per retire), O(R·H·t) under the legacy
+   walk-per-node. *)
+
+type snode = { s_hdr : Memdom.Hdr.t }
+
+module SN = struct
+  type t = snode
+
+  let hdr n = n.s_hdr
+end
+
+module Scan_hp = Reclaim.Hp.Make (SN)
+module Scan_ptb = Reclaim.Ptb.Make (SN)
+module Scan_he = Reclaim.He.Make (SN)
+module Scan_ibr = Reclaim.Ibr.Make (SN)
+
+type scan_row = {
+  sc_scheme : string;
+  sc_mode : string; (* "legacy" | "overhaul" *)
+  sc_retires : int;
+  sc_scans : int;
+  sc_scan_slots : int;
+  sc_slots_per_retire : float;
+  sc_snapshot_builds : int;
+  sc_snapshot_hits : int;
+  sc_elided : int;
+  sc_retire_ns : float;
+  sc_read_ns : float;
+  sc_rf_p50 : int; (* retire->free latency, -1 when no samples *)
+  sc_rf_p99 : int;
+}
+
+let scan_run (module M : Reclaim.Scheme_intf.S with type node = snode) name
+    ~overhaul =
+  let saved_snap = !Reclaim.Scan_set.snapshot_scan
+  and saved_elide = !Reclaim.Scan_set.elide_publish in
+  Fun.protect ~finally:(fun () ->
+      Reclaim.Scan_set.snapshot_scan := saved_snap;
+      Reclaim.Scan_set.elide_publish := saved_elide)
+  @@ fun () ->
+  Reclaim.Scan_set.snapshot_scan := overhaul;
+  Reclaim.Scan_set.elide_publish := overhaul;
+  (* stage a fixed watermark so every scan walks the same row count
+     regardless of which sections ran before this one *)
+  Atomicx.Registry.reserve 8;
+  let sink = Obs.Sink.make () in
+  (* the sink hangs off the allocator so frees land in the
+     retire->free histogram *)
+  let alloc = Memdom.Alloc.create ~sink ("scan-" ^ name) in
+  let s = M.create ~max_hps:4 alloc in
+  (* one protected retiree so snapshot membership gets real hits; for
+     era/interval schemes the protection is the tid-1 reservation
+     pinned by [begin_op], for pointer schemes the raw publish *)
+  M.begin_op s ~tid:1;
+  let pinned = { s_hdr = Memdom.Alloc.hdr alloc () } in
+  M.protect_raw s ~tid:1 ~idx:0 (Some pinned);
+  M.retire s ~tid:0 pinned;
+  let open Reclaim.Scheme_intf in
+  let target_scans = (M.stats s).scans + 6 in
+  let cap = 200_000 in
+  let retires = ref 0 in
+  let t0 = Obs.Sink.now_ns () in
+  while
+    !retires < cap
+    && ((!retires land 63) <> 0 || (M.stats s).scans < target_scans)
+  do
+    M.retire s ~tid:0 { s_hdr = Memdom.Alloc.hdr alloc () };
+    incr retires
+  done;
+  let retire_ns =
+    float_of_int (Obs.Sink.now_ns () - t0) /. float_of_int (max 1 !retires)
+  in
+  let st = M.stats s in
+  (* read-side micro: repeated protected loads of an unchanging link —
+     the elision fast path when the overhaul is on.  Run against a
+     null-sink instance so the number is the production fast path, not
+     the cost of tracing every elide into an active ring. *)
+  let s2 = M.create ~max_hps:4 ~sink:Obs.Sink.null alloc in
+  M.begin_op s2 ~tid:0;
+  let n0 = { s_hdr = Memdom.Alloc.hdr alloc () } in
+  let link = Atomicx.Link.make (Atomicx.Link.Ptr n0) in
+  let reads = 50_000 in
+  let t1 = Obs.Sink.now_ns () in
+  for _ = 1 to reads do
+    ignore (M.get_protected s2 ~tid:0 ~idx:0 link)
+  done;
+  let read_ns =
+    float_of_int (Obs.Sink.now_ns () - t1) /. float_of_int reads
+  in
+  let elided = st.elided + (M.stats s2).elided in
+  M.end_op s2 ~tid:0;
+  M.end_op s ~tid:1;
+  M.flush s;
+  let rf_p50, rf_p99 =
+    match Obs.Sink.retire_free_hist sink with
+    | Some h when Obs.Hist.count h > 0 ->
+        let rep = Obs.Hist.report h in
+        (rep.Obs.Hist.p50, rep.Obs.Hist.p99)
+    | _ -> (-1, -1)
+  in
+  {
+    sc_scheme = name;
+    sc_mode = (if overhaul then "overhaul" else "legacy");
+    sc_retires = !retires;
+    sc_scans = st.scans;
+    sc_scan_slots = st.scan_slots;
+    sc_slots_per_retire =
+      float_of_int st.scan_slots /. float_of_int (max 1 !retires);
+    sc_snapshot_builds = st.snapshot_builds;
+    sc_snapshot_hits = st.snapshot_hits;
+    sc_elided = elided;
+    sc_retire_ns = retire_ns;
+    sc_read_ns = read_ns;
+    sc_rf_p50 = rf_p50;
+    sc_rf_p99 = rf_p99;
+  }
+
+let run_scan () =
+  Format.printf
+    "@.== Scan overhaul: snapshot scans + publication elision (A/B) ==@.";
+  Format.printf "  %-6s %-9s %8s %6s %11s %11s %6s %8s %10s %10s %12s@."
+    "scheme" "mode" "retires" "scans" "scan-slots" "slots/ret" "snaps"
+    "elided" "retire-ns" "read-ns" "rf-p99";
+  let schemes =
+    [
+      ("hp", (module Scan_hp : Reclaim.Scheme_intf.S with type node = snode));
+      ("ptb", (module Scan_ptb));
+      ("he", (module Scan_he));
+      ("ibr", (module Scan_ibr));
+    ]
+  in
+  List.concat_map
+    (fun (name, m) ->
+      List.map
+        (fun overhaul ->
+          let r = scan_run m name ~overhaul in
+          Format.printf
+            "  %-6s %-9s %8d %6d %11d %11.2f %6d %8d %10.1f %10.1f %10dns@."
+            r.sc_scheme r.sc_mode r.sc_retires r.sc_scans r.sc_scan_slots
+            r.sc_slots_per_retire r.sc_snapshot_builds r.sc_elided
+            r.sc_retire_ns r.sc_read_ns r.sc_rf_p99;
+          r)
+        [ false; true ])
+    schemes
+
+let scan_json rows =
+  let open Harness in
+  Json.List
+    (List.map
+       (fun r ->
+         Json.Obj
+           [
+             ("scheme", Json.Str r.sc_scheme);
+             ("mode", Json.Str r.sc_mode);
+             ("retires", Json.Int r.sc_retires);
+             ("scans", Json.Int r.sc_scans);
+             ("scan_slots", Json.Int r.sc_scan_slots);
+             ("slots_per_retire", Json.Float r.sc_slots_per_retire);
+             ("snapshot_builds", Json.Int r.sc_snapshot_builds);
+             ("snapshot_hits", Json.Int r.sc_snapshot_hits);
+             ("elided", Json.Int r.sc_elided);
+             ("retire_ns", Json.Float r.sc_retire_ns);
+             ("read_ns", Json.Float r.sc_read_ns);
+             ( "retire_free_p50_ns",
+               if r.sc_rf_p50 < 0 then Json.Null else Json.Int r.sc_rf_p50 );
+             ( "retire_free_p99_ns",
+               if r.sc_rf_p99 < 0 then Json.Null else Json.Int r.sc_rf_p99 );
+           ])
+       rows)
+
 let print_mix_tables title tables =
   List.iter
     (fun (mix, series) ->
@@ -355,6 +536,7 @@ let run_smoke () =
   let open Harness in
   let tracing = run_tracing () in
   let allocator = run_alloc () in
+  let scan = run_scan () in
   let micro = run_micro () in
   match json_out with
   | None -> ()
@@ -366,6 +548,7 @@ let run_smoke () =
             ("unit", Json.Str "Mops/s unless stated");
             ("reclamation_tracing", tracing_json tracing);
             ("allocator", alloc_json allocator);
+            ("scan_overhaul", scan_json scan);
             ( "micro_ns_per_op",
               Json.Obj (List.map (fun (n, e) -> (n, Json.Float e)) micro) );
           ]
@@ -435,6 +618,7 @@ let run_full () =
   let tracing = run_tracing () in
   let churn = run_churn () in
   let allocator = run_alloc () in
+  let scan = run_scan () in
   let micro = run_micro () in
 
   match json_out with
@@ -479,6 +663,7 @@ let run_full () =
             ("reclamation_tracing", tracing_json tracing);
             ("domain_churn", churn_json churn);
             ("allocator", alloc_json allocator);
+            ("scan_overhaul", scan_json scan);
             ( "micro_ns_per_op",
               Json.Obj (List.map (fun (n, e) -> (n, Json.Float e)) micro) );
           ]
@@ -486,14 +671,16 @@ let run_full () =
       Json.to_file path j;
       Format.printf "@.wrote %s@." path
 
-(* Standalone section modes: `--churn` and/or `--alloc` run just those
-   sections (composable), fast enough to run on every change. *)
+(* Standalone section modes: `--churn`, `--alloc` and/or `--scan` run
+   just those sections (composable), fast enough to run on every
+   change. *)
 let run_sections () =
   let open Harness in
   let sections =
     (if churn_only then [ ("domain_churn", churn_json (run_churn ())) ] else [])
+    @ (if alloc_only then [ ("allocator", alloc_json (run_alloc ())) ] else [])
     @
-    if alloc_only then [ ("allocator", alloc_json (run_alloc ())) ] else []
+    if scan_only then [ ("scan_overhaul", scan_json (run_scan ())) ] else []
   in
   match json_out with
   | None -> ()
@@ -508,7 +695,7 @@ let () =
     (String.concat "," (List.map string_of_int params.threads))
     params.duration
     (if smoke then ", smoke" else "");
-  if churn_only || alloc_only then run_sections ()
+  if churn_only || alloc_only || scan_only then run_sections ()
   else if smoke then run_smoke ()
   else run_full ();
   Format.printf "@.done.@."

@@ -76,6 +76,7 @@ module Make (N : NODE) = struct
     n_cascades : Shard.t; (* destructor-triggered recursive retires *)
     n_scans : Shard.t; (* tryHandover invocations *)
     n_scan_slots : Shard.t; (* hazard slots visited by those scans *)
+    n_elided : Shard.t; (* hazard publishes skipped in [load] *)
     (* strong reference keeping the weakly-registered quarantine
        cleaner alive exactly as long as this scheme *)
     mutable lifecycle : int -> unit;
@@ -87,6 +88,7 @@ module Make (N : NODE) = struct
     cascades : int;
     scans : int;
     scan_slots : int;
+    elided : int;
   }
 
   type guard = { t : t; tid : int; mutable ptrs : ptr list }
@@ -105,6 +107,7 @@ module Make (N : NODE) = struct
       cascades = Shard.get t.n_cascades;
       scans = Shard.get t.n_scans;
       scan_slots = Shard.get t.n_scan_slots;
+      elided = Shard.get t.n_elided;
     }
 
   let note_retired t ~tid n =
@@ -357,6 +360,7 @@ module Make (N : NODE) = struct
         n_cascades = Shard.create ();
         n_scans = Shard.create ();
         n_scan_slots = Shard.create ();
+        n_elided = Shard.create ();
         lifecycle = ignore;
       }
     in
@@ -461,7 +465,18 @@ module Make (N : NODE) = struct
     let tl = g.t.tl.(g.tid) in
     let old = p.st in
     let rec loop st =
-      Atomic.set tl.hp.(p.idx) (Link.target st);
+      (match Link.target st with
+      | Some n
+        when !Reclaim.Scan_set.elide_publish
+             &&
+             match Atomic.get tl.hp.(p.idx) with
+             | Some m -> m == n
+             | None -> false ->
+          (* slot already publishes [n] (retry, or a mark-only change):
+             the earlier store still protects it for every scanner *)
+          Shard.incr g.t.n_elided ~tid:g.tid;
+          Obs.Sink.on_elide g.t.sink ~tid:g.tid
+      | target -> Atomic.set tl.hp.(p.idx) target);
       let st' = Link.get link in
       if st' == st then st else loop st'
     in

@@ -185,6 +185,9 @@ module Make (N : NODE) : sig
         (** hazard slots visited by those invocations — whitebox check
             that scan cost is [registered * watermark] per scan, not
             [Registry.max_threads * watermark] *)
+    elided : int;
+        (** hazard publishes skipped by [load] because the slot already
+            held the target (see {!Reclaim.Scan_set.elide_publish}) *)
   }
 
   val stats : t -> stats

@@ -45,8 +45,10 @@ module Make (N : Orc.NODE) = struct
     sink : Obs.Sink.t;
     tl : tl_info array;
     watermark : int Atomic.t;
-    scan_threshold : int;
+    hps : int;
+    threshold : int Atomic.t; (* cached R = 2·H·t, refreshed on crossing *)
     pending : Shard.t;
+    n_elided : Shard.t; (* hazard publishes skipped in [load] *)
     orphans : node Reclaim.Orphan.t;
     (* strong reference keeping the weakly-registered quarantine
        cleaner alive exactly as long as this scheme *)
@@ -60,6 +62,17 @@ module Make (N : Orc.NODE) = struct
   let alloc_ctx t = t.alloc
   let orc_word n = (N.hdr n).Memdom.Hdr.orc
   let unreclaimed t = Shard.get t.pending
+  let elided t = Shard.get t.n_elided
+
+  (* R = 2·H·t from the live Active-slot population, cached and
+     refreshed on crossing, matching the manual HP baseline (see
+     [Reclaim.Hp.threshold_crossed]) *)
+  let threshold_crossed t ~count =
+    count >= Atomic.get t.threshold
+    && begin
+         Atomic.set t.threshold (2 * t.hps * max 1 (Registry.active ()));
+         count >= Atomic.get t.threshold
+       end
 
   let note_retired t ~tid n =
     let h = N.hdr n in
@@ -123,7 +136,7 @@ module Make (N : Orc.NODE) = struct
     let tl = t.tl.(tid) in
     tl.retired <- p :: tl.retired;
     tl.retired_count <- tl.retired_count + 1;
-    if tl.retired_count >= t.scan_threshold then scan t ~tid
+    if threshold_crossed t ~count:tl.retired_count then scan t ~tid
 
   and scan t ~tid =
     let began = Obs.Sink.scan_begin t.sink in
@@ -238,8 +251,10 @@ module Make (N : Orc.NODE) = struct
         sink;
         tl = Array.init Registry.max_threads mk_tl;
         watermark = Atomic.make 1;
-        scan_threshold = 2 * max_hps * 8;
+        hps = max_hps;
+        threshold = Atomic.make (2 * max_hps);
         pending = Shard.create ();
+        n_elided = Shard.create ();
         orphans = Reclaim.Orphan.create ();
         lifecycle = ignore;
       }
@@ -329,7 +344,18 @@ module Make (N : Orc.NODE) = struct
     let tl = g.t.tl.(g.tid) in
     let old = p.st in
     let rec loop st =
-      Atomic.set tl.hp.(p.idx) (Link.target st);
+      (match Link.target st with
+      | Some n
+        when !Reclaim.Scan_set.elide_publish
+             &&
+             match Atomic.get tl.hp.(p.idx) with
+             | Some m -> m == n
+             | None -> false ->
+          (* slot already publishes [n] (retry, or a mark-only change):
+             the earlier store still protects it for every scanner *)
+          Shard.incr g.t.n_elided ~tid:g.tid;
+          Obs.Sink.on_elide g.t.sink ~tid:g.tid
+      | target -> Atomic.set tl.hp.(p.idx) target);
       let st' = Link.get link in
       if st' == st then st else loop st'
     in

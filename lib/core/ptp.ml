@@ -58,8 +58,19 @@ module Make (N : Reclaim.Scheme_intf.NODE) :
     publish t ~tid ~idx:dst (Atomic.get t.hp.(tid).(src))
 
   let get_protected t ~tid ~idx link =
+    let slot = t.hp.(tid).(idx) in
     let rec loop st =
-      publish t ~tid ~idx (Link.target st);
+      (match Link.target st with
+      | Some n
+        when !Reclaim.Scan_set.elide_publish
+             && (match Atomic.get slot with Some m -> m == n | None -> false)
+        ->
+          (* slot already publishes [n]: the earlier store is still in
+             force for every scanner, so skip the publish (and, under
+             the exchange flavour, its full fence) *)
+          Reclaim.Scheme_intf.Counters.elided t.counters ~tid;
+          Obs.Sink.on_elide t.sink ~tid
+      | target -> publish t ~tid ~idx target);
       let st' = Link.get link in
       if st' == st then st else loop st'
     in

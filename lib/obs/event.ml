@@ -11,6 +11,8 @@ type kind =
   | Adopt
   | Recycle
   | Refill
+  | Snapshot
+  | Elide
 
 let to_int = function
   | Alloc -> 0
@@ -25,6 +27,8 @@ let to_int = function
   | Adopt -> 9
   | Recycle -> 10
   | Refill -> 11
+  | Snapshot -> 12
+  | Elide -> 13
 
 let of_int = function
   | 0 -> Alloc
@@ -39,6 +43,8 @@ let of_int = function
   | 9 -> Adopt
   | 10 -> Recycle
   | 11 -> Refill
+  | 12 -> Snapshot
+  | 13 -> Elide
   | n -> invalid_arg (Printf.sprintf "Obs.Event.of_int: %d" n)
 
 let name = function
@@ -54,6 +60,8 @@ let name = function
   | Adopt -> "adopt"
   | Recycle -> "recycle"
   | Refill -> "refill"
+  | Snapshot -> "snapshot"
+  | Elide -> "elide"
 
 type t = {
   seq : int;  (** per-thread emission index, contiguous within a ring *)

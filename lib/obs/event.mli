@@ -28,9 +28,15 @@ type kind =
       (** pool owner drained a batch from its remote-free transfer stack
           (or adopted an orphaned free-list) into the local LIFO;
           [arg] = batch size *)
+  | Snapshot
+      (** batching scan built a scan-set snapshot of the live protection
+          rows ([Reclaim.Scan_set]); [arg] = entries captured *)
+  | Elide
+      (** a protection publish was skipped because the slot already held
+          the target (read-side fast path) *)
 
 val to_int : kind -> int
-(** Dense encoding in [0, 11] — what the rings store. *)
+(** Dense encoding in [0, 13] — what the rings store. *)
 
 val of_int : int -> kind
 (** Inverse of {!to_int}; raises [Invalid_argument] out of range. *)

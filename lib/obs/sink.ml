@@ -122,6 +122,19 @@ let on_adopt t ~tid ~count ~published_ns =
       Ring.emit a.ring ~tid ~ts ~kind:Event.Adopt ~uid:0 ~arg:count;
       if published_ns > 0 then Hist.record a.adopt ~tid (ts - published_ns)
 
+let on_snapshot t ~tid ~entries =
+  match t with
+  | Null -> ()
+  | Active a ->
+      Ring.emit a.ring ~tid ~ts:(a.clock ()) ~kind:Event.Snapshot ~uid:0
+        ~arg:entries
+
+let on_elide t ~tid =
+  match t with
+  | Null -> ()
+  | Active a ->
+      Ring.emit a.ring ~tid ~ts:(a.clock ()) ~kind:Event.Elide ~uid:0 ~arg:0
+
 let scan_begin t = match t with Null -> 0 | Active a -> a.clock ()
 
 let scan_end t ~tid ~slots ~began =

@@ -84,6 +84,16 @@ val on_adopt : t -> tid:int -> count:int -> published_ns:int -> unit
     batch; when [published_ns > 0] also records [now - published_ns]
     into the adoption-latency histogram. *)
 
+val on_snapshot : t -> tid:int -> entries:int -> unit
+(** Records the Snapshot event: a batching scan captured the live
+    protection rows into a scan-set ([arg] = entries captured). *)
+
+val on_elide : t -> tid:int -> unit
+(** Records the Elide event: a protection publish was skipped because
+    the slot already held the target.  Only the pointer-based schemes
+    emit this (HP/PTP/OrcGC); for era schemes elision is the common
+    case and per-event tracing would swamp the rings. *)
+
 val scan_begin : t -> int
 (** Timestamp token to pass to {!scan_end} (0 under {!null}). *)
 

@@ -85,12 +85,18 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     let visited = ref 0 in
     try_advance t ~visited;
     let safe = min (min_announced t ~visited) (Atomic.get t.global_epoch) in
-    let keep, release =
-      List.partition (fun (_, e) -> e >= safe - 1) !(t.retired.(tid))
-    in
-    t.retired.(tid) := keep;
-    t.retired_count.(tid) := List.length keep;
-    List.iter (fun (n, _) -> free_node t ~tid n) release;
+    let keep = ref [] and kept = ref 0 and release = ref [] in
+    List.iter
+      (fun ((_, e) as r) ->
+        if e >= safe - 1 then begin
+          keep := r :: !keep;
+          incr kept
+        end
+        else release := r :: !release)
+      !(t.retired.(tid));
+    t.retired.(tid) := !keep;
+    t.retired_count.(tid) := !kept;
+    List.iter (fun (n, _) -> free_node t ~tid n) !release;
     Scheme_intf.Counters.scanned t.counters ~tid ~slots:!visited;
     Obs.Sink.scan_end t.sink ~tid ~slots:!visited ~began
 

@@ -27,7 +27,8 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     retired : node list ref array;
     retired_count : int ref array;
     retire_count : int ref array;
-    scan_threshold : int;
+    scratch : Scan_set.t array; (* [tid]; per-scan era snapshots *)
+    threshold : int Atomic.t; (* cached R = 2·H·t, refreshed on crossing *)
     era_freq : int;
     counters : Scheme_intf.Counters.t;
     orphans : node Orphan.t;
@@ -56,7 +57,14 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     let rec loop () =
       let st = Link.get link in
       let era = Memdom.Alloc.era t.alloc in
-      if era = !prev then st
+      if era = !prev then begin
+        (* stable era: the published reservation already covers this
+           read — era schemes' native elision; counted (not traced:
+           this is their common case) so bench can compare read sides *)
+        if !Scan_set.elide_publish then
+          Scheme_intf.Counters.elided t.counters ~tid;
+        st
+      end
       else begin
         Atomic.set slot era;
         prev := era;
@@ -68,7 +76,15 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
   let protect_raw t ~tid ~idx n =
     match n with
     | None -> ()
-    | Some _ -> Atomic.set t.he.(tid).(idx) (Memdom.Alloc.era t.alloc)
+    | Some _ ->
+        let era = Memdom.Alloc.era t.alloc in
+        let slot = t.he.(tid).(idx) in
+        (* same elision on the unvalidated path: a slot already
+           publishing the current era protects everything it would
+           after the store *)
+        if !Scan_set.elide_publish && Atomic.get slot = era then
+          Scheme_intf.Counters.elided t.counters ~tid
+        else Atomic.set slot era
 
   (* copying must carry the original era: a fresh era would not cover a
      node already retired under an older one *)
@@ -100,6 +116,24 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     Scheme_intf.Counters.freed t.counters ~tid;
     Memdom.Alloc.free t.alloc (N.hdr n)
 
+  (* Snapshot every published era once; a node is protected iff some
+     published era falls inside its [birth, death] interval, which the
+     sealed point set answers as a range-membership query. *)
+  let build_snapshot t ~tid ~visited =
+    let s = t.scratch.(tid) in
+    Scan_set.reset s;
+    for it = 0 to Registry.registered () - 1 do
+      if Registry.in_use it then
+        for idx = 0 to t.hps - 1 do
+          incr visited;
+          let e = Atomic.get t.he.(it).(idx) in
+          if e <> none_era then Scan_set.add s e
+        done
+    done;
+    Scan_set.seal s;
+    Scheme_intf.Counters.snapshot_built t.counters ~tid;
+    Obs.Sink.on_snapshot t.sink ~tid ~entries:(Scan_set.size s)
+
   let scan t ~tid =
     (match Orphan.adopt t.orphans t.sink ~tid with
     | [] -> ()
@@ -108,14 +142,45 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
         t.retired_count.(tid) := !(t.retired_count.(tid)) + List.length adopted);
     let began = Obs.Sink.scan_begin t.sink in
     let visited = ref 0 in
-    let keep, release =
-      List.partition (fun n -> protected_by_any t ~visited n) !(t.retired.(tid))
+    let keep = ref [] and kept = ref 0 and release = ref [] in
+    let protected_ =
+      if !Scan_set.snapshot_scan then begin
+        build_snapshot t ~tid ~visited;
+        let s = t.scratch.(tid) in
+        fun n ->
+          let h = N.hdr n in
+          Scan_set.mem_range s ~lo:h.Memdom.Hdr.birth_era
+            ~hi:h.Memdom.Hdr.death_era
+          && begin
+               Scheme_intf.Counters.snapshot_hit t.counters ~tid;
+               true
+             end
+      end
+      else fun n -> protected_by_any t ~visited n
     in
-    t.retired.(tid) := keep;
-    t.retired_count.(tid) := List.length keep;
-    List.iter (free_node t ~tid) release;
+    List.iter
+      (fun n ->
+        if protected_ n then begin
+          keep := n :: !keep;
+          incr kept
+        end
+        else release := n :: !release)
+      !(t.retired.(tid));
+    t.retired.(tid) := !keep;
+    t.retired_count.(tid) := !kept;
+    List.iter (free_node t ~tid) !release;
     Scheme_intf.Counters.scanned t.counters ~tid ~slots:!visited;
     Obs.Sink.scan_end t.sink ~tid ~slots:!visited ~began
+
+  (* R = 2·H·t from the live Active-slot population, cached and
+     refreshed on crossing (see [Hp.threshold_crossed]); HE previously
+     used a flat 128, which under-batched past 8 threads. *)
+  let threshold_crossed t ~tid =
+    !(t.retired_count.(tid)) >= Atomic.get t.threshold
+    && begin
+         Atomic.set t.threshold (2 * t.hps * max 1 (Registry.active ()));
+         !(t.retired_count.(tid)) >= Atomic.get t.threshold
+       end
 
   let retire t ~tid n =
     let h = N.hdr n in
@@ -129,7 +194,7 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     incr t.retire_count.(tid);
     if !(t.retire_count.(tid)) mod t.era_freq = 0 then
       ignore (Memdom.Alloc.bump_era t.alloc);
-    if !(t.retired_count.(tid)) >= t.scan_threshold then scan t ~tid
+    if threshold_crossed t ~tid then scan t ~tid
 
   (* Quarantine cleaner: drop the departing tid's published eras (an
      era left behind would pin every object alive at it, forever) and
@@ -163,7 +228,8 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
         retired = Array.init Registry.max_threads (fun _ -> ref []);
         retired_count = Array.init Registry.max_threads (fun _ -> ref 0);
         retire_count = Array.init Registry.max_threads (fun _ -> ref 0);
-        scan_threshold = 128;
+        scratch = Array.init Registry.max_threads (fun _ -> Scan_set.create ());
+        threshold = Atomic.make (2 * max_hps);
         era_freq = 16;
         counters = Scheme_intf.Counters.create ();
         orphans = Orphan.create ();

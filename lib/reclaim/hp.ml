@@ -20,7 +20,8 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     hp : node option Atomic.t array array; (* [tid][idx] *)
     retired : node list ref array; (* thread-local retired lists *)
     retired_count : int ref array;
-    scan_threshold : int;
+    scratch : Scan_set.t array; (* [tid]; per-thread scan snapshots *)
+    threshold : int Atomic.t; (* cached R = 2·H·t, refreshed on crossing *)
     counters : Scheme_intf.Counters.t;
     orphans : node Orphan.t;
     (* strong reference keeping the weakly-registered quarantine
@@ -50,7 +51,21 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     let rec loop st =
       (match Link.target st with
       | None -> Atomic.set slot None
-      | Some n -> Atomic.set slot (Some n));
+      | Some n ->
+          (* Publication elision: when the slot already holds [n] (the
+             common case on retry and re-traversal), the earlier seq-cst
+             publish is still in force and every scanner already sees
+             it, so the store — and the fresh [Some] cell it would
+             allocate — can be skipped. *)
+          if
+            !Scan_set.elide_publish
+            &&
+            match Atomic.get slot with Some m -> m == n | None -> false
+          then begin
+            Scheme_intf.Counters.elided t.counters ~tid;
+            Obs.Sink.on_elide t.sink ~tid
+          end
+          else Atomic.set slot (Some n));
       let st' = Link.get link in
       if st' == st then st else loop st'
     in
@@ -81,6 +96,30 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     Scheme_intf.Counters.freed t.counters ~tid;
     Memdom.Alloc.free t.alloc (N.hdr n)
 
+  (* Snapshot every live hazard row once into the caller's scratch set,
+     keyed by node uid.  Uid membership coincides with the legacy
+     physical-equality test for every node the scan examines: a retired
+     node's uid is immutable until it is freed, and uids are never
+     reused, so [mem snapshot uid] can only differ from [m == n] for
+     slots whose target was recycled mid-snapshot — which keys a
+     {e different} (live) object and at worst keeps a node one extra
+     scan, never frees a protected one. *)
+  let build_snapshot t ~tid ~visited =
+    let s = t.scratch.(tid) in
+    Scan_set.reset s;
+    for it = 0 to Registry.registered () - 1 do
+      if Registry.in_use it then
+        for idx = 0 to t.hps - 1 do
+          incr visited;
+          match Atomic.get t.hp.(it).(idx) with
+          | Some m -> Scan_set.add s (N.hdr m).Memdom.Hdr.uid
+          | None -> ()
+        done
+    done;
+    Scan_set.seal s;
+    Scheme_intf.Counters.snapshot_built t.counters ~tid;
+    Obs.Sink.on_snapshot t.sink ~tid ~entries:(Scan_set.size s)
+
   let scan t ~tid =
     (match Orphan.adopt t.orphans t.sink ~tid with
     | [] -> ()
@@ -89,14 +128,47 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
         t.retired_count.(tid) := !(t.retired_count.(tid)) + List.length adopted);
     let began = Obs.Sink.scan_begin t.sink in
     let visited = ref 0 in
-    let keep, release =
-      List.partition (fun n -> protected_by_any t ~visited n) !(t.retired.(tid))
+    let keep = ref [] and kept = ref 0 and release = ref [] in
+    let protected_ =
+      if !Scan_set.snapshot_scan then begin
+        build_snapshot t ~tid ~visited;
+        let s = t.scratch.(tid) in
+        fun n ->
+          Scan_set.mem s (N.hdr n).Memdom.Hdr.uid
+          && begin
+               Scheme_intf.Counters.snapshot_hit t.counters ~tid;
+               true
+             end
+      end
+      else fun n -> protected_by_any t ~visited n
     in
-    t.retired.(tid) := keep;
-    t.retired_count.(tid) := List.length keep;
-    List.iter (free_node t ~tid) release;
+    List.iter
+      (fun n ->
+        if protected_ n then begin
+          keep := n :: !keep;
+          incr kept
+        end
+        else release := n :: !release)
+      !(t.retired.(tid));
+    t.retired.(tid) := !keep;
+    t.retired_count.(tid) := !kept;
+    List.iter (free_node t ~tid) !release;
     Scheme_intf.Counters.scanned t.counters ~tid ~slots:!visited;
     Obs.Sink.scan_end t.sink ~tid ~slots:!visited ~began
+
+  (* The paper's R = 2·H·t amortization ratio, tracking the live thread
+     population instead of a baked-in 8-thread default.  [t] is the
+     {e Active} slot count, not the monotone [Registry.registered]
+     high-water: the high-water never decreases, so a long-lived process
+     that once ran many threads would batch forever.  Counting Active
+     slots is O(registered), so the count is cached and refreshed only
+     when the cached value is crossed — amortized O(1) per retire. *)
+  let threshold_crossed t ~tid =
+    !(t.retired_count.(tid)) >= Atomic.get t.threshold
+    && begin
+         Atomic.set t.threshold (2 * t.hps * max 1 (Registry.active ()));
+         !(t.retired_count.(tid)) >= Atomic.get t.threshold
+       end
 
   let retire t ~tid n =
     let h = N.hdr n in
@@ -106,7 +178,7 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     Scheme_intf.Counters.retired t.counters ~tid;
     t.retired.(tid) := n :: !(t.retired.(tid));
     incr t.retired_count.(tid);
-    if !(t.retired_count.(tid)) >= t.scan_threshold then scan t ~tid
+    if threshold_crossed t ~tid then scan t ~tid
 
   (* Quarantine cleaner: force-clear the departing tid's hazards and
      publish its pending retired list for adoption at survivors' next
@@ -139,7 +211,8 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
         hp = Array.init Registry.max_threads mk_slots;
         retired = Array.init Registry.max_threads (fun _ -> ref []);
         retired_count = Array.init Registry.max_threads (fun _ -> ref 0);
-        scan_threshold = 2 * max_hps * 8;
+        scratch = Array.init Registry.max_threads (fun _ -> Scan_set.create ());
+        threshold = Atomic.make (2 * max_hps);
         counters = Scheme_intf.Counters.create ();
         orphans = Orphan.create ();
         lifecycle = ignore;

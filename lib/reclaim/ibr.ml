@@ -24,6 +24,9 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     retired : node list ref array;
     retired_count : int ref array;
     retire_count : int ref array;
+    scratch : Scan_set.t array; (* [tid]; per-scan reservation snapshots *)
+    (* flat batch size: the reservation table is one interval per
+       thread, so scans are O(t) and need no 2·H·t amortization *)
     scan_threshold : int;
     era_freq : int;
     counters : Scheme_intf.Counters.t;
@@ -54,7 +57,14 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     let rec loop () =
       let st = Link.get link in
       let e = Memdom.Alloc.era t.alloc in
-      if e <= Atomic.get t.hi.(tid) then st
+      if e <= Atomic.get t.hi.(tid) then begin
+        (* reservation already covers the read — IBR's native elision;
+           counted (not traced: this is the common case) so bench can
+           compare read sides across schemes *)
+        if !Scan_set.elide_publish then
+          Scheme_intf.Counters.elided t.counters ~tid;
+        st
+      end
       else begin
         Atomic.set t.hi.(tid) e;
         loop ()
@@ -90,6 +100,24 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     Scheme_intf.Counters.freed t.counters ~tid;
     Memdom.Alloc.free t.alloc (N.hdr n)
 
+  (* Snapshot every live reservation interval once; a node is pinned
+     iff its [birth, death] lifetime intersects some reservation, which
+     the sealed interval set (sorted by lower bound, running-max upper
+     bounds) answers in O(log t). *)
+  let build_snapshot t ~tid ~visited =
+    let s = t.scratch.(tid) in
+    Scan_set.reset s;
+    for it = 0 to Registry.registered () - 1 do
+      if Registry.in_use it then begin
+        incr visited;
+        let lo = Atomic.get t.lo.(it) and hi = Atomic.get t.hi.(it) in
+        if lo <= hi then Scan_set.add_interval s ~lo ~hi
+      end
+    done;
+    Scan_set.seal_intervals s;
+    Scheme_intf.Counters.snapshot_built t.counters ~tid;
+    Obs.Sink.on_snapshot t.sink ~tid ~entries:(Scan_set.size s)
+
   let scan t ~tid =
     (match Orphan.adopt t.orphans t.sink ~tid with
     | [] -> ()
@@ -98,12 +126,33 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
         t.retired_count.(tid) := !(t.retired_count.(tid)) + List.length adopted);
     let began = Obs.Sink.scan_begin t.sink in
     let visited = ref 0 in
-    let keep, release =
-      List.partition (fun n -> reserved_by_any t ~visited n) !(t.retired.(tid))
+    let keep = ref [] and kept = ref 0 and release = ref [] in
+    let reserved =
+      if !Scan_set.snapshot_scan then begin
+        build_snapshot t ~tid ~visited;
+        let s = t.scratch.(tid) in
+        fun n ->
+          let h = N.hdr n in
+          Scan_set.overlaps s ~lo:h.Memdom.Hdr.birth_era
+            ~hi:h.Memdom.Hdr.death_era
+          && begin
+               Scheme_intf.Counters.snapshot_hit t.counters ~tid;
+               true
+             end
+      end
+      else fun n -> reserved_by_any t ~visited n
     in
-    t.retired.(tid) := keep;
-    t.retired_count.(tid) := List.length keep;
-    List.iter (free_node t ~tid) release;
+    List.iter
+      (fun n ->
+        if reserved n then begin
+          keep := n :: !keep;
+          incr kept
+        end
+        else release := n :: !release)
+      !(t.retired.(tid));
+    t.retired.(tid) := !keep;
+    t.retired_count.(tid) := !kept;
+    List.iter (free_node t ~tid) !release;
     Scheme_intf.Counters.scanned t.counters ~tid ~slots:!visited;
     Obs.Sink.scan_end t.sink ~tid ~slots:!visited ~began
 
@@ -153,6 +202,7 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
         retired = Array.init Registry.max_threads (fun _ -> ref []);
         retired_count = Array.init Registry.max_threads (fun _ -> ref 0);
         retire_count = Array.init Registry.max_threads (fun _ -> ref 0);
+        scratch = Array.init Registry.max_threads (fun _ -> Scan_set.create ());
         scan_threshold = 128;
         era_freq = 16;
         counters = Scheme_intf.Counters.create ();

@@ -26,7 +26,8 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     post : node option Atomic.t array array; (* guards, [tid][idx] *)
     handoff : handoff Atomic.t array array;
     retired : node list ref array;
-    scan_threshold : int;
+    scratch : Scan_set.t array; (* [tid]; per-liberate guard snapshots *)
+    threshold : int Atomic.t; (* cached R = 2·H·t, refreshed on crossing *)
     counters : Scheme_intf.Counters.t;
     orphans : node Orphan.t;
     (* strong reference keeping the weakly-registered quarantine
@@ -75,6 +76,33 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
      with Exit -> ());
     !found
 
+  (* Snapshot every raised guard once, keyed by the trapped node's uid
+     with the guard's coordinates packed into the payload, so each
+     worklist item resolves its trapping guard in O(log Ht) instead of
+     a fresh O(Ht) walk.  A guard raised after the snapshot belongs to
+     a thread whose validation re-read finds the value already
+     unlinked, and the legacy walk's single point-in-time read could
+     equally miss it; a guard lowered after the snapshot at worst
+     receives a handoff its owner's [clear] drains back — the same
+     race the live walk has between [find_guard] and [hand]. *)
+  let build_snapshot t ~tid ~visited =
+    let s = t.scratch.(tid) in
+    Scan_set.reset s;
+    for it = 0 to Registry.registered () - 1 do
+      if Registry.in_use it then
+        for idx = 0 to t.hps - 1 do
+          incr visited;
+          match Atomic.get t.post.(it).(idx) with
+          | Some m ->
+              Scan_set.add_kv s ~key:(N.hdr m).Memdom.Hdr.uid
+                ~value:((it * t.hps) + idx)
+          | None -> ()
+        done
+    done;
+    Scan_set.seal s;
+    Scheme_intf.Counters.snapshot_built t.counters ~tid;
+    Obs.Sink.on_snapshot t.sink ~tid ~entries:(Scan_set.size s)
+
   let liberate t ~tid values =
     let values =
       match Orphan.adopt t.orphans t.sink ~tid with
@@ -83,6 +111,18 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     in
     let began = Obs.Sink.scan_begin t.sink in
     let visited = ref 0 in
+    let snapshot = !Scan_set.snapshot_scan in
+    if snapshot then build_snapshot t ~tid ~visited;
+    let find_trap p =
+      if snapshot then begin
+        match Scan_set.find t.scratch.(tid) (N.hdr p).Memdom.Hdr.uid with
+        | -1 -> None
+        | packed ->
+            Scheme_intf.Counters.snapshot_hit t.counters ~tid;
+            Some (packed / t.hps, packed mod t.hps)
+      end
+      else find_guard t ~visited p
+    in
     let work = Queue.create () in
     List.iter (fun p -> Queue.add p work) values;
     let budget = ref (Queue.length work + (Registry.max_threads * t.hps) + 8) in
@@ -92,7 +132,7 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
       if !budget <= 0 then leftovers := p :: !leftovers
       else begin
         decr budget;
-        match find_guard t ~visited p with
+        match find_trap p with
         | None -> free_node t ~tid p
         | Some (it, idx) ->
             let slot = t.handoff.(it).(idx) in
@@ -127,6 +167,15 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     done;
     Obs.Sink.guard_end t.sink ~tid
 
+  (* R = 2·H·t from the live Active-slot population, cached and
+     refreshed on crossing (see [Hp.threshold_crossed]). *)
+  let threshold_crossed t ~count =
+    count >= Atomic.get t.threshold
+    && begin
+         Atomic.set t.threshold (2 * t.hps * max 1 (Registry.active ()));
+         count >= Atomic.get t.threshold
+       end
+
   let retire t ~tid n =
     let h = N.hdr n in
     Memdom.Hdr.mark_retired h;
@@ -134,7 +183,7 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
       Obs.Sink.on_retire t.sink ~tid ~uid:h.Memdom.Hdr.uid;
     Scheme_intf.Counters.retired t.counters ~tid;
     t.retired.(tid) := n :: !(t.retired.(tid));
-    if List.length !(t.retired.(tid)) >= t.scan_threshold then begin
+    if threshold_crossed t ~count:(List.length !(t.retired.(tid))) then begin
       let vs = !(t.retired.(tid)) in
       t.retired.(tid) := [];
       liberate t ~tid vs
@@ -182,7 +231,8 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
         post = Array.init Registry.max_threads mk_posts;
         handoff = Array.init Registry.max_threads mk_handoffs;
         retired = Array.init Registry.max_threads (fun _ -> ref []);
-        scan_threshold = 2 * max_hps * 8;
+        scratch = Array.init Registry.max_threads (fun _ -> Scan_set.create ());
+        threshold = Atomic.make (2 * max_hps);
         counters = Scheme_intf.Counters.create ();
         orphans = Orphan.create ();
         lifecycle = ignore;

@@ -1,0 +1,106 @@
+(* Per-thread scratch snapshot of a protection table: sorted keys plus
+   an optional parallel payload/interval array.  Owned by the scanning
+   thread for the duration of one scan; storage is recycled across
+   scans, so steady-state scans allocate nothing. *)
+
+let snapshot_scan = ref true
+let elide_publish = ref true
+
+type t = {
+  mutable keys : int array;
+  mutable vals : int array; (* payloads, interval his, or running maxima *)
+  mutable len : int;
+}
+
+let initial_capacity = 64
+
+let create () =
+  {
+    keys = Array.make initial_capacity 0;
+    vals = Array.make initial_capacity 0;
+    len = 0;
+  }
+
+let reset t = t.len <- 0
+let size t = t.len
+
+let grow t =
+  let cap = 2 * Array.length t.keys in
+  let keys = Array.make cap 0 and vals = Array.make cap 0 in
+  Array.blit t.keys 0 keys 0 t.len;
+  Array.blit t.vals 0 vals 0 t.len;
+  t.keys <- keys;
+  t.vals <- vals
+
+let add_kv t ~key ~value =
+  if t.len = Array.length t.keys then grow t;
+  t.keys.(t.len) <- key;
+  t.vals.(t.len) <- value;
+  t.len <- t.len + 1
+
+let add t key = add_kv t ~key ~value:0
+let add_interval t ~lo ~hi = add_kv t ~key:lo ~value:hi
+
+(* In-place insertion sort over both parallel arrays.  Snapshot sizes
+   are H·t (≤ a few hundred); insertion sort keeps the scratch
+   allocation-free, and published protections arrive roughly in row
+   order so runs are mostly sorted already. *)
+let seal t =
+  let keys = t.keys and vals = t.vals in
+  for i = 1 to t.len - 1 do
+    let k = keys.(i) and v = vals.(i) in
+    let j = ref (i - 1) in
+    while !j >= 0 && keys.(!j) > k do
+      keys.(!j + 1) <- keys.(!j);
+      vals.(!j + 1) <- vals.(!j);
+      decr j
+    done;
+    keys.(!j + 1) <- k;
+    vals.(!j + 1) <- v
+  done
+
+let seal_intervals t =
+  seal t;
+  (* vals.(i) becomes max of the first i+1 interval upper bounds: the
+     largest [hi] among all intervals whose [lo] sorts at or before i *)
+  let vals = t.vals in
+  for i = 1 to t.len - 1 do
+    if vals.(i - 1) > vals.(i) then vals.(i) <- vals.(i - 1)
+  done
+
+(* Index of the largest key <= [k], or -1. *)
+let floor_idx t k =
+  let lo = ref 0 and hi = ref t.len in
+  (* invariant: keys.(lo-1) <= k < keys.(hi) (virtual sentinels) *)
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.keys.(mid) <= k then lo := mid + 1 else hi := mid
+  done;
+  !lo - 1
+
+(* Index of the smallest key >= [k], or [len]. *)
+let ceil_idx t k =
+  let lo = ref 0 and hi = ref t.len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.keys.(mid) < k then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let mem t k =
+  let i = floor_idx t k in
+  i >= 0 && t.keys.(i) = k
+
+let find t k =
+  let i = floor_idx t k in
+  if i >= 0 && t.keys.(i) = k then t.vals.(i) else -1
+
+let mem_range t ~lo ~hi =
+  let i = ceil_idx t lo in
+  i < t.len && t.keys.(i) <= hi
+
+let overlaps t ~lo ~hi =
+  (* among intervals starting at or below [hi], does the farthest-
+     reaching one extend to [lo]? *)
+  let i = floor_idx t hi in
+  i >= 0 && t.vals.(i) >= lo

@@ -1,0 +1,91 @@
+(** Reusable scan snapshots: the batching schemes' O(Ht + R·log Ht)
+    scan kernel (Michael's original HP paper, §3; DEBRA makes the same
+    amortization argument).
+
+    A batching scan (HP, PTB, HE, IBR) must answer "is this retired
+    node protected?" for every node of a retired batch.  Walking every
+    registered thread's protection rows once {e per node} costs
+    O(R·H·t) slot reads per batch; this module snapshots the rows
+    {e once} into a sorted scratch array and answers each membership
+    query in O(log Ht), for O(Ht + R·log Ht) total.
+
+    The snapshot-once discipline is safe for exactly the reason the
+    per-node walk is: a protection of a node retired before the scan
+    began was necessarily published (and validated against the source
+    link) {e before} retirement, so it is visible to any complete pass
+    over the slots — one pass or R passes read the same published
+    values.  A protection published {e after} the snapshot belongs to a
+    thread whose validation re-reads the link and finds the node
+    already unlinked, so it retries without dereferencing.
+
+    Buffers are per-thread scratch, owned by the scanning thread and
+    recycled across scans (no allocation at steady state; capacity
+    grows geometrically and never shrinks).  Three key shapes share the
+    storage:
+
+    - {e points} ({!add}/{!seal}/{!mem}): hazard-pointer uids (HP) or
+      published eras (HE, via {!mem_range});
+    - {e keyed points} ({!add_kv}/{!seal}/{!find}): uid → slot payload,
+      for PTB's liberate, which must know {e which} guard traps a value;
+    - {e intervals} ({!add_interval}/{!seal_intervals}/{!overlaps}):
+      IBR's per-thread era reservations.
+
+    Node uids are sound keys: a uid is never reused ([Memdom.Alloc]
+    draws fresh tickets even in Pool mode) and a retired node's uid is
+    immutable until it is freed, so uid equality coincides with
+    physical equality for every node a scan tests. *)
+
+type t
+
+val snapshot_scan : bool ref
+(** Ablation knob (default [true]): when [false], the batching schemes
+    fall back to the legacy per-node O(R·H·t) protection walk.  Global
+    and read at scan time, like {!Orc_core.Ptp.publish_with_exchange}. *)
+
+val elide_publish : bool ref
+(** Ablation knob (default [true]): when [false], the protecting
+    schemes publish unconditionally on every protection, restoring the
+    legacy store-always read side (no slot pre-read, no elision). *)
+
+val create : unit -> t
+(** A fresh scratch buffer (one per thread per scheme). *)
+
+val reset : t -> unit
+(** Empty the buffer, keeping its storage. *)
+
+val size : t -> int
+(** Entries currently held. *)
+
+val add : t -> int -> unit
+(** Append a point key (unsorted until {!seal}). *)
+
+val add_kv : t -> key:int -> value:int -> unit
+(** Append a key with a payload (retrieved by {!find}). *)
+
+val add_interval : t -> lo:int -> hi:int -> unit
+(** Append an interval (unsorted until {!seal_intervals}). *)
+
+val seal : t -> unit
+(** Sort points (and any payloads) by key; enables {!mem}, {!find} and
+    {!mem_range}. *)
+
+val seal_intervals : t -> unit
+(** Sort intervals by lower bound and precompute the running maximum of
+    upper bounds; enables {!overlaps}. *)
+
+val mem : t -> int -> bool
+(** [mem t k]: is the point [k] in the sealed set?  O(log n). *)
+
+val find : t -> int -> int
+(** [find t k]: the payload stored with key [k] (any one of them if the
+    key was added several times), or [-1] if absent.  O(log n). *)
+
+val mem_range : t -> lo:int -> hi:int -> bool
+(** [mem_range t ~lo ~hi]: does the sealed point set intersect
+    [\[lo, hi\]]?  (HE: "is any published era within this node's
+    lifetime interval?")  O(log n). *)
+
+val overlaps : t -> lo:int -> hi:int -> bool
+(** [overlaps t ~lo ~hi]: does any sealed interval intersect
+    [\[lo, hi\]]?  (IBR: "does any reservation overlap this node's
+    lifetime?")  O(log n). *)

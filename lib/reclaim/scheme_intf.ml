@@ -22,12 +22,22 @@ type stats = {
   scans : int;  (** protection-scan passes (HP scan, PTP handover walk,
                     PTB liberate, EBR/HE/IBR reclaim pass) *)
   scan_slots : int;  (** protection slots visited by those passes *)
+  snapshot_builds : int;
+      (** scan-set snapshots built (one per batching scan when
+          {!Scan_set.snapshot_scan} is on; 0 under the legacy walk) *)
+  snapshot_hits : int;
+      (** retired nodes a snapshot membership test found protected *)
+  elided : int;
+      (** protection publishes skipped because the slot already held
+          the target (see {!Scan_set.elide_publish}) *)
 }
 
 let pp_stats_record fmt s =
   Format.fprintf fmt
-    "retires=%d frees=%d unreclaimed=%d scans=%d scan-slots=%d" s.retires
-    s.frees (s.retires - s.frees) s.scans s.scan_slots
+    "retires=%d frees=%d unreclaimed=%d scans=%d scan-slots=%d snapshots=%d \
+     snapshot-hits=%d elided=%d"
+    s.retires s.frees (s.retires - s.frees) s.scans s.scan_slots
+    s.snapshot_builds s.snapshot_hits s.elided
 
 (** The per-thread-sharded counter bundle behind {!stats}, shared by all
     scheme implementations (one padded cell per registry slot, merged on
@@ -39,6 +49,9 @@ module Counters = struct
     frees : Shard.t;
     scans : Shard.t;
     scan_slots : Shard.t;
+    snapshot_builds : Shard.t;
+    snapshot_hits : Shard.t;
+    elided : Shard.t;
   }
 
   let create () =
@@ -47,6 +60,9 @@ module Counters = struct
       frees = Shard.create ();
       scans = Shard.create ();
       scan_slots = Shard.create ();
+      snapshot_builds = Shard.create ();
+      snapshot_hits = Shard.create ();
+      elided = Shard.create ();
     }
 
   let retired t ~tid = Shard.incr t.retires ~tid
@@ -56,12 +72,19 @@ module Counters = struct
     Shard.incr t.scans ~tid;
     Shard.add t.scan_slots ~tid slots
 
+  let snapshot_built t ~tid = Shard.incr t.snapshot_builds ~tid
+  let snapshot_hit t ~tid = Shard.incr t.snapshot_hits ~tid
+  let elided t ~tid = Shard.incr t.elided ~tid
+
   let stats t : stats =
     {
       retires = Shard.get t.retires;
       frees = Shard.get t.frees;
       scans = Shard.get t.scans;
       scan_slots = Shard.get t.scan_slots;
+      snapshot_builds = Shard.get t.snapshot_builds;
+      snapshot_hits = Shard.get t.snapshot_hits;
+      elided = Shard.get t.elided;
     }
 
   (* retires and frees are monotonic and frees never outruns retires in

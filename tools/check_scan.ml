@@ -1,0 +1,103 @@
+(* Guard the scan-overhaul invariants in a BENCH_orc.json produced by
+   `bench/main.exe --scan --json` (or `--smoke --json`): for every
+   batching scheme the A/B section must show
+
+   - a snapshot built per batching scan (snapshot_builds = scans > 0),
+   - overhaul scan_slots at most [ratio_ceiling] of the legacy walk's
+     (the snapshot visits each hazard slot once per scan instead of
+     once per retired node — the ratio sits near 1/R, so 0.75 is a
+     deliberately generous regression ceiling, not a target),
+   - read-side elision actually firing (elided > 0) for the schemes
+     that implement it (hp and the era schemes; PTB's get_protected
+     keeps the unconditional publish).
+
+     dune exec tools/check_scan.exe -- BENCH_orc.json
+
+   Exits 0 when every scheme passes, 1 otherwise. *)
+
+let ratio_ceiling = 0.75
+let elision_schemes = [ "hp"; "he"; "ibr" ]
+let failures = ref 0
+
+let problem fmt =
+  Printf.ksprintf
+    (fun s ->
+      incr failures;
+      Printf.printf "  FAIL %s\n" s)
+    fmt
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
+
+let num = function
+  | Some (Obs.Json.Int i) -> float_of_int i
+  | Some (Obs.Json.Float f) -> f
+  | _ -> nan
+
+let field row name = num (Obs.Json.member name row)
+
+let str_field row name =
+  match Obs.Json.member name row with Some (Obs.Json.Str s) -> Some s | _ -> None
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; path |] -> path
+    | _ -> fail "usage: check_scan <BENCH_orc.json>"
+  in
+  let doc =
+    match Obs.Json.of_file path with
+    | doc -> doc
+    | exception Obs.Json.Parse_error e -> fail "%s: JSON parse error: %s" path e
+    | exception Sys_error e -> fail "%s" e
+  in
+  let rows =
+    match Obs.Json.member "scan_overhaul" doc with
+    | Some (Obs.Json.List rows) -> rows
+    | Some _ | None -> fail "%s: no scan_overhaul section" path
+  in
+  let find scheme mode =
+    List.find_opt
+      (fun row ->
+        str_field row "scheme" = Some scheme && str_field row "mode" = Some mode)
+      rows
+  in
+  let schemes =
+    List.sort_uniq compare
+      (List.filter_map (fun row -> str_field row "scheme") rows)
+  in
+  if schemes = [] then fail "%s: scan_overhaul section is empty" path;
+  List.iter
+    (fun scheme ->
+      match (find scheme "legacy", find scheme "overhaul") with
+      | None, _ | _, None -> problem "%s: missing legacy/overhaul pair" scheme
+      | Some legacy, Some overhaul ->
+          let scans = field overhaul "scans"
+          and builds = field overhaul "snapshot_builds"
+          and slots = field overhaul "scan_slots"
+          and legacy_slots = field legacy "scan_slots"
+          and elided = field overhaul "elided" in
+          if not (builds > 0. && builds = scans) then
+            problem "%s: snapshot_builds=%.0f but scans=%.0f" scheme builds
+              scans;
+          if field legacy "snapshot_builds" <> 0. then
+            problem "%s: legacy mode built snapshots (ablation ref leaked)"
+              scheme;
+          let ratio = slots /. Float.max 1. legacy_slots in
+          if not (ratio <= ratio_ceiling) then
+            problem "%s: scan_slots %.0f vs legacy %.0f (ratio %.2f > %.2f)"
+              scheme slots legacy_slots ratio ratio_ceiling
+          else
+            Printf.printf "  ok   %-4s scan_slots %.0f vs legacy %.0f (%.2fx)%s\n"
+              scheme slots legacy_slots ratio
+              (if elided > 0. then
+                 Printf.sprintf ", %.0f elided publishes" elided
+               else "");
+          if List.mem scheme elision_schemes && not (elided > 0.) then
+            problem "%s: read-side elision never fired" scheme)
+    schemes;
+  if !failures > 0 then begin
+    Printf.printf "%s: %d scan-overhaul check(s) failed\n" path !failures;
+    exit 1
+  end
+  else Printf.printf "%s: scan overhaul OK (%d schemes)\n" path
+      (List.length schemes)

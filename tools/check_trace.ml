@@ -57,4 +57,10 @@ let () =
       if recycle + count "refill" > 0 then
         Printf.printf "  pool hit rate: %.1f%% (%d recycled of %d hand-outs)\n"
           (100. *. float_of_int recycle /. float_of_int (alloc + recycle))
-          recycle (alloc + recycle)
+          recycle (alloc + recycle);
+      (* scan-overhaul forensics: snapshots built per batching scan and
+         publishes skipped by the read-side fast path *)
+      let snapshot = count "snapshot" and elide = count "elide" in
+      if snapshot + elide > 0 then
+        Printf.printf "  scan overhaul: %d snapshot builds, %d elided publishes\n"
+          snapshot elide
