@@ -25,6 +25,9 @@
                     op count)
      --scan         just the scan-overhaul A/B: snapshot scans and
                     publication elision vs the legacy walk, per scheme
+     --pack         just the word-packing A/B: packed headers + tagged
+                    links vs the boxed ablation (minor words/op on the
+                    protected-read path, retire ns, CAS retries)
 
    On this single-machine setup the Intel/AMD pair of each figure
    collapses to one series; EXPERIMENTS.md records the mapping. *)
@@ -46,6 +49,7 @@ let smoke = arg_flag "--smoke"
 let churn_only = arg_flag "--churn"
 let alloc_only = arg_flag "--alloc"
 let scan_only = arg_flag "--scan"
+let pack_only = arg_flag "--pack"
 let trace_out = arg_value "--trace="
 
 let json_out = if arg_flag "--json" then Some "BENCH_orc.json" else None
@@ -511,6 +515,302 @@ let scan_json rows =
            ])
        rows)
 
+(* ------------------------------------------------------------------ *)
+(* Word-packing A/B: packed headers + tagged-immediate links vs the
+   boxed ablation ([Memdom.Hdr.packed] / [Atomicx.Link.tagged]).  The
+   headline numbers are minor-heap words allocated per protected-read
+   (exactly 0 in packed mode: views are immediates and HP-style schemes
+   publish to the unboxed uid plane), the per-retire latency of the
+   packed header transitions (fetch-and-add vs the boxed CAS loop), and
+   the CAS-retry (restart) counts of a contended Michael list on the
+   word-CAS vs box-identity planes. *)
+
+type pnode = { p_hdr : Memdom.Hdr.t; p_next : pnode Atomicx.Link.t }
+
+module Pack_hp = Reclaim.Hp.Make (struct
+  type t = pnode
+
+  let hdr n = n.p_hdr
+end)
+
+module type PACK_ORC = sig
+  type t
+  type guard
+
+  module Ptr : sig
+    type t
+
+    val view : t -> pnode Atomicx.Link.view
+    val node_exn : t -> pnode
+  end
+
+  val create :
+    ?max_hps:int ->
+    ?sink:Obs.Sink.t ->
+    ?arena:pnode Atomicx.Link.arena ->
+    Memdom.Alloc.t ->
+    t
+
+  val with_guard : t -> (guard -> 'a) -> 'a
+  val ptr : guard -> Ptr.t
+  val load : guard -> pnode Atomicx.Link.t -> Ptr.t -> unit
+  val assign : guard -> Ptr.t -> Ptr.t -> unit
+  val alloc_node_into : guard -> Ptr.t -> (Memdom.Hdr.t -> pnode) -> pnode
+  val new_link : guard -> pnode Atomicx.Link.state -> pnode Atomicx.Link.t
+  val store_v : guard -> pnode Atomicx.Link.t -> pnode Atomicx.Link.view -> unit
+  val v_ptr : t -> pnode -> pnode Atomicx.Link.view
+  val flush : t -> unit
+end
+
+module Pack_orc = Orc_core.Orc.Make (struct
+  type t = pnode
+
+  let hdr n = n.p_hdr
+  let iter_links n f = f n.p_next
+end)
+
+module Pack_orc_hp = Orc_core.Orc_hp.Make (struct
+  type t = pnode
+
+  let hdr n = n.p_hdr
+  let iter_links n f = f n.p_next
+end)
+
+module type PACK_SET = sig
+  include Ds.Intf.SET
+
+  val restarts : t -> int
+end
+
+module Pack_list_hp = Ds.Michael_list.Make (Reclaim.Hp.Make)
+
+type pack_row = {
+  pk_scheme : string;
+  pk_mode : string; (* "packed" | "boxed" *)
+  pk_read_ns : float; (* per protected link hop *)
+  pk_read_words : float; (* minor words per protected link hop *)
+  pk_retire_ns : float;
+  pk_cas_retries : int; (* michael-list restarts, -1 when not measured *)
+}
+
+let with_pack ~on f =
+  let sp = !Memdom.Hdr.packed and st = !Atomicx.Link.tagged in
+  Fun.protect ~finally:(fun () ->
+      Memdom.Hdr.packed := sp;
+      Atomicx.Link.tagged := st)
+  @@ fun () ->
+  Memdom.Hdr.packed := on;
+  Atomicx.Link.tagged := on;
+  f ()
+
+(* Minor-words + wall-clock delta around [f].  [Gc.minor_words] itself
+   allocates the boxed float it returns (after reading the counter), so
+   one boxed-float overhead is calibrated out. *)
+let measure_words_ns f =
+  let a = Gc.minor_words () in
+  let b = Gc.minor_words () in
+  let overhead = b -. a in
+  let t0 = Obs.Sink.now_ns () in
+  let w0 = Gc.minor_words () in
+  f ();
+  let w1 = Gc.minor_words () in
+  let t1 = Obs.Sink.now_ns () in
+  (Float.max 0. (w1 -. w0 -. overhead), float_of_int (t1 - t0))
+
+let pack_chain = 64
+let pack_reads = if smoke then 2_000 else 10_000
+let pack_retires = if smoke then 5_000 else 20_000
+
+let pack_hp_run ~packed =
+  with_pack ~on:packed @@ fun () ->
+  let open Atomicx in
+  let alloc = Memdom.Alloc.create ~sink:Obs.Sink.null "pack-hp" in
+  let s = Pack_hp.create ~max_hps:4 ~sink:Obs.Sink.null alloc in
+  let arena = Memdom.Handle.arena ~hdr:(fun n -> n.p_hdr) () in
+  let tail =
+    { p_hdr = Memdom.Alloc.hdr alloc (); p_next = Link.make_in arena Link.Null }
+  in
+  let head = ref tail in
+  for _ = 2 to pack_chain do
+    head :=
+      {
+        p_hdr = Memdom.Alloc.hdr alloc ();
+        p_next = Link.make_in arena (Link.Ptr !head);
+      }
+  done;
+  let root = Link.make_in arena (Link.Ptr !head) in
+  Pack_hp.begin_op s ~tid:0;
+  let rec walk link idx =
+    let v = Pack_hp.get_protected_v s ~tid:0 ~idx link in
+    if Link.v_has_target v then
+      walk (Link.v_target_exn link v).p_next (1 - idx)
+  in
+  let words, ns =
+    measure_words_ns (fun () ->
+        for _ = 1 to pack_reads do
+          walk root 0
+        done)
+  in
+  let hops = float_of_int (pack_reads * pack_chain) in
+  (* retire side: park-and-scan cycles through the packed transitions *)
+  let t0 = Obs.Sink.now_ns () in
+  for _ = 1 to pack_retires do
+    Pack_hp.retire s ~tid:0
+      { p_hdr = Memdom.Alloc.hdr alloc (); p_next = Link.make_in arena Link.Null }
+  done;
+  let retire_ns =
+    float_of_int (Obs.Sink.now_ns () - t0) /. float_of_int pack_retires
+  in
+  Pack_hp.end_op s ~tid:0;
+  Pack_hp.flush s;
+  {
+    pk_scheme = "hp";
+    pk_mode = (if packed then "packed" else "boxed");
+    pk_read_ns = ns /. hops;
+    pk_read_words = words /. hops;
+    pk_retire_ns = retire_ns;
+    pk_cas_retries = -1;
+  }
+
+let pack_orc_run (module O : PACK_ORC) name ~packed =
+  with_pack ~on:packed @@ fun () ->
+  let open Atomicx in
+  let alloc = Memdom.Alloc.create ~sink:Obs.Sink.null ("pack-" ^ name) in
+  let arena = Memdom.Handle.arena ~hdr:(fun n -> n.p_hdr) () in
+  let o = O.create ~sink:Obs.Sink.null ~arena alloc in
+  let row =
+    O.with_guard o (fun g ->
+        let root = O.new_link g Link.Null in
+        let np = O.ptr g in
+        for _ = 1 to pack_chain do
+          let n =
+            O.alloc_node_into g np (fun hdr ->
+                { p_hdr = hdr; p_next = O.new_link g Link.Null })
+          in
+          (* prepend: n.next takes the old chain head, root takes n *)
+          O.store_v g n.p_next (Link.view root);
+          O.store_v g root (O.v_ptr o n)
+        done;
+        let prev = O.ptr g and curr = O.ptr g and next = O.ptr g in
+        let words, ns =
+          measure_words_ns (fun () ->
+              for _ = 1 to pack_reads / 4 do
+                O.load g root curr;
+                while Link.v_has_target (O.Ptr.view curr) do
+                  let c = O.Ptr.node_exn curr in
+                  O.load g c.p_next next;
+                  O.assign g prev curr;
+                  O.assign g curr next
+                done
+              done)
+        in
+        let hops = float_of_int (pack_reads / 4 * pack_chain) in
+        (* retire side: link in, unlink — the count hits zero under a
+           live hazard, driving the full retire/handover machinery *)
+        let sl = O.new_link g Link.Null in
+        let t0 = Obs.Sink.now_ns () in
+        for _ = 1 to pack_retires / 4 do
+          let n =
+            O.alloc_node_into g np (fun hdr ->
+                { p_hdr = hdr; p_next = O.new_link g Link.Null })
+          in
+          O.store_v g sl (O.v_ptr o n);
+          O.store_v g sl Link.v_null
+        done;
+        let retire_ns =
+          float_of_int (Obs.Sink.now_ns () - t0)
+          /. float_of_int (pack_retires / 4)
+        in
+        {
+          pk_scheme = name;
+          pk_mode = (if packed then "packed" else "boxed");
+          pk_read_ns = ns /. hops;
+          pk_read_words = words /. hops;
+          pk_retire_ns = retire_ns;
+          pk_cas_retries = -1;
+        })
+  in
+  O.flush o;
+  row
+
+(* Contended Michael-list restarts: two domains hammer the same small
+   key range; restarts count window-validation failures and lost CAS
+   races — the packed plane must not retry more than the boxed one. *)
+let pack_list_retries (module L : PACK_SET) ~packed =
+  with_pack ~on:packed @@ fun () ->
+  let l = L.create () in
+  for k = 1 to 128 do
+    ignore (L.add l k)
+  done;
+  let ops = if smoke then 5_000 else 20_000 in
+  let worker seed () =
+    let x = ref seed in
+    for _ = 1 to ops do
+      (* xorshift; keys land in [1, 128] *)
+      x := !x lxor (!x lsl 13);
+      x := !x lxor (!x lsr 7);
+      x := !x lxor (!x lsl 17);
+      let key = 1 + (!x land 127) in
+      match !x land 3 with
+      | 0 -> ignore (L.add l key)
+      | 1 -> ignore (L.remove l key)
+      | _ -> ignore (L.contains l key)
+    done
+  in
+  let ds = List.map (fun seed -> Domain.spawn (worker seed)) [ 0x9E37; 0x79B9 ] in
+  List.iter Domain.join ds;
+  let r = L.restarts l in
+  L.destroy l;
+  L.flush l;
+  r
+
+let run_pack () =
+  Format.printf
+    "@.== Word packing: packed headers + tagged links vs boxed (A/B) ==@.";
+  Format.printf "  %-8s %-8s %12s %14s %12s %12s@." "scheme" "mode" "read-ns"
+    "words/read" "retire-ns" "cas-retries";
+  let module L_orc_pack = Ds.Orc_michael_list.Make () in
+  let rows =
+    List.concat_map
+      (fun packed ->
+        let hp = pack_hp_run ~packed in
+        let orc = pack_orc_run (module Pack_orc) "orc" ~packed in
+        let orc_hp = pack_orc_run (module Pack_orc_hp) "orc-hp" ~packed in
+        let hp_retries = pack_list_retries (module Pack_list_hp) ~packed in
+        let orc_retries = pack_list_retries (module L_orc_pack) ~packed in
+        [
+          { hp with pk_cas_retries = hp_retries };
+          { orc with pk_cas_retries = orc_retries };
+          orc_hp;
+        ])
+      [ false; true ]
+  in
+  List.iter
+    (fun r ->
+      Format.printf "  %-8s %-8s %12.1f %14.3f %12.1f %12s@." r.pk_scheme
+        r.pk_mode r.pk_read_ns r.pk_read_words r.pk_retire_ns
+        (if r.pk_cas_retries < 0 then "-" else string_of_int r.pk_cas_retries))
+    rows;
+  rows
+
+let pack_json rows =
+  let open Harness in
+  Json.List
+    (List.map
+       (fun r ->
+         Json.Obj
+           [
+             ("scheme", Json.Str r.pk_scheme);
+             ("mode", Json.Str r.pk_mode);
+             ("read_ns", Json.Float r.pk_read_ns);
+             ("read_words_per_op", Json.Float r.pk_read_words);
+             ("retire_ns", Json.Float r.pk_retire_ns);
+             ( "cas_retries",
+               if r.pk_cas_retries < 0 then Json.Null
+               else Json.Int r.pk_cas_retries );
+           ])
+       rows)
+
 let print_mix_tables title tables =
   List.iter
     (fun (mix, series) ->
@@ -679,8 +979,9 @@ let run_sections () =
   let sections =
     (if churn_only then [ ("domain_churn", churn_json (run_churn ())) ] else [])
     @ (if alloc_only then [ ("allocator", alloc_json (run_alloc ())) ] else [])
+    @ (if scan_only then [ ("scan_overhaul", scan_json (run_scan ())) ] else [])
     @
-    if scan_only then [ ("scan_overhaul", scan_json (run_scan ())) ] else []
+    if pack_only then [ ("pack", pack_json (run_pack ())) ] else []
   in
   match json_out with
   | None -> ()
@@ -695,7 +996,7 @@ let () =
     (String.concat "," (List.map string_of_int params.threads))
     params.duration
     (if smoke then ", smoke" else "");
-  if churn_only || alloc_only || scan_only then run_sections ()
+  if churn_only || alloc_only || scan_only || pack_only then run_sections ()
   else if smoke then run_smoke ()
   else run_full ();
   Format.printf "@.done.@."

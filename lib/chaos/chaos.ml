@@ -263,7 +263,13 @@ module type AUTO = sig
   end
 
   val name : string
-  val create : ?max_hps:int -> ?sink:Obs.Sink.t -> Memdom.Alloc.t -> t
+  val create :
+    ?max_hps:int ->
+    ?sink:Obs.Sink.t ->
+    ?arena:anode Link.arena ->
+    Memdom.Alloc.t ->
+    t
+
   val with_guard : t -> (guard -> 'a) -> 'a
   val ptr : guard -> Ptr.t
   val load : guard -> anode Link.t -> Ptr.t -> unit

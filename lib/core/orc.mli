@@ -70,12 +70,21 @@ module Make (N : NODE) : sig
 
   val name : string
 
-  val create : ?max_hps:int -> ?sink:Obs.Sink.t -> Memdom.Alloc.t -> t
+  val create :
+    ?max_hps:int ->
+    ?sink:Obs.Sink.t ->
+    ?arena:node Atomicx.Link.arena ->
+    Memdom.Alloc.t ->
+    t
   (** [create alloc] builds an instance whose reclaimed objects return to
       [alloc].  [max_hps] is accepted for interface symmetry with the
       manual schemes and ignored (the hazard array is self-sizing).
       [sink] receives lifecycle events (retire, handover, cascade, scan,
-      guard) and defaults to [Memdom.Alloc.sink alloc].  [create] also
+      guard) and defaults to [Memdom.Alloc.sink alloc].  [arena] opts the
+      structure into tagged-immediate links: links built through
+      {!Make.new_link} / {!Make.new_link_v} use it, and [load] on a
+      tagged link publishes the target's uid to an unboxed hazard plane
+      — the read hot path then allocates nothing.  [create] also
       registers {!thread_exit} with [Atomicx.Registry.on_quarantine],
       so domain exit and [force_release] clean up departing tids
       automatically. *)
@@ -99,9 +108,16 @@ module Make (N : NODE) : sig
   module Ptr : sig
     type t
 
+    val view : t -> node Atomicx.Link.view
+    (** The exact link view this handle read — the value to use as a
+        [cas_v] expectation.  On a tagged structure this is a raw word;
+        holding or comparing it allocates nothing. *)
+
     val state : t -> node Atomicx.Link.state
-    (** The exact link state (mark bits included) this handle read — the
-        box to use as a CAS expectation. *)
+    (** The held view decoded to the variant form (mark bits included).
+        On a boxed structure this is the exact box read — usable as a
+        physical CAS expectation; on a tagged structure it is a decoded
+        (possibly fresh) box, for inspection only. *)
 
     val node : t -> node option
     val node_exn : t -> node
@@ -110,11 +126,14 @@ module Make (N : NODE) : sig
     val is_null : t -> bool
     val same_node : t -> t -> bool
 
-    val retag : t -> node Atomicx.Link.state -> unit
-    (** Replace the held state by another box for the {e same} target —
-        used after a successful CAS to keep validating against the box
+    val retag_v : t -> node Atomicx.Link.view -> unit
+    (** Replace the held view by another for the {e same} target — used
+        after a successful CAS to keep validating against the value
         actually installed.  Raises [Invalid_argument] on a different
         target. *)
+
+    val retag : t -> node Atomicx.Link.state -> unit
+    (** {!retag_v} on the handle's representation of a state. *)
   end
 
   val ptr : guard -> Ptr.t
@@ -164,7 +183,35 @@ module Make (N : NODE) : sig
 
   val new_link : guard -> node Atomicx.Link.state -> node Atomicx.Link.t
   (** Build a link during single-threaded construction of a node or root
-      whose initial target is private or otherwise protected. *)
+      whose initial target is private or otherwise protected.  The link
+      follows the structure's representation (tagged when the instance
+      was created with an [arena]). *)
+
+  (** {2 View-plane mutators}
+
+      The same count discipline as the state mutators, operating on raw
+      {!Atomicx.Link.view}s — on a tagged structure these paths box
+      nothing, and [cas_v] is a genuine single-word compare-and-set. *)
+
+  val store_v : guard -> node Atomicx.Link.t -> node Atomicx.Link.view -> unit
+
+  val cas_v :
+    guard ->
+    node Atomicx.Link.t ->
+    expected:node Atomicx.Link.view ->
+    desired:node Atomicx.Link.view ->
+    bool
+  (** Counts move only on success; a pure mark/flag change on the same
+      target moves no counts. *)
+
+  val v_ptr : t -> node -> node Atomicx.Link.view
+  (** Clean-pointer view of a node the caller protects, in the
+      structure's representation (registers the node in the arena when
+      tagged — the caller must own the node privately or hold it
+      protected). *)
+
+  val new_link_v : guard -> node Atomicx.Link.view -> node Atomicx.Link.t
+  (** {!new_link} on the view plane. *)
 
   (** {2 Introspection} *)
 

@@ -34,6 +34,10 @@ module Make (N : Orc.NODE) = struct
 
   type tl_info = {
     hp : node option Atomic.t array;
+    (* companion uid plane for tagged links: [load] on a word view
+       publishes the target's uid here instead of boxing a [Some]
+       (-1 = empty; uid 0 is a real uid).  Scans consult both planes. *)
+    hp_uid : int Atomic.t array;
     used_haz : int array;
     free_idx : Bitmask.t;
     mutable retired : node list;
@@ -43,6 +47,9 @@ module Make (N : Orc.NODE) = struct
   type t = {
     alloc : Memdom.Alloc.t;
     sink : Obs.Sink.t;
+    (* the structure's tagged-link handle table, when it opted in via
+       [create ?arena]; None keeps every view boxed (legacy behaviour) *)
+    arena : node Link.arena option;
     tl : tl_info array;
     watermark : int Atomic.t;
     hps : int;
@@ -56,11 +63,30 @@ module Make (N : Orc.NODE) = struct
   }
 
   type guard = { t : t; tid : int; mutable ptrs : ptr list }
-  and ptr = { mutable st : node Link.state; mutable idx : int }
+
+  (* An orc_ptr holds the link *view* it read (a raw word for tagged
+     structures — no box per load) plus the arena needed to decode it
+     for the compatibility [Ptr.state]/[Ptr.node] accessors. *)
+  and ptr = {
+    mutable v : node Link.view;
+    mutable idx : int;
+    ar : node Link.arena option;
+  }
 
   let name = "orc-hp"
   let alloc_ctx t = t.alloc
   let orc_word n = (N.hdr n).Memdom.Hdr.orc
+
+  (* Placeholder carried where a view has no target; only ever written
+     or compared under a [v_has_target] guard, never dereferenced. *)
+  let no_node : node = Obj.magic 0
+  let target_of t v = Link.v_node_in t.arena v
+
+  let v_ptr t n =
+    match t.arena with
+    | Some a -> Link.v_ptr_in a n
+    | None -> Link.v_of_state_in None (Link.Ptr n)
+
   let unreclaimed t = Shard.get t.pending
   let elided t = Shard.get t.n_elided
 
@@ -89,6 +115,7 @@ module Make (N : Orc.NODE) = struct
 
   let protected_by_any t ~visited p =
     let wm = Atomic.get t.watermark in
+    let pu = (N.hdr p).Memdom.Hdr.uid in
     let found = ref false in
     (try
        (* rows whose registry slot is Free cannot hold a protection —
@@ -99,11 +126,18 @@ module Make (N : Orc.NODE) = struct
            let tl = t.tl.(it) in
            for idx = 0 to wm - 1 do
              incr visited;
-             match Atomic.get tl.hp.(idx) with
-             | Some m when m == p ->
-                 found := true;
-                 raise_notrace Exit
-             | Some _ | None -> ()
+             let hit =
+               (* uids never repeat, so uid equality is node identity *)
+               Atomic.get tl.hp_uid.(idx) = pu
+               ||
+               match Atomic.get tl.hp.(idx) with
+               | Some m -> m == p
+               | None -> false
+             in
+             if hit then begin
+               found := true;
+               raise_notrace Exit
+             end
            done
          end
        done
@@ -171,8 +205,9 @@ module Make (N : Orc.NODE) = struct
 
   and delete t ~tid p =
     N.iter_links p (fun l ->
-        let st = Link.exchange l Link.Null in
-        match Link.target st with Some child -> dec t ~tid child | None -> ());
+        let old = Link.exchange_v l Link.v_null in
+        (* the dropped hard link keeps the child alive until [dec] *)
+        if Link.v_has_target old then dec t ~tid (Link.v_target_exn l old));
     Memdom.Alloc.free t.alloc (N.hdr p);
     Shard.add t.pending ~tid (-1)
 
@@ -218,7 +253,8 @@ module Make (N : Orc.NODE) = struct
     let tl = t.tl.(tid) in
     let wm = Atomic.get t.watermark in
     for idx = 0 to wm - 1 do
-      Atomic.set tl.hp.(idx) None
+      Atomic.set tl.hp.(idx) None;
+      Atomic.set tl.hp_uid.(idx) (-1)
     done;
     Array.fill tl.used_haz 0 (Array.length tl.used_haz) 0;
     Bitmask.reset tl.free_idx;
@@ -230,7 +266,7 @@ module Make (N : Orc.NODE) = struct
         tl.retired_count <- 0;
         Reclaim.Orphan.publish t.orphans t.sink ~tid batch
 
-  let create ?(max_hps = 8) ?sink alloc =
+  let create ?(max_hps = 8) ?sink ?arena alloc =
     let sink =
       match sink with Some s -> s | None -> Memdom.Alloc.sink alloc
     in
@@ -239,6 +275,7 @@ module Make (N : Orc.NODE) = struct
       ignore (Bitmask.acquire free_idx ~from:0) (* scratch slot 0 *);
       {
         hp = Padded.atomic_array max_haz None;
+        hp_uid = Padded.atomic_array max_haz (-1);
         used_haz = Array.make max_haz 0;
         free_idx;
         retired = [];
@@ -249,6 +286,7 @@ module Make (N : Orc.NODE) = struct
       {
         alloc;
         sink;
+        arena;
         tl = Array.init Registry.max_threads mk_tl;
         watermark = Atomic.make 1;
         hps = max_hps;
@@ -284,8 +322,13 @@ module Make (N : Orc.NODE) = struct
   let using_idx t ~tid idx =
     if idx <> 0 then t.tl.(tid).used_haz.(idx) <- t.tl.(tid).used_haz.(idx) + 1
 
-  let clear t ~tid st idx ~reuse =
+  let clear t ~tid v idx ~reuse =
     let tl = t.tl.(tid) in
+    (* decode the view before unpublishing: once the hazard comes down
+       the target can be freed and its arena slot re-issued, after
+       which the word no longer means this node *)
+    let had = Link.v_has_target v in
+    let p = if had then target_of t v else no_node in
     let released =
       if (not reuse) && idx <> 0 then begin
         tl.used_haz.(idx) <- tl.used_haz.(idx) - 1;
@@ -295,40 +338,50 @@ module Make (N : Orc.NODE) = struct
     in
     if released then begin
       Bitmask.release tl.free_idx idx;
-      Atomic.set tl.hp.(idx) None
+      Atomic.set tl.hp.(idx) None;
+      Atomic.set tl.hp_uid.(idx) (-1)
     end;
-    match Link.target st with Some p -> maybe_retire t ~tid p | None -> ()
+    if had then maybe_retire t ~tid p
 
   module Ptr = struct
     type t = ptr
 
-    let state p = p.st
-    let node p = Link.target p.st
-    let is_marked p = Link.is_marked p.st
-    let is_poison p = Link.is_poison p.st
-    let is_null p = match p.st with Link.Null -> true | _ -> false
+    let view p = p.v
+    let state p = Link.v_state_in p.ar p.v
+    let is_marked p = Link.v_is_marked p.v
+    let is_poison p = Link.v_is_poison p.v
+    let is_null p = Link.v_is_null p.v
+
+    let node p =
+      if Link.v_has_target p.v then Some (Link.v_node_in p.ar p.v) else None
 
     let node_exn p =
-      match Link.target p.st with
-      | Some n -> n
-      | None -> invalid_arg "Orc_hp.Ptr.node_exn: null"
+      if Link.v_has_target p.v then Link.v_node_in p.ar p.v
+      else invalid_arg "Orc_hp.Ptr.node_exn: null"
 
     let same_node a b =
-      match Link.target a.st, Link.target b.st with
-      | Some x, Some y -> x == y
-      | None, None -> true
-      | Some _, None | None, Some _ -> false
+      match Link.v_has_target a.v, Link.v_has_target b.v with
+      | true, true -> Link.v_node_in a.ar a.v == Link.v_node_in b.ar b.v
+      | false, false -> true
+      | true, false | false, true -> false
 
-    let retag p st =
-      match Link.target st, Link.target p.st with
-      | Some a, Some b when a == b -> p.st <- st
-      | None, None -> p.st <- st
-      | Some _, (Some _ | None) | None, Some _ ->
-          invalid_arg "Orc_hp.Ptr.retag: different target"
+    let retag_v p v' =
+      let ok =
+        match Link.v_has_target v', Link.v_has_target p.v with
+        | true, true -> Link.v_node_in p.ar v' == Link.v_node_in p.ar p.v
+        | false, false -> true
+        | true, false | false, true -> false
+      in
+      if ok then p.v <- v'
+      else invalid_arg "Orc_hp.Ptr.retag: different target"
+
+    let retag p st = retag_v p (Link.v_of_state_in p.ar st)
   end
 
   let ptr g =
-    let p = { st = Link.Null; idx = get_new_idx g.t ~tid:g.tid ~start:1 } in
+    let p =
+      { v = Link.v_null; idx = get_new_idx g.t ~tid:g.tid ~start:1; ar = g.t.arena }
+    in
     g.ptrs <- p :: g.ptrs;
     p
 
@@ -339,45 +392,102 @@ module Make (N : Orc.NODE) = struct
       p.idx <- get_new_idx g.t ~tid:g.tid ~start:1
     end
 
+  (* The protect loop lives at functor level with its free variables as
+     arguments: an inner [let rec] would allocate its closure on every
+     load, spoiling the allocation-free word path. *)
+  let rec load_loop t ~tid slot uid_slot link v =
+    if not (Link.v_has_target v) then begin
+      Atomic.set slot None;
+      Atomic.set uid_slot (-1);
+      let v' = Link.view link in
+      if Link.view_eq v' v then v else load_loop t ~tid slot uid_slot link v'
+    end
+    else if Link.v_is_word v then begin
+      (* allocation-free publish: the target's uid goes to the uid
+         plane, and the validation re-derefs the word — value-equal
+         words do not guarantee a stable slot meaning (see hp.ml) *)
+      let n = Link.v_target_exn link v in
+      let u = (N.hdr n).Memdom.Hdr.uid in
+      if !Reclaim.Scan_set.elide_publish && Atomic.get uid_slot = u then begin
+        Shard.incr t.n_elided ~tid;
+        Obs.Sink.on_elide t.sink ~tid;
+        let v' = Link.view link in
+        if Link.view_eq v' v then v else load_loop t ~tid slot uid_slot link v'
+      end
+      else begin
+        Atomic.set uid_slot u;
+        (match Atomic.get slot with
+        | Some _ -> Atomic.set slot None
+        | None -> ());
+        let v' = Link.view link in
+        if
+          Link.view_eq v' v
+          && Link.v_target_exn link v == n
+          && (N.hdr n).Memdom.Hdr.uid = u
+        then v
+        else load_loop t ~tid slot uid_slot link v'
+      end
+    end
+    else begin
+      let n = Link.v_target_exn link v in
+      (if
+         !Reclaim.Scan_set.elide_publish
+         && match Atomic.get slot with Some m -> m == n | None -> false
+       then begin
+         (* slot already publishes [n] (retry, or a mark-only change):
+            the earlier store still protects it for every scanner *)
+         Shard.incr t.n_elided ~tid;
+         Obs.Sink.on_elide t.sink ~tid
+       end
+       else Atomic.set slot (Some n));
+      let v' = Link.view link in
+      if Link.view_eq v' v then v else load_loop t ~tid slot uid_slot link v'
+    end
+
   let load g link p =
     ensure_exclusive g p;
-    let tl = g.t.tl.(g.tid) in
-    let old = p.st in
-    let rec loop st =
-      (match Link.target st with
-      | Some n
-        when !Reclaim.Scan_set.elide_publish
-             &&
-             match Atomic.get tl.hp.(p.idx) with
-             | Some m -> m == n
-             | None -> false ->
-          (* slot already publishes [n] (retry, or a mark-only change):
-             the earlier store still protects it for every scanner *)
-          Shard.incr g.t.n_elided ~tid:g.tid;
-          Obs.Sink.on_elide g.t.sink ~tid:g.tid
-      | target -> Atomic.set tl.hp.(p.idx) target);
-      let st' = Link.get link in
-      if st' == st then st else loop st'
-    in
-    p.st <- loop (Link.get link);
-    match Link.target old with
-    | Some q when not (Link.same old p.st) -> maybe_retire g.t ~tid:g.tid q
-    | Some _ | None -> ()
+    let t = g.t and tid = g.tid in
+    let tl = t.tl.(tid) in
+    let old = p.v in
+    let had_old = Link.v_has_target old in
+    (* decode the outgoing target before its hazard slot is overwritten:
+       after the overwrite the old word may stop meaning this node *)
+    let old_n = if had_old then target_of t old else no_node in
+    p.v <-
+      load_loop t ~tid tl.hp.(p.idx) tl.hp_uid.(p.idx) link (Link.view link);
+    if had_old && not (Link.v_same old p.v) then maybe_retire t ~tid old_n
 
   let assign g dst src =
     if dst != src then begin
       let tl = g.t.tl.(g.tid) in
       let reuse = src.idx < dst.idx && tl.used_haz.(dst.idx) = 1 in
-      clear g.t ~tid:g.tid dst.st dst.idx ~reuse;
+      clear g.t ~tid:g.tid dst.v dst.idx ~reuse;
       if src.idx < dst.idx then begin
         if not reuse then dst.idx <- get_new_idx g.t ~tid:g.tid ~start:(src.idx + 1);
-        Atomic.set tl.hp.(dst.idx) (Link.target src.st)
+        (* re-publish src's protection at dst's slot, keeping the two
+           planes coherent; src's own slot protects the target across
+           this window *)
+        if not (Link.v_has_target src.v) then begin
+          Atomic.set tl.hp.(dst.idx) None;
+          Atomic.set tl.hp_uid.(dst.idx) (-1)
+        end
+        else begin
+          let n = target_of g.t src.v in
+          if Link.v_is_word src.v then begin
+            Atomic.set tl.hp_uid.(dst.idx) (N.hdr n).Memdom.Hdr.uid;
+            Atomic.set tl.hp.(dst.idx) None
+          end
+          else begin
+            Atomic.set tl.hp.(dst.idx) (Some n);
+            Atomic.set tl.hp_uid.(dst.idx) (-1)
+          end
+        end
       end
       else begin
         using_idx g.t ~tid:g.tid src.idx;
         dst.idx <- src.idx
       end;
-      dst.st <- src.st
+      dst.v <- src.v
     end
 
   let run_mk g mk hdr =
@@ -392,19 +502,20 @@ module Make (N : Orc.NODE) = struct
     let n = run_mk g mk hdr in
     let p = ptr g in
     Atomic.set g.t.tl.(g.tid).hp.(p.idx) (Some n);
-    p.st <- Link.Ptr n;
+    p.v <- v_ptr g.t n;
     p
 
   let alloc_node_into g p mk =
     let hdr = Memdom.Alloc.hdr g.t.alloc () in
     let n = run_mk g mk hdr in
     ensure_exclusive g p;
-    let old = p.st in
+    let old = p.v in
+    let had_old = Link.v_has_target old in
+    let old_n = if had_old then target_of g.t old else no_node in
     Atomic.set g.t.tl.(g.tid).hp.(p.idx) (Some n);
-    p.st <- Link.Ptr n;
-    (match Link.target old with
-    | Some q when not (q == n) -> maybe_retire g.t ~tid:g.tid q
-    | Some _ | None -> ());
+    Atomic.set g.t.tl.(g.tid).hp_uid.(p.idx) (-1);
+    p.v <- v_ptr g.t n;
+    if had_old && not (old_n == n) then maybe_retire g.t ~tid:g.tid old_n;
     n
 
   let store g link st =
@@ -430,16 +541,47 @@ module Make (N : Orc.NODE) = struct
     (match Link.target old with Some n -> dec g.t ~tid:g.tid n | None -> ());
     old
 
+  (* View-plane mutators: same count discipline as above, but the old
+     and new targets are decoded from views instead of boxed states —
+     no allocation on tagged structures. *)
+
+  let store_v g link v =
+    if Link.v_has_target v then inc g.t ~tid:g.tid (Link.v_target_exn link v);
+    let old = Link.exchange_v link v in
+    if Link.v_has_target old then dec g.t ~tid:g.tid (Link.v_target_exn link old)
+
+  let cas_v g link ~expected ~desired =
+    if Link.cas_v link expected desired then begin
+      let he = Link.v_has_target expected and hd = Link.v_has_target desired in
+      let te = if he then Link.v_target_exn link expected else no_node in
+      let td = if hd then Link.v_target_exn link desired else no_node in
+      (if he && hd && te == td then ()
+       else begin
+         if hd then inc g.t ~tid:g.tid td;
+         if he then dec g.t ~tid:g.tid te
+       end);
+      true
+    end
+    else false
+
   let new_link g st =
     (match Link.target st with Some n -> inc g.t ~tid:g.tid n | None -> ());
-    Link.make st
+    match g.t.arena with
+    | Some a -> Link.make_in a st
+    | None -> Link.make st
+
+  let new_link_v g v =
+    if Link.v_has_target v then inc g.t ~tid:g.tid (Link.v_node_in g.t.arena v);
+    match g.t.arena with
+    | Some a -> Link.make_of_view a v
+    | None -> Link.make (Link.v_state_in None v)
 
   let with_guard t f =
     let tid = Registry.tid () in
     let g = { t; tid; ptrs = [] } in
     Obs.Sink.guard_begin t.sink ~tid;
     let finally () =
-      List.iter (fun p -> clear t ~tid p.st p.idx ~reuse:false) g.ptrs;
+      List.iter (fun p -> clear t ~tid p.v p.idx ~reuse:false) g.ptrs;
       g.ptrs <- [];
       Atomic.set t.tl.(tid).hp.(0) None;
       Obs.Sink.guard_end t.sink ~tid
@@ -454,7 +596,8 @@ module Make (N : Orc.NODE) = struct
     let nreg = Registry.registered () in
     for it = 0 to nreg - 1 do
       for idx = 0 to wm - 1 do
-        Atomic.set t.tl.(it).hp.(idx) None
+        Atomic.set t.tl.(it).hp.(idx) None;
+        Atomic.set t.tl.(it).hp_uid.(idx) (-1)
       done
     done;
     (* each round frees at least one level of any pending cascade chain,

@@ -76,6 +76,38 @@ module Make (N : Reclaim.Scheme_intf.NODE) :
     in
     loop (Link.get link)
 
+  (* View-plane protection: the hazard slot still holds the node itself
+     (the handover walk compares physically), so a word view is derefed
+     before publishing and re-derefed after — word equality alone does
+     not prove the slot's meaning stayed stable (see hp.ml). *)
+  let get_protected_v t ~tid ~idx link =
+    let slot = t.hp.(tid).(idx) in
+    let rec loop v =
+      if not (Link.v_has_target v) then begin
+        publish t ~tid ~idx None;
+        let v' = Link.view link in
+        if Link.view_eq v' v then v else loop v'
+      end
+      else begin
+        let n = Link.v_target_exn link v in
+        (if
+           !Reclaim.Scan_set.elide_publish
+           && match Atomic.get slot with Some m -> m == n | None -> false
+         then begin
+           Reclaim.Scheme_intf.Counters.elided t.counters ~tid;
+           Obs.Sink.on_elide t.sink ~tid
+         end
+         else publish t ~tid ~idx (Some n));
+        let v' = Link.view link in
+        if
+          Link.view_eq v' v
+          && ((not (Link.v_is_word v)) || Link.v_target_exn link v == n)
+        then v
+        else loop v'
+      end
+    in
+    loop (Link.view link)
+
   let free_node t ~tid n =
     Reclaim.Scheme_intf.Counters.freed t.counters ~tid;
     Memdom.Alloc.free t.alloc (N.hdr n)

@@ -7,10 +7,16 @@
     so retire's precondition — unreachable from the roots — is decidable
     at a fixed program point.
 
-    Hazard indexes: 0 = curr, 1 = next, 2 = prev node.  Validation is by
-    box identity: if [prev.next] still holds the very box we read, it was
-    not changed (not even marked) in between — strictly stronger than the
-    tag comparison of the C++ original.
+    Hazard indexes: 0 = curr, 1 = next, 2 = prev node.  The traversal
+    runs on the link *view* plane: on a boxed link a view is the very
+    box stored, so window validation by [Link.view_eq] is the legacy
+    box-identity check; on a tagged link it is the raw word, and word
+    equality is sound because the word's target (curr) is protected at
+    hazard 0 — a protected node's arena slot cannot be recycled, so an
+    unchanged word still means the same node.  With a tagged arena a
+    clean traversal allocates nothing: views are immediates, CASes are
+    word compare-and-sets, and protection goes through
+    [S.get_protected_v] (unboxed uid plane on HP).
 
     Keys must lie strictly between [min_int] and [max_int] (the sentinel
     keys). *)
@@ -31,6 +37,8 @@ module Make (R : Reclaim.Scheme_intf.MAKER) = struct
     tail : node; (* sentinel, never retired *)
     scheme : S.t;
     alloc : Memdom.Alloc.t;
+    arena : node Link.arena;
+    restarts : int Atomic.t; (* traversal restarts (validation failures) *)
   }
 
   let scheme_name = S.name
@@ -46,55 +54,94 @@ module Make (R : Reclaim.Scheme_intf.MAKER) = struct
   let create ?(mode = Memdom.Alloc.System) () =
     let alloc = Memdom.Alloc.create ~mode "michael_list" in
     let scheme = S.create ~max_hps:4 alloc in
+    let arena = Memdom.Handle.arena ~hdr:(fun n -> n.hdr) () in
     let tail =
-      { key = max_int; next = Link.make Link.Null; hdr = Memdom.Alloc.hdr alloc () }
+      {
+        key = max_int;
+        next = Link.make_in arena Link.Null;
+        hdr = Memdom.Alloc.hdr alloc ();
+      }
     in
     let head =
       {
         key = min_int;
-        next = Link.make (Link.Ptr tail);
+        next = Link.make_in arena (Link.Ptr tail);
         hdr = Memdom.Alloc.hdr alloc ();
       }
     in
-    { head; tail; scheme; alloc }
+    { head; tail; scheme; alloc; arena; restarts = Atomic.make 0 }
+
+  let restarts t = Atomic.get t.restarts
 
   let target_exn st =
     match Link.target st with
     | Some n -> n
     | None -> assert false (* the tail sentinel terminates every search *)
 
-  (* Returns [(found, prev_link, curr_st)] with the curr node protected at
-     hazard 0 and its predecessor at hazard 2.  [curr_st] is the unmarked
-     box currently stored in [prev_link]. *)
+  (* The search window, threaded through the traversal in accumulator
+     style so a clean pass allocates nothing (no refs, no tuples).  On
+     return [true]: curr holds the key, protected at hazard 0, its
+     predecessor's link is the last [prev_link] seen by the caller's
+     continuation — [find] re-materialises the window for add/remove. *)
+  let rec search_from t ~tid key prev_link curr_v =
+    let curr = Link.v_target_exn prev_link curr_v in
+    let next_v = S.get_protected_v t.scheme ~tid ~idx:1 (next_of curr) in
+    if not (Link.view_eq (Link.view prev_link) curr_v) then
+      search_restart t ~tid key
+    else if Link.v_is_marked next_v then begin
+      (* curr is logically deleted: unlink it physically *)
+      let unmarked = Link.v_clean next_v in
+      if Link.cas_v prev_link curr_v unmarked then begin
+        S.retire t.scheme ~tid curr;
+        S.copy_protection t.scheme ~tid ~src:1 ~dst:0;
+        search_from t ~tid key prev_link unmarked
+      end
+      else search_restart t ~tid key
+    end
+    else if key_of curr >= key then key_of curr = key
+    else begin
+      (* advance: curr becomes prev (copy protections, both held) *)
+      S.copy_protection t.scheme ~tid ~src:0 ~dst:2;
+      S.copy_protection t.scheme ~tid ~src:1 ~dst:0;
+      search_from t ~tid key (next_of curr) next_v
+    end
+
+  and search_restart t ~tid key =
+    Atomic.incr t.restarts;
+    let root = t.head.next in
+    search_from t ~tid key root (S.get_protected_v t.scheme ~tid ~idx:0 root)
+
+  let search t ~tid key = search_restart t ~tid key
+
+  (* Window-returning variant for add/remove; the extra ref cells and
+     the result tuple are noise only on the mutating paths, which
+     allocate anyway (fresh node / retire). *)
   let rec find t ~tid key =
     let prev_link = ref t.head.next in
-    let curr_st = ref (S.get_protected t.scheme ~tid ~idx:0 !prev_link) in
-    let restart () = find t ~tid key in
+    let curr_v = ref (S.get_protected_v t.scheme ~tid ~idx:0 !prev_link) in
+    let restart () =
+      Atomic.incr t.restarts;
+      find t ~tid key
+    in
     let rec loop () =
-      let curr = target_exn !curr_st in
-      let next_st = S.get_protected t.scheme ~tid ~idx:1 (next_of curr) in
-      if not (Link.get !prev_link == !curr_st) then restart ()
-      else if Link.is_marked next_st then begin
-        (* curr is logically deleted: unlink it physically *)
-        let unmarked =
-          match Link.target next_st with
-          | Some nx -> Link.Ptr nx
-          | None -> Link.Null
-        in
-        if Link.cas !prev_link !curr_st unmarked then begin
+      let curr = Link.v_target_exn !prev_link !curr_v in
+      let next_v = S.get_protected_v t.scheme ~tid ~idx:1 (next_of curr) in
+      if not (Link.view_eq (Link.view !prev_link) !curr_v) then restart ()
+      else if Link.v_is_marked next_v then begin
+        let unmarked = Link.v_clean next_v in
+        if Link.cas_v !prev_link !curr_v unmarked then begin
           S.retire t.scheme ~tid curr;
-          curr_st := unmarked;
+          curr_v := unmarked;
           S.copy_protection t.scheme ~tid ~src:1 ~dst:0;
           loop ()
         end
         else restart ()
       end
-      else if key_of curr >= key then (key_of curr = key, !prev_link, !curr_st)
+      else if key_of curr >= key then (key_of curr = key, !prev_link, !curr_v)
       else begin
-        (* advance: curr becomes prev (copy protections, both held) *)
         S.copy_protection t.scheme ~tid ~src:0 ~dst:2;
         prev_link := next_of curr;
-        curr_st := next_st;
+        curr_v := next_v;
         S.copy_protection t.scheme ~tid ~src:1 ~dst:0;
         loop ()
       end
@@ -109,7 +156,7 @@ module Make (R : Reclaim.Scheme_intf.MAKER) = struct
     check_key key;
     let tid = Registry.tid () in
     S.begin_op t.scheme ~tid;
-    let found, _, _ = find t ~tid key in
+    let found = search t ~tid key in
     S.end_op t.scheme ~tid;
     found
 
@@ -118,16 +165,21 @@ module Make (R : Reclaim.Scheme_intf.MAKER) = struct
     let tid = Registry.tid () in
     S.begin_op t.scheme ~tid;
     let rec loop () =
-      let found, prev_link, curr_st = find t ~tid key in
+      let found, prev_link, curr_v = find t ~tid key in
       if found then false
       else
         let node =
-          { key; next = Link.make curr_st; hdr = Memdom.Alloc.hdr t.alloc () }
+          {
+            key;
+            next = Link.make_of_view t.arena curr_v;
+            hdr = Memdom.Alloc.hdr t.alloc ();
+          }
         in
-        if Link.cas prev_link curr_st (Link.Ptr node) then true
+        if Link.cas_v prev_link curr_v (Link.v_ptr_in t.arena node) then true
         else begin
           (* lost the race: the fresh node was never published *)
           Memdom.Alloc.free t.alloc node.hdr;
+          Atomic.incr t.restarts;
           loop ()
         end
     in
@@ -140,31 +192,32 @@ module Make (R : Reclaim.Scheme_intf.MAKER) = struct
     let tid = Registry.tid () in
     S.begin_op t.scheme ~tid;
     let rec loop () =
-      let found, prev_link, curr_st = find t ~tid key in
+      let found, prev_link, curr_v = find t ~tid key in
       if not found then false
       else
-        let curr = target_exn curr_st in
-        let next_st = S.get_protected t.scheme ~tid ~idx:1 (next_of curr) in
-        if Link.is_marked next_st then loop ()
-        else
-          let marked =
-            match Link.target next_st with
-            | Some nx -> Link.Mark nx
-            | None -> assert false (* found node always precedes tail *)
-          in
-          if Link.cas (next_of curr) next_st marked then begin
+        let curr = Link.v_target_exn prev_link curr_v in
+        let next_v = S.get_protected_v t.scheme ~tid ~idx:1 (next_of curr) in
+        if Link.v_is_marked next_v then begin
+          Atomic.incr t.restarts;
+          loop ()
+        end
+        else begin
+          (* found node always precedes tail *)
+          assert (Link.v_has_target next_v);
+          let marked = Link.v_mark next_v in
+          if Link.cas_v (next_of curr) next_v marked then begin
             (* try to unlink; on failure find() will clean up *)
-            let unmarked =
-              match Link.target next_st with
-              | Some nx -> Link.Ptr nx
-              | None -> Link.Null
-            in
-            if Link.cas prev_link curr_st unmarked then
+            let unmarked = Link.v_clean next_v in
+            if Link.cas_v prev_link curr_v unmarked then
               S.retire t.scheme ~tid curr
             else ignore (find t ~tid key);
             true
           end
-          else loop ()
+          else begin
+            Atomic.incr t.restarts;
+            loop ()
+          end
+        end
     in
     let r = loop () in
     S.end_op t.scheme ~tid;

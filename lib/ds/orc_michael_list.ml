@@ -2,7 +2,14 @@
     {!Michael_list} but with type annotations only: links are orc-managed,
     local references are guard-scoped [Ptr] handles, and there is no
     retire call; unlinking a node drops its last hard link and OrcGC
-    reclaims it once unprotected (paper §4.1.1 methodology). *)
+    reclaims it once unprotected (paper §4.1.1 methodology).
+
+    The structure opts into tagged-immediate links by passing its arena
+    to [O.create]: handles then hold raw words ([O.Ptr.view]), window
+    validation compares words ([Link.view_eq] — sound because the
+    word's target is hazard-protected, pinning its arena slot), and the
+    CASes go through the view-plane mutators, so a clean traversal
+    allocates nothing. *)
 
 open Atomicx
 
@@ -23,6 +30,7 @@ module Make () = struct
     tail_root : node Link.t;
     orc : O.t;
     alloc : Memdom.Alloc.t;
+    restarts : int Atomic.t; (* traversal restarts (validation failures) *)
   }
 
   let scheme_name = "orc"
@@ -37,11 +45,12 @@ module Make () = struct
 
   let create ?(mode = Memdom.Alloc.System) () =
     let alloc = Memdom.Alloc.create ~mode "orc_michael_list" in
-    let orc = O.create alloc in
+    let arena = Memdom.Handle.arena ~hdr:(fun n -> n.hdr) () in
+    let orc = O.create ~arena alloc in
     O.with_guard orc (fun g ->
         let tp =
           O.alloc_node g (fun hdr ->
-              { key = max_int; next = Link.make Link.Null; hdr })
+              { key = max_int; next = O.new_link g Link.Null; hdr })
         in
         let tail = O.Ptr.node_exn tp in
         let hp =
@@ -51,32 +60,34 @@ module Make () = struct
         let head = O.Ptr.node_exn hp in
         let head_root = O.new_link g (Link.Ptr head) in
         let tail_root = O.new_link g (Link.Ptr tail) in
-        { head; tail; head_root; tail_root; orc; alloc })
+        { head; tail; head_root; tail_root; orc; alloc; restarts = Atomic.make 0 })
+
+  let restarts t = Atomic.get t.restarts
 
   (* find: walk until curr.key >= key, unlinking marked nodes on the way.
      On return, [curr] (protected) is the candidate and the returned link
-     is the predecessor link whose current content is [Ptr.state curr] —
+     is the predecessor link whose current content is [Ptr.view curr] —
      ready to be used as a CAS expectation.  [prev] protects the node
      that owns that link (or is irrelevant when it is the head's). *)
   let rec find t g key ~prev ~curr ~next =
     let prev_link = ref t.head.next in
     O.load g !prev_link curr;
-    let restart () = find t g key ~prev ~curr ~next in
+    let restart () =
+      Atomic.incr t.restarts;
+      find t g key ~prev ~curr ~next
+    in
     let rec loop () =
       let c = O.Ptr.node_exn curr in
       O.load g (next_of c) next;
-      if not (Link.get !prev_link == O.Ptr.state curr) then restart ()
+      if not (Link.view_eq (Link.view !prev_link) (O.Ptr.view curr)) then
+        restart ()
       else if O.Ptr.is_marked next then begin
         (* curr logically deleted: unlink; its count drops automatically *)
-        let unmarked =
-          match O.Ptr.node next with
-          | Some nx -> Link.Ptr nx
-          | None -> Link.Null
-        in
-        if O.cas g !prev_link ~expected:(O.Ptr.state curr) ~desired:unmarked
+        let unmarked = Link.v_clean (O.Ptr.view next) in
+        if O.cas_v g !prev_link ~expected:(O.Ptr.view curr) ~desired:unmarked
         then begin
           O.assign g curr next;
-          O.Ptr.retag curr unmarked;
+          O.Ptr.retag_v curr unmarked;
           loop ()
         end
         else restart ()
@@ -116,17 +127,22 @@ module Make () = struct
           | None ->
               let p =
                 O.alloc_node g (fun hdr ->
-                    { key; next = Link.make Link.Null; hdr })
+                    { key; next = O.new_link g Link.Null; hdr })
               in
               let n = O.Ptr.node_exn p in
               node := Some n;
               n
         in
         (* point the private node at curr (counts maintained), then CAS *)
-        O.store g n.next (O.Ptr.state curr);
-        if O.cas g prev_link ~expected:(O.Ptr.state curr) ~desired:(Link.Ptr n)
+        O.store_v g n.next (O.Ptr.view curr);
+        if
+          O.cas_v g prev_link ~expected:(O.Ptr.view curr)
+            ~desired:(O.v_ptr t.orc n)
         then true
-        else loop ()
+        else begin
+          Atomic.incr t.restarts;
+          loop ()
+        end
       end
     in
     loop ()
@@ -141,22 +157,30 @@ module Make () = struct
       else begin
         let c = O.Ptr.node_exn curr in
         O.load g (next_of c) next;
-        if O.Ptr.is_marked next then loop ()
-        else
-          let nx = O.Ptr.node_exn next in
+        if O.Ptr.is_marked next then begin
+          Atomic.incr t.restarts;
+          loop ()
+        end
+        else begin
+          (* found node always precedes tail — next must have a target *)
+          ignore (O.Ptr.node_exn next);
           if
-            O.cas g (next_of c) ~expected:(O.Ptr.state next)
-              ~desired:(Link.Mark nx)
+            O.cas_v g (next_of c) ~expected:(O.Ptr.view next)
+              ~desired:(Link.v_mark (O.Ptr.view next))
           then begin
             (* attempt physical unlink; otherwise a later find cleans up *)
             if
               not
-                (O.cas g prev_link ~expected:(O.Ptr.state curr)
-                   ~desired:(Link.Ptr nx))
+                (O.cas_v g prev_link ~expected:(O.Ptr.view curr)
+                   ~desired:(Link.v_clean (O.Ptr.view next)))
             then ignore (find t g key ~prev ~curr ~next);
             true
           end
-          else loop ()
+          else begin
+            Atomic.incr t.restarts;
+            loop ()
+          end
+        end
       end
     in
     loop ()

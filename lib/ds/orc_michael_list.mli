@@ -1,5 +1,14 @@
 (** Michael's lock-free list with OrcGC — same algorithm as
     {!Michael_list} with type annotations only; unlinking drops the
-    node's last hard link and OrcGC reclaims it once unprotected. *)
+    node's last hard link and OrcGC reclaims it once unprotected.
+    Opts into tagged-immediate links (word views, unboxed uid hazard
+    plane), so a clean traversal allocates nothing. *)
 
-module Make () : Intf.SET
+module Make () : sig
+  include Intf.SET
+
+  val restarts : t -> int
+  (** Traversal restarts (window-validation failures and lost CAS races)
+      since [create] — whitebox visibility into contention for tests and
+      the pack benchmark. *)
+end

@@ -70,6 +70,9 @@ let hdr t ?label () =
 
 let free t h =
   Hdr.mark_freed h;
+  (* Freed ⇒ no scheme protects the object, so its tagged-link arena
+     slot (if it ever got one) can be recycled for a future node. *)
+  Hdr.release_slot h;
   let tid = Atomicx.Registry.tid () in
   Atomicx.Shard.incr t.n_freed ~tid;
   Obs.Sink.on_free t.sink ~tid ~uid:h.Hdr.uid ~retired_ns:h.Hdr.retired_ns;

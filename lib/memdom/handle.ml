@@ -1,0 +1,14 @@
+(* Glue between the tagged-link arenas of [Atomicx.Link] and the object
+   headers of this layer: the header is where a node's arena slot lives
+   (one [mutable int] plus the release callback), so the arena needs no
+   side table and slot release costs no lookup.  See link.mli for the
+   registration/release contract. *)
+
+let arena (type n) ~(hdr : n -> Hdr.t) () : n Atomicx.Link.arena =
+  Atomicx.Link.arena
+    ~slot_of:(fun n -> (hdr n).Hdr.slot)
+    ~on_register:(fun n s ~release ->
+      let h = hdr n in
+      h.Hdr.slot <- s;
+      h.Hdr.slot_release <- release)
+    ()

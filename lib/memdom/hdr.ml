@@ -9,7 +9,25 @@ type lifecycle = Live | Retired | Freed
    tests can detect reuse/ABA without extra fields.  The generation is
    carried across [recycle], so it is strictly monotone over a header's
    whole pooled lifetime: no two lives of the same header ever share a
-   generation. *)
+   generation.
+
+   With [packed] on (the default), the Live->Retired and
+   Retired->Live transitions are single [Atomic.fetch_and_add]s: the
+   generation bump and the lifecycle bit change are one constant delta,
+   so the retire hot path is one atomic RMW with no read-before-CAS and
+   no loop.  An invalid prior state shows up in the returned old value;
+   the add is then undone before raising, so the word is only ever
+   transiently wrong during a transition that is itself a reported bug.
+   With [packed] off, the historical CAS loops run instead —
+   observationally identical, one extra atomic read per transition.
+
+   The hazard-era birth/death stamps are packed unconditionally into
+   one atomic word ([eras], 31 bits each, death all-ones = not yet
+   retired): readers get a torn-free (birth, death) pair from a single
+   load, and retire-side stamping allocates nothing.  [retired_ns]
+   stays a plain field (single-writer diagnostic timestamp). *)
+
+let packed = ref true
 
 type t = {
   mutable uid : int;
@@ -17,9 +35,10 @@ type t = {
   strict : bool;
   state : int Atomic.t;
   orc : int Atomic.t;
-  mutable birth_era : int;
-  mutable death_era : int;
+  eras : int Atomic.t;
   mutable retired_ns : int;
+  mutable slot : int;
+  mutable slot_release : int -> unit;
 }
 
 let orc_initial = 1 lsl 22
@@ -29,6 +48,16 @@ let retired_bits = 1
 let freed_bits = 2
 let state_mask = 3
 
+(* eras word: birth in bits 0..30, death in bits 31..61; death all-ones
+   encodes "not retired" (read back as [max_int]). *)
+let era_bits = 31
+let era_mask = (1 lsl era_bits) - 1
+let death_none = era_mask
+
+let pack_eras ~birth ~death = (birth land era_mask) lor (death lsl era_bits)
+
+let no_release (_ : int) = ()
+
 let make ~uid ~label ~strict ~birth_era =
   {
     uid;
@@ -36,9 +65,10 @@ let make ~uid ~label ~strict ~birth_era =
     strict;
     state = Atomic.make live_bits;
     orc = Atomic.make orc_initial;
-    birth_era;
-    death_era = max_int;
+    eras = Atomic.make (pack_eras ~birth:birth_era ~death:death_none);
     retired_ns = 0;
+    slot = -1;
+    slot_release = no_release;
   }
 
 let decode bits =
@@ -50,6 +80,20 @@ let decode bits =
 let lifecycle t = decode (Atomic.get t.state)
 let generation t = Atomic.get t.state lsr 2
 
+let birth_era t = Atomic.get t.eras land era_mask
+
+let death_era t =
+  let d = (Atomic.get t.eras lsr era_bits) land era_mask in
+  if d = death_none then max_int else d
+
+(* Written only by the retiring thread (single owner of the retire
+   transition), so a plain read-modify-write of the word suffices; the
+   birth half rides along untouched. *)
+let set_death_era t e =
+  let d = if e < 0 || e >= death_none then death_none else e in
+  let w = Atomic.get t.eras in
+  Atomic.set t.eras ((w land era_mask) lor (d lsl era_bits))
+
 let describe t = Printf.sprintf "%s#%d" t.label t.uid
 
 let check_access t =
@@ -58,32 +102,60 @@ let check_access t =
 
 let is_freed t = Atomic.get t.state land state_mask = freed_bits
 
-(* State transitions: a CAS loop per transition so concurrent
-   double-free/retire attempts are reported rather than racing each
-   other silently.  These are the hottest lifecycle paths (every
-   retire, every free), so each is its own loop over direct bit tests —
-   no lifecycle list, no per-call closure, no allocation.  Every
-   successful CAS bumps the generation exactly once. *)
+(* State transitions.  Packed mode: one fetch_and_add whose delta bumps
+   the generation and rewrites the lifecycle bits in a single RMW;
+   invalid prior states are detected from the returned value and undone
+   before raising.  Unpacked mode: the historical CAS loop per
+   transition.  Both report concurrent double-free/retire attempts
+   rather than racing silently, and both bump the generation exactly
+   once per successful transition. *)
 
 let next_state cur bits = (((cur lsr 2) + 1) lsl 2) lor bits
 
+(* gen+1 with Live(00) -> Retired(01) *)
+let retired_delta = (1 lsl 2) lor retired_bits
+
+(* gen+1 with Retired(01) -> Live(00): (g+1)<<2 - (g<<2 | 1) = 3 *)
+let unretire_delta = (1 lsl 2) - retired_bits
+
 let rec mark_retired t =
-  let cur = Atomic.get t.state in
-  match cur land state_mask with
-  | 0 (* Live *) ->
-      if not (Atomic.compare_and_set t.state cur (next_state cur retired_bits))
-      then mark_retired t
-  | 1 (* Retired *) -> raise (Double_retire (describe t))
-  | _ (* Freed *) -> raise (Use_after_free (describe t))
+  if !packed then begin
+    let old = Atomic.fetch_and_add t.state retired_delta in
+    match old land state_mask with
+    | 0 (* Live *) -> ()
+    | bits ->
+        ignore (Atomic.fetch_and_add t.state (-retired_delta));
+        if bits = retired_bits then raise (Double_retire (describe t))
+        else raise (Use_after_free (describe t))
+  end
+  else
+    let cur = Atomic.get t.state in
+    match cur land state_mask with
+    | 0 (* Live *) ->
+        if not (Atomic.compare_and_set t.state cur (next_state cur retired_bits))
+        then mark_retired t
+    | 1 (* Retired *) -> raise (Double_retire (describe t))
+    | _ (* Freed *) -> raise (Use_after_free (describe t))
 
 let rec unretire t =
-  let cur = Atomic.get t.state in
-  match cur land state_mask with
-  | 1 (* Retired *) ->
-      if not (Atomic.compare_and_set t.state cur (next_state cur live_bits))
-      then unretire t
-  | 0 (* Live *) -> () (* lost a race with another unretire; already live *)
-  | _ (* Freed *) -> raise (Use_after_free (describe t))
+  if !packed then begin
+    let old = Atomic.fetch_and_add t.state unretire_delta in
+    match old land state_mask with
+    | 1 (* Retired *) -> ()
+    | 0 (* Live: lost a race with another unretire *) ->
+        ignore (Atomic.fetch_and_add t.state (-unretire_delta))
+    | _ (* Freed *) ->
+        ignore (Atomic.fetch_and_add t.state (-unretire_delta));
+        raise (Use_after_free (describe t))
+  end
+  else
+    let cur = Atomic.get t.state in
+    match cur land state_mask with
+    | 1 (* Retired *) ->
+        if not (Atomic.compare_and_set t.state cur (next_state cur live_bits))
+        then unretire t
+    | 0 (* Live *) -> () (* lost a race with another unretire; already live *)
+    | _ (* Freed *) -> raise (Use_after_free (describe t))
 
 let rec mark_freed t =
   let cur = Atomic.get t.state in
@@ -99,7 +171,9 @@ let rec mark_freed t =
    reset can observe a torn (new state, old uid) combination; that is
    precisely the type-stable-pool semantics the generation counter
    exists to expose, and the generation itself is never torn (it lives
-   in the same atomic word as the lifecycle). *)
+   in the same atomic word as the lifecycle).  The arena slot is not
+   touched: it was released (and reset to -1) when the header was
+   freed, and the next life re-registers on first publication. *)
 let rec recycle t ~uid ~birth_era =
   let cur = Atomic.get t.state in
   if cur land state_mask <> freed_bits then raise (Double_free (describe t))
@@ -107,10 +181,21 @@ let rec recycle t ~uid ~birth_era =
   then recycle t ~uid ~birth_era
   else begin
     t.uid <- uid;
-    t.birth_era <- birth_era;
-    t.death_era <- max_int;
+    Atomic.set t.eras (pack_eras ~birth:birth_era ~death:death_none);
     t.retired_ns <- 0;
     Atomic.set t.orc orc_initial
+  end
+
+(* Hand the header's arena slot back to its table, exactly once.  Called
+   by [Alloc.free] after the Freed transition: at that point no scheme
+   protects the object, so the slot may be recycled for a future node.
+   (The slot keeps its last occupant until then — type-stable memory.) *)
+let release_slot t =
+  if t.slot >= 0 then begin
+    let s = t.slot and release = t.slot_release in
+    t.slot <- -1;
+    t.slot_release <- no_release;
+    release s
   end
 
 let pp fmt t =

@@ -14,15 +14,34 @@
     access is tolerated, and the [generation] counter lets tests detect
     ABA-style reuse.
 
-    The header also hosts the per-object words the various schemes need:
-    the OrcGC [_orc] word (count + BRETIRED + sequence, Algorithm 3) and
-    the birth/death eras of hazard-eras-style schemes. *)
+    The header also hosts the per-object words the various schemes need,
+    all of them word-packed (DESIGN.md, "Word-packed representation"):
+
+    - [state]: lifecycle in the low 2 bits, generation above.  With
+      {!packed} on (default) the Live↔Retired transitions are single
+      [Atomic.fetch_and_add]s — no read-before-CAS, no loop, no
+      allocation; with it off, the historical CAS loops.
+    - [orc]: the OrcGC [_orc] word (22-bit count, BRETIRED, sequence,
+      Algorithm 3) — always one word, manipulated by the orc schemes
+      with mask arithmetic.
+    - [eras]: birth and death hazard-era stamps packed 31+31 into one
+      atomic word, so a reader gets a torn-free pair from one load and
+      retire-side stamping never allocates.  Read through
+      {!birth_era}/{!death_era}, written through {!set_death_era}.
+    - [slot]/[slot_release]: the object's tagged-link arena slot (see
+      {!Atomicx.Link.arena}), released exactly once by the allocator
+      when the object is freed. *)
 
 exception Use_after_free of string
 exception Double_free of string
 exception Double_retire of string
 
 type lifecycle = Live | Retired | Freed
+
+val packed : bool ref
+(** Ablation switch (default [true]) for the fetch-and-add lifecycle
+    fast paths; [false] restores the historical CAS-loop transitions
+    (same observable behaviour, one extra atomic read per transition). *)
 
 type t = {
   mutable uid : int;
@@ -33,18 +52,33 @@ type t = {
   strict : bool;  (** raise on access-after-free? *)
   state : int Atomic.t;  (** lifecycle in low bits, generation above *)
   orc : int Atomic.t;  (** OrcGC word: 22-bit count, BRETIRED, sequence *)
-  mutable birth_era : int;  (** hazard-eras: era at allocation *)
-  mutable death_era : int;  (** hazard-eras: era at retire *)
+  eras : int Atomic.t;
+      (** hazard eras, packed: birth in bits 0–30, death in bits 31–61
+          (all-ones death = not retired).  Use the accessors. *)
   mutable retired_ns : int;
       (** tracing: timestamp of the last retire ([Obs.Sink.on_retire]),
           0 when never retired or traced with a null sink.  Written by
           the retiring thread, read by the freeing thread — the free
           side measures retire→free latency from it without any shared
           lookup table. *)
+  mutable slot : int;
+      (** tagged-link arena slot, -1 when unregistered.  Written by the
+          registering thread while it still privately owns the node. *)
+  mutable slot_release : int -> unit;
+      (** how to hand [slot] back to its arena; installed at
+          registration, reset by {!release_slot}. *)
 }
 
 val lifecycle : t -> lifecycle
 val generation : t -> int
+
+val birth_era : t -> int
+val death_era : t -> int
+(** [max_int] when the object has not been retired. *)
+
+val set_death_era : t -> int -> unit
+(** Stamp the death era (retiring thread only — the retire transition
+    has a single owner, so the packed word needs no RMW loop). *)
 
 val check_access : t -> unit
 (** Validate that dereferencing this object is safe.  Raises
@@ -56,11 +90,13 @@ val check_access : t -> unit
 val mark_retired : t -> unit
 (** [Live -> Retired].  Raises {!Double_retire} if already retired and
     {!Use_after_free} if already freed — retiring twice is a scheme bug
-    the paper's algorithms must never exhibit. *)
+    the paper's algorithms must never exhibit.  One fetch-and-add when
+    {!packed}. *)
 
 val unretire : t -> unit
 (** [Retired -> Live]: OrcGC can pull an object back out of the retired
-    state when a new hard link appears (§4.1, [clearBitRetired]). *)
+    state when a new hard link appears (§4.1, [clearBitRetired]).  One
+    fetch-and-add when {!packed}. *)
 
 val mark_freed : t -> unit
 (** [_ -> Freed].  Raises {!Double_free} on a second call. *)
@@ -76,7 +112,7 @@ val make : uid:int -> label:string -> strict:bool -> birth_era:int -> t
 val recycle : t -> uid:int -> birth_era:int -> unit
 (** [Freed -> Live], the type-stable pool allocator's reuse path: resets
     the header to a freshly allocated state — new [uid], new
-    [birth_era], [death_era]/[retired_ns] cleared, the [_orc] word back
+    [birth_era], death era/[retired_ns] cleared, the [_orc] word back
     to {!orc_initial} — while {b bumping the generation}, which is
     carried across lives so it is strictly monotone over the header's
     whole pooled lifetime (the ABA/use-after-free batteries key on
@@ -84,6 +120,10 @@ val recycle : t -> uid:int -> birth_era:int -> unit
     {!Double_free} when the header is not [Freed]: recycling something
     still live (or racing another recycler for the same header) is a
     pool bug, reported with the same exception a double [free] gets. *)
+
+val release_slot : t -> unit
+(** Hand the arena slot (if any) back to its table, exactly once.
+    Called by [Alloc.free] after the Freed transition; idempotent. *)
 
 val orc_initial : int
 (** Initial value of the [_orc] word ([ORC_ZERO], Algorithm 3 line 8). *)

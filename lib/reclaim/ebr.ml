@@ -47,6 +47,11 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
   (* Protection is implicit in the epoch announcement: a plain validated
      read suffices. *)
   let get_protected _t ~tid:_ ~idx:_ link = Link.get link
+
+  (* The epoch announced at [begin_op] already protects everything
+     reachable; a read needs no per-pointer work, so the view plane is
+     a single allocation-free load. *)
+  let get_protected_v _t ~tid:_ ~idx:_ link = Link.view link
   let protect_raw _t ~tid:_ ~idx:_ _n = ()
   let copy_protection _t ~tid:_ ~src:_ ~dst:_ = ()
   let clear _t ~tid:_ ~idx:_ = ()

@@ -73,6 +73,28 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     in
     loop ()
 
+  (* Same era-publication protocol on the view plane: the node itself
+     plays no part in an era reservation, so the loop is read-view /
+     read-era / publish-era — allocation-free on both representations
+     (hoisted to functor level: an inner [let rec] would cost a closure
+     per call). *)
+  let rec gpv_loop t ~tid slot link prev =
+    let v = Link.view link in
+    let era = Memdom.Alloc.era t.alloc in
+    if era = prev then begin
+      if !Scan_set.elide_publish then
+        Scheme_intf.Counters.elided t.counters ~tid;
+      v
+    end
+    else begin
+      Atomic.set slot era;
+      gpv_loop t ~tid slot link era
+    end
+
+  let get_protected_v t ~tid ~idx link =
+    let slot = t.he.(tid).(idx) in
+    gpv_loop t ~tid slot link (Atomic.get slot)
+
   let protect_raw t ~tid ~idx n =
     match n with
     | None -> ()
@@ -93,7 +115,7 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
 
   let protected_by_any t ~visited n =
     let h = N.hdr n in
-    let birth = h.Memdom.Hdr.birth_era and death = h.Memdom.Hdr.death_era in
+    let birth = Memdom.Hdr.birth_era h and death = Memdom.Hdr.death_era h in
     let found = ref false in
     (try
        (* Free rows carry no era reservations (cleared on quarantine) —
@@ -149,8 +171,8 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
         let s = t.scratch.(tid) in
         fun n ->
           let h = N.hdr n in
-          Scan_set.mem_range s ~lo:h.Memdom.Hdr.birth_era
-            ~hi:h.Memdom.Hdr.death_era
+          Scan_set.mem_range s ~lo:(Memdom.Hdr.birth_era h)
+            ~hi:(Memdom.Hdr.death_era h)
           && begin
                Scheme_intf.Counters.snapshot_hit t.counters ~tid;
                true
@@ -185,7 +207,7 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
   let retire t ~tid n =
     let h = N.hdr n in
     Memdom.Hdr.mark_retired h;
-    h.Memdom.Hdr.death_era <- Memdom.Alloc.era t.alloc;
+    Memdom.Hdr.set_death_era h (Memdom.Alloc.era t.alloc);
     h.Memdom.Hdr.retired_ns <-
       Obs.Sink.on_retire t.sink ~tid ~uid:h.Memdom.Hdr.uid;
     Scheme_intf.Counters.retired t.counters ~tid;

@@ -18,6 +18,13 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     sink : Obs.Sink.t;
     hps : int;
     hp : node option Atomic.t array array; (* [tid][idx] *)
+    (* Companion hazard plane for tagged links: [get_protected_v] on a
+       word view publishes the target's uid here instead of boxing a
+       [Some].  -1 = empty (uid 0 is a real uid: local 0 on tid 0).
+       Scans consult both planes; uids never repeat, so uid membership
+       is exactly the physical-identity test for any node still
+       retirable (see [build_snapshot]). *)
+    hp_uid : int Atomic.t array array; (* [tid][idx] *)
     retired : node list ref array; (* thread-local retired lists *)
     retired_count : int ref array;
     scratch : Scan_set.t array; (* [tid]; per-thread scan snapshots *)
@@ -36,9 +43,12 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
   let protect_raw t ~tid ~idx n = Atomic.set t.hp.(tid).(idx) n
 
   let copy_protection t ~tid ~src ~dst =
-    Atomic.set t.hp.(tid).(dst) (Atomic.get t.hp.(tid).(src))
+    Atomic.set t.hp.(tid).(dst) (Atomic.get t.hp.(tid).(src));
+    Atomic.set t.hp_uid.(tid).(dst) (Atomic.get t.hp_uid.(tid).(src))
 
-  let clear t ~tid ~idx = Atomic.set t.hp.(tid).(idx) None
+  let clear t ~tid ~idx =
+    Atomic.set t.hp.(tid).(idx) None;
+    Atomic.set t.hp_uid.(tid).(idx) (-1)
 
   let end_op t ~tid =
     for idx = 0 to t.hps - 1 do
@@ -71,17 +81,85 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     in
     loop (Link.get link)
 
+  (* The view-plane protect loop.  Boxed views follow the legacy
+     publish-and-revalidate protocol verbatim (box identity implies a
+     stable target).  Word views publish the target's uid in [hp_uid] —
+     no [Some] box, no allocation anywhere on the path — and then
+     confirm not just that the link still holds the same word but that
+     the word still decodes to the same node carrying the same uid: a
+     slot can be released and re-issued between the deref and the
+     publish, so word equality alone could pin a corpse while the
+     link's actual target goes unprotected.  Once the triple
+     (word, node, uid) re-reads stable after the publish, any later
+     retire of that node observes the published uid.
+
+     The loop lives at functor level with every free variable passed as
+     an argument: an inner [let rec] capturing [slot]/[link] would cost
+     a closure allocation per call, defeating the plane's entire point
+     (measured: 9 minor words per protect on the otherwise
+     allocation-free word path). *)
+  let rec gpv_loop t ~tid slot uid_slot link v =
+    if not (Link.v_has_target v) then begin
+      Atomic.set slot None;
+      Atomic.set uid_slot (-1);
+      let v' = Link.view link in
+      if Link.view_eq v' v then v else gpv_loop t ~tid slot uid_slot link v'
+    end
+    else if Link.v_is_word v then begin
+      let n = Link.v_target_exn link v in
+      let u = (N.hdr n).Memdom.Hdr.uid in
+      if !Scan_set.elide_publish && Atomic.get uid_slot = u then begin
+        Scheme_intf.Counters.elided t.counters ~tid;
+        Obs.Sink.on_elide t.sink ~tid;
+        let v' = Link.view link in
+        if Link.view_eq v' v then v else gpv_loop t ~tid slot uid_slot link v'
+      end
+      else begin
+        Atomic.set uid_slot u;
+        let v' = Link.view link in
+        if
+          Link.view_eq v' v
+          && Link.v_target_exn link v == n
+          && (N.hdr n).Memdom.Hdr.uid = u
+        then v
+        else gpv_loop t ~tid slot uid_slot link v'
+      end
+    end
+    else begin
+      let n = Link.v_target_exn link v in
+      if
+        !Scan_set.elide_publish
+        && match Atomic.get slot with Some m -> m == n | None -> false
+      then begin
+        Scheme_intf.Counters.elided t.counters ~tid;
+        Obs.Sink.on_elide t.sink ~tid
+      end
+      else Atomic.set slot (Some n);
+      let v' = Link.view link in
+      if Link.view_eq v' v then v else gpv_loop t ~tid slot uid_slot link v'
+    end
+
+  let get_protected_v t ~tid ~idx link =
+    gpv_loop t ~tid t.hp.(tid).(idx) t.hp_uid.(tid).(idx) link (Link.view link)
+
   let protected_by_any t ~visited n =
+    let uid = (N.hdr n).Memdom.Hdr.uid in
     let found = ref false in
     (try
        (* bounded by the registered high-water, and rows whose registry
           slot is Free are skipped outright: a recycled slot's hazards
           are cleared before it is re-issued, so scan cost tracks the
-          live slot population (see [Registry.in_use]) *)
+          live slot population (see [Registry.in_use]).  Both hazard
+          planes count as one visited slot: they are two encodings of
+          the same protection. *)
        for it = 0 to Registry.registered () - 1 do
          if Registry.in_use it then
            for idx = 0 to t.hps - 1 do
              incr visited;
+             if Atomic.get t.hp_uid.(it).(idx) = uid then begin
+               found := true;
+               raise_notrace Exit
+             end;
              match Atomic.get t.hp.(it).(idx) with
              | Some m when m == n ->
                  found := true;
@@ -111,6 +189,8 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
       if Registry.in_use it then
         for idx = 0 to t.hps - 1 do
           incr visited;
+          let u = Atomic.get t.hp_uid.(it).(idx) in
+          if u >= 0 then Scan_set.add s u;
           match Atomic.get t.hp.(it).(idx) with
           | Some m -> Scan_set.add s (N.hdr m).Memdom.Hdr.uid
           | None -> ()
@@ -187,7 +267,8 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
      fields are single-owner either way. *)
   let orphan t ~tid =
     for idx = 0 to t.hps - 1 do
-      Atomic.set t.hp.(tid).(idx) None
+      Atomic.set t.hp.(tid).(idx) None;
+      Atomic.set t.hp_uid.(tid).(idx) (-1)
     done;
     match !(t.retired.(tid)) with
     | [] -> ()
@@ -209,6 +290,9 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
         sink;
         hps = max_hps;
         hp = Array.init Registry.max_threads mk_slots;
+        hp_uid =
+          Array.init Registry.max_threads (fun _ ->
+              Padded.atomic_array max_hps (-1));
         retired = Array.init Registry.max_threads (fun _ -> ref []);
         retired_count = Array.init Registry.max_threads (fun _ -> ref 0);
         scratch = Array.init Registry.max_threads (fun _ -> Scan_set.create ());

@@ -25,9 +25,12 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     retired_count : int ref array;
     retire_count : int ref array;
     scratch : Scan_set.t array; (* [tid]; per-scan reservation snapshots *)
-    (* flat batch size: the reservation table is one interval per
-       thread, so scans are O(t) and need no 2·H·t amortization *)
-    scan_threshold : int;
+    (* cached R = 2·H·t, refreshed on crossing (same amortization as
+       hp/he).  The scan itself is O(t) — one interval per thread — but
+       the *bound* the batch buys is still proportional to the live
+       population, so a flat batch under-amortizes small runs and
+       over-retains large ones. *)
+    threshold : int Atomic.t;
     era_freq : int;
     counters : Scheme_intf.Counters.t;
     orphans : node Orphan.t;
@@ -72,13 +75,32 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     in
     loop ()
 
+  (* Same interval-extension protocol on the view plane; the node plays
+     no part in a reservation, so the loop allocates nothing on either
+     representation (hoisted to functor level: an inner [let rec] would
+     cost a closure per call). *)
+  let rec gpv_loop t ~tid link =
+    let v = Link.view link in
+    let e = Memdom.Alloc.era t.alloc in
+    if e <= Atomic.get t.hi.(tid) then begin
+      if !Scan_set.elide_publish then
+        Scheme_intf.Counters.elided t.counters ~tid;
+      v
+    end
+    else begin
+      Atomic.set t.hi.(tid) e;
+      gpv_loop t ~tid link
+    end
+
+  let get_protected_v t ~tid ~idx:_ link = gpv_loop t ~tid link
+
   let protect_raw _t ~tid:_ ~idx:_ _n = ()
   let copy_protection _t ~tid:_ ~src:_ ~dst:_ = ()
   let clear _t ~tid:_ ~idx:_ = ()
 
   let reserved_by_any t ~visited n =
     let h = N.hdr n in
-    let birth = h.Memdom.Hdr.birth_era and death = h.Memdom.Hdr.death_era in
+    let birth = Memdom.Hdr.birth_era h and death = Memdom.Hdr.death_era h in
     let found = ref false in
     (try
        (* Free rows carry no interval reservation (cleared on
@@ -133,8 +155,8 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
         let s = t.scratch.(tid) in
         fun n ->
           let h = N.hdr n in
-          Scan_set.overlaps s ~lo:h.Memdom.Hdr.birth_era
-            ~hi:h.Memdom.Hdr.death_era
+          Scan_set.overlaps s ~lo:(Memdom.Hdr.birth_era h)
+            ~hi:(Memdom.Hdr.death_era h)
           && begin
                Scheme_intf.Counters.snapshot_hit t.counters ~tid;
                true
@@ -156,10 +178,21 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     Scheme_intf.Counters.scanned t.counters ~tid ~slots:!visited;
     Obs.Sink.scan_end t.sink ~tid ~slots:!visited ~began
 
+  (* The R = 2·H·t amortization ratio over the *Active* thread count,
+     cached and refreshed only when the cached value is crossed —
+     amortized O(1) per retire (see hp.ml for why Active, not the
+     monotone registered high-water). *)
+  let threshold_crossed t ~tid =
+    !(t.retired_count.(tid)) >= Atomic.get t.threshold
+    && begin
+         Atomic.set t.threshold (2 * t.hps * max 1 (Registry.active ()));
+         !(t.retired_count.(tid)) >= Atomic.get t.threshold
+       end
+
   let retire t ~tid n =
     let h = N.hdr n in
     Memdom.Hdr.mark_retired h;
-    h.Memdom.Hdr.death_era <- Memdom.Alloc.era t.alloc;
+    Memdom.Hdr.set_death_era h (Memdom.Alloc.era t.alloc);
     h.Memdom.Hdr.retired_ns <-
       Obs.Sink.on_retire t.sink ~tid ~uid:h.Memdom.Hdr.uid;
     Scheme_intf.Counters.retired t.counters ~tid;
@@ -168,7 +201,7 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     incr t.retire_count.(tid);
     if !(t.retire_count.(tid)) mod t.era_freq = 0 then
       ignore (Memdom.Alloc.bump_era t.alloc);
-    if !(t.retired_count.(tid)) >= t.scan_threshold then scan t ~tid
+    if threshold_crossed t ~tid then scan t ~tid
 
   (* Quarantine cleaner: retract the departing tid's reservation
      interval (a leftover [lo, hi] would pin every overlapping lifetime
@@ -203,7 +236,7 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
         retired_count = Array.init Registry.max_threads (fun _ -> ref 0);
         retire_count = Array.init Registry.max_threads (fun _ -> ref 0);
         scratch = Array.init Registry.max_threads (fun _ -> Scan_set.create ());
-        scan_threshold = 128;
+        threshold = Atomic.make (2 * max_hps);
         era_freq = 16;
         counters = Scheme_intf.Counters.create ();
         orphans = Orphan.create ();

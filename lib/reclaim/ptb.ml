@@ -53,6 +53,31 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     in
     loop (Link.get link)
 
+  (* View-plane posting: the guard still holds the node itself (the
+     liberate walk compares physically), so a word view is derefed
+     before posting and re-derefed after — word equality alone does not
+     prove the slot's meaning was stable (see hp.ml). *)
+  let get_protected_v t ~tid ~idx link =
+    let slot = t.post.(tid).(idx) in
+    let rec loop v =
+      if not (Link.v_has_target v) then begin
+        Atomic.set slot None;
+        let v' = Link.view link in
+        if Link.view_eq v' v then v else loop v'
+      end
+      else begin
+        let n = Link.v_target_exn link v in
+        Atomic.set slot (Some n);
+        let v' = Link.view link in
+        if
+          Link.view_eq v' v
+          && ((not (Link.v_is_word v)) || Link.v_target_exn link v == n)
+        then v
+        else loop v'
+      end
+    in
+    loop (Link.view link)
+
   let free_node t ~tid n =
     Scheme_intf.Counters.freed t.counters ~tid;
     Memdom.Alloc.free t.alloc (N.hdr n)

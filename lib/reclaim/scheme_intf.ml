@@ -143,6 +143,20 @@ module type S = sig
       included.  Lock-free: a retry implies another thread made
       progress. *)
 
+  val get_protected_v :
+    t -> tid:int -> idx:int -> node Atomicx.Link.t -> node Atomicx.Link.view
+  (** {!get_protected} on the allocation-free view plane: same protocol
+      (publish, validate against a re-read, loop), but the result is the
+      link's native {!Atomicx.Link.view} — a raw word for tagged links —
+      and on tagged links the whole loop performs no minor-heap
+      allocation for the pointer-publishing schemes that matter to the
+      paper's cost model (hp, and the orc schemes' internal variants).
+      On word views the validated publication additionally re-derefs the
+      word after publishing: value equality of words does not imply the
+      slot's meaning was stable, so the scheme confirms the decoded node
+      is unchanged before trusting the protection (see DESIGN.md,
+      "Word-packed representation"). *)
+
   val protect_raw : t -> tid:int -> idx:int -> node option -> unit
   (** Publish [node] at [idx] without validation — only legal when the
       caller already owns a safe reference (e.g. a node it just

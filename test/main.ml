@@ -1,5 +1,15 @@
 let () =
+  (* ORCGC_PACKED=0 runs the whole suite under the boxed ablation
+     (CAS-loop header transitions, boxed link states): the packing is
+     an optimization, so every test must pass in both settings.  Tests
+     that pin the knobs themselves (test_pack, parts of test_scan) are
+     unaffected. *)
+  (match Sys.getenv_opt "ORCGC_PACKED" with
+  | Some ("0" | "false") ->
+      Memdom.Hdr.packed := false;
+      Atomicx.Link.tagged := false
+  | Some _ | None -> ());
   Alcotest.run "orcgc"
     (Test_atomicx.suite @ Test_memdom.suite @ Test_reclaim.suite
    @ Test_orc.suite @ Test_queues.suite @ Test_lists.suite @ Test_trees.suite @ Test_skiplists.suite @ Test_harness.suite @ Test_extras.suite @ Test_whitebox.suite @ Test_faults.suite @ Test_orc_hp.suite @ Test_obs.suite
-   @ Test_scan.suite @ Test_chaos.suite)
+   @ Test_scan.suite @ Test_pack.suite @ Test_chaos.suite)

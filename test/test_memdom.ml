@@ -92,7 +92,7 @@ let test_era_clock () =
   let e1 = Memdom.Alloc.bump_era a in
   check_bool "bump advances" true (e1 = e0 + 1);
   let h = Memdom.Alloc.hdr a () in
-  check_int "birth era snapshots clock" e1 h.Memdom.Hdr.birth_era
+  check_int "birth era snapshots clock" e1 (Memdom.Hdr.birth_era h)
 
 let test_concurrent_free_single_winner () =
   (* Two domains racing to free the same header: exactly one wins, the
@@ -156,7 +156,7 @@ let test_gen_bumps_once_per_transition () =
   in
   check_bool "recycle revives" true (Memdom.Hdr.lifecycle h = Memdom.Hdr.Live);
   check_int "recycle restamps uid" 2 h.Memdom.Hdr.uid;
-  check_int "recycle restamps birth era" 3 h.Memdom.Hdr.birth_era
+  check_int "recycle restamps birth era" 3 (Memdom.Hdr.birth_era h)
 
 let test_recycle_live_raises () =
   let a = Memdom.Alloc.create ~mode:Memdom.Alloc.Pool "p" in

@@ -1,0 +1,354 @@
+(* Word-packing tests: exact zero-allocation guarantees of the packed
+   header + tagged link hot paths, the bit-layout boundaries of the
+   packed words ([Hdr.state], the [_orc] word), generation monotonicity
+   across pooled recycling, and the ablation refs ([Memdom.Hdr.packed],
+   [Atomicx.Link.tagged]) restoring the boxed behaviour unchanged.
+
+   The zero-alloc assertions are exact ([delta = 0.], not "small"):
+   [Gc.minor_words] itself allocates the boxed float it returns after
+   reading the counter, so a two-call calibration measures that fixed
+   overhead and the remaining delta is precisely what the measured
+   region allocated.  Every measured loop runs once as a warmup first,
+   so one-time lazy costs (arena chunks, counter shards) are paid
+   outside the window. *)
+
+open Util
+open Atomicx
+
+type pnode = { p_hdr : Memdom.Hdr.t; p_next : pnode Link.t }
+
+module PN = struct
+  type t = pnode
+
+  let hdr n = n.p_hdr
+end
+
+module Hp = Reclaim.Hp.Make (PN)
+
+module ON = struct
+  type t = pnode
+
+  let hdr n = n.p_hdr
+  let iter_links n f = f n.p_next
+end
+
+module Orc = Orc_core.Orc.Make (ON)
+module Orc_hp = Orc_core.Orc_hp.Make (ON)
+
+(* Pin both packing knobs for the duration of [f]. *)
+let with_pack ~on f =
+  let sp = !Memdom.Hdr.packed and st = !Link.tagged in
+  Fun.protect ~finally:(fun () ->
+      Memdom.Hdr.packed := sp;
+      Link.tagged := st)
+  @@ fun () ->
+  Memdom.Hdr.packed := on;
+  Link.tagged := on;
+  f ()
+
+(* Minor words allocated by [f], with the boxed-float overhead of
+   [Gc.minor_words] itself calibrated out. *)
+let minor_delta f =
+  let a = Gc.minor_words () in
+  let b = Gc.minor_words () in
+  let overhead = b -. a in
+  let w0 = Gc.minor_words () in
+  f ();
+  let w1 = Gc.minor_words () in
+  w1 -. w0 -. overhead
+
+let check_zero name f =
+  f () (* warmup: lazy one-time costs land outside the window *);
+  let d = minor_delta f in
+  if d <> 0. then Alcotest.failf "%s allocated %.0f minor words" name d
+
+(* ------------------------------------------------------------------ *)
+(* Zero-allocation: protected reads *)
+
+let chain_len = 32
+
+let test_zero_alloc_hp () =
+  with_pack ~on:true @@ fun () ->
+  let alloc = Memdom.Alloc.create ~sink:Obs.Sink.null "pack-test-hp" in
+  let s = Hp.create ~max_hps:4 ~sink:Obs.Sink.null alloc in
+  let arena = Memdom.Handle.arena ~hdr:(fun n -> n.p_hdr) () in
+  let tail =
+    { p_hdr = Memdom.Alloc.hdr alloc (); p_next = Link.make_in arena Link.Null }
+  in
+  let head = ref tail in
+  for _ = 2 to chain_len do
+    head :=
+      {
+        p_hdr = Memdom.Alloc.hdr alloc ();
+        p_next = Link.make_in arena (Link.Ptr !head);
+      }
+  done;
+  let root = Link.make_in arena (Link.Ptr !head) in
+  Hp.begin_op s ~tid:0;
+  let rec walk link idx =
+    let v = Hp.get_protected_v s ~tid:0 ~idx link in
+    if Link.v_has_target v then walk (Link.v_target_exn link v).p_next (1 - idx)
+  in
+  check_zero "hp packed protected walk" (fun () ->
+      for _ = 1 to 50 do
+        walk root 0
+      done);
+  Hp.end_op s ~tid:0
+
+(* Shared shape for the two orc cores (both satisfy it structurally). *)
+module type PACK_ORC = sig
+  type t
+  type guard
+
+  module Ptr : sig
+    type t
+
+    val view : t -> pnode Link.view
+    val node_exn : t -> pnode
+  end
+
+  val create :
+    ?max_hps:int ->
+    ?sink:Obs.Sink.t ->
+    ?arena:pnode Link.arena ->
+    Memdom.Alloc.t ->
+    t
+
+  val with_guard : t -> (guard -> 'a) -> 'a
+  val ptr : guard -> Ptr.t
+  val load : guard -> pnode Link.t -> Ptr.t -> unit
+  val assign : guard -> Ptr.t -> Ptr.t -> unit
+  val alloc_node_into : guard -> Ptr.t -> (Memdom.Hdr.t -> pnode) -> pnode
+  val new_link : guard -> pnode Link.state -> pnode Link.t
+  val store_v : guard -> pnode Link.t -> pnode Link.view -> unit
+  val v_ptr : t -> pnode -> pnode Link.view
+  val flush : t -> unit
+end
+
+let orc_zero_alloc (module O : PACK_ORC) name () =
+  with_pack ~on:true @@ fun () ->
+  let alloc = Memdom.Alloc.create ~sink:Obs.Sink.null ("pack-test-" ^ name) in
+  let arena = Memdom.Handle.arena ~hdr:(fun n -> n.p_hdr) () in
+  let o = O.create ~sink:Obs.Sink.null ~arena alloc in
+  O.with_guard o (fun g ->
+      let root = O.new_link g Link.Null in
+      let np = O.ptr g in
+      for _ = 1 to chain_len do
+        let n =
+          O.alloc_node_into g np (fun hdr ->
+              { p_hdr = hdr; p_next = O.new_link g Link.Null })
+        in
+        O.store_v g n.p_next (Link.view root);
+        O.store_v g root (O.v_ptr o n)
+      done;
+      let prev = O.ptr g and curr = O.ptr g and next = O.ptr g in
+      check_zero
+        (name ^ " packed protected walk")
+        (fun () ->
+          for _ = 1 to 50 do
+            O.load g root curr;
+            while Link.v_has_target (O.Ptr.view curr) do
+              let c = O.Ptr.node_exn curr in
+              O.load g c.p_next next;
+              O.assign g prev curr;
+              O.assign g curr next
+            done
+          done));
+  O.flush o
+
+(* ------------------------------------------------------------------ *)
+(* Zero-allocation: header lifecycle transitions *)
+
+let test_zero_alloc_hdr () =
+  with_pack ~on:true @@ fun () ->
+  let h = Memdom.Hdr.make ~uid:1 ~label:"pack" ~strict:true ~birth_era:0 in
+  check_zero "mark_retired/unretire" (fun () ->
+      for _ = 1 to 100 do
+        Memdom.Hdr.mark_retired h;
+        Memdom.Hdr.unretire h
+      done);
+  let uid = ref 2 in
+  check_zero "retire/free/recycle cycle" (fun () ->
+      for _ = 1 to 100 do
+        Memdom.Hdr.mark_retired h;
+        Memdom.Hdr.set_death_era h 7;
+        Memdom.Hdr.mark_freed h;
+        Memdom.Hdr.recycle h ~uid:!uid ~birth_era:3;
+        incr uid
+      done)
+
+(* ------------------------------------------------------------------ *)
+(* Bit-layout boundaries of the [_orc] word (mirrors lib/core/orc.ml:
+   bits 0-21 count biased at bit 22, bit 23 BRETIRED, sequence above) *)
+
+let seq_unit = 1 lsl 24
+let bretired = 1 lsl 23
+let orc_zero = 1 lsl 22
+let ocnt x = x land (seq_unit - 1)
+let oseq x = x lsr 24
+
+let test_orc_word_bits () =
+  check_int "orc_initial is the count bias" orc_zero Memdom.Hdr.orc_initial;
+  (* count saturation boundary: the largest biased count that does not
+     spill into BRETIRED *)
+  let maxed = orc_zero + (1 lsl 22) - 1 in
+  check_int "max count fills bits 0-22" ((1 lsl 23) - 1) maxed;
+  check_int "max count stays below BRETIRED" 0 (maxed land bretired);
+  check_int "ocnt extracts the saturated count" maxed (ocnt maxed);
+  (* sequence increments ride above the count field *)
+  let w = (5 * seq_unit) lor bretired lor orc_zero in
+  check_int "seq extraction" 5 (oseq w);
+  check_int "seq add preserves count+retired" (ocnt w) (ocnt (w + seq_unit));
+  check_int "seq add bumps seq" 6 (oseq (w + seq_unit));
+  (* count arithmetic preserves the sequence (no carry at the bias) *)
+  check_int "increment preserves seq" 5 (oseq (w + 1));
+  check_int "decrement preserves seq" 5 (oseq (w - 1));
+  check_int "BRETIRED flip preserves seq" 5 (oseq (w - bretired));
+  check_int "BRETIRED flip preserves count" orc_zero (ocnt (w - bretired) lxor 0);
+  (* a negative count (transient, Algorithm 3) borrows from the bias,
+     never from the sequence *)
+  let zero = 5 * seq_unit lor orc_zero in
+  check_int "decrement below zero stays in field" 5 (oseq (zero - 1));
+  check_int "biased -1" (orc_zero - 1) (ocnt (zero - 1));
+  (* retire's combined delta (seq+1, count+1) decomposes *)
+  let after = zero + seq_unit + 1 in
+  check_int "retire delta: seq" 6 (oseq after);
+  check_int "retire delta: count" (orc_zero + 1) (ocnt after)
+
+(* ------------------------------------------------------------------ *)
+(* Generation monotonicity and packed/boxed transition equivalence *)
+
+let lifecycle_name h =
+  match Memdom.Hdr.lifecycle h with
+  | Memdom.Hdr.Live -> "live"
+  | Memdom.Hdr.Retired -> "retired"
+  | Memdom.Hdr.Freed -> "freed"
+
+let gen_trace () =
+  let h = Memdom.Hdr.make ~uid:1 ~label:"gen" ~strict:true ~birth_era:0 in
+  let trace = ref [ (lifecycle_name h, Memdom.Hdr.generation h) ] in
+  let step name =
+    trace := (name ^ ":" ^ lifecycle_name h, Memdom.Hdr.generation h) :: !trace
+  in
+  Memdom.Hdr.mark_retired h;
+  step "retire";
+  Memdom.Hdr.unretire h;
+  step "unretire";
+  Memdom.Hdr.mark_retired h;
+  step "retire2";
+  Memdom.Hdr.mark_freed h;
+  step "free";
+  Memdom.Hdr.recycle h ~uid:2 ~birth_era:5;
+  step "recycle";
+  let raised =
+    try
+      Memdom.Hdr.mark_retired h;
+      Memdom.Hdr.mark_retired h;
+      false
+    with Memdom.Hdr.Double_retire _ -> true
+  in
+  (List.rev !trace, raised, h.Memdom.Hdr.uid, Memdom.Hdr.death_era h)
+
+let test_generation_monotone () =
+  let run ~packed =
+    let sp = !Memdom.Hdr.packed in
+    Fun.protect ~finally:(fun () -> Memdom.Hdr.packed := sp) @@ fun () ->
+    Memdom.Hdr.packed := packed;
+    gen_trace ()
+  in
+  let packed_t, packed_raised, packed_uid, packed_death = run ~packed:true in
+  let boxed_t, boxed_raised, boxed_uid, boxed_death = run ~packed:false in
+  (* strictly monotone generations across every transition incl. recycle *)
+  let gens = List.map snd packed_t in
+  ignore
+    (List.fold_left
+       (fun prev g ->
+         check_bool "generation strictly monotone" true (g > prev);
+         g)
+       (-1) gens);
+  check_bool "double retire detected (packed)" true packed_raised;
+  check_bool "double retire detected (boxed)" true boxed_raised;
+  check_int "recycle restamps uid" 2 packed_uid;
+  check_bool "recycle clears death era" true (packed_death = max_int);
+  (* the two modes produce the identical observable trace *)
+  check_bool "packed/boxed traces agree" true (packed_t = boxed_t);
+  check_int "uids agree" packed_uid boxed_uid;
+  check_bool "death eras agree" true (packed_death = boxed_death)
+
+(* ------------------------------------------------------------------ *)
+(* Ablation equivalence: same operation sequence, knobs on vs off *)
+
+module L_hp = Ds.Michael_list.Make (Reclaim.Hp.Make)
+module L_orc = Ds.Orc_michael_list.Make ()
+
+(* xorshift so both runs see the same op sequence *)
+let op_sequence n =
+  let x = ref 0x2545F491 in
+  List.init n (fun _ ->
+      x := !x lxor (!x lsl 13);
+      x := !x lxor (!x lsr 7);
+      x := !x lxor (!x lsl 17);
+      (!x land 3, 1 + (abs !x mod 64)))
+
+module type SET_OPS = sig
+  type t
+
+  val create : ?mode:Memdom.Alloc.mode -> unit -> t
+  val add : t -> int -> bool
+  val remove : t -> int -> bool
+  val contains : t -> int -> bool
+  val to_list : t -> int list
+end
+
+let run_ops (module M : SET_OPS) ops =
+  let l = M.create () in
+  let results =
+    List.map
+      (fun (op, key) ->
+        match op with
+        | 0 -> M.add l key
+        | 1 -> M.remove l key
+        | _ -> M.contains l key)
+      ops
+  in
+  (results, M.to_list l)
+
+let equivalence (module M : SET_OPS) name () =
+  let ops = op_sequence 400 in
+  let on_r, on_l = with_pack ~on:true (fun () -> run_ops (module M) ops) in
+  let off_r, off_l = with_pack ~on:false (fun () -> run_ops (module M) ops) in
+  check_bool (name ^ ": op results agree") true (on_r = off_r);
+  check_bool (name ^ ": final contents agree") true (on_l = off_l);
+  (* sanity: the sequence actually exercised the list *)
+  check_bool (name ^ ": non-trivial run") true (on_l <> [])
+
+let suite =
+  [
+    ( "pack_zero_alloc",
+      [
+        Alcotest.test_case "hp: packed protected walk allocates nothing"
+          `Quick test_zero_alloc_hp;
+        Alcotest.test_case "orc: packed guarded traversal allocates nothing"
+          `Quick
+          (orc_zero_alloc (module Orc) "orc");
+        Alcotest.test_case "orc-hp: packed guarded traversal allocates nothing"
+          `Quick
+          (orc_zero_alloc (module Orc_hp) "orc-hp");
+        Alcotest.test_case "hdr: packed lifecycle transitions allocate nothing"
+          `Quick test_zero_alloc_hdr;
+      ] );
+    ( "pack_bits",
+      [
+        Alcotest.test_case "orc word: count/seq/BRETIRED boundaries" `Quick
+          test_orc_word_bits;
+        Alcotest.test_case "hdr: generation monotone, packed = boxed" `Quick
+          test_generation_monotone;
+      ] );
+    ( "pack_ablation",
+      [
+        Alcotest.test_case "michael list (hp): tagged = boxed" `Quick
+          (equivalence (module L_hp) "hp list");
+        Alcotest.test_case "michael list (orc): tagged = boxed" `Quick
+          (equivalence (module L_orc) "orc list");
+      ] );
+  ]

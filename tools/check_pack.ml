@@ -1,0 +1,116 @@
+(* Guard the word-packing invariants in a BENCH_orc.json produced by
+   `bench/main.exe --pack --json` (optionally with `--smoke`): for every
+   scheme in the pack A/B section
+
+   - the packed protected-read path must be allocation-free
+     (read_words_per_op at most [packed_words_ceiling], a rounding
+     allowance for fixed costs amortized over the measured hops),
+   - the boxed ablation must actually allocate (read_words_per_op at
+     least [boxed_words_floor] — if it reads 0 the ablation ref leaked
+     and the A/B compared packed against packed),
+   - packed retire latency must be no worse than boxed within
+     [retire_slack] (a noise allowance, not a target: the packed
+     transitions are fetch-and-add against the boxed CAS loop),
+   - where CAS retries are measured (the contended Michael-list run),
+     both modes must have completed the run (retries present and
+     non-negative).
+
+     dune exec tools/check_pack.exe -- BENCH_orc.json
+
+   Exits 0 when every scheme passes, 1 otherwise. *)
+
+let packed_words_ceiling = 0.05
+let boxed_words_floor = 0.5
+let retire_slack = 2.0
+let failures = ref 0
+
+let problem fmt =
+  Printf.ksprintf
+    (fun s ->
+      incr failures;
+      Printf.printf "  FAIL %s\n" s)
+    fmt
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
+
+let num = function
+  | Some (Obs.Json.Int i) -> float_of_int i
+  | Some (Obs.Json.Float f) -> f
+  | _ -> nan
+
+let field row name = num (Obs.Json.member name row)
+
+let str_field row name =
+  match Obs.Json.member name row with Some (Obs.Json.Str s) -> Some s | _ -> None
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; path |] -> path
+    | _ -> fail "usage: check_pack <BENCH_orc.json>"
+  in
+  let doc =
+    match Obs.Json.of_file path with
+    | doc -> doc
+    | exception Obs.Json.Parse_error e -> fail "%s: JSON parse error: %s" path e
+    | exception Sys_error e -> fail "%s" e
+  in
+  let rows =
+    match Obs.Json.member "pack" doc with
+    | Some (Obs.Json.List rows) -> rows
+    | Some _ | None -> fail "%s: no pack section" path
+  in
+  let find scheme mode =
+    List.find_opt
+      (fun row ->
+        str_field row "scheme" = Some scheme && str_field row "mode" = Some mode)
+      rows
+  in
+  let schemes =
+    List.sort_uniq compare
+      (List.filter_map (fun row -> str_field row "scheme") rows)
+  in
+  if schemes = [] then fail "%s: pack section is empty" path;
+  List.iter
+    (fun scheme ->
+      match (find scheme "boxed", find scheme "packed") with
+      | None, _ | _, None -> problem "%s: missing boxed/packed pair" scheme
+      | Some boxed, Some packed ->
+          let pw = field packed "read_words_per_op"
+          and bw = field boxed "read_words_per_op"
+          and pr = field packed "retire_ns"
+          and br = field boxed "retire_ns" in
+          if not (pw <= packed_words_ceiling) then
+            problem "%s: packed read allocates %.3f words/op (> %.2f)" scheme
+              pw packed_words_ceiling;
+          if not (bw >= boxed_words_floor) then
+            problem
+              "%s: boxed read allocates only %.3f words/op (< %.2f) — \
+               ablation ref leaked?"
+              scheme bw boxed_words_floor;
+          if not (pr <= br *. retire_slack) then
+            problem "%s: packed retire %.0fns vs boxed %.0fns (> %.1fx)" scheme
+              pr br retire_slack;
+          (match
+             (Obs.Json.member "cas_retries" packed,
+              Obs.Json.member "cas_retries" boxed)
+           with
+          | Some Obs.Json.Null, Some Obs.Json.Null -> ()
+          | Some (Obs.Json.Int p), Some (Obs.Json.Int b) ->
+              if p < 0 || b < 0 then
+                problem "%s: negative cas_retries (%d packed, %d boxed)" scheme
+                  p b
+          | _ -> problem "%s: malformed cas_retries" scheme);
+          if !failures = 0 then
+            Printf.printf
+              "  ok   %-6s packed %.3f w/op vs boxed %.3f, retire %.0fns vs \
+               %.0fns\n"
+              scheme pw bw pr br)
+    schemes;
+  if !failures > 0 then begin
+    Printf.printf "%s: %d pack check(s) failed\n" path !failures;
+    exit 1
+  end
+  else
+    Printf.printf "%s: word packing OK (%d schemes)\n" path
+      (List.length schemes)
