@@ -376,3 +376,171 @@ let batteries =
 
 let run name cfg = (List.assoc name batteries) cfg
 let run_all cfg = List.map (fun (_, f) -> f cfg) batteries
+
+(* ------------------------------------------------------------------ *)
+(* Stall injection (watchdog battery)                                  *)
+(* ------------------------------------------------------------------ *)
+
+type stall_report = {
+  st_name : string;
+  st_victim : int;  (* the parked domain's registry slot *)
+  st_ticks : int;  (* sampler passes completed *)
+  st_stalls : int;  (* validated stall reports emitted *)
+  st_age_max : int;  (* oldest age (ticks) the victim was flagged at *)
+  st_detected : bool;
+  st_cleared : bool;
+  st_leaked : int;
+  st_errors : string list;
+}
+
+let stall_ok r =
+  r.st_errors = [] && r.st_detected && r.st_cleared && r.st_leaked = 0
+
+let pp_stall_report fmt r =
+  Format.fprintf fmt
+    "@[<v 2>%s: victim tid %d, %d ticks, %d stall reports (age max %d)@,\
+     detected %b, cleared after release %b, leaked %d%a@]"
+    r.st_name r.st_victim r.st_ticks r.st_stalls r.st_age_max r.st_detected
+    r.st_cleared r.st_leaked
+    (fun fmt -> function
+      | [] -> ()
+      | es ->
+          Format.fprintf fmt "@,errors:@,%a"
+            (Format.pp_print_list Format.pp_print_string)
+            es)
+    r.st_errors
+
+module Stall_hp = Reclaim.Hp.Make (CN)
+
+(* Park one domain inside a guard with a protection published on the
+   hot slot while churners keep evicting and retiring — the stalled
+   guard pins real memory, exactly the failure the watchdog exists to
+   surface — then assert the sampler flags the victim's slot and stops
+   flagging it once the guard is released and the slot quarantined. *)
+let run_stall ?(interval = 0.002) ?(stall_age = 3) ?(churners = 2)
+    ?(ops = 400) () =
+  let errors_lock = Mutex.create () in
+  let errors = ref [] in
+  let err e =
+    Mutex.lock errors_lock;
+    errors := Printexc.to_string e :: !errors;
+    Mutex.unlock errors_lock
+  in
+  let alloc = Memdom.Alloc.create "stall-chaos" in
+  let s = Stall_hp.create ~max_hps:4 alloc in
+  let mk v = { hdr = Memdom.Alloc.hdr alloc (); payload = v } in
+  let table = Array.init 4 (fun i -> Link.make (Link.Ptr (mk i))) in
+  let sink = Obs.Sink.make () in
+  (* fresh registry: this battery's series never mix with the ambient
+     default; the watchdog itself is process-global, which is the point
+     — detection needs no per-battery wiring *)
+  let registry = Obs.Metrics.create () in
+  let sampler = Obs.Sampler.start ~interval ~registry ~sink ~stall_age () in
+  (* the watchdog only stamps once the tick is live; make sure at least
+     one sampler pass ran before the victim enters its guard *)
+  let t0 = Obs.Watchdog.tick () in
+  while Obs.Watchdog.tick () <= t0 do
+    Unix.sleepf (interval /. 2.)
+  done;
+  let victim_tid = Atomic.make (-1) in
+  let release = Atomic.make false in
+  let victim =
+    Domain.spawn (fun () ->
+        try
+          Registry.with_tid (fun tid ->
+              Stall_hp.begin_op s ~tid;
+              ignore (Stall_hp.get_protected s ~tid ~idx:0 table.(0));
+              Atomic.set victim_tid tid;
+              while not (Atomic.get release) do
+                Unix.sleepf (interval /. 2.)
+              done;
+              Stall_hp.end_op s ~tid)
+        with e -> err e)
+  in
+  while Atomic.get victim_tid < 0 do
+    Domain.cpu_relax ()
+  done;
+  let vtid = Atomic.get victim_tid in
+  let churn =
+    List.init churners (fun ci ->
+        Domain.spawn (fun () ->
+            try
+              Registry.with_tid (fun tid ->
+                  let rng = Rng.create (0xBEEF + ci) in
+                  for k = 1 to ops do
+                    Stall_hp.begin_op s ~tid;
+                    let n = mk k in
+                    Stall_hp.protect_raw s ~tid ~idx:0 (Some n);
+                    let old =
+                      Link.exchange table.(Rng.int rng 4) (Link.Ptr n)
+                    in
+                    Stall_hp.end_op s ~tid;
+                    match Link.target old with
+                    | Some o -> Stall_hp.retire s ~tid o
+                    | None -> ()
+                  done)
+            with e -> err e))
+  in
+  (* wait (bounded) for the sampler to flag the victim *)
+  let victim_stalls () =
+    List.concat_map Array.to_list (Obs.Sink.events sink)
+    |> List.filter (fun (e : Obs.Event.t) ->
+           e.kind = Obs.Event.Stall && e.uid = vtid)
+  in
+  let deadline = Unix.gettimeofday () +. 10. in
+  let rec await_detect () =
+    if victim_stalls () <> [] then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Unix.sleepf interval;
+      await_detect ()
+    end
+  in
+  let detected = await_detect () in
+  List.iter Domain.join churn;
+  Atomic.set release true;
+  Domain.join victim;
+  (* the victim's with_tid release quarantined its slot, which clears
+     the stamp row and bumps the generation: the watchdog must stop
+     reporting it within a couple of ticks *)
+  let clear_deadline = Unix.gettimeofday () +. 5. in
+  let rec await_clear () =
+    let still =
+      List.exists (fun (tid, _) -> tid = vtid) (Obs.Watchdog.check ~max_age:stall_age ())
+    in
+    if not still then true
+    else if Unix.gettimeofday () > clear_deadline then false
+    else begin
+      Unix.sleepf interval;
+      await_clear ()
+    end
+  in
+  let cleared = await_clear () in
+  let ticks = Obs.Sampler.ticks sampler in
+  let stalls = Obs.Sampler.stalls sampler in
+  Obs.Sampler.stop sampler;
+  (* quiesce and check the pinned memory was all recovered *)
+  let tid = Registry.tid () in
+  Array.iter
+    (fun slot ->
+      match Link.target (Link.exchange slot Link.Null) with
+      | Some n -> Stall_hp.retire s ~tid n
+      | None -> ())
+    table;
+  Stall_hp.flush s;
+  let age_max =
+    List.fold_left
+      (fun acc (e : Obs.Event.t) -> max acc e.arg)
+      0 (victim_stalls ())
+  in
+  {
+    st_name = "stall-hp";
+    st_victim = vtid;
+    st_ticks = ticks;
+    st_stalls = stalls;
+    st_age_max = age_max;
+    st_detected = detected;
+    st_cleared = cleared;
+    st_leaked = Memdom.Alloc.live alloc;
+    st_errors = List.rev !errors;
+  }

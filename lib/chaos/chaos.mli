@@ -75,3 +75,40 @@ val run : string -> cfg -> report
 (** Run the named battery.  Raises [Not_found] on an unknown name. *)
 
 val run_all : cfg -> report list
+
+(** {2 Stall injection}
+
+    The watchdog battery: park a domain inside a guard with a live
+    protection while churners evict and retire around it, and assert
+    the metrics plane ({!Obs.Sampler} + {!Obs.Watchdog}) flags the
+    parked slot — and stops flagging it once the guard is released and
+    the slot quarantined. *)
+
+type stall_report = {
+  st_name : string;
+  st_victim : int;  (** the parked domain's registry slot *)
+  st_ticks : int;  (** sampler passes completed *)
+  st_stalls : int;  (** validated stall reports emitted *)
+  st_age_max : int;  (** oldest age (in ticks) the victim was flagged at *)
+  st_detected : bool;  (** a [Stall] event named the victim's slot *)
+  st_cleared : bool;  (** after release, the victim is no longer flagged *)
+  st_leaked : int;  (** [Alloc.live] after quiesce — must be 0 *)
+  st_errors : string list;
+}
+
+val stall_ok : stall_report -> bool
+(** No errors, detected, cleared, nothing leaked. *)
+
+val pp_stall_report : Format.formatter -> stall_report -> unit
+
+val run_stall :
+  ?interval:float ->
+  ?stall_age:int ->
+  ?churners:int ->
+  ?ops:int ->
+  unit ->
+  stall_report
+(** Run the battery.  [interval] is the sampler period (default 2 ms),
+    [stall_age] the watchdog threshold in ticks (default 3), [churners]
+    the number of evicting writer domains (default 2), [ops] their
+    operation count (default 400). *)

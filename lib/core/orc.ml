@@ -84,9 +84,13 @@ module Make (N : NODE) = struct
     n_scans : Shard.t; (* tryHandover invocations *)
     n_scan_slots : Shard.t; (* hazard slots visited by those scans *)
     n_elided : Shard.t; (* hazard publishes skipped in [load] *)
+    wd : Obs.Watchdog.t; (* guard-stall stamp table *)
     (* strong reference keeping the weakly-registered quarantine
        cleaner alive exactly as long as this scheme *)
     mutable lifecycle : int -> unit;
+    (* strong reference keeping the weakly-registered metrics probes
+       alive exactly as long as this scheme *)
+    mutable metrics : (string * (unit -> int)) list;
   }
 
   type stats = {
@@ -400,11 +404,40 @@ module Make (N : NODE) = struct
         n_scans = Shard.create ();
         n_scan_slots = Shard.create ();
         n_elided = Shard.create ();
+        wd = Obs.Watchdog.create ();
         lifecycle = ignore;
+        metrics = [];
       }
     in
     t.lifecycle <- (fun tid -> thread_exit t ~tid);
     Registry.on_quarantine t.lifecycle;
+    (* OrcGC's stats record is richer than [Scheme_intf.stats], so the
+       probes are registered directly rather than through
+       [register_metrics]; same weak-probe keep-alive contract. *)
+    let labels = [ ("scheme", name) ] in
+    let counters =
+      [
+        ("orcgc_retires_total", fun () -> Shard.get t.n_retires);
+        ("orcgc_handovers_total", fun () -> Shard.get t.n_handovers);
+        ("orcgc_cascades_total", fun () -> Shard.get t.n_cascades);
+        ("orcgc_scans_total", fun () -> Shard.get t.n_scans);
+        ("orcgc_scan_slots_total", fun () -> Shard.get t.n_scan_slots);
+        ("orcgc_elided_total", fun () -> Shard.get t.n_elided);
+      ]
+    and gauges =
+      [
+        ("orcgc_unreclaimed", fun () -> Shard.get t.pending);
+        ("orcgc_stall_age_max", fun () -> Obs.Watchdog.stall_age_max t.wd);
+      ]
+    in
+    List.iter
+      (fun (n, f) ->
+        Obs.Metrics.probe Obs.Metrics.default ~labels ~counter:true n f)
+      counters;
+    List.iter
+      (fun (n, f) -> Obs.Metrics.probe Obs.Metrics.default ~labels n f)
+      gauges;
+    t.metrics <- counters @ gauges;
     t
 
   (* {2 Hazard-index management (Algorithm 6 lines 119–132)} *)
@@ -721,6 +754,7 @@ module Make (N : NODE) = struct
   let with_guard t f =
     let tid = Registry.tid () in
     let g = { t; tid; ptrs = [] } in
+    Obs.Watchdog.enter t.wd ~tid;
     Obs.Sink.guard_begin t.sink ~tid;
     let finally () =
       List.iter (fun p -> clear t ~tid p.v p.idx ~reuse:false) g.ptrs;
@@ -728,7 +762,8 @@ module Make (N : NODE) = struct
       let tl = t.tl.(tid) in
       Atomic.set tl.hp.(0) None;
       drain_handover t ~tid 0;
-      Obs.Sink.guard_end t.sink ~tid
+      Obs.Sink.guard_end t.sink ~tid;
+      Obs.Watchdog.leave t.wd ~tid
     in
     Fun.protect ~finally (fun () -> f g)
 

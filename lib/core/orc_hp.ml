@@ -57,9 +57,13 @@ module Make (N : Orc.NODE) = struct
     pending : Shard.t;
     n_elided : Shard.t; (* hazard publishes skipped in [load] *)
     orphans : node Reclaim.Orphan.t;
+    wd : Obs.Watchdog.t; (* guard-stall stamp table *)
     (* strong reference keeping the weakly-registered quarantine
        cleaner alive exactly as long as this scheme *)
     mutable lifecycle : int -> unit;
+    (* strong reference keeping the weakly-registered metrics probes
+       alive exactly as long as this scheme *)
+    mutable metrics : (string * (unit -> int)) list;
   }
 
   type guard = { t : t; tid : int; mutable ptrs : ptr list }
@@ -294,11 +298,30 @@ module Make (N : Orc.NODE) = struct
         pending = Shard.create ();
         n_elided = Shard.create ();
         orphans = Reclaim.Orphan.create ();
+        wd = Obs.Watchdog.create ();
         lifecycle = ignore;
+        metrics = [];
       }
     in
     t.lifecycle <- (fun tid -> thread_exit t ~tid);
     Registry.on_quarantine t.lifecycle;
+    let labels = [ ("scheme", name) ] in
+    let counters =
+      [ ("orcgc_elided_total", fun () -> Shard.get t.n_elided) ]
+    and gauges =
+      [
+        ("orcgc_unreclaimed", fun () -> Shard.get t.pending);
+        ("orcgc_stall_age_max", fun () -> Obs.Watchdog.stall_age_max t.wd);
+      ]
+    in
+    List.iter
+      (fun (n, f) ->
+        Obs.Metrics.probe Obs.Metrics.default ~labels ~counter:true n f)
+      counters;
+    List.iter
+      (fun (n, f) -> Obs.Metrics.probe Obs.Metrics.default ~labels n f)
+      gauges;
+    t.metrics <- counters @ gauges;
     t
 
   (* {2 Hazard-index management and pointer handles — identical to the
@@ -579,12 +602,14 @@ module Make (N : Orc.NODE) = struct
   let with_guard t f =
     let tid = Registry.tid () in
     let g = { t; tid; ptrs = [] } in
+    Obs.Watchdog.enter t.wd ~tid;
     Obs.Sink.guard_begin t.sink ~tid;
     let finally () =
       List.iter (fun p -> clear t ~tid p.v p.idx ~reuse:false) g.ptrs;
       g.ptrs <- [];
       Atomic.set t.tl.(tid).hp.(0) None;
-      Obs.Sink.guard_end t.sink ~tid
+      Obs.Sink.guard_end t.sink ~tid;
+      Obs.Watchdog.leave t.wd ~tid
     in
     Fun.protect ~finally (fun () -> f g)
 

@@ -38,15 +38,21 @@ module Make (N : Reclaim.Scheme_intf.NODE) :
     hp : node option Atomic.t array array; (* [tid][idx] *)
     handovers : node option Atomic.t array array; (* [tid][idx] *)
     counters : Reclaim.Scheme_intf.Counters.t;
+    wd : Obs.Watchdog.t; (* guard-stall stamp table *)
     (* strong reference keeping the weakly-registered quarantine
        cleaner alive exactly as long as this scheme *)
     mutable lifecycle : int -> unit;
+    (* strong reference keeping the weakly-registered metrics probes
+       alive exactly as long as this scheme *)
+    mutable metrics : (string * (unit -> int)) list;
   }
 
   let name = "ptp"
   let max_hps t = t.hps
 
-  let begin_op t ~tid = Obs.Sink.guard_begin t.sink ~tid
+  let begin_op t ~tid =
+    Obs.Watchdog.enter t.wd ~tid;
+    Obs.Sink.guard_begin t.sink ~tid
 
   let publish t ~tid ~idx n =
     if !publish_with_exchange then ignore (Atomic.exchange t.hp.(tid).(idx) n)
@@ -181,7 +187,8 @@ module Make (N : Reclaim.Scheme_intf.NODE) :
     for idx = 0 to t.hps - 1 do
       clear t ~tid ~idx
     done;
-    Obs.Sink.guard_end t.sink ~tid
+    Obs.Sink.guard_end t.sink ~tid;
+    Obs.Watchdog.leave t.wd ~tid
 
   (* Quarantine cleaner.  PTP has no retired lists, so thread death
      leaves exactly two things behind: published hazards (which would
@@ -219,11 +226,19 @@ module Make (N : Reclaim.Scheme_intf.NODE) :
         hp = Array.init Registry.max_threads mk;
         handovers = Array.init Registry.max_threads mk;
         counters = Reclaim.Scheme_intf.Counters.create ();
+        wd = Obs.Watchdog.create ();
         lifecycle = ignore;
+        metrics = [];
       }
     in
     t.lifecycle <- (fun tid -> orphan t ~tid);
     Registry.on_quarantine t.lifecycle;
+    t.metrics <-
+      Reclaim.Scheme_intf.register_metrics ~scheme:name
+        ~stats:(fun () -> Reclaim.Scheme_intf.Counters.stats t.counters)
+        ~unreclaimed:(fun () ->
+          Reclaim.Scheme_intf.Counters.unreclaimed t.counters)
+        ~wd:t.wd ();
     t
 
   let unreclaimed t = Reclaim.Scheme_intf.Counters.unreclaimed t.counters

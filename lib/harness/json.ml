@@ -4,6 +4,55 @@
    call site working. *)
 include Obs.Json
 
+(* Provenance block stamped into every benchmark JSON: enough to tell
+   two BENCH_orc.json artifacts apart without the CI run that produced
+   them.  Each field degrades to a placeholder rather than failing —
+   benches run outside git checkouts too. *)
+let meta () =
+  let commit =
+    let try_read ic =
+      let line = try input_line ic with End_of_file -> "" in
+      ignore (Unix.close_process_in ic);
+      line
+    in
+    match
+      try Some (Unix.open_process_in "git rev-parse HEAD 2>/dev/null")
+      with _ -> None
+    with
+    | None -> "unknown"
+    | Some ic -> ( match try_read ic with "" -> "unknown" | c -> c)
+  in
+  let host = try Unix.gethostname () with _ -> "unknown" in
+  let now = Unix.gettimeofday () in
+  Obj
+    [
+      ("commit", Str commit);
+      ("ocaml", Str Sys.ocaml_version);
+      ("host", Str host);
+      ("unix_time", Float now);
+      ("packed", Bool !Memdom.Hdr.packed);
+      ("word_size", Int Sys.word_size);
+    ]
+
+(* Merge [sections] into the top-level object already in [path] (if any
+   parses), so independent bench invocations writing different sections
+   compose into one artifact instead of clobbering each other.  New
+   sections win on name collision; a fresh [meta] block is stamped on
+   every write. *)
+let write_merged path sections =
+  let existing =
+    match of_file path with
+    | Obj kvs -> kvs
+    | _ -> []
+    | exception (Sys_error _ | Parse_error _) -> []
+  in
+  let keep =
+    List.filter
+      (fun (k, _) -> k <> "meta" && not (List.mem_assoc k sections))
+      existing
+  in
+  to_file path (Obj ((("meta", meta ()) :: keep) @ sections))
+
 let of_series series =
   List
     (List.map

@@ -11,3 +11,16 @@ end
 val of_series : Report.series list -> t
 (** A result table as
     [[{"label": .., "points": [{"threads": .., "value": ..}]}]]. *)
+
+val meta : unit -> t
+(** Provenance object: git commit (or ["unknown"] outside a checkout),
+    OCaml version, hostname, wall-clock time, header-packing mode and
+    word size.  Stamped into benchmark artifacts by {!write_merged}. *)
+
+val write_merged : string -> (string * t) list -> unit
+(** Merge [sections] into the top-level object already stored at the
+    path (a missing or unparseable file starts empty), replacing
+    sections with the same name, refreshing the ["meta"] block, and
+    writing the result back.  This is how [bench/main.exe --json]
+    composes [--scan], [--pack] and [--metrics] runs into one
+    [BENCH_orc.json] instead of clobbering it. *)

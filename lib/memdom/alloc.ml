@@ -22,19 +22,65 @@ type t = {
   n_freed : Atomicx.Shard.t;
   era_clock : int Atomic.t;
   pool : Pool.t option;
+  (* strong reference keeping the weakly-registered metrics probes
+     alive exactly as long as this allocator *)
+  mutable metrics : (string * (unit -> int)) list;
 }
 
 let create ?(mode = System) ?sink name =
   let sink = match sink with Some s -> s | None -> !Obs.Sink.default in
-  {
-    mode;
-    name;
-    sink;
-    n_alloc = Atomicx.Shard.create ();
-    n_freed = Atomicx.Shard.create ();
-    era_clock = Atomic.make 1;
-    pool = (match mode with System -> None | Pool -> Some (Pool.create sink));
-  }
+  let t =
+    {
+      mode;
+      name;
+      sink;
+      n_alloc = Atomicx.Shard.create ();
+      n_freed = Atomicx.Shard.create ();
+      era_clock = Atomic.make 1;
+      pool = (match mode with System -> None | Pool -> Some (Pool.create sink));
+      metrics = [];
+    }
+  in
+  (* Allocator-economy probes, labelled by allocator name; instances
+     sharing a name aggregate by summation at sample time (the
+     [Obs.Metrics.probe] contract).  Pool economics are only registered
+     when a pool exists, so System-mode series do not export constant
+     zeros. *)
+  let labels = [ ("alloc", name) ] in
+  let counters =
+    [
+      ("orcgc_alloc_total", fun () -> Atomicx.Shard.get t.n_alloc);
+      ("orcgc_freed_total", fun () -> Atomicx.Shard.get t.n_freed);
+    ]
+    @
+    match t.pool with
+    | None -> []
+    | Some p ->
+        [
+          ("orcgc_pool_hits_total", fun () -> Pool.hits p);
+          ("orcgc_pool_misses_total", fun () -> Pool.misses p);
+          ("orcgc_pool_remote_frees_total", fun () -> Pool.remote_frees p);
+          ("orcgc_pool_refills_total", fun () -> Pool.refills p);
+        ]
+  in
+  let gauges =
+    [
+      ( "orcgc_live",
+        fun () ->
+          let a = Atomicx.Shard.get t.n_alloc in
+          let f = Atomicx.Shard.get t.n_freed in
+          a - f );
+    ]
+  in
+  List.iter
+    (fun (n, f) ->
+      Obs.Metrics.probe Obs.Metrics.default ~labels ~counter:true n f)
+    counters;
+  List.iter
+    (fun (n, f) -> Obs.Metrics.probe Obs.Metrics.default ~labels n f)
+    gauges;
+  t.metrics <- counters @ gauges;
+  t
 
 let mode t = t.mode
 let label t = t.name

@@ -13,6 +13,7 @@ type kind =
   | Refill
   | Snapshot
   | Elide
+  | Stall
 
 let to_int = function
   | Alloc -> 0
@@ -29,6 +30,7 @@ let to_int = function
   | Refill -> 11
   | Snapshot -> 12
   | Elide -> 13
+  | Stall -> 14
 
 let of_int = function
   | 0 -> Alloc
@@ -45,6 +47,7 @@ let of_int = function
   | 11 -> Refill
   | 12 -> Snapshot
   | 13 -> Elide
+  | 14 -> Stall
   | n -> invalid_arg (Printf.sprintf "Obs.Event.of_int: %d" n)
 
 let name = function
@@ -62,6 +65,7 @@ let name = function
   | Refill -> "refill"
   | Snapshot -> "snapshot"
   | Elide -> "elide"
+  | Stall -> "stall"
 
 type t = {
   seq : int;  (** per-thread emission index, contiguous within a ring *)

@@ -34,9 +34,12 @@ type kind =
   | Elide
       (** a protection publish was skipped because the slot already held
           the target (read-side fast path) *)
+  | Stall
+      (** the {!Watchdog} flagged a non-progressing guard: [uid] = the
+          stalled registry slot, [arg] = its age in watchdog ticks *)
 
 val to_int : kind -> int
-(** Dense encoding in [0, 13] — what the rings store. *)
+(** Dense encoding in [0, 14] — what the rings store. *)
 
 val of_int : int -> kind
 (** Inverse of {!to_int}; raises [Invalid_argument] out of range. *)

@@ -58,6 +58,7 @@ type report = {
   mean : float;
   p50 : int;
   p99 : int;
+  p999 : int;
   max : int;
   by_bucket : (int * int) list;  (** (bucket floor, count), non-empty only *)
 }
@@ -81,17 +82,38 @@ let merged t =
   done;
   (counts, !count, !sum, !mx)
 
-let quantile_of counts total q =
+(* Quantile estimate over the merged buckets.  A rank landing in any
+   bucket below the highest occupied one reports that bucket's floor
+   (within 2x below the true value, the histogram's native resolution).
+   A rank landing in the {e top occupied} bucket interpolates linearly
+   between the bucket floor and the exact recorded maximum instead:
+   without this, a distribution saturating its top bucket pins every
+   upper quantile at the bucket floor no matter how far the tail
+   actually reaches (smoke runs used to report retire_free_p99_ns
+   frozen at 1048576 = 2^20 for exactly this reason). *)
+let quantile_of counts total mx q =
   if total = 0 then 0
   else begin
     let rank = int_of_float (ceil (q *. float_of_int total)) in
     let rank = if rank < 1 then 1 else rank in
+    let top = ref 0 in
+    for b = 0 to buckets - 1 do
+      if counts.(b) > 0 then top := b
+    done;
     let acc = ref 0 and result = ref 0 in
     (try
        for b = 0 to buckets - 1 do
+         let before = !acc in
          acc := !acc + counts.(b);
          if !acc >= rank then begin
-           result := bucket_floor b;
+           let floor = bucket_floor b in
+           (result :=
+              if b = !top && mx > floor then
+                let frac =
+                  float_of_int (rank - before) /. float_of_int counts.(b)
+                in
+                floor + int_of_float (frac *. float_of_int (mx - floor))
+              else floor);
            raise_notrace Exit
          end
        done
@@ -108,8 +130,9 @@ let report t =
   {
     count;
     mean = (if count = 0 then 0. else float_of_int sum /. float_of_int count);
-    p50 = quantile_of counts count 0.50;
-    p99 = quantile_of counts count 0.99;
+    p50 = quantile_of counts count mx 0.50;
+    p99 = quantile_of counts count mx 0.99;
+    p999 = quantile_of counts count mx 0.999;
     max = mx;
     by_bucket = !by_bucket;
   }
@@ -122,8 +145,9 @@ let pp ?(unit_label = "ns") fmt t =
   let r = report t in
   if r.count = 0 then Format.fprintf fmt "(empty)"
   else begin
-    Format.fprintf fmt "n=%d mean=%.0f%s p50=%d%s p99=%d%s max=%d%s@." r.count
-      r.mean unit_label r.p50 unit_label r.p99 unit_label r.max unit_label;
+    Format.fprintf fmt "n=%d mean=%.0f%s p50=%d%s p99=%d%s p99.9=%d%s max=%d%s@."
+      r.count r.mean unit_label r.p50 unit_label r.p99 unit_label r.p999
+      unit_label r.max unit_label;
     List.iter
       (fun (floor, n) ->
         Format.fprintf fmt "  >=%-12d %6d %s@." floor n
@@ -138,6 +162,7 @@ let report_to_json r =
       ("mean_ns", Json.Float r.mean);
       ("p50_ns", Json.Int r.p50);
       ("p99_ns", Json.Int r.p99);
+      ("p999_ns", Json.Int r.p999);
       ("max_ns", Json.Int r.max);
       ( "buckets",
         Json.List

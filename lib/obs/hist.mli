@@ -27,6 +27,12 @@ type report = {
   mean : float;
   p50 : int;  (** bucket-floor estimate: within 2x below the true p50 *)
   p99 : int;
+  p999 : int;
+      (** p99.9, for SLO reporting.  Like every quantile here it is a
+          bucket-floor estimate, except when the rank lands in the top
+          occupied bucket: there the estimate interpolates toward the
+          exact {!max}, so saturating the top bucket no longer pins the
+          tail quantiles at the bucket floor. *)
   max : int;  (** exact *)
   by_bucket : (int * int) list;  (** (bucket floor, count), non-empty only *)
 }

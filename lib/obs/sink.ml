@@ -135,6 +135,13 @@ let on_elide t ~tid =
   | Active a ->
       Ring.emit a.ring ~tid ~ts:(a.clock ()) ~kind:Event.Elide ~uid:0 ~arg:0
 
+let on_stall t ~tid ~stalled ~age =
+  match t with
+  | Null -> ()
+  | Active a ->
+      Ring.emit a.ring ~tid ~ts:(a.clock ()) ~kind:Event.Stall ~uid:stalled
+        ~arg:age
+
 let scan_begin t = match t with Null -> 0 | Active a -> a.clock ()
 
 let scan_end t ~tid ~slots ~began =

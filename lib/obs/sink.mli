@@ -94,6 +94,12 @@ val on_elide : t -> tid:int -> unit
     emit this (HP/PTP/OrcGC); for era schemes elision is the common
     case and per-event tracing would swamp the rings. *)
 
+val on_stall : t -> tid:int -> stalled:int -> age:int -> unit
+(** Records the Stall event: the {!Watchdog} flagged registry slot
+    [stalled] as holding a guard for [age] watchdog ticks without
+    progress.  [tid] is the watchdog/sampler thread doing the
+    flagging, not the stalled thread. *)
+
 val scan_begin : t -> int
 (** Timestamp token to pass to {!scan_end} (0 under {!null}). *)
 

@@ -28,21 +28,27 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     scan_threshold : int;
     counters : Scheme_intf.Counters.t;
     orphans : (node * int) Orphan.t; (* batches keep their retire epochs *)
+    wd : Obs.Watchdog.t; (* guard-stall stamp table *)
     (* strong reference keeping the weakly-registered quarantine
        cleaner alive exactly as long as this scheme *)
     mutable lifecycle : int -> unit;
+    (* strong reference keeping the weakly-registered metrics probes
+       alive exactly as long as this scheme *)
+    mutable metrics : (string * (unit -> int)) list;
   }
 
   let name = "ebr"
   let max_hps t = t.hps
 
   let begin_op t ~tid =
+    Obs.Watchdog.enter t.wd ~tid;
     Atomic.set t.announce.(tid) (Atomic.get t.global_epoch);
     Obs.Sink.guard_begin t.sink ~tid
 
   let end_op t ~tid =
     Atomic.set t.announce.(tid) quiescent;
-    Obs.Sink.guard_end t.sink ~tid
+    Obs.Sink.guard_end t.sink ~tid;
+    Obs.Watchdog.leave t.wd ~tid
 
   (* Protection is implicit in the epoch announcement: a plain validated
      read suffices. *)
@@ -147,11 +153,18 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
         scan_threshold = 128;
         counters = Scheme_intf.Counters.create ();
         orphans = Orphan.create ();
+        wd = Obs.Watchdog.create ();
         lifecycle = ignore;
+        metrics = [];
       }
     in
     t.lifecycle <- (fun tid -> orphan t ~tid);
     Registry.on_quarantine t.lifecycle;
+    t.metrics <-
+      Scheme_intf.register_metrics ~scheme:name
+        ~stats:(fun () -> Scheme_intf.Counters.stats t.counters)
+        ~unreclaimed:(fun () -> Scheme_intf.Counters.unreclaimed t.counters)
+        ~wd:t.wd ();
     t
 
   let unreclaimed t = Scheme_intf.Counters.unreclaimed t.counters

@@ -32,14 +32,21 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     era_freq : int;
     counters : Scheme_intf.Counters.t;
     orphans : node Orphan.t;
+    wd : Obs.Watchdog.t; (* guard-stall stamp table *)
     (* strong reference keeping the weakly-registered quarantine
        cleaner alive exactly as long as this scheme *)
     mutable lifecycle : int -> unit;
+    (* strong reference keeping the weakly-registered metrics probes
+       alive exactly as long as this scheme *)
+    mutable metrics : (string * (unit -> int)) list;
   }
 
   let name = "he"
   let max_hps t = t.hps
-  let begin_op t ~tid = Obs.Sink.guard_begin t.sink ~tid
+
+  let begin_op t ~tid =
+    Obs.Watchdog.enter t.wd ~tid;
+    Obs.Sink.guard_begin t.sink ~tid
 
   let clear t ~tid ~idx = Atomic.set t.he.(tid).(idx) none_era
 
@@ -47,7 +54,8 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     for idx = 0 to t.hps - 1 do
       clear t ~tid ~idx
     done;
-    Obs.Sink.guard_end t.sink ~tid
+    Obs.Sink.guard_end t.sink ~tid;
+    Obs.Watchdog.leave t.wd ~tid
 
   (* HE protect (also used by IBR 2GE): publish the era, then re-read the
      link; stable era + stable link validate the protection. *)
@@ -255,11 +263,18 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
         era_freq = 16;
         counters = Scheme_intf.Counters.create ();
         orphans = Orphan.create ();
+        wd = Obs.Watchdog.create ();
         lifecycle = ignore;
+        metrics = [];
       }
     in
     t.lifecycle <- (fun tid -> orphan t ~tid);
     Registry.on_quarantine t.lifecycle;
+    t.metrics <-
+      Scheme_intf.register_metrics ~scheme:name
+        ~stats:(fun () -> Scheme_intf.Counters.stats t.counters)
+        ~unreclaimed:(fun () -> Scheme_intf.Counters.unreclaimed t.counters)
+        ~wd:t.wd ();
     t
 
   let unreclaimed t = Scheme_intf.Counters.unreclaimed t.counters

@@ -31,14 +31,21 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     threshold : int Atomic.t; (* cached R = 2·H·t, refreshed on crossing *)
     counters : Scheme_intf.Counters.t;
     orphans : node Orphan.t;
+    wd : Obs.Watchdog.t; (* guard-stall stamp table *)
     (* strong reference keeping the weakly-registered quarantine
        cleaner alive exactly as long as this scheme *)
     mutable lifecycle : int -> unit;
+    (* strong reference keeping the weakly-registered metrics probes
+       alive exactly as long as this scheme *)
+    mutable metrics : (string * (unit -> int)) list;
   }
 
   let name = "hp"
   let max_hps t = t.hps
-  let begin_op t ~tid = Obs.Sink.guard_begin t.sink ~tid
+
+  let begin_op t ~tid =
+    Obs.Watchdog.enter t.wd ~tid;
+    Obs.Sink.guard_begin t.sink ~tid
 
   let protect_raw t ~tid ~idx n = Atomic.set t.hp.(tid).(idx) n
 
@@ -54,7 +61,8 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     for idx = 0 to t.hps - 1 do
       clear t ~tid ~idx
     done;
-    Obs.Sink.guard_end t.sink ~tid
+    Obs.Sink.guard_end t.sink ~tid;
+    Obs.Watchdog.leave t.wd ~tid
 
   let get_protected t ~tid ~idx link =
     let slot = t.hp.(tid).(idx) in
@@ -299,11 +307,18 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
         threshold = Atomic.make (2 * max_hps);
         counters = Scheme_intf.Counters.create ();
         orphans = Orphan.create ();
+        wd = Obs.Watchdog.create ();
         lifecycle = ignore;
+        metrics = [];
       }
     in
     t.lifecycle <- (fun tid -> orphan t ~tid);
     Registry.on_quarantine t.lifecycle;
+    t.metrics <-
+      Scheme_intf.register_metrics ~scheme:name
+        ~stats:(fun () -> Scheme_intf.Counters.stats t.counters)
+        ~unreclaimed:(fun () -> Scheme_intf.Counters.unreclaimed t.counters)
+        ~wd:t.wd ();
     t
 
   let unreclaimed t = Scheme_intf.Counters.unreclaimed t.counters

@@ -34,9 +34,13 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     era_freq : int;
     counters : Scheme_intf.Counters.t;
     orphans : node Orphan.t;
+    wd : Obs.Watchdog.t; (* guard-stall stamp table *)
     (* strong reference keeping the weakly-registered quarantine
        cleaner alive exactly as long as this scheme *)
     mutable lifecycle : int -> unit;
+    (* strong reference keeping the weakly-registered metrics probes
+       alive exactly as long as this scheme *)
+    mutable metrics : (string * (unit -> int)) list;
   }
 
   let name = "ibr"
@@ -44,6 +48,7 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
   let no_reservation = max_int
 
   let begin_op t ~tid =
+    Obs.Watchdog.enter t.wd ~tid;
     let e = Memdom.Alloc.era t.alloc in
     Atomic.set t.lo.(tid) e;
     Atomic.set t.hi.(tid) e;
@@ -52,7 +57,8 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
   let end_op t ~tid =
     Atomic.set t.lo.(tid) no_reservation;
     Atomic.set t.hi.(tid) 0;
-    Obs.Sink.guard_end t.sink ~tid
+    Obs.Sink.guard_end t.sink ~tid;
+    Obs.Watchdog.leave t.wd ~tid
 
   (* Extend the reservation to cover the read: loop until the link is
      re-read under an era already covered by [hi]. *)
@@ -240,11 +246,18 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
         era_freq = 16;
         counters = Scheme_intf.Counters.create ();
         orphans = Orphan.create ();
+        wd = Obs.Watchdog.create ();
         lifecycle = ignore;
+        metrics = [];
       }
     in
     t.lifecycle <- (fun tid -> orphan t ~tid);
     Registry.on_quarantine t.lifecycle;
+    t.metrics <-
+      Scheme_intf.register_metrics ~scheme:name
+        ~stats:(fun () -> Scheme_intf.Counters.stats t.counters)
+        ~unreclaimed:(fun () -> Scheme_intf.Counters.unreclaimed t.counters)
+        ~wd:t.wd ();
     t
 
   let unreclaimed t = Scheme_intf.Counters.unreclaimed t.counters

@@ -144,6 +144,89 @@ let test_hist_merges_shards () =
       done);
   check_int "all shards merged" 4_000 (Obs.Hist.count h)
 
+let test_hist_empty_report () =
+  let h = Obs.Hist.create () in
+  let r = Obs.Hist.report h in
+  check_int "count" 0 r.Obs.Hist.count;
+  check_int "p50" 0 r.Obs.Hist.p50;
+  check_int "p99" 0 r.Obs.Hist.p99;
+  check_int "p999" 0 r.Obs.Hist.p999;
+  check_int "max" 0 r.Obs.Hist.max;
+  check_bool "mean" true (r.Obs.Hist.mean = 0.);
+  check_bool "no buckets" true (r.Obs.Hist.by_bucket = [])
+
+let test_hist_single_sample () =
+  let h = Obs.Hist.create () in
+  Obs.Hist.record h ~tid:(Registry.tid ()) 777;
+  let r = Obs.Hist.report h in
+  (* the one sample occupies the top bucket, so every quantile
+     interpolates all the way to the exact recorded value *)
+  check_int "count" 1 r.Obs.Hist.count;
+  check_int "p50 is exact" 777 r.Obs.Hist.p50;
+  check_int "p99 is exact" 777 r.Obs.Hist.p99;
+  check_int "p999 is exact" 777 r.Obs.Hist.p999;
+  check_int "max" 777 r.Obs.Hist.max
+
+let test_hist_negative_clamp () =
+  let h = Obs.Hist.create () in
+  let tid = Registry.tid () in
+  Obs.Hist.record h ~tid (-5);
+  Obs.Hist.record h ~tid min_int;
+  let r = Obs.Hist.report h in
+  check_int "count" 2 r.Obs.Hist.count;
+  check_int "clamped to 0" 0 r.Obs.Hist.max;
+  check_int "p50 0" 0 r.Obs.Hist.p50;
+  check_bool "one bucket at floor 0" true (r.Obs.Hist.by_bucket = [ (0, 2) ])
+
+(* The saturation fix: a distribution living entirely in its top bucket
+   must not pin every upper quantile at the bucket floor (2^20 here). *)
+let test_hist_top_bucket_quantiles () =
+  let h = Obs.Hist.create () in
+  let tid = Registry.tid () in
+  for _ = 1 to 1_000 do
+    Obs.Hist.record h ~tid 1_500_000
+  done;
+  let r = Obs.Hist.report h in
+  let floor = 1 lsl 20 in
+  check_bool "p50 above the bucket floor" true (r.Obs.Hist.p50 > floor);
+  check_bool "p99 above p50" true (r.Obs.Hist.p99 >= r.Obs.Hist.p50);
+  check_bool "p999 above p99" true (r.Obs.Hist.p999 >= r.Obs.Hist.p99);
+  check_bool "p999 within the recorded max" true
+    (r.Obs.Hist.p999 <= r.Obs.Hist.max);
+  check_int "max exact" 1_500_000 r.Obs.Hist.max;
+  (* interpolation endpoints: rank 1000 of 1000 lands on the max *)
+  check_bool "p999 close to max" true
+    (r.Obs.Hist.max - r.Obs.Hist.p999 < (r.Obs.Hist.max - floor) / 100)
+
+let test_hist_concurrent_record_report () =
+  let h = Obs.Hist.create () in
+  let per_domain = 20_000 in
+  run_domains_exn 3 (fun ~i ~tid ->
+      if i = 0 then
+        (* reader: reports must never tear (count monotone, quantiles
+           within the recorded range) while writers are mid-flight *)
+        let last = ref 0 in
+        for _ = 1 to 200 do
+          let r = Obs.Hist.report h in
+          if r.Obs.Hist.count < !last then
+            Alcotest.failf "count went backwards: %d after %d"
+              r.Obs.Hist.count !last;
+          last := r.Obs.Hist.count;
+          if r.Obs.Hist.count > 0 then begin
+            if r.Obs.Hist.p999 > r.Obs.Hist.max then
+              Alcotest.failf "p999 %d above max %d" r.Obs.Hist.p999
+                r.Obs.Hist.max;
+            if r.Obs.Hist.p50 > r.Obs.Hist.p999 then
+              Alcotest.failf "p50 %d above p999 %d" r.Obs.Hist.p50
+                r.Obs.Hist.p999
+          end
+        done
+      else
+        for k = 1 to per_domain do
+          Obs.Hist.record h ~tid (k land 4095)
+        done);
+  check_int "all writer samples merged" (2 * per_domain) (Obs.Hist.count h)
+
 (* ------------------------------------------------------------------ *)
 (* JSON parser *)
 
@@ -339,6 +422,14 @@ let suite =
         Alcotest.test_case "hist buckets" `Quick test_hist_buckets;
         Alcotest.test_case "hist quantiles" `Quick test_hist_quantiles;
         Alcotest.test_case "hist merges shards" `Quick test_hist_merges_shards;
+        Alcotest.test_case "hist empty report" `Quick test_hist_empty_report;
+        Alcotest.test_case "hist single sample" `Quick test_hist_single_sample;
+        Alcotest.test_case "hist negative clamp" `Quick
+          test_hist_negative_clamp;
+        Alcotest.test_case "hist top-bucket quantiles" `Quick
+          test_hist_top_bucket_quantiles;
+        Alcotest.test_case "hist concurrent record/report" `Quick
+          test_hist_concurrent_record_report;
         Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
         Alcotest.test_case "trace export validates" `Quick
           test_trace_export_validates;

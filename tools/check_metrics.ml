@@ -1,0 +1,134 @@
+(* Guard the live-metrics-plane invariants in a BENCH_orc.json produced
+   by `bench/main.exe --metrics --json` (optionally with `--smoke`):
+
+   - sampler overhead on the guard-per-op list workload must stay within
+     [overhead_ceiling_pct] of the sampler-off baseline (both sides of
+     the A/B run with a second domain alive, so the number isolates the
+     plane itself, not the runtime's multi-domain tax),
+   - the gauge-set, counter-bump and guard-bracket hot paths must be
+     allocation-free (minor words per op at most [words_ceiling], a
+     rounding allowance on Gc.minor_words),
+   - the stall battery must have detected the injected stalled-guard
+     domain, seen it clear after release, and leaked nothing,
+   - every exported series must be internally consistent: its high-water
+     mark covers both the last sample and every retained point, and the
+     retained ticks are strictly increasing,
+   - the sampler's built-in registry series and at least one per-scheme
+     series must be present, and the Prometheus rendering non-empty.
+
+     dune exec tools/check_metrics.exe -- BENCH_orc.json
+
+   Exits 0 when every check passes, 1 otherwise. *)
+
+open Tool_support
+
+let overhead_ceiling_pct = 3.0
+let words_ceiling = 0.001
+
+let () =
+  let path = usage_path ~tool:"check_metrics" ~arg:"BENCH_orc.json" in
+  let doc = load path in
+  let m = section doc ~path "metrics" in
+
+  (* sampler overhead *)
+  let overhead = section m ~path "overhead" in
+  let pct = field overhead "overhead_pct" in
+  if not (pct <= overhead_ceiling_pct) then
+    problem "sampler overhead %.2f%% exceeds %.1f%% (off %.0f ns, on %.0f ns)"
+      pct overhead_ceiling_pct
+      (field overhead "off_ns_per_op")
+      (field overhead "on_ns_per_op")
+  else
+    Printf.printf "  ok   sampler overhead %.2f%% (off %.0f ns, on %.0f ns)\n"
+      pct
+      (field overhead "off_ns_per_op")
+      (field overhead "on_ns_per_op");
+
+  (* hot-path allocation audit *)
+  let words = section m ~path "hot_path_words_per_op" in
+  List.iter
+    (fun name ->
+      let w = field words name in
+      if not (w <= words_ceiling) then
+        problem "%s hot path allocates %.4f words/op (> %.3f)" name w
+          words_ceiling
+      else Printf.printf "  ok   %s: %.4f words/op\n" name w)
+    [ "gauge_set"; "counter_incr"; "guard_bracket" ];
+
+  (* stall battery *)
+  let stall = section m ~path "stall" in
+  if bool_field stall "detected" <> Some true then
+    problem "watchdog never flagged the injected stalled guard";
+  if bool_field stall "cleared" <> Some true then
+    problem "stalled slot still flagged after guard release";
+  if bool_field stall "ok" <> Some true then
+    problem "stall battery reported not-ok (errors or leak)";
+  let leaked = field stall "leaked" in
+  if leaked <> 0. then problem "stall battery leaked %.0f allocations" leaked;
+  if field stall "stall_reports" < 1. then
+    problem "no stall reports emitted during injection";
+  if !failures = 0 then
+    Printf.printf
+      "  ok   stall battery: victim tid %.0f flagged (age max %.0f ticks), \
+       cleared, 0 leaked\n"
+      (field stall "victim_tid") (field stall "age_max");
+
+  (* series consistency *)
+  let series =
+    match Obs.Json.member "series" m with
+    | Some (Obs.Json.List ss) -> ss
+    | Some _ | None -> fail "%s: metrics.series missing or not a list" path
+  in
+  if series = [] then problem "no series were sampled";
+  let labels_of s =
+    match Obs.Json.member "labels" s with
+    | Some (Obs.Json.Obj kvs) -> kvs
+    | _ -> []
+  in
+  List.iter
+    (fun s ->
+      let name = Option.value ~default:"?" (str_field s "name") in
+      let last = field s "last" and hwm = field s "hwm" in
+      if hwm < last then
+        problem "%s: hwm %.0f below last sample %.0f" name hwm last;
+      match Obs.Json.member "points" s with
+      | Some (Obs.Json.List pts) ->
+          let prev_tick = ref min_int in
+          List.iter
+            (fun p ->
+              match p with
+              | Obs.Json.List [ Obs.Json.Int t; Obs.Json.Int v ] ->
+                  if t <= !prev_tick then
+                    problem "%s: non-increasing tick %d after %d" name t
+                      !prev_tick;
+                  prev_tick := t;
+                  if float_of_int v > hwm then
+                    problem "%s: point %d above hwm %.0f" name v hwm
+              | _ -> problem "%s: malformed point" name)
+            pts
+      | _ -> problem "%s: missing points" name)
+    series;
+  let has name pred =
+    List.exists
+      (fun s -> str_field s "name" = Some name && pred (labels_of s))
+      series
+  in
+  if not (has "orcgc_registry_active" (fun _ -> true)) then
+    problem "built-in registry series (orcgc_registry_active) missing";
+  if
+    not
+      (List.exists
+         (fun s -> List.mem_assoc "scheme" (labels_of s))
+         series)
+  then problem "no scheme-labelled series (scheme wiring missing)";
+  if !failures = 0 then
+    Printf.printf "  ok   %d series, hwm and tick ordering consistent\n"
+      (List.length series);
+
+  if field m "prometheus_lines" < 1. then
+    problem "prometheus rendering was empty";
+
+  finish path ~what:"metrics"
+    ~ok:
+      (Printf.sprintf "live metrics plane OK (%d series)"
+         (List.length series))

@@ -19,47 +19,16 @@
 
    Exits 0 when every scheme passes, 1 otherwise. *)
 
+open Tool_support
+
 let packed_words_ceiling = 0.05
 let boxed_words_floor = 0.5
 let retire_slack = 2.0
-let failures = ref 0
-
-let problem fmt =
-  Printf.ksprintf
-    (fun s ->
-      incr failures;
-      Printf.printf "  FAIL %s\n" s)
-    fmt
-
-let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
-
-let num = function
-  | Some (Obs.Json.Int i) -> float_of_int i
-  | Some (Obs.Json.Float f) -> f
-  | _ -> nan
-
-let field row name = num (Obs.Json.member name row)
-
-let str_field row name =
-  match Obs.Json.member name row with Some (Obs.Json.Str s) -> Some s | _ -> None
 
 let () =
-  let path =
-    match Sys.argv with
-    | [| _; path |] -> path
-    | _ -> fail "usage: check_pack <BENCH_orc.json>"
-  in
-  let doc =
-    match Obs.Json.of_file path with
-    | doc -> doc
-    | exception Obs.Json.Parse_error e -> fail "%s: JSON parse error: %s" path e
-    | exception Sys_error e -> fail "%s" e
-  in
-  let rows =
-    match Obs.Json.member "pack" doc with
-    | Some (Obs.Json.List rows) -> rows
-    | Some _ | None -> fail "%s: no pack section" path
-  in
+  let path = usage_path ~tool:"check_pack" ~arg:"BENCH_orc.json" in
+  let doc = load path in
+  let rows = list_section doc ~path "pack" in
   let find scheme mode =
     List.find_opt
       (fun row ->
@@ -107,10 +76,5 @@ let () =
                %.0fns\n"
               scheme pw bw pr br)
     schemes;
-  if !failures > 0 then begin
-    Printf.printf "%s: %d pack check(s) failed\n" path !failures;
-    exit 1
-  end
-  else
-    Printf.printf "%s: word packing OK (%d schemes)\n" path
-      (List.length schemes)
+  finish path ~what:"pack"
+    ~ok:(Printf.sprintf "word packing OK (%d schemes)" (List.length schemes))

@@ -15,46 +15,15 @@
 
    Exits 0 when every scheme passes, 1 otherwise. *)
 
+open Tool_support
+
 let ratio_ceiling = 0.75
 let elision_schemes = [ "hp"; "he"; "ibr" ]
-let failures = ref 0
-
-let problem fmt =
-  Printf.ksprintf
-    (fun s ->
-      incr failures;
-      Printf.printf "  FAIL %s\n" s)
-    fmt
-
-let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
-
-let num = function
-  | Some (Obs.Json.Int i) -> float_of_int i
-  | Some (Obs.Json.Float f) -> f
-  | _ -> nan
-
-let field row name = num (Obs.Json.member name row)
-
-let str_field row name =
-  match Obs.Json.member name row with Some (Obs.Json.Str s) -> Some s | _ -> None
 
 let () =
-  let path =
-    match Sys.argv with
-    | [| _; path |] -> path
-    | _ -> fail "usage: check_scan <BENCH_orc.json>"
-  in
-  let doc =
-    match Obs.Json.of_file path with
-    | doc -> doc
-    | exception Obs.Json.Parse_error e -> fail "%s: JSON parse error: %s" path e
-    | exception Sys_error e -> fail "%s" e
-  in
-  let rows =
-    match Obs.Json.member "scan_overhaul" doc with
-    | Some (Obs.Json.List rows) -> rows
-    | Some _ | None -> fail "%s: no scan_overhaul section" path
-  in
+  let path = usage_path ~tool:"check_scan" ~arg:"BENCH_orc.json" in
+  let doc = load path in
+  let rows = list_section doc ~path "scan_overhaul" in
   let find scheme mode =
     List.find_opt
       (fun row ->
@@ -95,9 +64,5 @@ let () =
           if List.mem scheme elision_schemes && not (elided > 0.) then
             problem "%s: read-side elision never fired" scheme)
     schemes;
-  if !failures > 0 then begin
-    Printf.printf "%s: %d scan-overhaul check(s) failed\n" path !failures;
-    exit 1
-  end
-  else Printf.printf "%s: scan overhaul OK (%d schemes)\n" path
-      (List.length schemes)
+  finish path ~what:"scan-overhaul"
+    ~ok:(Printf.sprintf "scan overhaul OK (%d schemes)" (List.length schemes))

@@ -12,7 +12,7 @@
 
    Exits 0 on a valid trace, 1 otherwise. *)
 
-let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
+open Tool_support
 
 let tally evs =
   let counts = Hashtbl.create 16 in
@@ -27,17 +27,8 @@ let tally evs =
   counts
 
 let () =
-  let path =
-    match Sys.argv with
-    | [| _; path |] -> path
-    | _ -> fail "usage: check_trace <trace.json>"
-  in
-  let doc =
-    match Obs.Json.of_file path with
-    | doc -> doc
-    | exception Obs.Json.Parse_error e -> fail "%s: JSON parse error: %s" path e
-    | exception Sys_error e -> fail "%s" e
-  in
+  let path = usage_path ~tool:"check_trace" ~arg:"trace.json" in
+  let doc = load path in
   match Obs.Trace.validate doc with
   | Error e -> fail "%s: invalid trace: %s" path e
   | Ok () ->

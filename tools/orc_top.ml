@@ -1,0 +1,211 @@
+(* orc_top: a `top`-style console for the live metrics plane.
+
+   Two modes:
+
+   - file mode (default): render the ["metrics"] section of a
+     BENCH_orc.json (as written by `bench/main.exe --metrics --json`).
+     Without [--once] it keeps polling the file and redraws whenever it
+     changes, so a bench loop in another terminal gets a live view.
+
+   - [--demo]: entirely in-process — starts a sampler domain over
+     [Obs.Metrics.default], runs a guard + retire churn workload on an
+     hp scheme, and renders the registry live until [--seconds] elapse.
+     This is the end-to-end smoke of the whole plane: watchdog clock
+     live, per-scheme probes, allocator gauges, ring-buffered series.
+
+     dune exec tools/orc_top.exe -- [--once] [--interval=S] [FILE]
+     dune exec tools/orc_top.exe -- --demo [--seconds=N] [--interval=S]
+
+   FILE defaults to BENCH_orc.json. *)
+
+open Tool_support
+
+let arg_flag name = Array.exists (( = ) name) Sys.argv
+
+let arg_value prefix default parse =
+  Array.fold_left
+    (fun acc a ->
+      if String.starts_with ~prefix a then
+        parse (String.sub a (String.length prefix)
+                 (String.length a - String.length prefix))
+      else acc)
+    default Sys.argv
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+type row = {
+  r_name : string;
+  r_labels : string;
+  r_kind : string;
+  r_last : int;
+  r_hwm : int;
+  r_points : int array;
+}
+
+let spark_chars = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83";
+                     "\xe2\x96\x84"; "\xe2\x96\x85"; "\xe2\x96\x86";
+                     "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+let sparkline ?(width = 32) pts =
+  let n = Array.length pts in
+  let pts = if n > width then Array.sub pts (n - width) width else pts in
+  let mx = Array.fold_left max 1 pts in
+  String.concat ""
+    (Array.to_list
+       (Array.map
+          (fun v ->
+            let i = v * (Array.length spark_chars - 1) / mx in
+            spark_chars.(max 0 (min (Array.length spark_chars - 1) i)))
+          pts))
+
+let render ~clear ~title rows =
+  if clear then print_string "\027[2J\027[H";
+  Printf.printf "orc_top — %s\n" title;
+  Printf.printf "%-30s %-24s %-7s %10s %10s  %s\n" "series" "labels" "kind"
+    "last" "hwm" "recent";
+  List.iter
+    (fun r ->
+      Printf.printf "%-30s %-24s %-7s %10d %10d  %s\n" r.r_name r.r_labels
+        r.r_kind r.r_last r.r_hwm (sparkline r.r_points))
+    rows;
+  flush stdout
+
+let labels_string kvs =
+  String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) kvs)
+
+(* ------------------------------------------------------------------ *)
+(* File mode: rows out of the BENCH_orc.json metrics section *)
+
+let rows_of_file path =
+  let doc = load path in
+  let m = section doc ~path "metrics" in
+  let series =
+    match Obs.Json.member "series" m with
+    | Some (Obs.Json.List ss) -> ss
+    | Some _ | None -> fail "%s: metrics.series missing or not a list" path
+  in
+  List.map
+    (fun s ->
+      let labels =
+        match Obs.Json.member "labels" s with
+        | Some (Obs.Json.Obj kvs) ->
+            labels_string
+              (List.filter_map
+                 (fun (k, v) ->
+                   match v with Obs.Json.Str v -> Some (k, v) | _ -> None)
+                 kvs)
+        | _ -> ""
+      in
+      let points =
+        match Obs.Json.member "points" s with
+        | Some (Obs.Json.List pts) ->
+            Array.of_list
+              (List.filter_map
+                 (fun p ->
+                   match p with
+                   | Obs.Json.List [ _; Obs.Json.Int v ] -> Some v
+                   | _ -> None)
+                 pts)
+        | _ -> [||]
+      in
+      {
+        r_name = Option.value ~default:"?" (str_field s "name");
+        r_labels = labels;
+        r_kind = Option.value ~default:"?" (str_field s "kind");
+        r_last = int_of_float (field s "last");
+        r_hwm = int_of_float (field s "hwm");
+        r_points = points;
+      })
+    series
+
+let file_mode path ~once ~interval =
+  let show () = render ~clear:(not once) ~title:path (rows_of_file path) in
+  show ();
+  if not once then begin
+    let mtime () = try (Unix.stat path).Unix.st_mtime with _ -> 0. in
+    let last = ref (mtime ()) in
+    while true do
+      Unix.sleepf interval;
+      let m = mtime () in
+      if m <> !last then begin
+        last := m;
+        show ()
+      end
+    done
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Demo mode: live in-process plane *)
+
+type dnode = { d_hdr : Memdom.Hdr.t }
+
+module DN = struct
+  type t = dnode
+
+  let hdr n = n.d_hdr
+end
+
+module Hp = Reclaim.Hp.Make (DN)
+
+let rows_of_registry reg =
+  List.map
+    (fun (s : Obs.Metrics.series) ->
+      {
+        r_name = s.Obs.Metrics.name;
+        r_labels = labels_string s.labels;
+        r_kind = (if s.is_counter then "counter" else "gauge");
+        r_last = s.last;
+        r_hwm = s.hwm;
+        r_points = Array.map snd s.points;
+      })
+    (Obs.Metrics.series reg)
+
+let demo_mode ~seconds ~interval =
+  let alloc = Memdom.Alloc.create "orc-top-demo" in
+  let s = Hp.create ~max_hps:4 alloc in
+  let stop = Atomic.make false in
+  let churner () =
+    Atomicx.Registry.with_tid @@ fun tid ->
+    while not (Atomic.get stop) do
+      Hp.begin_op s ~tid;
+      for _ = 1 to 64 do
+        Hp.retire s ~tid { d_hdr = Memdom.Alloc.hdr alloc () }
+      done;
+      Hp.end_op s ~tid;
+      Unix.sleepf 0.002
+    done
+  in
+  let sampler = Obs.Sampler.start ~interval:(interval /. 4.) () in
+  let d = Domain.spawn churner in
+  let deadline = Unix.gettimeofday () +. seconds in
+  while Unix.gettimeofday () < deadline do
+    Unix.sleepf interval;
+    render ~clear:true
+      ~title:
+        (Printf.sprintf "demo (hp churn), %d sampler ticks"
+           (Obs.Sampler.ticks sampler))
+      (rows_of_registry Obs.Metrics.default)
+  done;
+  Atomic.set stop true;
+  Domain.join d;
+  Obs.Sampler.stop sampler;
+  Hp.flush s;
+  render ~clear:false ~title:"demo final"
+    (rows_of_registry Obs.Metrics.default)
+
+let () =
+  let interval = arg_value "--interval=" 1.0 float_of_string in
+  if arg_flag "--demo" then
+    demo_mode ~seconds:(arg_value "--seconds=" 5.0 float_of_string) ~interval
+  else
+    let path =
+      Array.fold_left
+        (fun acc a ->
+          if a <> Sys.executable_name && not (String.starts_with ~prefix:"--" a)
+          then a
+          else acc)
+        "BENCH_orc.json"
+        (Array.sub Sys.argv 1 (Array.length Sys.argv - 1))
+    in
+    file_mode path ~once:(arg_flag "--once") ~interval

@@ -1,0 +1,67 @@
+(* Shared plumbing for the tools/ executables: argv handling, JSON
+   loading with uniform error reporting, section lookup, typed field
+   access on rows, and the accumulate-failures-then-exit protocol the
+   check_*.exe CI guards all follow. *)
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline s;
+      exit 1)
+    fmt
+
+(* Failures accumulate so one run reports every violated invariant, not
+   just the first; [finish] turns the tally into the exit status. *)
+let failures = ref 0
+
+let problem fmt =
+  Printf.ksprintf
+    (fun s ->
+      incr failures;
+      Printf.printf "  FAIL %s\n" s)
+    fmt
+
+let usage_path ~tool ~arg =
+  match Sys.argv with
+  | [| _; path |] -> path
+  | _ -> fail "usage: %s <%s>" tool arg
+
+let load path =
+  match Obs.Json.of_file path with
+  | doc -> doc
+  | exception Obs.Json.Parse_error e -> fail "%s: JSON parse error: %s" path e
+  | exception Sys_error e -> fail "%s" e
+
+let section doc ~path name =
+  match Obs.Json.member name doc with
+  | Some j -> j
+  | None -> fail "%s: no %s section" path name
+
+let list_section doc ~path name =
+  match Obs.Json.member name doc with
+  | Some (Obs.Json.List rows) -> rows
+  | Some _ | None -> fail "%s: no %s section (or not a list)" path name
+
+let num = function
+  | Some (Obs.Json.Int i) -> float_of_int i
+  | Some (Obs.Json.Float f) -> f
+  | _ -> nan
+
+let field row name = num (Obs.Json.member name row)
+
+let str_field row name =
+  match Obs.Json.member name row with
+  | Some (Obs.Json.Str s) -> Some s
+  | _ -> None
+
+let bool_field row name =
+  match Obs.Json.member name row with
+  | Some (Obs.Json.Bool b) -> Some b
+  | _ -> None
+
+let finish path ~what ~ok =
+  if !failures > 0 then begin
+    Printf.printf "%s: %d %s check(s) failed\n" path !failures what;
+    exit 1
+  end
+  else Printf.printf "%s: %s\n" path ok
