@@ -28,6 +28,11 @@
      --pack         just the word-packing A/B: packed headers + tagged
                     links vs the boxed ablation (minor words/op on the
                     protected-read path, retire ns, CAS retries)
+     --background   just the background-pipeline section: mutator
+                    retire-path tail latency (p50/p99/p99.9) inline vs
+                    routed through the transfer channel to a reclaimer
+                    domain, plus the neutralization and reclaimer-kill
+                    batteries
 
    On this single-machine setup the Intel/AMD pair of each figure
    collapses to one series; EXPERIMENTS.md records the mapping. *)
@@ -51,6 +56,7 @@ let alloc_only = arg_flag "--alloc"
 let scan_only = arg_flag "--scan"
 let pack_only = arg_flag "--pack"
 let metrics_only = arg_flag "--metrics"
+let background_only = arg_flag "--background"
 let trace_out = arg_value "--trace="
 
 let json_out = if arg_flag "--json" then Some "BENCH_orc.json" else None
@@ -1012,6 +1018,152 @@ let metrics_json (r : metrics_row) =
       ("prometheus_lines", Json.Int r.mt_prom_lines);
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Background pipeline: mutator retire-path tail latency, inline vs
+   routed through the transfer channel.  Same workload on both sides —
+   a single mutator retires fresh unprotected nodes through hp, so
+   every threshold crossing costs a full scan inline but only a channel
+   send in background mode; the p99.9 is where that difference lives.
+   The neutralization and reclaimer-kill batteries ride along so the
+   JSON carries machine-checkable evidence for the fault-tolerance
+   claims (check_metrics guards them). *)
+
+type bg_lat = {
+  bl_p50_ns : float;
+  bl_p99_ns : float;
+  bl_p999_ns : float;
+  bl_max_ns : float;
+}
+
+type background_row = {
+  bk_ops : int;
+  bk_inline : bg_lat;
+  bk_background : bg_lat;
+  bk_sent : int;  (* objects that travelled the channel *)
+  bk_fallbacks : int;  (* refused sends reclaimed inline *)
+  bk_drained : int;  (* objects the reclaimer drained *)
+  bk_leaked : int;  (* both allocators after teardown — must be 0 *)
+  bk_neutralize : Chaos.bg_report;
+  bk_kill : Chaos.bg_report;
+}
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0. else sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+let retire_latencies s alloc ~ops =
+  let lat = Array.make ops 0. in
+  for k = 0 to ops - 1 do
+    let n = { s_hdr = Memdom.Alloc.hdr alloc () } in
+    let t0 = Obs.Sink.now_ns () in
+    Scan_hp.retire s ~tid:0 n;
+    lat.(k) <- float_of_int (Obs.Sink.now_ns () - t0)
+  done;
+  Array.sort compare lat;
+  {
+    bl_p50_ns = percentile lat 0.5;
+    bl_p99_ns = percentile lat 0.99;
+    bl_p999_ns = percentile lat 0.999;
+    bl_max_ns = lat.(ops - 1);
+  }
+
+let run_background () =
+  Format.printf
+    "@.== Background pipeline: retire tail latency, reclaimer batteries ==@.";
+  Atomicx.Registry.reserve 8;
+  let ops = if smoke then 20_000 else 60_000 in
+  (* inline side *)
+  let alloc_i = Memdom.Alloc.create ~sink:Obs.Sink.null "bg-bench-inline" in
+  let s_i = Scan_hp.create ~max_hps:4 ~sink:Obs.Sink.null alloc_i in
+  let inline = retire_latencies s_i alloc_i ~ops in
+  Scan_hp.flush s_i;
+  (* background side: fresh scheme, channel + reclaimer domain *)
+  let alloc_b = Memdom.Alloc.create ~sink:Obs.Sink.null "bg-bench-bg" in
+  let s_b = Scan_hp.create ~max_hps:4 ~sink:Obs.Sink.null alloc_b in
+  let ch = Reclaim.Channel.create () in
+  let reclaimer = Reclaim.Reclaimer.start ~interval:0.001 ch in
+  Scan_hp.set_background s_b (Some ch);
+  let bg = retire_latencies s_b alloc_b ~ops in
+  Reclaim.Reclaimer.stop reclaimer;
+  Scan_hp.set_background s_b None;
+  Scan_hp.flush s_b;
+  let leaked = Memdom.Alloc.live alloc_i + Memdom.Alloc.live alloc_b in
+  let pp_lat label l =
+    Format.printf "  %-12s p50 %7.0f ns   p99 %8.0f ns   p99.9 %9.0f ns   \
+                   max %9.0f ns@."
+      label l.bl_p50_ns l.bl_p99_ns l.bl_p999_ns l.bl_max_ns
+  in
+  pp_lat "inline" inline;
+  pp_lat "background" bg;
+  Format.printf
+    "  channel: %d objects sent, %d fallbacks, %d drained; leaked %d@."
+    (Reclaim.Channel.sent ch)
+    (Reclaim.Channel.fallbacks ch)
+    (Reclaim.Channel.drained ch)
+    leaked;
+  let neutralize = Chaos.run_neutralize () in
+  Format.printf "  neutralize battery: %a@." Chaos.pp_bg_report neutralize;
+  let kill = Chaos.run_reclaimer_kill () in
+  Format.printf "  kill battery: %a@." Chaos.pp_bg_report kill;
+  {
+    bk_ops = ops;
+    bk_inline = inline;
+    bk_background = bg;
+    bk_sent = Reclaim.Channel.sent ch;
+    bk_fallbacks = Reclaim.Channel.fallbacks ch;
+    bk_drained = Reclaim.Channel.drained ch;
+    bk_leaked = leaked;
+    bk_neutralize = neutralize;
+    bk_kill = kill;
+  }
+
+let bg_report_json (r : Chaos.bg_report) =
+  let open Harness in
+  Json.Obj
+    [
+      ("name", Json.Str r.Chaos.bg_name);
+      ("victim_tid", Json.Int r.Chaos.bg_victim);
+      ("neutralized", Json.Bool r.Chaos.bg_neutralized);
+      ("victim_raised", Json.Bool r.Chaos.bg_victim_raised);
+      ("pinned_freed", Json.Bool r.Chaos.bg_pinned_freed);
+      ("sent", Json.Int r.Chaos.bg_sent);
+      ("fallbacks", Json.Int r.Chaos.bg_fallbacks);
+      ("recovered", Json.Int r.Chaos.bg_recovered);
+      ("unreclaimed_after", Json.Int r.Chaos.bg_unreclaimed_after);
+      ("leaked", Json.Int r.Chaos.bg_leaked);
+      ("ok", Json.Bool (Chaos.bg_ok r));
+    ]
+
+let background_json (r : background_row) =
+  let open Harness in
+  let lat l =
+    Json.Obj
+      [
+        ("p50_ns", Json.Float l.bl_p50_ns);
+        ("p99_ns", Json.Float l.bl_p99_ns);
+        ("p999_ns", Json.Float l.bl_p999_ns);
+        ("max_ns", Json.Float l.bl_max_ns);
+      ]
+  in
+  Json.Obj
+    [
+      ("ops", Json.Int r.bk_ops);
+      ( "retire_latency",
+        Json.Obj
+          [ ("inline", lat r.bk_inline); ("background", lat r.bk_background) ]
+      );
+      ( "channel",
+        Json.Obj
+          [
+            ("sent", Json.Int r.bk_sent);
+            ("fallbacks", Json.Int r.bk_fallbacks);
+            ("drained", Json.Int r.bk_drained);
+          ] );
+      ("leaked", Json.Int r.bk_leaked);
+      ("neutralize_battery", bg_report_json r.bk_neutralize);
+      ("kill_battery", bg_report_json r.bk_kill);
+    ]
+
 let print_mix_tables title tables =
   List.iter
     (fun (mix, series) ->
@@ -1177,8 +1329,12 @@ let run_sections () =
     @ (if alloc_only then [ ("allocator", alloc_json (run_alloc ())) ] else [])
     @ (if scan_only then [ ("scan_overhaul", scan_json (run_scan ())) ] else [])
     @ (if pack_only then [ ("pack", pack_json (run_pack ())) ] else [])
+    @ (if metrics_only then [ ("metrics", metrics_json (run_metrics ())) ]
+       else [])
     @
-    if metrics_only then [ ("metrics", metrics_json (run_metrics ())) ] else []
+    if background_only then
+      [ ("background", background_json (run_background ())) ]
+    else []
   in
   match json_out with
   | None -> ()
@@ -1192,8 +1348,10 @@ let () =
     (String.concat "," (List.map string_of_int params.threads))
     params.duration
     (if smoke then ", smoke" else "");
-  if churn_only || alloc_only || scan_only || pack_only || metrics_only then
-    run_sections ()
+  if
+    churn_only || alloc_only || scan_only || pack_only || metrics_only
+    || background_only
+  then run_sections ()
   else if smoke then run_smoke ()
   else run_full ();
   Format.printf "@.done.@."

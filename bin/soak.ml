@@ -149,8 +149,43 @@ let run_churn seconds seed =
     1
   end
 
-let run seconds workers seed churn pool =
+(* Background-pipeline soak (--background): repeat the reclaimer
+   batteries — stalled-guard neutralization and kill-the-reclaimer —
+   until the time budget runs out.  Every repetition must neutralize
+   the parked guard, degrade gracefully past the dead reclaimer, and
+   account for every retired object. *)
+let run_background seconds =
+  Printf.printf "soak --background: %.0fs budget\n%!" seconds;
+  let t0 = Unix.gettimeofday () in
+  let bad = ref 0 in
+  let round = ref 0 in
+  while Unix.gettimeofday () -. t0 < seconds && (!bad = 0 || !round = 0) do
+    incr round;
+    let check r =
+      if not (Chaos.bg_ok r) then begin
+        incr bad;
+        Format.eprintf "round %d %s: pipeline contract violated@.%a@." !round
+          r.Chaos.bg_name Chaos.pp_bg_report r
+      end
+    in
+    check (Chaos.run_neutralize ());
+    check (Chaos.run_reclaimer_kill ())
+  done;
+  Printf.printf "ran %d neutralize + kill rounds\n%!" !round;
+  if !bad = 0 then begin
+    Printf.printf
+      "background soak passed: every stall neutralized, every kill degraded \
+       inline, no leaks\n";
+    0
+  end
+  else begin
+    Printf.eprintf "background soak FAILED: %d battery violations\n" !bad;
+    1
+  end
+
+let run seconds workers seed churn background pool =
   if churn then run_churn seconds seed
+  else if background then run_background seconds
   else
   let mode = if pool then Some Memdom.Alloc.Pool else None in
   let ts = targets ?mode () in
@@ -223,6 +258,15 @@ let churn_arg =
           "Domain-churn chaos mode: waves of short-lived domains dying at \
            randomized points, instead of long-lived workers.")
 
+let background_arg =
+  Arg.(
+    value & flag
+    & info [ "background" ]
+        ~doc:
+          "Background-pipeline mode: repeat the reclaimer batteries \
+           (stalled-guard neutralization, kill-the-reclaimer) for the time \
+           budget instead of running long-lived workers.")
+
 let pool_arg =
   Arg.(
     value & flag
@@ -235,6 +279,8 @@ let pool_arg =
 let cmd =
   Cmd.v
     (Cmd.info "soak" ~doc:"randomized cross-structure soak test")
-    Term.(const run $ seconds_arg $ workers_arg $ seed_arg $ churn_arg $ pool_arg)
+    Term.(
+      const run $ seconds_arg $ workers_arg $ seed_arg $ churn_arg
+      $ background_arg $ pool_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -29,62 +29,72 @@ let key = Domain.DLS.new_key (fun () -> ref (-1))
 (* Has this domain registered its at-exit release hook yet? *)
 let exit_hooked = Domain.DLS.new_key (fun () -> ref false)
 
-(* {2 Quarantine cleaners}
+(* {2 Lifecycle hooks}
 
-   Schemes register a cleaner at creation; [release]/[force_release]
-   run every live cleaner with the quarantined tid before the slot is
-   re-issued, so the new owner never inherits stale hazards, parked
-   handovers or retire lists.  The registry is process-global but
-   schemes are not, so cleaners are held weakly: a scheme keeps its own
+   Schemes register hooks at creation; lifecycle transitions run every
+   live hook with the affected tid.  The registry is process-global but
+   schemes are not, so hooks are held weakly: a scheme keeps its own
    closure alive (strong field in its record) and the entry evaporates
-   with the scheme instead of pinning it forever. *)
-let cleaners : (int -> unit) Weak.t ref = ref (Weak.create 16)
+   with the scheme instead of pinning it forever.  Two independent
+   planes share the machinery: quarantine cleaners (full drain, owner
+   dead or departing) and neutralize hooks (atomic-state-only, owner
+   possibly alive — see [neutralize]). *)
+module Hooks = struct
+  type t = { mutable entries : (int -> unit) Weak.t; lock : Mutex.t }
 
-let cleaners_lock = Mutex.create ()
+  let create () = { entries = Weak.create 16; lock = Mutex.create () }
 
-let on_quarantine f =
-  Mutex.lock cleaners_lock;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock cleaners_lock)
-    (fun () ->
-      let w = !cleaners in
-      let len = Weak.length w in
-      let rec free i =
-        if i >= len then None else if Weak.check w i then free (i + 1) else Some i
-      in
-      match free 0 with
-      | Some i -> Weak.set w i (Some f)
-      | None ->
-          let w' = Weak.create (2 * len) in
-          Weak.blit w 0 w' 0 len;
-          Weak.set w' len (Some f);
-          cleaners := w')
-
-(* Snapshot the live cleaners under the lock, run them outside it (a
-   cleaner may allocate, trace, even register further cleaners).  Every
-   cleaner runs even if one raises; the first exception is re-raised
-   after the pass so a buggy scheme cannot leave another's state
-   dirty. *)
-let run_cleaners dead =
-  let fs =
-    Mutex.lock cleaners_lock;
+  let add t f =
+    Mutex.lock t.lock;
     Fun.protect
-      ~finally:(fun () -> Mutex.unlock cleaners_lock)
+      ~finally:(fun () -> Mutex.unlock t.lock)
       (fun () ->
-        let w = !cleaners in
-        let acc = ref [] in
-        for i = 0 to Weak.length w - 1 do
-          match Weak.get w i with Some f -> acc := f :: !acc | None -> ()
-        done;
-        !acc)
-  in
-  let first_exn = ref None in
-  List.iter
-    (fun f ->
-      try f dead
-      with e -> if !first_exn = None then first_exn := Some e)
-    fs;
-  match !first_exn with Some e -> raise e | None -> ()
+        let w = t.entries in
+        let len = Weak.length w in
+        let rec free i =
+          if i >= len then None
+          else if Weak.check w i then free (i + 1)
+          else Some i
+        in
+        match free 0 with
+        | Some i -> Weak.set w i (Some f)
+        | None ->
+            let w' = Weak.create (2 * len) in
+            Weak.blit w 0 w' 0 len;
+            Weak.set w' len (Some f);
+            t.entries <- w')
+
+  (* Snapshot the live hooks under the lock, run them outside it (a
+     hook may allocate, trace, even register further hooks).  Every
+     hook runs even if one raises; the first exception is re-raised
+     after the pass so a buggy scheme cannot leave another's state
+     dirty. *)
+  let run t arg =
+    let fs =
+      Mutex.lock t.lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.lock)
+        (fun () ->
+          let w = t.entries in
+          let acc = ref [] in
+          for i = 0 to Weak.length w - 1 do
+            match Weak.get w i with Some f -> acc := f :: !acc | None -> ()
+          done;
+          !acc)
+    in
+    let first_exn = ref None in
+    List.iter
+      (fun f ->
+        try f arg with e -> if !first_exn = None then first_exn := Some e)
+      fs;
+    match !first_exn with Some e -> raise e | None -> ()
+end
+
+let cleaners = Hooks.create ()
+let neutralize_hooks = Hooks.create ()
+let on_quarantine f = Hooks.add cleaners f
+let on_neutralize f = Hooks.add neutralize_hooks f
+let run_cleaners dead = Hooks.run cleaners dead
 
 (* The quarantine pass proper: [i] is already Quarantined and owned by
    the caller.  Even if a cleaner raises, the slot still becomes Free
@@ -136,10 +146,19 @@ let release () =
   let r = Domain.DLS.get key in
   if !r >= 0 then begin
     let i = !r in
-    (* Owner-only Active -> Quarantined; no other thread transitions an
-       Active slot except [force_release], which targets dead owners. *)
-    let v = Atomic.get slots.(i) in
-    Atomic.set slots.(i) (v land lnot state_bits lor st_quarantined);
+    (* Owner-only Active -> Quarantined, but CAS rather than plain set:
+       a concurrent [neutralize] bumps an Active slot's generation, and
+       a blind store here would clobber that bump and resurrect the
+       expired protections it invalidated. *)
+    let rec quarantine () =
+      let v = Atomic.get slots.(i) in
+      if
+        not
+          (Atomic.compare_and_set slots.(i) v
+             (v land lnot state_bits lor st_quarantined))
+      then quarantine ()
+    in
+    quarantine ();
     (* Cleaners run while the DLS ref still points at [i]: on the exit
        path a scheme's cleaner sees [tid () = i] and can retire into
        its own (still valid) per-thread state. *)
@@ -179,6 +198,25 @@ let force_release i =
     true
   end
   else false
+
+(* Expire a (possibly alive) stalled owner's protections: bump the
+   generation while the slot stays Active.  Every protection validated
+   against the old generation is now invalid — watchdog rows stop
+   matching, and an owner that wakes sees the bump via its scheme's
+   handshake and retries.  Unlike [force_release] this never runs the
+   quarantine cleaners (they drain owner-private plain state, which a
+   waking owner may still be mutating); it runs only the [on_neutralize]
+   hooks, which restrict themselves to the victim's atomic state. *)
+let neutralize i =
+  if i < 0 || i >= max_threads then invalid_arg "Registry.neutralize";
+  let v = Atomic.get slots.(i) in
+  state_of v = st_active
+  && Atomic.compare_and_set slots.(i) v
+       (((gen_of v + 1) lsl 2) lor st_active)
+  && begin
+       Hooks.run neutralize_hooks i;
+       true
+     end
 
 let abandon () =
   let r = Domain.DLS.get key in

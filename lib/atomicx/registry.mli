@@ -66,6 +66,29 @@ val on_quarantine : (int -> unit) -> unit
     still run, the slot is still freed, and the first exception is
     re-raised. *)
 
+val on_neutralize : (int -> unit) -> unit
+(** Register a neutralize hook, called with the victim tid after a
+    successful {!neutralize} generation bump.  Same weak-reference
+    contract as {!on_quarantine}.  Unlike quarantine cleaners, a
+    neutralize hook runs while the victim {e may still be alive}: it
+    must touch only the victim's {b atomic} state (hazard slots, epoch
+    announcements, handover slots drained with [Atomic.exchange]) and
+    never its owner-private plain fields (retire lists, scratch
+    buffers). *)
+
+val neutralize : int -> bool
+(** [neutralize i] expires slot [i]'s published protections without
+    freeing the slot: bumps the generation while the state stays
+    Active, then runs the {!on_neutralize} hooks.  Protection scans
+    validated against the old generation no longer count, and the
+    watchdog row for [i] stops matching, so a validated stall clears.
+    An owner that wakes detects the bump through its scheme's
+    neutralization handshake, discards the invalid protection and
+    retries.  Returns [false] if the slot was not Active or the CAS
+    lost a race (owner released concurrently).  Call only on a stall
+    {e validated} by the watchdog — neutralizing a merely slow thread
+    is safe but forces it to redo its operation. *)
+
 val force_release : int -> bool
 (** [force_release i] quarantines and frees slot [i] on behalf of an
     owner that died without releasing it (e.g. simulated abrupt death

@@ -544,3 +544,275 @@ let run_stall ?(interval = 0.002) ?(stall_age = 3) ?(churners = 2)
     st_leaked = Memdom.Alloc.live alloc;
     st_errors = List.rev !errors;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Background pipeline (reclaimer batteries)                           *)
+(* ------------------------------------------------------------------ *)
+
+type bg_report = {
+  bg_name : string;
+  bg_victim : int;  (* parked domain's slot; -1 when the battery parks none *)
+  bg_neutralized : bool;
+  bg_victim_raised : bool;
+  bg_pinned_freed : bool;
+  bg_sent : int;
+  bg_fallbacks : int;
+  bg_recovered : int;
+  bg_unreclaimed_after : int;
+  bg_leaked : int;
+  bg_errors : string list;
+}
+
+let bg_ok r =
+  r.bg_errors = [] && r.bg_neutralized && r.bg_victim_raised
+  && r.bg_pinned_freed
+  && r.bg_unreclaimed_after = 0
+  && r.bg_leaked = 0
+
+let pp_bg_report fmt r =
+  Format.fprintf fmt
+    "@[<v 2>%s: victim tid %d, neutralized %b, victim raised %b, pinned \
+     freed %b@,\
+     channel: %d batches sent, %d fallbacks, %d objects recovered@,\
+     after quiesce: leaked %d, unreclaimed %d%a@]"
+    r.bg_name r.bg_victim r.bg_neutralized r.bg_victim_raised r.bg_pinned_freed
+    r.bg_sent r.bg_fallbacks r.bg_recovered r.bg_leaked r.bg_unreclaimed_after
+    (fun fmt -> function
+      | [] -> ()
+      | es ->
+          Format.fprintf fmt "@,errors:@,%a"
+            (Format.pp_print_list Format.pp_print_string)
+            es)
+    r.bg_errors
+
+(* Park one domain inside a guard with a protection pinning a retired
+   node while churners retire through the background channel.  The
+   reclaimer (armed with [neutralize_age]) must validate the stall,
+   expire the guard, and thereby let a later scan free the pinned node
+   — returning the unreclaimed population to the running bound with
+   the victim still asleep.  When the victim wakes, its very next
+   protection acquisition must raise [Neutralized] instead of handing
+   out a validated protection built on the expired slots. *)
+let run_neutralize ?(interval = 0.002) ?(neutralize_age = 3) ?(churners = 2)
+    () =
+  let errors_lock = Mutex.create () in
+  let errors = ref [] in
+  let err e =
+    Mutex.lock errors_lock;
+    errors := Printexc.to_string e :: !errors;
+    Mutex.unlock errors_lock
+  in
+  let alloc = Memdom.Alloc.create "neutralize-chaos" in
+  let s = Stall_hp.create ~max_hps:4 alloc in
+  let mk v = { hdr = Memdom.Alloc.hdr alloc (); payload = v } in
+  let pinned = mk 0 in
+  let table = Array.init 4 (fun i -> Link.make (Link.Ptr (if i = 0 then pinned else mk i))) in
+  let sink = Obs.Sink.make () in
+  let registry = Obs.Metrics.create () in
+  let channel = Reclaim.Channel.create ~bound:128 ~registry () in
+  Stall_hp.set_background s (Some channel);
+  let reclaimer =
+    Reclaim.Reclaimer.start ~interval ~neutralize_age ~sink ~registry channel
+  in
+  (* the watchdog only stamps once the tick is live; the reclaimer
+     self-clocks it, so wait for its first advance before the victim
+     enters the guard *)
+  let t0 = Obs.Watchdog.tick () in
+  let clock_deadline = Unix.gettimeofday () +. 5. in
+  while
+    Obs.Watchdog.tick () <= t0 && Unix.gettimeofday () < clock_deadline
+  do
+    Unix.sleepf (interval /. 2.)
+  done;
+  let victim_tid = Atomic.make (-1) in
+  let release = Atomic.make false in
+  let victim_raised = Atomic.make false in
+  let victim =
+    Domain.spawn (fun () ->
+        try
+          Registry.with_tid (fun tid ->
+              Stall_hp.begin_op s ~tid;
+              ignore (Stall_hp.get_protected s ~tid ~idx:0 table.(0));
+              Atomic.set victim_tid tid;
+              while not (Atomic.get release) do
+                Unix.sleepf (interval /. 2.)
+              done;
+              (* wake-after-neutralize handshake: the guard was expired
+                 while we slept, so the wake-up protection acquisition
+                 must refuse — handing out a validated protection here
+                 would be a use-after-free in waiting *)
+              (match Stall_hp.get_protected s ~tid ~idx:1 table.(1) with
+              | _ -> ()
+              | exception Reclaim.Neutralize.Neutralized _ ->
+                  Atomic.set victim_raised true);
+              Stall_hp.end_op s ~tid)
+        with e -> err e)
+  in
+  while Atomic.get victim_tid < 0 do
+    Domain.cpu_relax ()
+  done;
+  let vtid = Atomic.get victim_tid in
+  (* churners run until told to stop: the reclaimer needs fresh batches
+     arriving to re-scan, and the bound claim is about steady state *)
+  let stop_churn = Atomic.make false in
+  let churn =
+    List.init churners (fun ci ->
+        Domain.spawn (fun () ->
+            try
+              Registry.with_tid (fun tid ->
+                  let rng = Rng.create (0xFACE + ci) in
+                  let k = ref 0 in
+                  while not (Atomic.get stop_churn) do
+                    incr k;
+                    Stall_hp.begin_op s ~tid;
+                    let n = mk !k in
+                    Stall_hp.protect_raw s ~tid ~idx:0 (Some n);
+                    let old =
+                      Link.exchange table.(Rng.int rng 4) (Link.Ptr n)
+                    in
+                    Stall_hp.end_op s ~tid;
+                    (match Link.target old with
+                    | Some o -> Stall_hp.retire s ~tid o
+                    | None -> ());
+                    if !k land 0x3F = 0 then Domain.cpu_relax ()
+                  done)
+            with e -> err e))
+  in
+  (* await the neutralization event naming the victim *)
+  let victim_neutralized () =
+    List.concat_map Array.to_list (Obs.Sink.events sink)
+    |> List.exists (fun (e : Obs.Event.t) ->
+           e.kind = Obs.Event.Neutralize && e.uid = vtid)
+  in
+  let deadline = Unix.gettimeofday () +. 10. in
+  let rec await_neutralize () =
+    if victim_neutralized () then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Unix.sleepf interval;
+      await_neutralize ()
+    end
+  in
+  let neutralized = await_neutralize () in
+  (* with the victim's protections expired — and the victim still
+     parked in its guard — churn must now be able to free the node the
+     stall pinned, restoring the running O(Ht) bound *)
+  let free_deadline = Unix.gettimeofday () +. 10. in
+  let rec await_freed () =
+    if Memdom.Hdr.is_freed pinned.hdr then true
+    else if Unix.gettimeofday () > free_deadline then false
+    else begin
+      Unix.sleepf interval;
+      await_freed ()
+    end
+  in
+  let pinned_freed = neutralized && await_freed () in
+  Atomic.set stop_churn true;
+  List.iter Domain.join churn;
+  Atomic.set release true;
+  Domain.join victim;
+  Reclaim.Reclaimer.stop reclaimer;
+  Stall_hp.set_background s None;
+  (* quiesce and check every object was recovered *)
+  let tid = Registry.tid () in
+  Array.iter
+    (fun slot ->
+      match Link.target (Link.exchange slot Link.Null) with
+      | Some n -> Stall_hp.retire s ~tid n
+      | None -> ())
+    table;
+  Stall_hp.flush s;
+  Reclaim.Channel.keep_alive channel;
+  {
+    bg_name = "neutralize-hp";
+    bg_victim = vtid;
+    bg_neutralized = neutralized;
+    bg_victim_raised = Atomic.get victim_raised;
+    bg_pinned_freed = pinned_freed;
+    bg_sent = Reclaim.Channel.sent channel;
+    bg_fallbacks = Reclaim.Channel.fallbacks channel;
+    bg_recovered = 0;
+    bg_unreclaimed_after = Stall_hp.unreclaimed s;
+    bg_leaked = Memdom.Alloc.live alloc;
+    bg_errors = List.rev !errors;
+  }
+
+(* Kill the reclaimer mid-run: sends keep landing in the open channel
+   until the depth bound bites, then every retire falls back inline —
+   the mutators never block and never leak.  [recover] then adopts the
+   dead reclaimer's backlog, and the quiesced flush must account for
+   every object.  The n/a victim fields are reported [true]/[-1] so
+   [bg_ok] applies unchanged. *)
+let run_reclaimer_kill ?(interval = 0.001) ?(churners = 3) ?(ops = 800)
+    ?(bound = 96) () =
+  let errors_lock = Mutex.create () in
+  let errors = ref [] in
+  let err e =
+    Mutex.lock errors_lock;
+    errors := Printexc.to_string e :: !errors;
+    Mutex.unlock errors_lock
+  in
+  let alloc = Memdom.Alloc.create "reclaimer-kill-chaos" in
+  let s = Stall_hp.create ~max_hps:4 alloc in
+  let mk v = { hdr = Memdom.Alloc.hdr alloc (); payload = v } in
+  let table = Array.init 4 (fun i -> Link.make (Link.Ptr (mk i))) in
+  let channel = Reclaim.Channel.create ~bound () in
+  Stall_hp.set_background s (Some channel);
+  let reclaimer = Reclaim.Reclaimer.start ~interval channel in
+  let churn =
+    List.init churners (fun ci ->
+        Domain.spawn (fun () ->
+            try
+              Registry.with_tid (fun tid ->
+                  let rng = Rng.create (0xDEAD + ci) in
+                  for k = 1 to ops do
+                    Stall_hp.begin_op s ~tid;
+                    let n = mk k in
+                    Stall_hp.protect_raw s ~tid ~idx:0 (Some n);
+                    let old =
+                      Link.exchange table.(Rng.int rng 4) (Link.Ptr n)
+                    in
+                    Stall_hp.end_op s ~tid;
+                    match Link.target old with
+                    | Some o -> Stall_hp.retire s ~tid o
+                    | None -> ()
+                  done)
+            with e -> err e))
+  in
+  (* kill once the pipeline has demonstrably carried traffic (bounded
+     wait — under extreme scheduling the churners may finish first, in
+     which case the kill degenerates to a stop-without-drain, which the
+     recovery path must still reconcile) *)
+  let kill_deadline = Unix.gettimeofday () +. 5. in
+  while
+    Reclaim.Channel.sent channel = 0
+    && Unix.gettimeofday () < kill_deadline
+  do
+    Unix.sleepf interval
+  done;
+  Reclaim.Reclaimer.kill reclaimer;
+  List.iter Domain.join churn;
+  let tid = Registry.tid () in
+  let recovered = Reclaim.Reclaimer.recover reclaimer ~tid in
+  Stall_hp.set_background s None;
+  Array.iter
+    (fun slot ->
+      match Link.target (Link.exchange slot Link.Null) with
+      | Some n -> Stall_hp.retire s ~tid n
+      | None -> ())
+    table;
+  Stall_hp.flush s;
+  Reclaim.Channel.keep_alive channel;
+  {
+    bg_name = "reclaimer-kill-hp";
+    bg_victim = -1;
+    bg_neutralized = true;
+    bg_victim_raised = true;
+    bg_pinned_freed = true;
+    bg_sent = Reclaim.Channel.sent channel;
+    bg_fallbacks = Reclaim.Channel.fallbacks channel;
+    bg_recovered = recovered;
+    bg_unreclaimed_after = Stall_hp.unreclaimed s;
+    bg_leaked = Memdom.Alloc.live alloc;
+    bg_errors = List.rev !errors;
+  }

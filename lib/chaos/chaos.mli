@@ -112,3 +112,61 @@ val run_stall :
     [stall_age] the watchdog threshold in ticks (default 3), [churners]
     the number of evicting writer domains (default 2), [ops] their
     operation count (default 400). *)
+
+(** {2 Background pipeline}
+
+    Reclaimer batteries: the neutralization battery parks a domain
+    inside a guard pinning a retired node while churners retire through
+    the background {!Reclaim.Channel}, and asserts the armed
+    {!Reclaim.Reclaimer} expires the guard (the pinned node frees with
+    the victim still asleep) and that the waking victim's next
+    protection acquisition raises [Neutralized].  The kill battery
+    crashes the reclaimer mid-run and asserts mutators degrade to
+    inline reclamation with zero leaks, and that {!Reclaim.Reclaimer.recover}
+    reconciles the dead reclaimer's backlog. *)
+
+type bg_report = {
+  bg_name : string;
+  bg_victim : int;
+      (** the parked domain's registry slot; [-1] when the battery
+          parks no victim (kill battery) *)
+  bg_neutralized : bool;
+      (** a [Neutralize] event named the victim ([true] when n/a) *)
+  bg_victim_raised : bool;
+      (** the waking victim's protection acquisition raised
+          [Neutralized] ([true] when n/a) *)
+  bg_pinned_freed : bool;
+      (** the node the stalled guard pinned was freed after the
+          neutralization, victim still parked ([true] when n/a) *)
+  bg_sent : int;  (** batches that travelled the channel *)
+  bg_fallbacks : int;  (** refused sends reclaimed inline *)
+  bg_recovered : int;  (** objects adopted by [recover] (kill battery) *)
+  bg_unreclaimed_after : int;  (** after quiesce — must be 0 *)
+  bg_leaked : int;  (** [Alloc.live] after quiesce — must be 0 *)
+  bg_errors : string list;
+}
+
+val bg_ok : bg_report -> bool
+(** No errors, every asserted event observed, nothing leaked or left
+    unreclaimed. *)
+
+val pp_bg_report : Format.formatter -> bg_report -> unit
+
+val run_neutralize :
+  ?interval:float -> ?neutralize_age:int -> ?churners:int -> unit -> bg_report
+(** Run the neutralization battery.  [interval] is the reclaimer pass
+    period (default 2 ms), [neutralize_age] the validated stall age in
+    watchdog ticks past which the guard is expired (default 3),
+    [churners] the number of evicting writer domains (default 2). *)
+
+val run_reclaimer_kill :
+  ?interval:float ->
+  ?churners:int ->
+  ?ops:int ->
+  ?bound:int ->
+  unit ->
+  bg_report
+(** Run the kill battery.  [bound] (default 96) is the channel depth
+    bound — small, so the post-kill backlog demonstrably trips the
+    inline fallback before the churners finish their [ops]
+    (default 800 each). *)

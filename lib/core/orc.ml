@@ -85,9 +85,18 @@ module Make (N : NODE) = struct
     n_scan_slots : Shard.t; (* hazard slots visited by those scans *)
     n_elided : Shard.t; (* hazard publishes skipped in [load] *)
     wd : Obs.Watchdog.t; (* guard-stall stamp table *)
+    (* background drain: when set, freshly claimed BRETIRED nodes are
+       buffered per thread and shipped to the reclaimer in batches;
+       None (the default) retires inline *)
+    bg : Reclaim.Channel.t option Atomic.t;
+    bg_buf : node list ref array; (* owner-thread only *)
+    bg_count : int ref array; (* owner-thread only *)
+    bg_batch : int;
     (* strong reference keeping the weakly-registered quarantine
        cleaner alive exactly as long as this scheme *)
     mutable lifecycle : int -> unit;
+    (* same keep-alive contract for the neutralize hook *)
+    mutable neutralizer : int -> unit;
     (* strong reference keeping the weakly-registered metrics probes
        alive exactly as long as this scheme *)
     mutable metrics : (string * (unit -> int)) list;
@@ -102,7 +111,11 @@ module Make (N : NODE) = struct
     elided : int;
   }
 
-  type guard = { t : t; tid : int; mutable ptrs : ptr list }
+  (* [gen] snapshots the registry slot generation at guard entry: a
+     mismatch at guard exit means a neutralization expired this guard's
+     protections mid-flight (see [Reclaim.Neutralize]), and the exit
+     path must not act on them. *)
+  type guard = { t : t; tid : int; gen : int; mutable ptrs : ptr list }
 
   (* An orc_ptr holds the link *view* it read (a raw word for tagged
      structures — no box per load) plus the arena needed to decode it
@@ -286,6 +299,32 @@ module Make (N : NODE) = struct
       tl.retire_started <- false
     end
 
+  (* Background split point: every non-lifecycle retirement funnels
+     through here.  With a channel set, the freshly claimed node is
+     buffered thread-locally and the batch shipped to the reclaimer as
+     a job — BRETIRED ownership travels with the closure, and [retire]
+     revalidates the count under the reclaimer's tid exactly as it
+     would inline, so resurrection and handover behave identically.  A
+     refused send (channel closed or full — reclaimer dead or behind)
+     retires the batch inline: backpressure degrades to the [None]
+     path.  The buffer is owner-private plain state, bounded by
+     [bg_batch], and drained by [thread_exit] and [flush]. *)
+  and submit_retire t ~tid p =
+    match Atomic.get t.bg with
+    | None -> retire t ~tid p
+    | Some ch ->
+        let buf = t.bg_buf.(tid) and cnt = t.bg_count.(tid) in
+        buf := p :: !buf;
+        incr cnt;
+        if !cnt >= t.bg_batch then begin
+          let batch = !buf and n = !cnt in
+          buf := [];
+          cnt := 0;
+          let job ~tid:rtid = List.iter (fun q -> retire t ~tid:rtid q) batch in
+          if not (Reclaim.Channel.send ch ~tid ~count:n job) then
+            List.iter (fun q -> retire t ~tid q) batch
+        end
+
   (* incrementOrc (Algorithm 4 lines 38–43).  Caller must hold a
      protected reference to [p]. *)
   and inc t ~tid p =
@@ -293,7 +332,7 @@ module Make (N : NODE) = struct
     if ocnt lorc = orc_zero then
       if Atomic.compare_and_set (orc_word p) lorc (lorc + bretired) then begin
         note_retired t ~tid p;
-        retire t ~tid p
+        submit_retire t ~tid p
       end
 
   (* decrementOrc (Algorithm 4 lines 45–51): protects [p] in the scratch
@@ -311,7 +350,7 @@ module Make (N : NODE) = struct
          keeps [p] alive inside retire, and a live scratch hazard would
          make the scan hand [p] to ourselves. *)
       Atomic.set tl.hp.(0) None;
-      retire t ~tid p
+      submit_retire t ~tid p
     end
     else Atomic.set tl.hp.(0) None
 
@@ -322,7 +361,7 @@ module Make (N : NODE) = struct
     if ocnt lorc = orc_zero then
       if Atomic.compare_and_set (orc_word p) lorc (lorc + bretired) then begin
         note_retired t ~tid p;
-        retire t ~tid p
+        submit_retire t ~tid p
       end
 
   let drain_handover t ~tid idx =
@@ -331,7 +370,9 @@ module Make (N : NODE) = struct
     | None -> ()
     | Some _ -> (
         match Atomic.exchange tl.handovers.(idx) None with
-        | Some q -> retire t ~tid q (* q carries BRETIRED: we own it now *)
+        | Some q ->
+            (* q carries BRETIRED: we own it now *)
+            submit_retire t ~tid q
         | None -> ())
 
   (* Quarantine cleaner (registered with [Registry.on_quarantine] by
@@ -370,7 +411,42 @@ module Make (N : NODE) = struct
       match Atomic.exchange tl.handovers.(idx) None with
       | Some q -> retire t ~tid:self q
       | None -> ()
+    done;
+    (* the dead row's background buffer still owns its BRETIRED batch;
+       retire it inline — quarantine must make progress even with the
+       reclaimer gone, and the next owner of this tid starts empty *)
+    (match !(t.bg_buf.(tid)) with
+    | [] -> ()
+    | batch ->
+        t.bg_buf.(tid) := [];
+        t.bg_count.(tid) := 0;
+        List.iter (fun q -> retire t ~tid:self q) batch)
+
+  (* Neutralize hook (registered with [Registry.on_neutralize] by
+     [create]): expire a stalled tid's protections.  Only the row's
+     {e atomic} planes are touched — hazards and uids come down so no
+     scan can hand anything new to the row, then the parked handovers
+     (sole ownership via exchange) are retired under the neutralizer's
+     own tid.  Owner-private plain state (used_haz, free_idx, the
+     recursive queue, the background buffer) is left alone: the victim
+     may be alive and about to wake, and its buffer is bounded by
+     [bg_batch].  The victim detects the generation bump at its next
+     scheme entry point and restarts (see [Reclaim.Neutralize]). *)
+  let neutralize_clear t ~tid =
+    let tl = t.tl.(tid) in
+    let wm = Atomic.get t.watermark in
+    for idx = 0 to wm - 1 do
+      Atomic.set tl.hp.(idx) None;
+      Atomic.set tl.hp_uid.(idx) (-1)
+    done;
+    let self = Registry.tid () in
+    for idx = 0 to wm - 1 do
+      match Atomic.exchange tl.handovers.(idx) None with
+      | Some q -> retire t ~tid:self q
+      | None -> ()
     done
+
+  let set_background t ch = Atomic.set t.bg ch
 
   let create ?max_hps:_ ?sink ?arena alloc =
     let sink =
@@ -405,12 +481,19 @@ module Make (N : NODE) = struct
         n_scan_slots = Shard.create ();
         n_elided = Shard.create ();
         wd = Obs.Watchdog.create ();
+        bg = Atomic.make None;
+        bg_buf = Array.init Registry.max_threads (fun _ -> ref []);
+        bg_count = Array.init Registry.max_threads (fun _ -> ref 0);
+        bg_batch = 32;
         lifecycle = ignore;
+        neutralizer = ignore;
         metrics = [];
       }
     in
     t.lifecycle <- (fun tid -> thread_exit t ~tid);
     Registry.on_quarantine t.lifecycle;
+    t.neutralizer <- (fun tid -> neutralize_clear t ~tid);
+    Registry.on_neutralize t.neutralizer;
     (* OrcGC's stats record is richer than [Scheme_intf.stats], so the
        probes are registered directly rather than through
        [register_metrics]; same weak-probe keep-alive contract. *)
@@ -601,6 +684,7 @@ module Make (N : NODE) = struct
     end
 
   let load g link p =
+    Reclaim.Neutralize.check ~tid:g.tid;
     ensure_exclusive g p;
     let t = g.t and tid = g.tid in
     let tl = t.tl.(tid) in
@@ -618,6 +702,7 @@ module Make (N : NODE) = struct
      copy to a lower slot re-publishes at a fresh higher index, while a
      copy to a higher slot shares the source's index. *)
   let assign g dst src =
+    Reclaim.Neutralize.check ~tid:g.tid;
     if dst != src then begin
       let tl = g.t.tl.(g.tid) in
       let reuse = src.idx < dst.idx && tl.used_haz.(dst.idx) = 1 in
@@ -671,6 +756,7 @@ module Make (N : NODE) = struct
   (* make_orc into an existing handle, for loops that allocate many nodes
      under one guard without exhausting hazard indexes. *)
   let alloc_node_into g p mk =
+    Reclaim.Neutralize.check ~tid:g.tid;
     let hdr = Memdom.Alloc.hdr g.t.alloc () in
     let n = run_mk g mk hdr in
     ensure_exclusive g p;
@@ -686,8 +772,13 @@ module Make (N : NODE) = struct
   (* {2 orc_atomic mutators (Algorithm 4)} *)
 
   (* store (lines 63–67).  The target of [st], if any, must be protected
-     by the caller (a live Ptr or a fresh node). *)
+     by the caller (a live Ptr or a fresh node).
+
+     All the mutators below start with a neutralization check: they act
+     on the strength of the caller's protections, which a neutralized
+     guard no longer holds (see [Reclaim.Neutralize]). *)
   let store g link st =
+    Reclaim.Neutralize.check ~tid:g.tid;
     (match Link.target st with Some n -> inc g.t ~tid:g.tid n | None -> ());
     let old = Link.exchange link st in
     match Link.target old with Some n -> dec g.t ~tid:g.tid n | None -> ()
@@ -695,6 +786,7 @@ module Make (N : NODE) = struct
   (* compare_exchange (lines 69–74): counts move only on success, and a
      pure mark/unmark transition on the same target leaves them alone. *)
   let cas g link ~expected ~desired =
+    Reclaim.Neutralize.check ~tid:g.tid;
     if Link.cas link expected desired then begin
       let te = Link.target expected and td = Link.target desired in
       (match te, td with
@@ -707,6 +799,7 @@ module Make (N : NODE) = struct
     else false
 
   let exchange g link st =
+    Reclaim.Neutralize.check ~tid:g.tid;
     (match Link.target st with Some n -> inc g.t ~tid:g.tid n | None -> ());
     let old = Link.exchange link st in
     (match Link.target old with Some n -> dec g.t ~tid:g.tid n | None -> ());
@@ -717,6 +810,7 @@ module Make (N : NODE) = struct
      no allocation on tagged structures. *)
 
   let store_v g link v =
+    Reclaim.Neutralize.check ~tid:g.tid;
     if Link.v_has_target v then inc g.t ~tid:g.tid (Link.v_target_exn link v);
     let old = Link.exchange_v link v in
     (* the exchanged-out hard link is ours now; it keeps the old target
@@ -724,6 +818,7 @@ module Make (N : NODE) = struct
     if Link.v_has_target old then dec g.t ~tid:g.tid (Link.v_target_exn link old)
 
   let cas_v g link ~expected ~desired =
+    Reclaim.Neutralize.check ~tid:g.tid;
     if Link.cas_v link expected desired then begin
       let he = Link.v_has_target expected and hd = Link.v_has_target desired in
       let te = if he then Link.v_target_exn link expected else no_node in
@@ -753,13 +848,44 @@ module Make (N : NODE) = struct
 
   let with_guard t f =
     let tid = Registry.tid () in
-    let g = { t; tid; ptrs = [] } in
+    (* handshake: a pending neutralization from a previous guard is
+       acknowledged silently here — nothing is protected yet — and again
+       in [finally], which must not raise (it runs on exception paths,
+       [Neutralized] included) *)
+    Reclaim.Neutralize.ack ~tid;
+    let g = { t; tid; gen = Registry.generation tid; ptrs = [] } in
     Obs.Watchdog.enter t.wd ~tid;
     Obs.Sink.guard_begin t.sink ~tid;
     let finally () =
-      List.iter (fun p -> clear t ~tid p.v p.idx ~reuse:false) g.ptrs;
-      g.ptrs <- [];
+      Reclaim.Neutralize.ack ~tid;
       let tl = t.tl.(tid) in
+      if Registry.generation tid = g.gen then
+        List.iter (fun p -> clear t ~tid p.v p.idx ~reuse:false) g.ptrs
+      else
+        (* A neutralization expired this guard: the hazard planes are
+           already down and the parked handovers were adopted by the
+           neutralizer.  Skipping the per-handle [maybe_retire] is
+           mandatory, not an optimization — the unprotected targets may
+           already be freed and their headers re-issued, so a stale
+           zero-count claim here would retire a {e live} object.  Any
+           zero-count node this guard referenced is (or will be)
+           claimed by the thread whose dec zeroed it, or was parked on
+           this row and adopted.  Only the owner-local index
+           bookkeeping is reset, plus a drain for stragglers parked by
+           scanners that read the hazards before they came down. *)
+        List.iter
+          (fun p ->
+            if p.idx <> 0 then begin
+              tl.used_haz.(p.idx) <- tl.used_haz.(p.idx) - 1;
+              if tl.used_haz.(p.idx) = 0 then begin
+                Bitmask.release tl.free_idx p.idx;
+                Atomic.set tl.hp.(p.idx) None;
+                Atomic.set tl.hp_uid.(p.idx) (-1);
+                drain_handover t ~tid p.idx
+              end
+            end)
+          g.ptrs;
+      g.ptrs <- [];
       Atomic.set tl.hp.(0) None;
       drain_handover t ~tid 0;
       Obs.Sink.guard_end t.sink ~tid;
@@ -787,5 +913,23 @@ module Make (N : NODE) = struct
         | Some q -> retire t ~tid q
         | None -> ()
       done
-    done
+    done;
+    (* background buffers: batches parked by [submit_retire] that never
+       reached the channel threshold still carry BRETIRED.  A retire
+       here can cascade through [dec] back into [submit_retire] and
+       re-buffer under an active channel, hence the fixpoint. *)
+    let rec drain_bufs () =
+      let progress = ref false in
+      for it = 0 to nreg - 1 do
+        match !(t.bg_buf.(it)) with
+        | [] -> ()
+        | batch ->
+            t.bg_buf.(it) := [];
+            t.bg_count.(it) := 0;
+            progress := true;
+            List.iter (fun q -> retire t ~tid q) batch
+      done;
+      if !progress then drain_bufs ()
+    in
+    drain_bufs ()
 end

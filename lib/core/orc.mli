@@ -102,7 +102,18 @@ module Make (N : NODE) : sig
   (** Run one data-structure operation.  On exit — normal or exceptional
       — every handle created in the scope is released, freed hazard
       slots are unpublished, and parked handovers are adopted, exactly
-      where the C++ [orc_ptr] destructors would run. *)
+      where the C++ [orc_ptr] destructors would run.
+
+      {b Neutralization handshake} (see {!Reclaim.Neutralize}): while a
+      neutralizing reclaimer is armed, guard entry and exit acknowledge
+      a pending neutralization silently, and {!load}, {!assign}, the
+      mutators and {!alloc_node_into} acknowledge and raise
+      [Reclaim.Neutralize.Neutralized] — every protection the guard
+      held is gone, so the operation must restart under a fresh guard.
+      A guard whose protections were expired mid-flight releases only
+      its owner-local bookkeeping on exit; retirement of its targets
+      has already passed to other threads.  Unarmed, the checks cost
+      one shared atomic load each. *)
 
   (** Local references ([orc_ptr], Algorithm 7). *)
   module Ptr : sig
@@ -247,8 +258,23 @@ module Make (N : NODE) : sig
       per-thread width of hazard scans (the H of the O(Ht) bound as
       actually instantiated). *)
 
+  val set_background : t -> Reclaim.Channel.t option -> unit
+  (** Background drain mode.  With [Some ch], a mutator that claims a
+      zero-count object buffers it thread-locally and ships the batch
+      to the reclaimer as a {!Reclaim.Channel.job} — BRETIRED ownership
+      travels with the closure, and [retire] revalidates the count
+      under the reclaimer's tid exactly as it would inline.  A refused
+      send (channel closed or full — reclaimer dead or behind) retires
+      the batch inline, so backpressure and reclaimer death degrade to
+      the [None] behaviour.  [None] (the default) retires inline.
+      Setup/teardown-only knob: flip it while the structure is
+      quiescent, or accept that racing retires may use either path for
+      one batch.  {!flush} drains the thread-local buffers but not the
+      channel — stop or recover the reclaimer first. *)
+
   val flush : t -> unit
-  (** Quiesced drain for tests and shutdown: unpublish every hazard and
-      adopt every parked handover.  Destroys all live protections — only
-      call with no concurrent operations. *)
+  (** Quiesced drain for tests and shutdown: unpublish every hazard,
+      adopt every parked handover and retire the background buffers.
+      Destroys all live protections — only call with no concurrent
+      operations. *)
 end

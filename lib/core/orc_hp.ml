@@ -58,15 +58,25 @@ module Make (N : Orc.NODE) = struct
     n_elided : Shard.t; (* hazard publishes skipped in [load] *)
     orphans : node Reclaim.Orphan.t;
     wd : Obs.Watchdog.t; (* guard-stall stamp table *)
+    (* background drain: when set, a threshold crossing ships the
+       swapped-out retired list to the reclaimer instead of scanning
+       inline; None (the default) scans inline *)
+    bg : Reclaim.Channel.t option Atomic.t;
     (* strong reference keeping the weakly-registered quarantine
        cleaner alive exactly as long as this scheme *)
     mutable lifecycle : int -> unit;
+    (* same keep-alive contract for the neutralize hook *)
+    mutable neutralizer : int -> unit;
     (* strong reference keeping the weakly-registered metrics probes
        alive exactly as long as this scheme *)
     mutable metrics : (string * (unit -> int)) list;
   }
 
-  type guard = { t : t; tid : int; mutable ptrs : ptr list }
+  (* [gen] snapshots the registry slot generation at guard entry: a
+     mismatch at guard exit means a neutralization expired this guard's
+     protections mid-flight (see [Reclaim.Neutralize]), and the exit
+     path must not act on them. *)
+  type guard = { t : t; tid : int; gen : int; mutable ptrs : ptr list }
 
   (* An orc_ptr holds the link *view* it read (a raw word for tagged
      structures — no box per load) plus the arena needed to decode it
@@ -174,7 +184,34 @@ module Make (N : Orc.NODE) = struct
     let tl = t.tl.(tid) in
     tl.retired <- p :: tl.retired;
     tl.retired_count <- tl.retired_count + 1;
-    if threshold_crossed t ~count:tl.retired_count then scan t ~tid
+    if threshold_crossed t ~count:tl.retired_count then
+      match Atomic.get t.bg with
+      | None -> scan t ~tid
+      | Some ch -> drain_background t ~tid ch
+
+  (* Background split point: ship the swapped-out retired list to the
+     reclaimer as a job that splices it into the {e running} thread's
+     list and scans — the batch left this thread's list before the
+     send, so exactly one owner ever touches it.  A refused send
+     (channel closed or full — reclaimer dead or behind) restores the
+     batch and scans inline: backpressure degrades to the [None]
+     path. *)
+  and drain_background t ~tid ch =
+    let tl = t.tl.(tid) in
+    let batch = tl.retired and n = tl.retired_count in
+    tl.retired <- [];
+    tl.retired_count <- 0;
+    let job ~tid:rtid =
+      let rl = t.tl.(rtid) in
+      rl.retired <- List.rev_append batch rl.retired;
+      rl.retired_count <- rl.retired_count + n;
+      scan t ~tid:rtid
+    in
+    if not (Reclaim.Channel.send ch ~tid ~count:n job) then begin
+      tl.retired <- List.rev_append batch tl.retired;
+      tl.retired_count <- tl.retired_count + n;
+      scan t ~tid
+    end
 
   and scan t ~tid =
     let began = Obs.Sink.scan_begin t.sink in
@@ -270,6 +307,24 @@ module Make (N : Orc.NODE) = struct
         tl.retired_count <- 0;
         Reclaim.Orphan.publish t.orphans t.sink ~tid batch
 
+  (* Neutralize hook (registered with [Registry.on_neutralize] by
+     [create]): expire a stalled tid's protections by lowering its
+     hazard planes — the row's only {e atomic} state.  Owner-private
+     plain state (used_haz, free_idx, the retired list) is left alone:
+     the victim may be alive and about to wake, and its retired list
+     is bounded by the scan threshold.  The victim detects the
+     generation bump at its next scheme entry point and restarts (see
+     [Reclaim.Neutralize]). *)
+  let neutralize_clear t ~tid =
+    let tl = t.tl.(tid) in
+    let wm = Atomic.get t.watermark in
+    for idx = 0 to wm - 1 do
+      Atomic.set tl.hp.(idx) None;
+      Atomic.set tl.hp_uid.(idx) (-1)
+    done
+
+  let set_background t ch = Atomic.set t.bg ch
+
   let create ?(max_hps = 8) ?sink ?arena alloc =
     let sink =
       match sink with Some s -> s | None -> Memdom.Alloc.sink alloc
@@ -299,12 +354,16 @@ module Make (N : Orc.NODE) = struct
         n_elided = Shard.create ();
         orphans = Reclaim.Orphan.create ();
         wd = Obs.Watchdog.create ();
+        bg = Atomic.make None;
         lifecycle = ignore;
+        neutralizer = ignore;
         metrics = [];
       }
     in
     t.lifecycle <- (fun tid -> thread_exit t ~tid);
     Registry.on_quarantine t.lifecycle;
+    t.neutralizer <- (fun tid -> neutralize_clear t ~tid);
+    Registry.on_neutralize t.neutralizer;
     let labels = [ ("scheme", name) ] in
     let counters =
       [ ("orcgc_elided_total", fun () -> Shard.get t.n_elided) ]
@@ -468,6 +527,7 @@ module Make (N : Orc.NODE) = struct
     end
 
   let load g link p =
+    Reclaim.Neutralize.check ~tid:g.tid;
     ensure_exclusive g p;
     let t = g.t and tid = g.tid in
     let tl = t.tl.(tid) in
@@ -481,6 +541,7 @@ module Make (N : Orc.NODE) = struct
     if had_old && not (Link.v_same old p.v) then maybe_retire t ~tid old_n
 
   let assign g dst src =
+    Reclaim.Neutralize.check ~tid:g.tid;
     if dst != src then begin
       let tl = g.t.tl.(g.tid) in
       let reuse = src.idx < dst.idx && tl.used_haz.(dst.idx) = 1 in
@@ -529,6 +590,7 @@ module Make (N : Orc.NODE) = struct
     p
 
   let alloc_node_into g p mk =
+    Reclaim.Neutralize.check ~tid:g.tid;
     let hdr = Memdom.Alloc.hdr g.t.alloc () in
     let n = run_mk g mk hdr in
     ensure_exclusive g p;
@@ -541,12 +603,17 @@ module Make (N : Orc.NODE) = struct
     if had_old && not (old_n == n) then maybe_retire g.t ~tid:g.tid old_n;
     n
 
+  (* All the mutators below start with a neutralization check: they act
+     on the strength of the caller's protections, which a neutralized
+     guard no longer holds (see [Reclaim.Neutralize]). *)
   let store g link st =
+    Reclaim.Neutralize.check ~tid:g.tid;
     (match Link.target st with Some n -> inc g.t ~tid:g.tid n | None -> ());
     let old = Link.exchange link st in
     match Link.target old with Some n -> dec g.t ~tid:g.tid n | None -> ()
 
   let cas g link ~expected ~desired =
+    Reclaim.Neutralize.check ~tid:g.tid;
     if Link.cas link expected desired then begin
       let te = Link.target expected and td = Link.target desired in
       (match te, td with
@@ -559,6 +626,7 @@ module Make (N : Orc.NODE) = struct
     else false
 
   let exchange g link st =
+    Reclaim.Neutralize.check ~tid:g.tid;
     (match Link.target st with Some n -> inc g.t ~tid:g.tid n | None -> ());
     let old = Link.exchange link st in
     (match Link.target old with Some n -> dec g.t ~tid:g.tid n | None -> ());
@@ -569,11 +637,13 @@ module Make (N : Orc.NODE) = struct
      no allocation on tagged structures. *)
 
   let store_v g link v =
+    Reclaim.Neutralize.check ~tid:g.tid;
     if Link.v_has_target v then inc g.t ~tid:g.tid (Link.v_target_exn link v);
     let old = Link.exchange_v link v in
     if Link.v_has_target old then dec g.t ~tid:g.tid (Link.v_target_exn link old)
 
   let cas_v g link ~expected ~desired =
+    Reclaim.Neutralize.check ~tid:g.tid;
     if Link.cas_v link expected desired then begin
       let he = Link.v_has_target expected and hd = Link.v_has_target desired in
       let te = if he then Link.v_target_exn link expected else no_node in
@@ -601,13 +671,41 @@ module Make (N : Orc.NODE) = struct
 
   let with_guard t f =
     let tid = Registry.tid () in
-    let g = { t; tid; ptrs = [] } in
+    (* handshake: a pending neutralization from a previous guard is
+       acknowledged silently here — nothing is protected yet — and again
+       in [finally], which must not raise (it runs on exception paths,
+       [Neutralized] included) *)
+    Reclaim.Neutralize.ack ~tid;
+    let g = { t; tid; gen = Registry.generation tid; ptrs = [] } in
     Obs.Watchdog.enter t.wd ~tid;
     Obs.Sink.guard_begin t.sink ~tid;
     let finally () =
-      List.iter (fun p -> clear t ~tid p.v p.idx ~reuse:false) g.ptrs;
+      Reclaim.Neutralize.ack ~tid;
+      let tl = t.tl.(tid) in
+      if Registry.generation tid = g.gen then
+        List.iter (fun p -> clear t ~tid p.v p.idx ~reuse:false) g.ptrs
+      else
+        (* A neutralization expired this guard: the hazard planes are
+           already down.  Skipping the per-handle [maybe_retire] is
+           mandatory, not an optimization — the unprotected targets may
+           already be freed and their headers re-issued, so a stale
+           zero-count claim here would retire a {e live} object.  Any
+           zero-count node this guard referenced is (or will be)
+           claimed by the thread whose dec zeroed it.  Only the
+           owner-local index bookkeeping is reset. *)
+        List.iter
+          (fun p ->
+            if p.idx <> 0 then begin
+              tl.used_haz.(p.idx) <- tl.used_haz.(p.idx) - 1;
+              if tl.used_haz.(p.idx) = 0 then begin
+                Bitmask.release tl.free_idx p.idx;
+                Atomic.set tl.hp.(p.idx) None;
+                Atomic.set tl.hp_uid.(p.idx) (-1)
+              end
+            end)
+          g.ptrs;
       g.ptrs <- [];
-      Atomic.set t.tl.(tid).hp.(0) None;
+      Atomic.set tl.hp.(0) None;
       Obs.Sink.guard_end t.sink ~tid;
       Obs.Watchdog.leave t.wd ~tid
     in

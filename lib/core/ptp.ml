@@ -39,9 +39,19 @@ module Make (N : Reclaim.Scheme_intf.NODE) :
     handovers : node option Atomic.t array array; (* [tid][idx] *)
     counters : Reclaim.Scheme_intf.Counters.t;
     wd : Obs.Watchdog.t; (* guard-stall stamp table *)
+    bg : Reclaim.Channel.t option Atomic.t; (* background drain route *)
+    (* PTP has no retired lists, so background mode buffers retires
+       here (owner-private, bounded by [bg_batch]) and ships each full
+       batch as one channel job — one send per batch instead of one
+       handover walk per retire. *)
+    bg_buf : node list ref array;
+    bg_count : int ref array;
+    bg_batch : int;
     (* strong reference keeping the weakly-registered quarantine
        cleaner alive exactly as long as this scheme *)
     mutable lifecycle : int -> unit;
+    (* likewise for the neutralize hook (atomic-state-only clear) *)
+    mutable neutralizer : int -> unit;
     (* strong reference keeping the weakly-registered metrics probes
        alive exactly as long as this scheme *)
     mutable metrics : (string * (unit -> int)) list;
@@ -51,6 +61,7 @@ module Make (N : Reclaim.Scheme_intf.NODE) :
   let max_hps t = t.hps
 
   let begin_op t ~tid =
+    Reclaim.Neutralize.ack ~tid;
     Obs.Watchdog.enter t.wd ~tid;
     Obs.Sink.guard_begin t.sink ~tid
 
@@ -61,9 +72,11 @@ module Make (N : Reclaim.Scheme_intf.NODE) :
   let protect_raw t ~tid ~idx n = publish t ~tid ~idx n
 
   let copy_protection t ~tid ~src ~dst =
+    Reclaim.Neutralize.check ~tid;
     publish t ~tid ~idx:dst (Atomic.get t.hp.(tid).(src))
 
   let get_protected t ~tid ~idx link =
+    Reclaim.Neutralize.check ~tid;
     let slot = t.hp.(tid).(idx) in
     let rec loop st =
       (match Link.target st with
@@ -87,6 +100,7 @@ module Make (N : Reclaim.Scheme_intf.NODE) :
      before publishing and re-derefed after — word equality alone does
      not prove the slot's meaning stayed stable (see hp.ml). *)
   let get_protected_v t ~tid ~idx link =
+    Reclaim.Neutralize.check ~tid;
     let slot = t.hp.(tid).(idx) in
     let rec loop v =
       if not (Link.v_has_target v) then begin
@@ -165,13 +179,34 @@ module Make (N : Reclaim.Scheme_intf.NODE) :
     Obs.Sink.scan_end t.sink ~tid ~slots:!visited ~began;
     match !cur with Some p -> free_node t ~tid p | None -> ()
 
+  let set_background t ch = Atomic.set t.bg ch
+
   let retire t ~tid n =
+    Reclaim.Neutralize.check ~tid;
     let h = N.hdr n in
     Memdom.Hdr.mark_retired h;
     h.Memdom.Hdr.retired_ns <-
       Obs.Sink.on_retire t.sink ~tid ~uid:h.Memdom.Hdr.uid;
     Reclaim.Scheme_intf.Counters.retired t.counters ~tid;
-    handover_or_delete t ~tid n ~start:0
+    match Atomic.get t.bg with
+    | None -> handover_or_delete t ~tid n ~start:0
+    | Some ch ->
+        t.bg_buf.(tid) := n :: !(t.bg_buf.(tid));
+        incr t.bg_count.(tid);
+        if !(t.bg_count.(tid)) >= t.bg_batch then begin
+          let batch = !(t.bg_buf.(tid)) and count = !(t.bg_count.(tid)) in
+          t.bg_buf.(tid) := [];
+          t.bg_count.(tid) := 0;
+          let job ~tid:rtid =
+            List.iter
+              (fun p -> handover_or_delete t ~tid:rtid p ~start:0)
+              batch
+          in
+          if not (Reclaim.Channel.send ch ~tid ~count job) then
+            (* refused (closed/full): inline fallback, single-owner safe
+               — the batch left the buffer before the send *)
+            List.iter (fun p -> handover_or_delete t ~tid p ~start:0) batch
+        end
 
   let clear t ~tid ~idx =
     Atomic.set t.hp.(tid).(idx) None;
@@ -208,6 +243,29 @@ module Make (N : Reclaim.Scheme_intf.NODE) :
       match Atomic.exchange t.handovers.(tid).(idx) None with
       | Some p -> handover_or_delete t ~tid:self p ~start:0
       | None -> ()
+    done;
+    (* background buffer: single-owner (departing thread or a reclaimer
+       over a provably dead one), so the plain swap is safe here *)
+    match !(t.bg_buf.(tid)) with
+    | [] -> ()
+    | batch ->
+        t.bg_buf.(tid) := [];
+        t.bg_count.(tid) := 0;
+        List.iter (fun p -> handover_or_delete t ~tid:self p ~start:0) batch
+
+  (* Neutralize hook: lower the victim's hazards and re-run its parked
+     handovers through the scan — both atomic planes; the owner-private
+     background buffer stays put (bounded by [bg_batch], it cannot
+     break the O(Ht) bound). *)
+  let neutralize_clear t ~tid =
+    for idx = 0 to t.hps - 1 do
+      Atomic.set t.hp.(tid).(idx) None
+    done;
+    let self = Registry.tid () in
+    for idx = 0 to t.hps - 1 do
+      match Atomic.exchange t.handovers.(tid).(idx) None with
+      | Some p -> handover_or_delete t ~tid:self p ~start:0
+      | None -> ()
     done
 
   (* Handover drains re-park or free immediately; nothing pools. *)
@@ -227,12 +285,19 @@ module Make (N : Reclaim.Scheme_intf.NODE) :
         handovers = Array.init Registry.max_threads mk;
         counters = Reclaim.Scheme_intf.Counters.create ();
         wd = Obs.Watchdog.create ();
+        bg = Atomic.make None;
+        bg_buf = Array.init Registry.max_threads (fun _ -> ref []);
+        bg_count = Array.init Registry.max_threads (fun _ -> ref 0);
+        bg_batch = 32;
         lifecycle = ignore;
+        neutralizer = ignore;
         metrics = [];
       }
     in
     t.lifecycle <- (fun tid -> orphan t ~tid);
     Registry.on_quarantine t.lifecycle;
+    t.neutralizer <- (fun tid -> neutralize_clear t ~tid);
+    Registry.on_neutralize t.neutralizer;
     t.metrics <-
       Reclaim.Scheme_intf.register_metrics ~scheme:name
         ~stats:(fun () -> Reclaim.Scheme_intf.Counters.stats t.counters)
@@ -251,6 +316,12 @@ module Make (N : Reclaim.Scheme_intf.NODE) :
   let flush t =
     let self = Registry.tid () in
     for tid = 0 to Registry.registered () - 1 do
+      (match !(t.bg_buf.(tid)) with
+      | [] -> ()
+      | batch ->
+          t.bg_buf.(tid) := [];
+          t.bg_count.(tid) := 0;
+          List.iter (fun p -> handover_or_delete t ~tid:self p ~start:0) batch);
       for idx = 0 to t.hps - 1 do
         match Atomic.exchange t.handovers.(tid).(idx) None with
         | Some p -> handover_or_delete t ~tid:self p ~start:0

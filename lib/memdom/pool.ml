@@ -44,29 +44,50 @@ let mk_slots () =
    [local_ticket * max_threads + tid] that [Alloc] stamps. *)
 let owner_of h = h.Hdr.uid mod Registry.max_threads
 
-let rec push_transfer stack h =
+(* CAS-prepend with truncated exponential backoff under contention: the
+   backoff state is only allocated after the first failure, keeping the
+   uncontended remote free allocation-free on this path. *)
+let push_transfer stack h =
   let cur = Atomic.get stack in
-  if not (Atomic.compare_and_set stack cur (h :: cur)) then
-    push_transfer stack h
+  if not (Atomic.compare_and_set stack cur (h :: cur)) then begin
+    let b = Backoff.create () in
+    let rec retry () =
+      Backoff.once b;
+      let cur = Atomic.get stack in
+      if not (Atomic.compare_and_set stack cur (h :: cur)) then retry ()
+    in
+    retry ()
+  end
 
 (* Pop up to [drain_batch] headers in one CAS: take the current head
    list, split after K cells, and swing the head to the remainder.
    Only the owner drains, so the CAS fails only against concurrent
    pushers (then retry); physical equality makes the CAS ABA-free —
    cons cells are never reused. *)
-let rec take_batch stack =
-  match Atomic.get stack with
-  | [] -> ([], 0)
-  | cur ->
-      let rec split n acc = function
-        | rest when n = 0 -> (acc, n, rest)
-        | [] -> (acc, n, [])
-        | h :: tl -> split (n - 1) (h :: acc) tl
-      in
-      let taken, left, rest = split drain_batch [] cur in
-      if Atomic.compare_and_set stack cur rest then
-        (taken, drain_batch - left)
-      else take_batch stack
+let take_batch stack =
+  let rec go b =
+    match Atomic.get stack with
+    | [] -> ([], 0)
+    | cur ->
+        let rec split n acc = function
+          | rest when n = 0 -> (acc, n, rest)
+          | [] -> (acc, n, [])
+          | h :: tl -> split (n - 1) (h :: acc) tl
+        in
+        let taken, left, rest = split drain_batch [] cur in
+        if Atomic.compare_and_set stack cur rest then
+          (taken, drain_batch - left)
+        else begin
+          (* lost to a pusher burst: back off before rebuilding the
+             split, which is O(drain_batch) wasted work per retry *)
+          let b =
+            match b with Some b -> b | None -> Backoff.create ()
+          in
+          Backoff.once b;
+          go (Some b)
+        end
+  in
+  go None
 
 let release t ~tid h =
   let o = owner_of h in

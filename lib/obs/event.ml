@@ -14,6 +14,7 @@ type kind =
   | Snapshot
   | Elide
   | Stall
+  | Neutralize
 
 let to_int = function
   | Alloc -> 0
@@ -31,6 +32,7 @@ let to_int = function
   | Snapshot -> 12
   | Elide -> 13
   | Stall -> 14
+  | Neutralize -> 15
 
 let of_int = function
   | 0 -> Alloc
@@ -48,6 +50,7 @@ let of_int = function
   | 12 -> Snapshot
   | 13 -> Elide
   | 14 -> Stall
+  | 15 -> Neutralize
   | n -> invalid_arg (Printf.sprintf "Obs.Event.of_int: %d" n)
 
 let name = function
@@ -66,6 +69,7 @@ let name = function
   | Snapshot -> "snapshot"
   | Elide -> "elide"
   | Stall -> "stall"
+  | Neutralize -> "neutralize"
 
 type t = {
   seq : int;  (** per-thread emission index, contiguous within a ring *)

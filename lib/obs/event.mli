@@ -37,9 +37,13 @@ type kind =
   | Stall
       (** the {!Watchdog} flagged a non-progressing guard: [uid] = the
           stalled registry slot, [arg] = its age in watchdog ticks *)
+  | Neutralize
+      (** a validated stalled guard was expired by a registry generation
+          bump: [uid] = the neutralized slot, [arg] = its age in
+          watchdog ticks at neutralization *)
 
 val to_int : kind -> int
-(** Dense encoding in [0, 14] — what the rings store. *)
+(** Dense encoding in [0, 15] — what the rings store. *)
 
 val of_int : int -> kind
 (** Inverse of {!to_int}; raises [Invalid_argument] out of range. *)

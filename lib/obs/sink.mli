@@ -100,6 +100,12 @@ val on_stall : t -> tid:int -> stalled:int -> age:int -> unit
     progress.  [tid] is the watchdog/sampler thread doing the
     flagging, not the stalled thread. *)
 
+val on_neutralize : t -> tid:int -> stalled:int -> age:int -> unit
+(** Records the Neutralize event: registry slot [stalled], validated as
+    stalled for [age] watchdog ticks, had its generation bumped so its
+    published protections no longer pin memory.  [tid] is the
+    neutralizing (reclaimer or sampler) thread. *)
+
 val scan_begin : t -> int
 (** Timestamp token to pass to {!scan_end} (0 under {!null}). *)
 

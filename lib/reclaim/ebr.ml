@@ -29,9 +29,12 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     counters : Scheme_intf.Counters.t;
     orphans : (node * int) Orphan.t; (* batches keep their retire epochs *)
     wd : Obs.Watchdog.t; (* guard-stall stamp table *)
+    bg : Channel.t option Atomic.t; (* background drain route *)
     (* strong reference keeping the weakly-registered quarantine
        cleaner alive exactly as long as this scheme *)
     mutable lifecycle : int -> unit;
+    (* likewise for the neutralize hook (atomic-state-only clear) *)
+    mutable neutralizer : int -> unit;
     (* strong reference keeping the weakly-registered metrics probes
        alive exactly as long as this scheme *)
     mutable metrics : (string * (unit -> int)) list;
@@ -41,25 +44,34 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
   let max_hps t = t.hps
 
   let begin_op t ~tid =
+    Neutralize.ack ~tid;
     Obs.Watchdog.enter t.wd ~tid;
     Atomic.set t.announce.(tid) (Atomic.get t.global_epoch);
     Obs.Sink.guard_begin t.sink ~tid
 
   let end_op t ~tid =
     Atomic.set t.announce.(tid) quiescent;
+    Neutralize.ack ~tid;
     Obs.Sink.guard_end t.sink ~tid;
     Obs.Watchdog.leave t.wd ~tid
 
   (* Protection is implicit in the epoch announcement: a plain validated
-     read suffices. *)
-  let get_protected _t ~tid:_ ~idx:_ link = Link.get link
+     read suffices — but the neutralization check is load-bearing here:
+     a neutralized reader's announcement went quiescent, so every
+     subsequent read would be unprotected. *)
+  let get_protected _t ~tid ~idx:_ link =
+    Neutralize.check ~tid;
+    Link.get link
 
   (* The epoch announced at [begin_op] already protects everything
      reachable; a read needs no per-pointer work, so the view plane is
-     a single allocation-free load. *)
-  let get_protected_v _t ~tid:_ ~idx:_ link = Link.view link
+     a single allocation-free load (plus the neutralization probe). *)
+  let get_protected_v _t ~tid ~idx:_ link =
+    Neutralize.check ~tid;
+    Link.view link
+
   let protect_raw _t ~tid:_ ~idx:_ _n = ()
-  let copy_protection _t ~tid:_ ~src:_ ~dst:_ = ()
+  let copy_protection _t ~tid ~src:_ ~dst:_ = Neutralize.check ~tid
   let clear _t ~tid:_ ~idx:_ = ()
 
   let min_announced t ~visited =
@@ -111,7 +123,28 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     Scheme_intf.Counters.scanned t.counters ~tid ~slots:!visited;
     Obs.Sink.scan_end t.sink ~tid ~slots:!visited ~began
 
+  (* Background drain — see [Hp.drain_background]; batches carry their
+     retire epochs, so replaying them under the reclaimer's tid
+     preserves the epoch-distance safety test exactly. *)
+  let drain_background t ~tid ch =
+    let batch = !(t.retired.(tid)) and n = !(t.retired_count.(tid)) in
+    t.retired.(tid) := [];
+    t.retired_count.(tid) := 0;
+    let job ~tid:rtid =
+      t.retired.(rtid) := List.rev_append batch !(t.retired.(rtid));
+      t.retired_count.(rtid) := !(t.retired_count.(rtid)) + n;
+      scan t ~tid:rtid
+    in
+    if not (Channel.send ch ~tid ~count:n job) then begin
+      t.retired.(tid) := batch;
+      t.retired_count.(tid) := n;
+      scan t ~tid
+    end
+
+  let set_background t ch = Atomic.set t.bg ch
+
   let retire t ~tid n =
+    Neutralize.check ~tid;
     let h = N.hdr n in
     Memdom.Hdr.mark_retired h;
     h.Memdom.Hdr.retired_ns <-
@@ -119,7 +152,10 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     Scheme_intf.Counters.retired t.counters ~tid;
     t.retired.(tid) := (n, Atomic.get t.global_epoch) :: !(t.retired.(tid));
     incr t.retired_count.(tid);
-    if !(t.retired_count.(tid)) >= t.scan_threshold then scan t ~tid
+    if !(t.retired_count.(tid)) >= t.scan_threshold then
+      match Atomic.get t.bg with
+      | None -> scan t ~tid
+      | Some ch -> drain_background t ~tid ch
 
   (* Quarantine cleaner: a departing thread must go quiescent (a stale
      announcement would stall the global epoch — §2's blocked-reclamation
@@ -135,6 +171,12 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
         Orphan.publish t.orphans t.sink ~tid batch
 
   let orphaned t = Orphan.pending t.orphans
+
+  (* Neutralize hook: force the victim quiescent — the single stalled
+     announcement that blocks the global epoch (§2's failure mode) is
+     exactly what neutralization exists to break.  The epoch-stamped
+     retired list is owner-private plain state and stays put. *)
+  let neutralize_clear t ~tid = Atomic.set t.announce.(tid) quiescent
 
   let create ?(max_hps = 8) ?sink alloc =
     let sink =
@@ -154,12 +196,16 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
         counters = Scheme_intf.Counters.create ();
         orphans = Orphan.create ();
         wd = Obs.Watchdog.create ();
+        bg = Atomic.make None;
         lifecycle = ignore;
+        neutralizer = ignore;
         metrics = [];
       }
     in
     t.lifecycle <- (fun tid -> orphan t ~tid);
     Registry.on_quarantine t.lifecycle;
+    t.neutralizer <- (fun tid -> neutralize_clear t ~tid);
+    Registry.on_neutralize t.neutralizer;
     t.metrics <-
       Scheme_intf.register_metrics ~scheme:name
         ~stats:(fun () -> Scheme_intf.Counters.stats t.counters)

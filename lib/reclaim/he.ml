@@ -33,9 +33,12 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     counters : Scheme_intf.Counters.t;
     orphans : node Orphan.t;
     wd : Obs.Watchdog.t; (* guard-stall stamp table *)
+    bg : Channel.t option Atomic.t; (* background drain route *)
     (* strong reference keeping the weakly-registered quarantine
        cleaner alive exactly as long as this scheme *)
     mutable lifecycle : int -> unit;
+    (* likewise for the neutralize hook (atomic-state-only clear) *)
+    mutable neutralizer : int -> unit;
     (* strong reference keeping the weakly-registered metrics probes
        alive exactly as long as this scheme *)
     mutable metrics : (string * (unit -> int)) list;
@@ -45,6 +48,7 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
   let max_hps t = t.hps
 
   let begin_op t ~tid =
+    Neutralize.ack ~tid;
     Obs.Watchdog.enter t.wd ~tid;
     Obs.Sink.guard_begin t.sink ~tid
 
@@ -54,12 +58,14 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     for idx = 0 to t.hps - 1 do
       clear t ~tid ~idx
     done;
+    Neutralize.ack ~tid;
     Obs.Sink.guard_end t.sink ~tid;
     Obs.Watchdog.leave t.wd ~tid
 
   (* HE protect (also used by IBR 2GE): publish the era, then re-read the
      link; stable era + stable link validate the protection. *)
   let get_protected t ~tid ~idx link =
+    Neutralize.check ~tid;
     let slot = t.he.(tid).(idx) in
     let prev = ref (Atomic.get slot) in
     let rec loop () =
@@ -100,6 +106,7 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     end
 
   let get_protected_v t ~tid ~idx link =
+    Neutralize.check ~tid;
     let slot = t.he.(tid).(idx) in
     gpv_loop t ~tid slot link (Atomic.get slot)
 
@@ -119,6 +126,7 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
   (* copying must carry the original era: a fresh era would not cover a
      node already retired under an older one *)
   let copy_protection t ~tid ~src ~dst =
+    Neutralize.check ~tid;
     Atomic.set t.he.(tid).(dst) (Atomic.get t.he.(tid).(src))
 
   let protected_by_any t ~visited n =
@@ -212,7 +220,28 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
          !(t.retired_count.(tid)) >= Atomic.get t.threshold
        end
 
+  (* Background drain — see [Hp.drain_background].  Death eras are
+     header stamps, so the shipped nodes carry everything the
+     reclaimer-side scan needs. *)
+  let drain_background t ~tid ch =
+    let batch = !(t.retired.(tid)) and n = !(t.retired_count.(tid)) in
+    t.retired.(tid) := [];
+    t.retired_count.(tid) := 0;
+    let job ~tid:rtid =
+      t.retired.(rtid) := List.rev_append batch !(t.retired.(rtid));
+      t.retired_count.(rtid) := !(t.retired_count.(rtid)) + n;
+      scan t ~tid:rtid
+    in
+    if not (Channel.send ch ~tid ~count:n job) then begin
+      t.retired.(tid) := batch;
+      t.retired_count.(tid) := n;
+      scan t ~tid
+    end
+
+  let set_background t ch = Atomic.set t.bg ch
+
   let retire t ~tid n =
+    Neutralize.check ~tid;
     let h = N.hdr n in
     Memdom.Hdr.mark_retired h;
     Memdom.Hdr.set_death_era h (Memdom.Alloc.era t.alloc);
@@ -224,7 +253,10 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     incr t.retire_count.(tid);
     if !(t.retire_count.(tid)) mod t.era_freq = 0 then
       ignore (Memdom.Alloc.bump_era t.alloc);
-    if threshold_crossed t ~tid then scan t ~tid
+    if threshold_crossed t ~tid then
+      match Atomic.get t.bg with
+      | None -> scan t ~tid
+      | Some ch -> drain_background t ~tid ch
 
   (* Quarantine cleaner: drop the departing tid's published eras (an
      era left behind would pin every object alive at it, forever) and
@@ -243,6 +275,14 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
         Orphan.publish t.orphans t.sink ~tid batch
 
   let orphaned t = Orphan.pending t.orphans
+
+  (* Neutralize hook: drop the victim's published eras — each one pins
+     every object whose lifetime interval contains it, which is the
+     O(#L*H*t^2) worth of memory a stalled HE reader holds hostage. *)
+  let neutralize_clear t ~tid =
+    for idx = 0 to t.hps - 1 do
+      Atomic.set t.he.(tid).(idx) none_era
+    done
 
   let create ?(max_hps = 8) ?sink alloc =
     let sink =
@@ -264,12 +304,16 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
         counters = Scheme_intf.Counters.create ();
         orphans = Orphan.create ();
         wd = Obs.Watchdog.create ();
+        bg = Atomic.make None;
         lifecycle = ignore;
+        neutralizer = ignore;
         metrics = [];
       }
     in
     t.lifecycle <- (fun tid -> orphan t ~tid);
     Registry.on_quarantine t.lifecycle;
+    t.neutralizer <- (fun tid -> neutralize_clear t ~tid);
+    Registry.on_neutralize t.neutralizer;
     t.metrics <-
       Scheme_intf.register_metrics ~scheme:name
         ~stats:(fun () -> Scheme_intf.Counters.stats t.counters)

@@ -32,9 +32,12 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     counters : Scheme_intf.Counters.t;
     orphans : node Orphan.t;
     wd : Obs.Watchdog.t; (* guard-stall stamp table *)
+    bg : Channel.t option Atomic.t; (* background drain route *)
     (* strong reference keeping the weakly-registered quarantine
        cleaner alive exactly as long as this scheme *)
     mutable lifecycle : int -> unit;
+    (* likewise for the neutralize hook (atomic-state-only clear) *)
+    mutable neutralizer : int -> unit;
     (* strong reference keeping the weakly-registered metrics probes
        alive exactly as long as this scheme *)
     mutable metrics : (string * (unit -> int)) list;
@@ -44,12 +47,14 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
   let max_hps t = t.hps
 
   let begin_op t ~tid =
+    Neutralize.ack ~tid;
     Obs.Watchdog.enter t.wd ~tid;
     Obs.Sink.guard_begin t.sink ~tid
 
   let protect_raw t ~tid ~idx n = Atomic.set t.hp.(tid).(idx) n
 
   let copy_protection t ~tid ~src ~dst =
+    Neutralize.check ~tid;
     Atomic.set t.hp.(tid).(dst) (Atomic.get t.hp.(tid).(src));
     Atomic.set t.hp_uid.(tid).(dst) (Atomic.get t.hp_uid.(tid).(src))
 
@@ -61,10 +66,12 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     for idx = 0 to t.hps - 1 do
       clear t ~tid ~idx
     done;
+    Neutralize.ack ~tid;
     Obs.Sink.guard_end t.sink ~tid;
     Obs.Watchdog.leave t.wd ~tid
 
   let get_protected t ~tid ~idx link =
+    Neutralize.check ~tid;
     let slot = t.hp.(tid).(idx) in
     let rec loop st =
       (match Link.target st with
@@ -148,6 +155,7 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     end
 
   let get_protected_v t ~tid ~idx link =
+    Neutralize.check ~tid;
     gpv_loop t ~tid t.hp.(tid).(idx) t.hp_uid.(tid).(idx) link (Link.view link)
 
   let protected_by_any t ~visited n =
@@ -258,7 +266,31 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
          !(t.retired_count.(tid)) >= Atomic.get t.threshold
        end
 
+  (* Background drain: swap this thread's whole batch out and ship it
+     to the reclaimer as a job that splices it into the {e running}
+     thread's list and scans there.  Single-owner safe: the batch
+     leaves [retired.(tid)] before the send, and on refusal (closed or
+     full channel — the degradation path) nothing else has touched the
+     empty list, so restoring and scanning inline is exact. *)
+  let drain_background t ~tid ch =
+    let batch = !(t.retired.(tid)) and n = !(t.retired_count.(tid)) in
+    t.retired.(tid) := [];
+    t.retired_count.(tid) := 0;
+    let job ~tid:rtid =
+      t.retired.(rtid) := List.rev_append batch !(t.retired.(rtid));
+      t.retired_count.(rtid) := !(t.retired_count.(rtid)) + n;
+      scan t ~tid:rtid
+    in
+    if not (Channel.send ch ~tid ~count:n job) then begin
+      t.retired.(tid) := batch;
+      t.retired_count.(tid) := n;
+      scan t ~tid
+    end
+
+  let set_background t ch = Atomic.set t.bg ch
+
   let retire t ~tid n =
+    Neutralize.check ~tid;
     let h = N.hdr n in
     Memdom.Hdr.mark_retired h;
     h.Memdom.Hdr.retired_ns <-
@@ -266,7 +298,10 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     Scheme_intf.Counters.retired t.counters ~tid;
     t.retired.(tid) := n :: !(t.retired.(tid));
     incr t.retired_count.(tid);
-    if threshold_crossed t ~tid then scan t ~tid
+    if threshold_crossed t ~tid then
+      match Atomic.get t.bg with
+      | None -> scan t ~tid
+      | Some ch -> drain_background t ~tid ch
 
   (* Quarantine cleaner: force-clear the departing tid's hazards and
      publish its pending retired list for adoption at survivors' next
@@ -286,6 +321,16 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
         Orphan.publish t.orphans t.sink ~tid batch
 
   let orphaned t = Orphan.pending t.orphans
+
+  (* Neutralize hook: the victim may still be alive, so only its atomic
+     state may be touched — both hazard planes go empty (unpinning the
+     stalled guard's targets), the plain retired list stays the owner's
+     (bounded by R, so it cannot break the O(Ht) bound). *)
+  let neutralize_clear t ~tid =
+    for idx = 0 to t.hps - 1 do
+      Atomic.set t.hp.(tid).(idx) None;
+      Atomic.set t.hp_uid.(tid).(idx) (-1)
+    done
 
   let create ?(max_hps = 8) ?sink alloc =
     let sink =
@@ -308,12 +353,16 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
         counters = Scheme_intf.Counters.create ();
         orphans = Orphan.create ();
         wd = Obs.Watchdog.create ();
+        bg = Atomic.make None;
         lifecycle = ignore;
+        neutralizer = ignore;
         metrics = [];
       }
     in
     t.lifecycle <- (fun tid -> orphan t ~tid);
     Registry.on_quarantine t.lifecycle;
+    t.neutralizer <- (fun tid -> neutralize_clear t ~tid);
+    Registry.on_neutralize t.neutralizer;
     t.metrics <-
       Scheme_intf.register_metrics ~scheme:name
         ~stats:(fun () -> Scheme_intf.Counters.stats t.counters)

@@ -35,9 +35,12 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     counters : Scheme_intf.Counters.t;
     orphans : node Orphan.t;
     wd : Obs.Watchdog.t; (* guard-stall stamp table *)
+    bg : Channel.t option Atomic.t; (* background drain route *)
     (* strong reference keeping the weakly-registered quarantine
        cleaner alive exactly as long as this scheme *)
     mutable lifecycle : int -> unit;
+    (* likewise for the neutralize hook (atomic-state-only clear) *)
+    mutable neutralizer : int -> unit;
     (* strong reference keeping the weakly-registered metrics probes
        alive exactly as long as this scheme *)
     mutable metrics : (string * (unit -> int)) list;
@@ -48,6 +51,7 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
   let no_reservation = max_int
 
   let begin_op t ~tid =
+    Neutralize.ack ~tid;
     Obs.Watchdog.enter t.wd ~tid;
     let e = Memdom.Alloc.era t.alloc in
     Atomic.set t.lo.(tid) e;
@@ -57,12 +61,14 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
   let end_op t ~tid =
     Atomic.set t.lo.(tid) no_reservation;
     Atomic.set t.hi.(tid) 0;
+    Neutralize.ack ~tid;
     Obs.Sink.guard_end t.sink ~tid;
     Obs.Watchdog.leave t.wd ~tid
 
   (* Extend the reservation to cover the read: loop until the link is
      re-read under an era already covered by [hi]. *)
   let get_protected t ~tid ~idx:_ link =
+    Neutralize.check ~tid;
     let rec loop () =
       let st = Link.get link in
       let e = Memdom.Alloc.era t.alloc in
@@ -98,10 +104,12 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
       gpv_loop t ~tid link
     end
 
-  let get_protected_v t ~tid ~idx:_ link = gpv_loop t ~tid link
+  let get_protected_v t ~tid ~idx:_ link =
+    Neutralize.check ~tid;
+    gpv_loop t ~tid link
 
   let protect_raw _t ~tid:_ ~idx:_ _n = ()
-  let copy_protection _t ~tid:_ ~src:_ ~dst:_ = ()
+  let copy_protection _t ~tid ~src:_ ~dst:_ = Neutralize.check ~tid
   let clear _t ~tid:_ ~idx:_ = ()
 
   let reserved_by_any t ~visited n =
@@ -195,7 +203,28 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
          !(t.retired_count.(tid)) >= Atomic.get t.threshold
        end
 
+  (* Background drain — see [Hp.drain_background].  Lifetime intervals
+     are header stamps, so the shipped nodes carry everything the
+     reclaimer-side scan needs. *)
+  let drain_background t ~tid ch =
+    let batch = !(t.retired.(tid)) and n = !(t.retired_count.(tid)) in
+    t.retired.(tid) := [];
+    t.retired_count.(tid) := 0;
+    let job ~tid:rtid =
+      t.retired.(rtid) := List.rev_append batch !(t.retired.(rtid));
+      t.retired_count.(rtid) := !(t.retired_count.(rtid)) + n;
+      scan t ~tid:rtid
+    in
+    if not (Channel.send ch ~tid ~count:n job) then begin
+      t.retired.(tid) := batch;
+      t.retired_count.(tid) := n;
+      scan t ~tid
+    end
+
+  let set_background t ch = Atomic.set t.bg ch
+
   let retire t ~tid n =
+    Neutralize.check ~tid;
     let h = N.hdr n in
     Memdom.Hdr.mark_retired h;
     Memdom.Hdr.set_death_era h (Memdom.Alloc.era t.alloc);
@@ -207,7 +236,10 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     incr t.retire_count.(tid);
     if !(t.retire_count.(tid)) mod t.era_freq = 0 then
       ignore (Memdom.Alloc.bump_era t.alloc);
-    if threshold_crossed t ~tid then scan t ~tid
+    if threshold_crossed t ~tid then
+      match Atomic.get t.bg with
+      | None -> scan t ~tid
+      | Some ch -> drain_background t ~tid ch
 
   (* Quarantine cleaner: retract the departing tid's reservation
      interval (a leftover [lo, hi] would pin every overlapping lifetime
@@ -224,6 +256,13 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
         Orphan.publish t.orphans t.sink ~tid batch
 
   let orphaned t = Orphan.pending t.orphans
+
+  (* Neutralize hook: retract the victim's reservation interval — a
+     parked [lo, hi] pins every overlapping lifetime, the exact failure
+     the watchdog flagged. *)
+  let neutralize_clear t ~tid =
+    Atomic.set t.lo.(tid) no_reservation;
+    Atomic.set t.hi.(tid) 0
 
   let create ?(max_hps = 8) ?sink alloc =
     let sink =
@@ -247,12 +286,16 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
         counters = Scheme_intf.Counters.create ();
         orphans = Orphan.create ();
         wd = Obs.Watchdog.create ();
+        bg = Atomic.make None;
         lifecycle = ignore;
+        neutralizer = ignore;
         metrics = [];
       }
     in
     t.lifecycle <- (fun tid -> orphan t ~tid);
     Registry.on_quarantine t.lifecycle;
+    t.neutralizer <- (fun tid -> neutralize_clear t ~tid);
+    Registry.on_neutralize t.neutralizer;
     t.metrics <-
       Scheme_intf.register_metrics ~scheme:name
         ~stats:(fun () -> Scheme_intf.Counters.stats t.counters)

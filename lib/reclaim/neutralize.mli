@@ -1,0 +1,62 @@
+(** Stalled-guard neutralization — the cooperative analog of DEBRA+'s
+    signal-based neutralization (Brown, PODC'15 / arXiv 1712.01044).
+
+    When the watchdog validates a stall past the configured age, the
+    reclaimer {!fire}s: the victim's pending flag rises, its registry
+    generation is bumped ([Atomicx.Registry.neutralize]) — clearing the
+    watchdog row — and every scheme's [on_neutralize] hook force-clears
+    the victim's {e atomic} protection state, so the parked guard stops
+    pinning memory.  A victim that wakes detects the flag at its next
+    scheme entry point and gets {!Neutralized} (the longjmp analog):
+    it must discard every protection it held and restart the operation
+    through the ordinary protect loop.
+
+    Structure code does not usually catch {!Neutralized} — the harness
+    or application-level retry loop does.  A thread that is never
+    neutralized never pays more than one shared atomic load per entry
+    point, and nothing at all while no reclaimer is {!arm}ed. *)
+
+exception Neutralized of int
+(** Raised at the victim's next raising entry point after its guard was
+    expired; payload = its tid.  Protections held before the raise are
+    invalid.  Restart the operation. *)
+
+val arm : unit -> unit
+(** Refcounted global switch: while armed, scheme entry points test the
+    per-tid pending flag.  The reclaimer arms on start, disarms on
+    stop. *)
+
+val disarm : unit -> unit
+val enabled : unit -> bool
+
+val fire :
+  ?sink:Obs.Sink.t -> by:int -> tid:int -> age:int -> unit -> bool
+(** [fire ~by ~tid ~age ()] neutralizes [tid] (a stall of [age] ticks
+    validated by the watchdog, executed by thread [by]): pending flag,
+    then generation bump + scheme hooks, then the [Neutralize] sink
+    event.  Returns [false] — and retracts the flag — if the slot was
+    no longer Active (victim released concurrently; nothing to do).
+    Only call on watchdog-validated stalls: neutralizing a live thread
+    is safe but forces it to redo its current operation. *)
+
+val check : tid:int -> unit
+(** The raising handshake: if [tid] is flagged, acknowledge and raise
+    {!Neutralized}.  Inlined into begin_op / protect / retire paths.
+    One shared atomic load when disarmed. *)
+
+val ack : tid:int -> unit
+(** The silent handshake for entry points that must not raise (end_op /
+    clear run on finalizer paths): acknowledge the flag, drop nothing. *)
+
+val is_pending : tid:int -> bool
+val neutralizations : unit -> int
+val acknowledgements : unit -> int
+
+val pending_count : unit -> int
+(** Flags raised but not yet acknowledged (gauge). *)
+
+val register_metrics :
+  ?registry:Obs.Metrics.t -> unit -> (string * (unit -> int)) list
+(** Register [orcgc_neutralizations_total], [orcgc_neutralize_acks_total]
+    and the [orcgc_neutralize_pending] gauge as weak probes; the caller
+    must keep the returned closures alive (reclaimer handle does). *)

@@ -31,9 +31,12 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     counters : Scheme_intf.Counters.t;
     orphans : node Orphan.t;
     wd : Obs.Watchdog.t; (* guard-stall stamp table *)
+    bg : Channel.t option Atomic.t; (* background drain route *)
     (* strong reference keeping the weakly-registered quarantine
        cleaner alive exactly as long as this scheme *)
     mutable lifecycle : int -> unit;
+    (* likewise for the neutralize hook (atomic-state-only clear) *)
+    mutable neutralizer : int -> unit;
     (* strong reference keeping the weakly-registered metrics probes
        alive exactly as long as this scheme *)
     mutable metrics : (string * (unit -> int)) list;
@@ -43,14 +46,18 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
   let max_hps t = t.hps
 
   let begin_op t ~tid =
+    Neutralize.ack ~tid;
     Obs.Watchdog.enter t.wd ~tid;
     Obs.Sink.guard_begin t.sink ~tid
+
   let protect_raw t ~tid ~idx n = Atomic.set t.post.(tid).(idx) n
 
   let copy_protection t ~tid ~src ~dst =
+    Neutralize.check ~tid;
     Atomic.set t.post.(tid).(dst) (Atomic.get t.post.(tid).(src))
 
   let get_protected t ~tid ~idx link =
+    Neutralize.check ~tid;
     let slot = t.post.(tid).(idx) in
     let rec loop st =
       Atomic.set slot (Link.target st);
@@ -64,6 +71,7 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
      before posting and re-derefed after — word equality alone does not
      prove the slot's meaning was stable (see hp.ml). *)
   let get_protected_v t ~tid ~idx link =
+    Neutralize.check ~tid;
     let slot = t.post.(tid).(idx) in
     let rec loop v =
       if not (Link.v_has_target v) then begin
@@ -196,6 +204,7 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     for idx = 0 to t.hps - 1 do
       clear t ~tid ~idx
     done;
+    Neutralize.ack ~tid;
     Obs.Sink.guard_end t.sink ~tid;
     Obs.Watchdog.leave t.wd ~tid
 
@@ -208,7 +217,10 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
          count >= Atomic.get t.threshold
        end
 
+  let set_background t ch = Atomic.set t.bg ch
+
   let retire t ~tid n =
+    Neutralize.check ~tid;
     let h = N.hdr n in
     Memdom.Hdr.mark_retired h;
     h.Memdom.Hdr.retired_ns <-
@@ -218,7 +230,19 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     if threshold_crossed t ~count:(List.length !(t.retired.(tid))) then begin
       let vs = !(t.retired.(tid)) in
       t.retired.(tid) := [];
-      liberate t ~tid vs
+      (* Background drain: the swapped-out worklist liberates on the
+         reclaimer; a refused send (closed/full) liberates inline —
+         see [Hp.drain_background] for the single-owner argument. *)
+      let inline =
+        match Atomic.get t.bg with
+        | None -> true
+        | Some ch ->
+            let count = List.length vs in
+            not
+              (Channel.send ch ~tid ~count (fun ~tid:rtid ->
+                   liberate t ~tid:rtid vs))
+      in
+      if inline then liberate t ~tid vs
     end
 
   (* Quarantine cleaner: lower the departing tid's guards, then drain
@@ -247,6 +271,32 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
 
   let orphaned t = Orphan.pending t.orphans
 
+  (* Neutralize hook: lower the victim's guards and drain its handoff
+     slots — both atomic planes.  Values trapped in the handoffs go to
+     the orphan pool (the victim's plain retired list is off-limits
+     while it may be alive); the versioned exchange hands each value to
+     exactly one drainer even if the victim wakes mid-pass and runs its
+     own [clear]. *)
+  let neutralize_clear t ~tid =
+    for idx = 0 to t.hps - 1 do
+      Atomic.set t.post.(tid).(idx) None
+    done;
+    let trapped = ref [] in
+    for idx = 0 to t.hps - 1 do
+      let slot = t.handoff.(tid).(idx) in
+      let h = Atomic.get slot in
+      match h.v with
+      | None -> ()
+      | Some _ -> (
+          let h' = Atomic.exchange slot { v = None; ver = h.ver + 1 } in
+          match h'.v with
+          | Some q -> trapped := q :: !trapped
+          | None -> ())
+    done;
+    match !trapped with
+    | [] -> ()
+    | batch -> Orphan.publish t.orphans t.sink ~tid batch
+
   let create ?(max_hps = 8) ?sink alloc =
     let sink =
       match sink with Some s -> s | None -> Memdom.Alloc.sink alloc
@@ -268,12 +318,16 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
         counters = Scheme_intf.Counters.create ();
         orphans = Orphan.create ();
         wd = Obs.Watchdog.create ();
+        bg = Atomic.make None;
         lifecycle = ignore;
+        neutralizer = ignore;
         metrics = [];
       }
     in
     t.lifecycle <- (fun tid -> orphan t ~tid);
     Registry.on_quarantine t.lifecycle;
+    t.neutralizer <- (fun tid -> neutralize_clear t ~tid);
+    Registry.on_neutralize t.neutralizer;
     t.metrics <-
       Scheme_intf.register_metrics ~scheme:name
         ~stats:(fun () -> Scheme_intf.Counters.stats t.counters)

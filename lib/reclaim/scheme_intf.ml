@@ -163,7 +163,17 @@ module type S = sig
 
   val begin_op : t -> tid:int -> unit
   (** Enter a data-structure operation.  No-op for pointer-based schemes;
-      epoch/era schemes mark the thread active here. *)
+      epoch/era schemes mark the thread active here.
+
+      {b Neutralization handshake} (see {!Neutralize}): while a
+      neutralizing reclaimer is armed, every scheme checks the caller's
+      pending flag at its entry points.  [begin_op], [end_op] and
+      [clear] acknowledge silently (nothing published yet / finalizer
+      paths must not raise); [get_protected], [get_protected_v],
+      [copy_protection] and [retire] acknowledge and raise
+      [Neutralize.Neutralized] — every protection validated before the
+      neutralization is gone, so the operation must restart.  Unarmed,
+      the check is one shared atomic load. *)
 
   val end_op : t -> tid:int -> unit
   (** Leave the operation: clears all this thread's protections. *)
@@ -210,6 +220,19 @@ module type S = sig
   (** Hand an unreachable node to the scheme; it will be freed once no
       thread protects it.  Precondition (same as HP/PTB/HE, §3.1): the
       node is no longer reachable from any global reference. *)
+
+  val set_background : t -> Channel.t option -> unit
+  (** Background drain mode.  With [Some ch], a retire that crosses the
+      scan threshold packages the swapped-out batch as a {!Channel.job}
+      and sends it to the reclaimer instead of scanning inline; if the
+      send is refused (channel closed or full — reclaimer dead or
+      behind) the batch is restored and scanned inline, so backpressure
+      and reclaimer death degrade to exactly the [None] behavior.
+      [None] (the default) reclaims inline.  Setup/teardown-only knob:
+      flip it while the scheme is quiescent or accept that racing
+      retires may use either path for one batch.  [flush] only covers
+      per-thread state — stop or recover the reclaimer first so queued
+      jobs are replayed. *)
 
   val orphan : t -> tid:int -> unit
   (** Lifecycle cleaner for a departing thread: force-clear every

@@ -1,0 +1,363 @@
+(* Background reclamation pipeline: transfer-channel semantics
+   (bounded depth, refusal = backpressure, closed = degradation),
+   neutralization (generation bump + pending-flag handshake, wake-up
+   raising, quarantine interplay), per-scheme background drain modes,
+   and the reclaimer fault-tolerance batteries (stalled-guard
+   neutralization, kill-the-reclaimer). *)
+
+open Util
+open Atomicx
+
+(* ------------------------------------------------------------------ *)
+(* Channel *)
+
+let test_channel_send_drain () =
+  Registry.reserve 1;
+  let tid = Registry.tid () in
+  let ch = Reclaim.Channel.create ~bound:100 () in
+  let ran = ref [] in
+  let send tag count =
+    Reclaim.Channel.send ch ~tid ~count (fun ~tid:_ -> ran := tag :: !ran)
+  in
+  check_bool "send accepted" true (send `A 10);
+  check_bool "second send accepted" true (send `B 20);
+  check_int "depth counts objects, not jobs" 30 (Reclaim.Channel.depth ch);
+  check_int "drain returns the object count" 30
+    (Reclaim.Channel.drain ch ~tid);
+  check_bool "jobs ran in send order" true (!ran = [ `B; `A ]);
+  check_int "depth drained" 0 (Reclaim.Channel.depth ch);
+  check_int "drain on empty is free" 0 (Reclaim.Channel.drain ch ~tid);
+  check_int "sent counts objects" 30 (Reclaim.Channel.sent ch);
+  check_int "drained counts objects" 30 (Reclaim.Channel.drained ch)
+
+let test_channel_bound_and_close () =
+  Registry.reserve 1;
+  let tid = Registry.tid () in
+  let ch = Reclaim.Channel.create ~bound:32 () in
+  let noop ~tid:_ = () in
+  check_bool "fits the bound" true (Reclaim.Channel.send ch ~tid ~count:30 noop);
+  check_bool "overflow refused" false
+    (Reclaim.Channel.send ch ~tid ~count:3 noop);
+  check_int "refusal counted as fallback" 1 (Reclaim.Channel.fallbacks ch);
+  check_int "refused objects never entered" 30 (Reclaim.Channel.depth ch);
+  Reclaim.Channel.close ch;
+  check_bool "closed refuses even fitting sends" false
+    (Reclaim.Channel.send ch ~tid ~count:1 noop);
+  check_int "backlog still drainable after close" 30
+    (Reclaim.Channel.drain ch ~tid);
+  Reclaim.Channel.reopen ch;
+  check_bool "reopen accepts again" true
+    (Reclaim.Channel.send ch ~tid ~count:1 noop);
+  check_int "reopened backlog" 1 (Reclaim.Channel.drain ch ~tid)
+
+let test_channel_concurrent_senders () =
+  let ch = Reclaim.Channel.create ~bound:max_int () in
+  let n = 4 and per = 200 in
+  run_domains_exn n (fun ~i:_ ~tid ->
+      for _ = 1 to per do
+        if not (Reclaim.Channel.send ch ~tid ~count:1 (fun ~tid:_ -> ()))
+        then failwith "unbounded send refused"
+      done);
+  let tid = Registry.tid () in
+  check_int "every concurrent send arrived" (n * per)
+    (Reclaim.Channel.drain ch ~tid);
+  check_int "depth zero after drain" 0 (Reclaim.Channel.depth ch)
+
+(* ------------------------------------------------------------------ *)
+(* Neutralization primitive *)
+
+(* Park a registered domain, run [f vtid] against it from the main
+   thread, then release and join.  [exit_clean] selects whether the
+   victim acknowledges through an entry-point-free exit (pure
+   [with_tid] return) or not — the quarantine path must clear the
+   pending flag either way. *)
+let with_parked_victim f =
+  let victim_tid = Atomic.make (-1) in
+  let release = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        Registry.with_tid (fun tid ->
+            Atomic.set victim_tid tid;
+            while not (Atomic.get release) do
+              Domain.cpu_relax ()
+            done))
+  in
+  while Atomic.get victim_tid < 0 do
+    Domain.cpu_relax ()
+  done;
+  let r = f (Atomic.get victim_tid) in
+  Atomic.set release true;
+  Domain.join d;
+  r
+
+let test_neutralize_generation_bump () =
+  Registry.reserve 1;
+  let by = Registry.tid () in
+  with_parked_victim (fun vtid ->
+      Reclaim.Neutralize.arm ();
+      Fun.protect ~finally:Reclaim.Neutralize.disarm (fun () ->
+          let gen0 = Registry.generation vtid in
+          check_bool "fire succeeds on an Active slot" true
+            (Reclaim.Neutralize.fire ~by ~tid:vtid ~age:1 ());
+          check_int "generation bumped" (gen0 + 1) (Registry.generation vtid);
+          check_bool "slot stays in use" true (Registry.in_use vtid);
+          check_bool "pending flag raised" true
+            (Reclaim.Neutralize.is_pending ~tid:vtid)));
+  (* the victim exited without touching any scheme entry point: the
+     quarantine hook must have cleared the flag *)
+  check_int "no pending flag survives quarantine" 0
+    (Reclaim.Neutralize.pending_count ())
+
+let test_neutralize_requires_active () =
+  Registry.reserve 1;
+  let by = Registry.tid () in
+  Reclaim.Neutralize.arm ();
+  Fun.protect ~finally:Reclaim.Neutralize.disarm (fun () ->
+      (* a slot nobody holds is Free (or at least not Active): firing at
+         it must refuse and leave no pending flag behind *)
+      let free_tid = Registry.max_threads - 1 in
+      if not (Registry.in_use free_tid) then begin
+        check_bool "fire refused on a non-Active slot" false
+          (Reclaim.Neutralize.fire ~by ~tid:free_tid ~age:1 ());
+        check_bool "no pending flag left behind" false
+          (Reclaim.Neutralize.is_pending ~tid:free_tid)
+      end)
+
+let test_check_raises_ack_silent () =
+  Registry.reserve 1;
+  let by = Registry.tid () in
+  with_parked_victim (fun vtid ->
+      Reclaim.Neutralize.arm ();
+      Fun.protect ~finally:Reclaim.Neutralize.disarm (fun () ->
+          let acked0 = Reclaim.Neutralize.acknowledgements () in
+          check_bool "fire" true (Reclaim.Neutralize.fire ~by ~tid:vtid ~age:1 ());
+          (match Reclaim.Neutralize.check ~tid:vtid with
+          | () -> Alcotest.fail "check must raise on a pending flag"
+          | exception Reclaim.Neutralize.Neutralized t ->
+              check_int "exception names the victim" vtid t);
+          check_bool "check consumed the flag" false
+            (Reclaim.Neutralize.is_pending ~tid:vtid);
+          check_int "check acknowledged" (acked0 + 1)
+            (Reclaim.Neutralize.acknowledgements ());
+          (* a second check is silent: flag already consumed *)
+          Reclaim.Neutralize.check ~tid:vtid;
+          (* ack path: refire, then consume silently *)
+          check_bool "refire" true
+            (Reclaim.Neutralize.fire ~by ~tid:vtid ~age:1 ());
+          Reclaim.Neutralize.ack ~tid:vtid;
+          check_bool "ack consumed the flag" false
+            (Reclaim.Neutralize.is_pending ~tid:vtid)))
+
+let test_disarmed_is_inert () =
+  Registry.reserve 1;
+  let tid = Registry.tid () in
+  check_bool "not armed" false (Reclaim.Neutralize.enabled ());
+  (* with no reclaimer armed, checks never raise even if a stale flag
+     existed — the armed refcount gates the whole handshake *)
+  Reclaim.Neutralize.check ~tid;
+  Reclaim.Neutralize.ack ~tid
+
+(* ------------------------------------------------------------------ *)
+(* Scheme background drain + wake-after-neutralize handshake *)
+
+type bnode = { hdr : Memdom.Hdr.t; mutable payload : int }
+
+module BN = struct
+  type t = bnode
+
+  let hdr n = n.hdr
+end
+
+let _read_payload n =
+  Memdom.Hdr.check_access n.hdr;
+  n.payload
+
+module Hp = Reclaim.Hp.Make (BN)
+
+(* Background drain, manual scheme: retires routed through the channel
+   are reclaimed by the reclaimer domain; stopping the reclaimer and
+   flushing accounts for every object. *)
+let test_hp_background_drain () =
+  let alloc = Memdom.Alloc.create "bg-hp" in
+  let s = Hp.create ~max_hps:4 alloc in
+  let ch = Reclaim.Channel.create () in
+  let reclaimer = Reclaim.Reclaimer.start ~interval:0.001 ch in
+  Hp.set_background s (Some ch);
+  let mk v = { hdr = Memdom.Alloc.hdr alloc (); payload = v } in
+  let table = Array.init 4 (fun i -> Link.make (Link.Ptr (mk i))) in
+  run_domains_exn 3 (fun ~i ~tid ->
+      let rng = Rng.create (0xB0 + i) in
+      for k = 1 to 500 do
+        Hp.begin_op s ~tid;
+        let n = mk k in
+        Hp.protect_raw s ~tid ~idx:0 (Some n);
+        let old = Link.exchange table.(Rng.int rng 4) (Link.Ptr n) in
+        Hp.end_op s ~tid;
+        match Link.target old with
+        | Some o -> Hp.retire s ~tid o
+        | None -> ()
+      done);
+  Reclaim.Reclaimer.stop reclaimer;
+  check_bool "reclaimer exited" false (Reclaim.Reclaimer.alive reclaimer);
+  check_bool "reclaimer made passes" true
+    (Reclaim.Reclaimer.passes reclaimer > 0);
+  check_int "stopped channel holds nothing" 0 (Reclaim.Channel.depth ch);
+  Hp.set_background s None;
+  let tid = Registry.tid () in
+  Array.iter
+    (fun slot ->
+      match Link.target (Link.exchange slot Link.Null) with
+      | Some n -> Hp.retire s ~tid n
+      | None -> ())
+    table;
+  Hp.flush s;
+  check_int "no object leaked through the pipeline" 0
+    (Memdom.Alloc.live alloc);
+  check_int "unreclaimed zero" 0 (Hp.unreclaimed s)
+
+(* Neutralize-vs-orphan interplay: a victim neutralized mid-guard with
+   a retired backlog then dies without touching another entry point.
+   The quarantine path must still publish its backlog to the orphan
+   pool (adopted by a survivor's next scan), the pending flag must be
+   cleared by quarantine rather than leaking onto the tid's next
+   owner, and nothing may be freed twice. *)
+let test_neutralize_orphan_interplay () =
+  let alloc = Memdom.Alloc.create "bg-orphan" in
+  let s = Hp.create ~max_hps:4 alloc in
+  let mk v = { hdr = Memdom.Alloc.hdr alloc (); payload = v } in
+  let hot = Link.make (Link.Ptr (mk 0)) in
+  let by = Registry.tid () in
+  Reclaim.Neutralize.arm ();
+  Fun.protect ~finally:Reclaim.Neutralize.disarm (fun () ->
+      let victim_tid = Atomic.make (-1) in
+      let release = Atomic.make false in
+      let d =
+        Domain.spawn (fun () ->
+            Registry.with_tid (fun tid ->
+                Hp.begin_op s ~tid;
+                ignore (Hp.get_protected s ~tid ~idx:0 hot);
+                (* a backlog below the scan threshold: stays parked on
+                   the retired list until quarantine publishes it *)
+                for j = 1 to 8 do
+                  Hp.retire s ~tid (mk (-j))
+                done;
+                Atomic.set victim_tid tid;
+                while not (Atomic.get release) do
+                  Domain.cpu_relax ()
+                done
+                (* dies here: no end_op, no ack — the exit path owns
+                   both the orphan hand-off and the flag *)))
+      in
+      while Atomic.get victim_tid < 0 do
+        Domain.cpu_relax ()
+      done;
+      let vtid = Atomic.get victim_tid in
+      check_bool "fire" true (Reclaim.Neutralize.fire ~by ~tid:vtid ~age:1 ());
+      Atomic.set release true;
+      Domain.join d;
+      check_int "quarantine cleared the pending flag" 0
+        (Reclaim.Neutralize.pending_count ());
+      check_bool "backlog published for adoption" true (Hp.orphaned s > 0);
+      (* a survivor's scan adopts the orphans; flush plays that role *)
+      (match Link.target (Link.exchange hot Link.Null) with
+      | Some n -> Hp.retire s ~tid:by n
+      | None -> ());
+      Hp.flush s;
+      check_int "orphans adopted" 0 (Hp.orphaned s);
+      check_int "no leak, no double free" 0 (Memdom.Alloc.live alloc))
+
+(* Automatic scheme: orc guards under a background reclaimer.  The
+   channel carries BRETIRED batches; stop + flush accounts for every
+   node including cascades through the structure's links. *)
+type onode = { hdr : Memdom.Hdr.t; ov : int; next : onode Link.t }
+
+module O = Orc_core.Orc.Make (struct
+  type t = onode
+
+  let hdr n = n.hdr
+  let iter_links n f = f n.next
+end)
+
+let _read_ov n =
+  Memdom.Hdr.check_access n.hdr;
+  n.ov
+
+let test_orc_background_drain () =
+  let alloc = Memdom.Alloc.create "bg-orc" in
+  let o = O.create alloc in
+  let ch = Reclaim.Channel.create () in
+  let reclaimer = Reclaim.Reclaimer.start ~interval:0.001 ch in
+  O.set_background o (Some ch);
+  let amk v hdr = { hdr; ov = v; next = Link.make Link.Null } in
+  let table = Array.init 4 (fun _ -> Link.make Link.Null) in
+  run_domains_exn 3 (fun ~i ~tid:_ ->
+      let rng = Rng.create (0x0C + i) in
+      for k = 1 to 400 do
+        O.with_guard o (fun g ->
+            let slot = table.(Rng.int rng 4) in
+            let p = O.ptr g in
+            O.load g slot p;
+            let np = O.alloc_node g (amk k) in
+            O.store g slot (O.Ptr.state np))
+      done);
+  Reclaim.Reclaimer.stop reclaimer;
+  O.set_background o None;
+  O.with_guard o (fun g ->
+      Array.iter (fun slot -> O.store g slot Link.Null) table);
+  O.flush o;
+  check_int "orc background pipeline leaked nothing" 0
+    (Memdom.Alloc.live alloc);
+  check_int "orc unreclaimed zero" 0 (O.unreclaimed o)
+
+(* ------------------------------------------------------------------ *)
+(* Batteries *)
+
+let test_neutralize_battery () =
+  let r = Chaos.run_neutralize () in
+  if not (Chaos.bg_ok r) then
+    Alcotest.fail (Format.asprintf "%a" Chaos.pp_bg_report r);
+  check_bool "victim was neutralized" true r.Chaos.bg_neutralized;
+  check_bool "waking victim raised Neutralized" true r.Chaos.bg_victim_raised;
+  check_bool "pinned node freed with victim still parked" true
+    r.Chaos.bg_pinned_freed;
+  check_bool "pipeline carried batches" true (r.Chaos.bg_sent > 0)
+
+let test_reclaimer_kill_battery () =
+  let r = Chaos.run_reclaimer_kill () in
+  if not (Chaos.bg_ok r) then
+    Alcotest.fail (Format.asprintf "%a" Chaos.pp_bg_report r);
+  check_int "kill battery leaked nothing" 0 r.Chaos.bg_leaked;
+  check_bool "degradation observed: inline fallbacks or recovered backlog"
+    true
+    (r.Chaos.bg_fallbacks > 0 || r.Chaos.bg_recovered > 0)
+
+let suite =
+  [
+    ( "background",
+      [
+        Alcotest.test_case "channel: send/drain order and depth" `Quick
+          test_channel_send_drain;
+        Alcotest.test_case "channel: bound refusal, close, reopen" `Quick
+          test_channel_bound_and_close;
+        Alcotest.test_case "channel: concurrent senders" `Quick
+          test_channel_concurrent_senders;
+        Alcotest.test_case "neutralize: generation bump + quarantine clears"
+          `Quick test_neutralize_generation_bump;
+        Alcotest.test_case "neutralize: refuses non-Active slots" `Quick
+          test_neutralize_requires_active;
+        Alcotest.test_case "neutralize: check raises, ack is silent" `Quick
+          test_check_raises_ack_silent;
+        Alcotest.test_case "neutralize: disarmed handshake is inert" `Quick
+          test_disarmed_is_inert;
+        Alcotest.test_case "hp: background drain leaks nothing" `Quick
+          test_hp_background_drain;
+        Alcotest.test_case "hp: neutralize vs orphan adoption" `Quick
+          test_neutralize_orphan_interplay;
+        Alcotest.test_case "orc: background drain leaks nothing" `Quick
+          test_orc_background_drain;
+        Alcotest.test_case "battery: stalled guard neutralized" `Slow
+          test_neutralize_battery;
+        Alcotest.test_case "battery: reclaimer killed mid-run" `Slow
+          test_reclaimer_kill_battery;
+      ] );
+  ]

@@ -16,6 +16,20 @@
    - the sampler's built-in registry series and at least one per-scheme
      series must be present, and the Prometheus rendering non-empty.
 
+   When the document also carries a `background` section (from
+   `bench/main.exe --background --json`), the background-pipeline
+   invariants are guarded too:
+
+   - the neutralization battery must have fired (victim neutralized,
+     the pinned node freed with the victim still parked), the waking
+     victim must have observed the expiry (raised [Neutralized], i.e.
+     the flag cleared through the handshake), and the battery must
+     leak nothing,
+   - the reclaimer-kill battery must show graceful degradation (inline
+     fallbacks or a recovered backlog) with zero leaks,
+   - the latency A/B itself must account for every retired object
+     (leaked 0) and must actually have exercised the channel.
+
      dune exec tools/check_metrics.exe -- BENCH_orc.json
 
    Exits 0 when every check passes, 1 otherwise. *)
@@ -127,6 +141,45 @@ let () =
 
   if field m "prometheus_lines" < 1. then
     problem "prometheus rendering was empty";
+
+  (* background pipeline (only when the section was benched in) *)
+  (match Obs.Json.member "background" doc with
+  | None ->
+      Printf.printf
+        "  note background section absent (bench --background --json)\n"
+  | Some bg ->
+      let battery label b ~want_neutralize =
+        if bool_field b "ok" <> Some true then
+          problem "%s battery reported not-ok" label;
+        if want_neutralize then begin
+          if bool_field b "neutralized" <> Some true then
+            problem "%s: stalled guard was never neutralized" label;
+          if bool_field b "victim_raised" <> Some true then
+            problem "%s: waking victim never observed the expiry" label;
+          if bool_field b "pinned_freed" <> Some true then
+            problem "%s: pinned node not freed while victim parked" label
+        end
+        else if field b "fallbacks" +. field b "recovered" < 1. then
+          problem "%s: no degradation evidence (fallbacks + recovered = 0)"
+            label;
+        let leaked = field b "leaked" in
+        if leaked <> 0. then
+          problem "%s battery leaked %.0f allocations" label leaked;
+        if field b "unreclaimed_after" <> 0. then
+          problem "%s battery left objects unreclaimed" label
+      in
+      battery "neutralize"
+        (section bg ~path "neutralize_battery")
+        ~want_neutralize:true;
+      battery "kill" (section bg ~path "kill_battery") ~want_neutralize:false;
+      if field bg "leaked" <> 0. then
+        problem "latency A/B leaked %.0f allocations" (field bg "leaked");
+      if field (section bg ~path "channel") "sent" < 1. then
+        problem "latency A/B never sent a batch through the channel";
+      if !failures = 0 then
+        Printf.printf
+          "  ok   background: neutralize fired and cleared, kill degraded \
+           inline, 0 leaked\n");
 
   finish path ~what:"metrics"
     ~ok:

@@ -164,31 +164,62 @@ let rows_of_registry reg =
 let demo_mode ~seconds ~interval =
   let alloc = Memdom.Alloc.create "orc-top-demo" in
   let s = Hp.create ~max_hps:4 alloc in
+  (* background pipeline: retires travel the transfer channel to a
+     reclaimer armed to neutralize, so the channel-depth gauge
+     (orcgc_bg_depth), the bg counters and the neutralization totals
+     all move during the demo alongside the per-scheme series *)
+  let ch = Reclaim.Channel.create () in
+  let reclaimer =
+    Reclaim.Reclaimer.start ~interval:(interval /. 4.) ~neutralize_age:4 ch
+  in
+  Hp.set_background s (Some ch);
   let stop = Atomic.make false in
   let churner () =
     Atomicx.Registry.with_tid @@ fun tid ->
     while not (Atomic.get stop) do
-      Hp.begin_op s ~tid;
-      for _ = 1 to 64 do
-        Hp.retire s ~tid { d_hdr = Memdom.Alloc.hdr alloc () }
-      done;
-      Hp.end_op s ~tid;
+      (try
+         Hp.begin_op s ~tid;
+         for _ = 1 to 64 do
+           Hp.retire s ~tid { d_hdr = Memdom.Alloc.hdr alloc () }
+         done;
+         Hp.end_op s ~tid
+       with Reclaim.Neutralize.Neutralized _ -> ());
       Unix.sleepf 0.002
+    done
+  in
+  (* a deliberate staller: parks inside a guard long enough for the
+     stall-age gauge (orcgc_stall_age_max) to climb and the reclaimer
+     to expire the guard, then recovers through the handshake and goes
+     again *)
+  let staller () =
+    Atomicx.Registry.with_tid @@ fun tid ->
+    while not (Atomic.get stop) do
+      (try
+         Hp.begin_op s ~tid;
+         Unix.sleepf (interval *. 2.);
+         Hp.end_op s ~tid
+       with Reclaim.Neutralize.Neutralized _ -> ());
+      Unix.sleepf (interval /. 2.)
     done
   in
   let sampler = Obs.Sampler.start ~interval:(interval /. 4.) () in
   let d = Domain.spawn churner in
+  let st = Domain.spawn staller in
   let deadline = Unix.gettimeofday () +. seconds in
   while Unix.gettimeofday () < deadline do
     Unix.sleepf interval;
     render ~clear:true
       ~title:
-        (Printf.sprintf "demo (hp churn), %d sampler ticks"
+        (Printf.sprintf "demo (hp churn + background + staller), %d sampler \
+                         ticks"
            (Obs.Sampler.ticks sampler))
       (rows_of_registry Obs.Metrics.default)
   done;
   Atomic.set stop true;
   Domain.join d;
+  Domain.join st;
+  Reclaim.Reclaimer.stop reclaimer;
+  Hp.set_background s None;
   Obs.Sampler.stop sampler;
   Hp.flush s;
   render ~clear:false ~title:"demo final"
