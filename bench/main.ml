@@ -57,6 +57,7 @@ let scan_only = arg_flag "--scan"
 let pack_only = arg_flag "--pack"
 let metrics_only = arg_flag "--metrics"
 let background_only = arg_flag "--background"
+let adaptive_only = arg_flag "--adaptive"
 let trace_out = arg_value "--trace="
 
 let json_out = if arg_flag "--json" then Some "BENCH_orc.json" else None
@@ -1164,6 +1165,349 @@ let background_json (r : background_row) =
       ("kill_battery", bg_report_json r.bk_kill);
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Adaptive controller A/B: the same phase-shifting workload — steady
+   churn, then a stall-injected phase (a victim parks inside a guard
+   pinning a slot), then a retire-heavy burst — run over a static EBR
+   deployment (no neutralization: the paper's blocking baseline), a
+   static HP deployment (the robust baseline) and the adaptive stack
+   (Switchable + Controller + armed neutralizing reclaimer).  The
+   adaptive row must match EBR's calm throughput, keep the stall-phase
+   unreclaimed high-water mark in HP territory instead of EBR's
+   unbounded pile-up, and relax back once the stall clears
+   (check_adaptive guards exactly that). *)
+
+module Ad_ebr = Reclaim.Ebr.Make (SN)
+module Ad_sw = Reclaim.Switchable.Make (SN)
+
+type ad_phase = { ap_mops : float; ap_hwm : int }
+
+type ad_row = {
+  ar_name : string;
+  ar_calm : ad_phase;
+  ar_stall : ad_phase;
+  ar_burst : ad_phase;
+  ar_escalations : int;
+  ar_relaxations : int;
+  ar_mode_after : int; (* -1 for the static contestants *)
+  ar_decisions : int;
+  ar_victim_raised : bool;
+  ar_leaked : int;
+  ar_unreclaimed_after : int;
+}
+
+(* Closure bundle so one phase driver covers all three contestants
+   without functor plumbing. *)
+type ad_api = {
+  aa_begin : tid:int -> unit;
+  aa_end : tid:int -> unit;
+  aa_protect : tid:int -> snode option -> unit;
+  aa_get : tid:int -> snode Atomicx.Link.t -> unit;
+  aa_retire : tid:int -> snode -> unit;
+  aa_unreclaimed : unit -> int;
+  aa_flush : unit -> unit;
+  aa_tick : unit -> unit; (* controller tick; no-op for statics *)
+  aa_teardown : unit -> unit;
+  aa_escalations : unit -> int;
+  aa_relaxations : unit -> int;
+  aa_mode : unit -> int;
+  aa_decisions : unit -> int;
+}
+
+let ad_phase_dur = if smoke then 0.1 else 0.2
+
+(* One churn phase on the calling thread: swap fresh nodes into the
+   table, retire the evictees ([extra] additional retires per op models
+   the burst phase), tick the controller and sample the unreclaimed
+   high-water mark every 64 ops. *)
+let ad_churn api table alloc ~tid ~extra =
+  let rng = ref 0x9E3779B9 in
+  let next_slot () =
+    rng := (!rng * 1103515245) + 12345;
+    (!rng lsr 16) land 7
+  in
+  let ops = ref 0 and hwm = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let t_end = t0 +. ad_phase_dur in
+  while Unix.gettimeofday () < t_end do
+    incr ops;
+    api.aa_begin ~tid;
+    (* paper-style read-mostly mix: two protected reads, one update *)
+    api.aa_get ~tid table.(next_slot ());
+    api.aa_get ~tid table.(next_slot ());
+    let n = { s_hdr = Memdom.Alloc.hdr alloc () } in
+    api.aa_protect ~tid (Some n);
+    let old = Atomicx.Link.exchange table.(next_slot ()) (Atomicx.Link.Ptr n) in
+    api.aa_end ~tid;
+    (match Atomicx.Link.target old with
+    | Some o -> api.aa_retire ~tid o
+    | None -> ());
+    for _ = 1 to extra do
+      api.aa_retire ~tid { s_hdr = Memdom.Alloc.hdr alloc () }
+    done;
+    if !ops land 255 = 0 then begin
+      hwm := max !hwm (api.aa_unreclaimed ());
+      if !ops land 511 = 0 then api.aa_tick ()
+    end
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  ({ ap_mops = float_of_int !ops /. dt /. 1e6; ap_hwm = !hwm }, !ops)
+
+let ad_contest ~name (mk_api : Memdom.Alloc.t -> ad_api) =
+  (* level the field: earlier contestants leave a large major heap
+     behind, and GC pause inheritance would bias the later rows *)
+  Gc.compact ();
+  let alloc = Memdom.Alloc.create ~sink:Obs.Sink.null ("adaptive-" ^ name) in
+  let api = mk_api alloc in
+  let tid = Atomicx.Registry.tid () in
+  let table =
+    Array.init 8 (fun _ ->
+        Atomicx.Link.make (Atomicx.Link.Ptr { s_hdr = Memdom.Alloc.hdr alloc () }))
+  in
+  (* untimed warmup: domain spawns (reclaimer, controller state) and
+     first-touch of the pool all land outside the measured windows *)
+  let warm_end = Unix.gettimeofday () +. 0.02 in
+  while Unix.gettimeofday () < warm_end do
+    api.aa_begin ~tid;
+    api.aa_protect ~tid None;
+    api.aa_end ~tid
+  done;
+  (* phase 1: steady churn *)
+  let calm, _ = ad_churn api table alloc ~tid ~extra:0 in
+  (* phase 2: stall-injected churn *)
+  let started = Atomic.make false in
+  let release = Atomic.make false in
+  let victim_raised = Atomic.make false in
+  let victim =
+    Domain.spawn (fun () ->
+        Atomicx.Registry.with_tid (fun vtid ->
+            api.aa_begin ~tid:vtid;
+            (try api.aa_get ~tid:vtid table.(0)
+             with Reclaim.Neutralize.Neutralized _ -> ());
+            Atomic.set started true;
+            while not (Atomic.get release) do
+              Unix.sleepf 0.0005
+            done;
+            (* adaptive only: the wake-after-neutralize handshake *)
+            (try api.aa_get ~tid:vtid table.(1)
+             with Reclaim.Neutralize.Neutralized _ ->
+               Atomic.set victim_raised true);
+            api.aa_end ~tid:vtid))
+  in
+  while not (Atomic.get started) do
+    Domain.cpu_relax ()
+  done;
+  let stall, _ = ad_churn api table alloc ~tid ~extra:0 in
+  Atomic.set release true;
+  Domain.join victim;
+  (* phase 3: retire-heavy burst with the stall gone — the adaptive
+     stack must relax back toward the fast policy in here *)
+  let burst, _ = ad_churn api table alloc ~tid ~extra:3 in
+  (* quiesce *)
+  Array.iter
+    (fun slot ->
+      match Atomicx.Link.target (Atomicx.Link.exchange slot Atomicx.Link.Null)
+      with
+      | Some n -> api.aa_retire ~tid n
+      | None -> ())
+    table;
+  api.aa_teardown ();
+  api.aa_flush ();
+  {
+    ar_name = name;
+    ar_calm = calm;
+    ar_stall = stall;
+    ar_burst = burst;
+    ar_escalations = api.aa_escalations ();
+    ar_relaxations = api.aa_relaxations ();
+    ar_mode_after = api.aa_mode ();
+    ar_decisions = api.aa_decisions ();
+    ar_victim_raised = Atomic.get victim_raised;
+    ar_leaked = Memdom.Alloc.live alloc;
+    ar_unreclaimed_after = api.aa_unreclaimed ();
+  }
+
+let ad_static_none = fun () -> 0
+let ad_static_mode = fun () -> -1
+
+let ad_ebr_api alloc =
+  let s = Ad_ebr.create ~max_hps:4 ~sink:Obs.Sink.null alloc in
+  {
+    aa_begin = (fun ~tid -> Ad_ebr.begin_op s ~tid);
+    aa_end = (fun ~tid -> Ad_ebr.end_op s ~tid);
+    aa_protect = (fun ~tid n -> Ad_ebr.protect_raw s ~tid ~idx:0 n);
+    aa_get = (fun ~tid l -> ignore (Ad_ebr.get_protected s ~tid ~idx:0 l));
+    aa_retire = (fun ~tid n -> Ad_ebr.retire s ~tid n);
+    aa_unreclaimed = (fun () -> Ad_ebr.unreclaimed s);
+    aa_flush = (fun () -> Ad_ebr.flush s);
+    aa_tick = ignore;
+    aa_teardown = ignore;
+    aa_escalations = ad_static_none;
+    aa_relaxations = ad_static_none;
+    aa_mode = ad_static_mode;
+    aa_decisions = ad_static_none;
+  }
+
+let ad_hp_api alloc =
+  let s = Scan_hp.create ~max_hps:4 ~sink:Obs.Sink.null alloc in
+  {
+    aa_begin = (fun ~tid -> Scan_hp.begin_op s ~tid);
+    aa_end = (fun ~tid -> Scan_hp.end_op s ~tid);
+    aa_protect = (fun ~tid n -> Scan_hp.protect_raw s ~tid ~idx:0 n);
+    aa_get = (fun ~tid l -> ignore (Scan_hp.get_protected s ~tid ~idx:0 l));
+    aa_retire = (fun ~tid n -> Scan_hp.retire s ~tid n);
+    aa_unreclaimed = (fun () -> Scan_hp.unreclaimed s);
+    aa_flush = (fun () -> Scan_hp.flush s);
+    aa_tick = ignore;
+    aa_teardown = ignore;
+    aa_escalations = ad_static_none;
+    aa_relaxations = ad_static_none;
+    aa_mode = ad_static_mode;
+    aa_decisions = ad_static_none;
+  }
+
+let ad_adaptive_api alloc =
+  let s = Ad_sw.create ~max_hps:4 alloc in
+  let channel = Reclaim.Channel.create ~bound:512 () in
+  Ad_sw.set_background s (Some channel);
+  (* neutralize_age well above stall_age_hi: neutralization erases the
+     victim's watchdog row (generation bump), so the controller's
+     [2, 6) observation window must be wide enough that a scheduler
+     preemption of this (ticking) thread cannot swallow it whole *)
+  let reclaimer = Reclaim.Reclaimer.start ~neutralize_age:6 channel in
+  let ctrl =
+    Reclaim.Controller.create
+      ~cfg:
+        {
+          Reclaim.Controller.unreclaimed_hi = 100_000;
+          unreclaimed_lo = 2048;
+          stall_age_hi = 2;
+          calm_ticks = 3;
+        }
+      ~reclaimer ~channel
+      [
+        Reclaim.Controller.target ~label:"bench"
+          ~mode:(fun () -> Ad_sw.mode s)
+          ~escalate:(fun () -> Ad_sw.escalate s)
+          ~try_complete:(fun () -> Ad_sw.try_complete s)
+          ~relax:(fun () -> Ad_sw.relax s)
+          ~tuning:(Ad_sw.tuning s)
+          ~unreclaimed:(fun () -> Ad_sw.unreclaimed s)
+          ~stall_age:(fun () -> Ad_sw.stall_age_max s)
+          ();
+      ]
+  in
+  {
+    aa_begin = (fun ~tid -> Ad_sw.begin_op s ~tid);
+    aa_end = (fun ~tid -> Ad_sw.end_op s ~tid);
+    aa_protect = (fun ~tid n -> Ad_sw.protect_raw s ~tid ~idx:0 n);
+    aa_get = (fun ~tid l -> ignore (Ad_sw.get_protected s ~tid ~idx:0 l));
+    aa_retire = (fun ~tid n -> Ad_sw.retire s ~tid n);
+    aa_unreclaimed = (fun () -> Ad_sw.unreclaimed s);
+    aa_flush = (fun () -> Ad_sw.flush s);
+    aa_tick = (fun () -> Reclaim.Controller.tick ctrl);
+    aa_teardown =
+      (fun () ->
+        Reclaim.Reclaimer.stop reclaimer;
+        Ad_sw.set_background s None;
+        Reclaim.Channel.keep_alive channel);
+    aa_escalations = (fun () -> Ad_sw.escalations s);
+    aa_relaxations = (fun () -> Ad_sw.relaxations s);
+    aa_mode = (fun () -> Ad_sw.mode s);
+    aa_decisions = (fun () -> Reclaim.Controller.decisions ctrl);
+  }
+
+let ad_rounds = 5
+
+(* Per-phase maxima across rounds: throughput noise on a shared box is
+   one-sided (preemption only slows a phase down), so the max converges
+   on the machine's true rate; counters and leak totals sum. *)
+let ad_merge a b =
+  let phase p q =
+    { ap_mops = Float.max p.ap_mops q.ap_mops; ap_hwm = max p.ap_hwm q.ap_hwm }
+  in
+  {
+    ar_name = a.ar_name;
+    ar_calm = phase a.ar_calm b.ar_calm;
+    ar_stall = phase a.ar_stall b.ar_stall;
+    ar_burst = phase a.ar_burst b.ar_burst;
+    ar_escalations = a.ar_escalations + b.ar_escalations;
+    ar_relaxations = a.ar_relaxations + b.ar_relaxations;
+    ar_mode_after = b.ar_mode_after;
+    ar_decisions = a.ar_decisions + b.ar_decisions;
+    ar_victim_raised = a.ar_victim_raised || b.ar_victim_raised;
+    ar_leaked = a.ar_leaked + b.ar_leaked;
+    ar_unreclaimed_after = a.ar_unreclaimed_after + b.ar_unreclaimed_after;
+  }
+
+let run_adaptive_bench () =
+  Format.printf
+    "@.== Adaptive controller A/B: steady -> stall -> burst (%.2fs/phase, \
+     %d rounds) ==@."
+    ad_phase_dur ad_rounds;
+  Atomicx.Registry.reserve 8;
+  (* start the global watchdog clock before any contestant runs: the
+     adaptive rounds start it anyway (reclaimer self-clock), so an
+     early static round must not get a stamp-free ride the later ones
+     don't *)
+  ignore (Obs.Watchdog.advance ());
+  let round () =
+    [
+      ad_contest ~name:"ebr-static" ad_ebr_api;
+      ad_contest ~name:"hp-static" ad_hp_api;
+      ad_contest ~name:"adaptive" ad_adaptive_api;
+    ]
+  in
+  let rows =
+    List.fold_left
+      (fun acc _ -> List.map2 ad_merge acc (round ()))
+      (round ())
+      (List.init (ad_rounds - 1) Fun.id)
+  in
+  Format.printf "  %-12s %10s %10s %10s %12s %12s %6s %6s@." "contestant"
+    "calm-Mops" "stall-Mops" "burst-Mops" "stall-hwm" "burst-hwm" "esc"
+    "relax";
+  List.iter
+    (fun r ->
+      Format.printf "  %-12s %10.3f %10.3f %10.3f %12d %12d %6d %6d@."
+        r.ar_name r.ar_calm.ap_mops r.ar_stall.ap_mops r.ar_burst.ap_mops
+        r.ar_stall.ap_hwm r.ar_burst.ap_hwm r.ar_escalations r.ar_relaxations)
+    rows;
+  (match List.find_opt (fun r -> r.ar_name = "adaptive") rows with
+  | Some r ->
+      Format.printf
+        "  adaptive: final mode %d, %d controller decisions, victim raised \
+         %b, leaked %d@."
+        r.ar_mode_after r.ar_decisions r.ar_victim_raised r.ar_leaked
+  | None -> ());
+  rows
+
+let adaptive_json rows =
+  let open Harness in
+  let phase p =
+    Json.Obj
+      [ ("mops", Json.Float p.ap_mops); ("unreclaimed_hwm", Json.Int p.ap_hwm) ]
+  in
+  Json.Obj
+    (List.map
+       (fun r ->
+         ( r.ar_name,
+           Json.Obj
+             [
+               ("calm", phase r.ar_calm);
+               ("stall", phase r.ar_stall);
+               ("burst", phase r.ar_burst);
+               ("escalations", Json.Int r.ar_escalations);
+               ("relaxations", Json.Int r.ar_relaxations);
+               ("mode_after", Json.Int r.ar_mode_after);
+               ("decisions", Json.Int r.ar_decisions);
+               ("victim_raised", Json.Bool r.ar_victim_raised);
+               ("leaked", Json.Int r.ar_leaked);
+               ("unreclaimed_after", Json.Int r.ar_unreclaimed_after);
+             ] ))
+       rows
+    @ [ ("rounds", Json.Int ad_rounds) ])
+
 let print_mix_tables title tables =
   List.iter
     (fun (mix, series) ->
@@ -1331,9 +1675,12 @@ let run_sections () =
     @ (if pack_only then [ ("pack", pack_json (run_pack ())) ] else [])
     @ (if metrics_only then [ ("metrics", metrics_json (run_metrics ())) ]
        else [])
+    @ (if background_only then
+         [ ("background", background_json (run_background ())) ]
+       else [])
     @
-    if background_only then
-      [ ("background", background_json (run_background ())) ]
+    if adaptive_only then
+      [ ("adaptive", adaptive_json (run_adaptive_bench ())) ]
     else []
   in
   match json_out with
@@ -1350,7 +1697,7 @@ let () =
     (if smoke then ", smoke" else "");
   if
     churn_only || alloc_only || scan_only || pack_only || metrics_only
-    || background_only
+    || background_only || adaptive_only
   then run_sections ()
   else if smoke then run_smoke ()
   else run_full ();

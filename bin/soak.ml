@@ -183,9 +183,41 @@ let run_background seconds =
     1
   end
 
-let run seconds workers seed churn background pool =
+(* Adaptive-controller soak (--adaptive): repeat the mode-switch
+   battery — calm, stall-driven escalation with mid-switch domain
+   kills, relaxation — until the time budget runs out.  Every
+   repetition must cycle the ladder both ways and account for every
+   retired object. *)
+let run_adaptive_soak seconds =
+  Printf.printf "soak --adaptive: %.0fs budget\n%!" seconds;
+  let t0 = Unix.gettimeofday () in
+  let bad = ref 0 in
+  let round = ref 0 in
+  while Unix.gettimeofday () -. t0 < seconds && (!bad = 0 || !round = 0) do
+    incr round;
+    let r = Chaos.run_adaptive ~interval:0.001 () in
+    if not (Chaos.adaptive_ok r) then begin
+      incr bad;
+      Format.eprintf "round %d adaptive: ladder contract violated@.%a@."
+        !round Chaos.pp_adaptive_report r
+    end
+  done;
+  Printf.printf "ran %d adaptive ladder rounds\n%!" !round;
+  if !bad = 0 then begin
+    Printf.printf
+      "adaptive soak passed: every stall escalated, every calm relaxed, \
+       every mid-switch kill force-released, no leaks\n";
+    0
+  end
+  else begin
+    Printf.eprintf "adaptive soak FAILED: %d battery violations\n" !bad;
+    1
+  end
+
+let run seconds workers seed churn background adaptive pool =
   if churn then run_churn seconds seed
   else if background then run_background seconds
+  else if adaptive then run_adaptive_soak seconds
   else
   let mode = if pool then Some Memdom.Alloc.Pool else None in
   let ts = targets ?mode () in
@@ -267,6 +299,16 @@ let background_arg =
            (stalled-guard neutralization, kill-the-reclaimer) for the time \
            budget instead of running long-lived workers.")
 
+let adaptive_arg =
+  Arg.(
+    value & flag
+    & info [ "adaptive" ]
+        ~doc:
+          "Adaptive-controller mode: repeat the mode-switch battery \
+           (stall-driven escalation with mid-switch kills, calm-driven \
+           relaxation) for the time budget instead of running long-lived \
+           workers.")
+
 let pool_arg =
   Arg.(
     value & flag
@@ -281,6 +323,6 @@ let cmd =
     (Cmd.info "soak" ~doc:"randomized cross-structure soak test")
     Term.(
       const run $ seconds_arg $ workers_arg $ seed_arg $ churn_arg
-      $ background_arg $ pool_arg)
+      $ background_arg $ adaptive_arg $ pool_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -91,7 +91,9 @@ module Make (N : NODE) = struct
     bg : Reclaim.Channel.t option Atomic.t;
     bg_buf : node list ref array; (* owner-thread only *)
     bg_count : int ref array; (* owner-thread only *)
-    bg_batch : int;
+    (* knob record: the batch size is read per buffered retire so the
+       controller can retune it live *)
+    mutable tuning : Reclaim.Tuning.t;
     (* strong reference keeping the weakly-registered quarantine
        cleaner alive exactly as long as this scheme *)
     mutable lifecycle : int -> unit;
@@ -307,8 +309,8 @@ module Make (N : NODE) = struct
      would inline, so resurrection and handover behave identically.  A
      refused send (channel closed or full — reclaimer dead or behind)
      retires the batch inline: backpressure degrades to the [None]
-     path.  The buffer is owner-private plain state, bounded by
-     [bg_batch], and drained by [thread_exit] and [flush]. *)
+     path.  The buffer is owner-private plain state, bounded by the
+     bg batch knob, and drained by [thread_exit] and [flush]. *)
   and submit_retire t ~tid p =
     match Atomic.get t.bg with
     | None -> retire t ~tid p
@@ -316,7 +318,7 @@ module Make (N : NODE) = struct
         let buf = t.bg_buf.(tid) and cnt = t.bg_count.(tid) in
         buf := p :: !buf;
         incr cnt;
-        if !cnt >= t.bg_batch then begin
+        if !cnt >= Reclaim.Tuning.bg_batch t.tuning then begin
           let batch = !buf and n = !cnt in
           buf := [];
           cnt := 0;
@@ -447,6 +449,8 @@ module Make (N : NODE) = struct
     done
 
   let set_background t ch = Atomic.set t.bg ch
+  let tuning t = t.tuning
+  let set_tuning t tn = t.tuning <- tn
 
   let create ?max_hps:_ ?sink ?arena alloc =
     let sink =
@@ -484,7 +488,7 @@ module Make (N : NODE) = struct
         bg = Atomic.make None;
         bg_buf = Array.init Registry.max_threads (fun _ -> ref []);
         bg_count = Array.init Registry.max_threads (fun _ -> ref 0);
-        bg_batch = 32;
+        tuning = Reclaim.Tuning.create ();
         lifecycle = ignore;
         neutralizer = ignore;
         metrics = [];

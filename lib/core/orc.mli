@@ -272,6 +272,14 @@ module Make (N : NODE) : sig
       one batch.  {!flush} drains the thread-local buffers but not the
       channel — stop or recover the reclaimer first. *)
 
+  val tuning : t -> Reclaim.Tuning.t
+  (** The structure's live knob record (fresh per {!create}). *)
+
+  val set_tuning : t -> Reclaim.Tuning.t -> unit
+  (** Swap in a (possibly shared) knob record.  The background batch
+      size is read per buffered retire, so a retune takes effect on the
+      next batch boundary. *)
+
   val flush : t -> unit
   (** Quiesced drain for tests and shutdown: unpublish every hazard,
       adopt every parked handover and retire the background buffers.

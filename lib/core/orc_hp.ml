@@ -53,7 +53,8 @@ module Make (N : Orc.NODE) = struct
     tl : tl_info array;
     watermark : int Atomic.t;
     hps : int;
-    threshold : int Atomic.t; (* cached R = 2·H·t, refreshed on crossing *)
+    threshold : int Atomic.t; (* cached scaled R, refreshed on crossing *)
+    mutable tuning : Reclaim.Tuning.t;
     pending : Shard.t;
     n_elided : Shard.t; (* hazard publishes skipped in [load] *)
     orphans : node Reclaim.Orphan.t;
@@ -104,13 +105,17 @@ module Make (N : Orc.NODE) = struct
   let unreclaimed t = Shard.get t.pending
   let elided t = Shard.get t.n_elided
 
-  (* R = 2·H·t from the live Active-slot population, cached and
-     refreshed on crossing, matching the manual HP baseline (see
+  (* R = 2·H·t (scaled by the knob record) from the live Active-slot
+     population, cached and refreshed on crossing / quarantine /
+     neutralization, matching the manual HP baseline (see
      [Reclaim.Hp.threshold_crossed]) *)
+  let refresh_threshold t =
+    Atomic.set t.threshold (Reclaim.Tuning.threshold t.tuning ~hps:t.hps)
+
   let threshold_crossed t ~count =
     count >= Atomic.get t.threshold
     && begin
-         Atomic.set t.threshold (2 * t.hps * max 1 (Registry.active ()));
+         refresh_threshold t;
          count >= Atomic.get t.threshold
        end
 
@@ -305,7 +310,8 @@ module Make (N : Orc.NODE) = struct
     | batch ->
         tl.retired <- [];
         tl.retired_count <- 0;
-        Reclaim.Orphan.publish t.orphans t.sink ~tid batch
+        Reclaim.Orphan.publish t.orphans t.sink ~tid batch;
+        refresh_threshold t
 
   (* Neutralize hook (registered with [Registry.on_neutralize] by
      [create]): expire a stalled tid's protections by lowering its
@@ -321,9 +327,16 @@ module Make (N : Orc.NODE) = struct
     for idx = 0 to wm - 1 do
       Atomic.set tl.hp.(idx) None;
       Atomic.set tl.hp_uid.(idx) (-1)
-    done
+    done;
+    (* the Active population just changed shape: re-derive R so the
+       cached value does not linger at a stale width *)
+    refresh_threshold t
 
   let set_background t ch = Atomic.set t.bg ch
+  let tuning t = t.tuning
+  let set_tuning t tn =
+    t.tuning <- tn;
+    refresh_threshold t
 
   let create ?(max_hps = 8) ?sink ?arena alloc =
     let sink =
@@ -349,7 +362,8 @@ module Make (N : Orc.NODE) = struct
         tl = Array.init Registry.max_threads mk_tl;
         watermark = Atomic.make 1;
         hps = max_hps;
-        threshold = Atomic.make (2 * max_hps);
+        threshold = Atomic.make (max 2 (2 * max_hps));
+        tuning = Reclaim.Tuning.create ();
         pending = Shard.create ();
         n_elided = Shard.create ();
         orphans = Reclaim.Orphan.create ();

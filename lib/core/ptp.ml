@@ -41,12 +41,14 @@ module Make (N : Reclaim.Scheme_intf.NODE) :
     wd : Obs.Watchdog.t; (* guard-stall stamp table *)
     bg : Reclaim.Channel.t option Atomic.t; (* background drain route *)
     (* PTP has no retired lists, so background mode buffers retires
-       here (owner-private, bounded by [bg_batch]) and ships each full
+       here (owner-private, bounded by the bg batch knob) and ships each
        batch as one channel job — one send per batch instead of one
        handover walk per retire. *)
     bg_buf : node list ref array;
     bg_count : int ref array;
-    bg_batch : int;
+    (* batch size comes from the knob record so the controller can
+       retune it live; read per retire (one atomic load, no derivation) *)
+    mutable tuning : Reclaim.Tuning.t;
     (* strong reference keeping the weakly-registered quarantine
        cleaner alive exactly as long as this scheme *)
     mutable lifecycle : int -> unit;
@@ -193,7 +195,7 @@ module Make (N : Reclaim.Scheme_intf.NODE) :
     | Some ch ->
         t.bg_buf.(tid) := n :: !(t.bg_buf.(tid));
         incr t.bg_count.(tid);
-        if !(t.bg_count.(tid)) >= t.bg_batch then begin
+        if !(t.bg_count.(tid)) >= Reclaim.Tuning.bg_batch t.tuning then begin
           let batch = !(t.bg_buf.(tid)) and count = !(t.bg_count.(tid)) in
           t.bg_buf.(tid) := [];
           t.bg_count.(tid) := 0;
@@ -255,8 +257,8 @@ module Make (N : Reclaim.Scheme_intf.NODE) :
 
   (* Neutralize hook: lower the victim's hazards and re-run its parked
      handovers through the scan — both atomic planes; the owner-private
-     background buffer stays put (bounded by [bg_batch], it cannot
-     break the O(Ht) bound). *)
+     background buffer stays put (bounded by the bg batch knob, it
+     cannot break the O(Ht) bound). *)
   let neutralize_clear t ~tid =
     for idx = 0 to t.hps - 1 do
       Atomic.set t.hp.(tid).(idx) None
@@ -288,7 +290,7 @@ module Make (N : Reclaim.Scheme_intf.NODE) :
         bg = Atomic.make None;
         bg_buf = Array.init Registry.max_threads (fun _ -> ref []);
         bg_count = Array.init Registry.max_threads (fun _ -> ref 0);
-        bg_batch = 32;
+        tuning = Reclaim.Tuning.create ();
         lifecycle = ignore;
         neutralizer = ignore;
         metrics = [];
@@ -307,6 +309,8 @@ module Make (N : Reclaim.Scheme_intf.NODE) :
     t
 
   let unreclaimed t = Reclaim.Scheme_intf.Counters.unreclaimed t.counters
+  let tuning t = t.tuning
+  let set_tuning t tn = t.tuning <- tn
   let stats t = Reclaim.Scheme_intf.Counters.stats t.counters
   let pp_stats fmt t = Reclaim.Scheme_intf.pp_stats_record fmt (stats t)
 

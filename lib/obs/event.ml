@@ -15,6 +15,7 @@ type kind =
   | Elide
   | Stall
   | Neutralize
+  | Ctrl
 
 let to_int = function
   | Alloc -> 0
@@ -33,6 +34,7 @@ let to_int = function
   | Elide -> 13
   | Stall -> 14
   | Neutralize -> 15
+  | Ctrl -> 16
 
 let of_int = function
   | 0 -> Alloc
@@ -51,6 +53,7 @@ let of_int = function
   | 13 -> Elide
   | 14 -> Stall
   | 15 -> Neutralize
+  | 16 -> Ctrl
   | n -> invalid_arg (Printf.sprintf "Obs.Event.of_int: %d" n)
 
 let name = function
@@ -70,6 +73,7 @@ let name = function
   | Elide -> "elide"
   | Stall -> "stall"
   | Neutralize -> "neutralize"
+  | Ctrl -> "ctrl"
 
 type t = {
   seq : int;  (** per-thread emission index, contiguous within a ring *)

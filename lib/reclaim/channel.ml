@@ -27,7 +27,9 @@ type job = { count : int; run : tid:int -> unit }
 type t = {
   jobs : job list Atomic.t;
   depth : int Atomic.t;  (* objects currently queued, advisory bound *)
-  bound : int;
+  bound : int Atomic.t;  (* controller-tunable; shrink-under-load just
+                            makes sends refuse until the drain catches
+                            up — depth above the new bound is legal *)
   closed : bool Atomic.t;
   sent : Shard.t;
   fallbacks : Shard.t;
@@ -60,7 +62,7 @@ let create ?(bound = default_bound) ?(registry = Obs.Metrics.default) () =
   {
     jobs = Atomic.make [];
     depth;
-    bound;
+    bound = Atomic.make bound;
     closed = Atomic.make false;
     sent;
     fallbacks;
@@ -82,7 +84,8 @@ let push t j =
   end
 
 let send t ~tid ~count run =
-  if Atomic.get t.closed || Atomic.get t.depth + count > t.bound then begin
+  if Atomic.get t.closed || Atomic.get t.depth + count > Atomic.get t.bound
+  then begin
     Shard.incr t.fallbacks ~tid;
     false
   end
@@ -119,7 +122,11 @@ let close t = Atomic.set t.closed true
 let reopen t = Atomic.set t.closed false
 let closed t = Atomic.get t.closed
 let depth t = Atomic.get t.depth
-let bound t = t.bound
+let bound t = Atomic.get t.bound
+
+let set_bound t b =
+  if b < 1 then invalid_arg "Channel.set_bound: bound < 1";
+  Atomic.set t.bound b
 let sent t = Shard.get t.sent
 let fallbacks t = Shard.get t.fallbacks
 let drained t = Shard.get t.drained_objs

@@ -1,0 +1,266 @@
+(* The adaptive reclamation controller: a low-rate feedback loop that
+   watches each target structure's reclamation signals and turns the
+   knobs the rest of this library exposes — the Tuning record (retire
+   threshold scale, background batch), the Reclaimer's drain cadence,
+   the Channel's depth bound, and the Switchable wrapper's policy mode.
+
+   Policy is AIMD with hysteresis.  Pressure (unreclaimed population
+   above the high-water mark, or a guard stalled past the age bound)
+   reacts multiplicatively and immediately: halve the threshold scale,
+   halve the background batch, halve the drain interval, halve the
+   channel bound, and climb the escalation ladder (Fast → Escalating →
+   Robust).  Calm must be sustained — [calm_ticks] consecutive quiet
+   observations — before the controller relaxes, and relief is
+   additive: scale +25 pct-points, batch +8, interval and bound doubled
+   back toward their resting values, mode relaxed to Fast.  The
+   asymmetry is deliberate: memory blow-ups are expensive and fast,
+   throughput recovery is cheap and gradual, and the hysteresis keeps a
+   phase-boundary workload from flapping between policies.
+
+   The loop itself is driven either by [tick] (deterministic tests,
+   bench harnesses that interleave control with load) or by [start]'s
+   background domain, which self-clocks the watchdog exactly like the
+   Reclaimer: advance the tick only if nobody else (a Sampler) moved it
+   since the last pass. *)
+
+open Atomicx
+
+(* Decision codes carried in the Ctrl event's [uid] field. *)
+let d_tighten = 0
+let d_widen = 1
+let d_escalate = 2
+let d_complete = 3
+let d_relax = 4
+
+let decision_name = function
+  | 0 -> "tighten"
+  | 1 -> "widen"
+  | 2 -> "escalate"
+  | 3 -> "complete"
+  | 4 -> "relax"
+  | _ -> "?"
+
+type target = {
+  label : string;
+  tuning : Tuning.t;
+  unreclaimed : unit -> int;
+  stall_age : unit -> int;
+  mode : unit -> int; (* -1: no mode machine (tuning-only target) *)
+  escalate : unit -> bool;
+  try_complete : unit -> bool;
+  relax : unit -> bool;
+  (* hysteresis state: consecutive calm observations *)
+  mutable calm : int;
+}
+
+let target ?(label = "default") ?mode ?escalate ?try_complete ?relax ~tuning
+    ~unreclaimed ~stall_age () =
+  let none_b = fun () -> false in
+  {
+    label;
+    tuning;
+    unreclaimed;
+    stall_age;
+    mode = (match mode with Some f -> f | None -> fun () -> -1);
+    escalate = Option.value escalate ~default:none_b;
+    try_complete = Option.value try_complete ~default:none_b;
+    relax = Option.value relax ~default:none_b;
+    calm = 0;
+  }
+
+type config = {
+  unreclaimed_hi : int;
+  unreclaimed_lo : int;
+  stall_age_hi : int;
+  calm_ticks : int;
+}
+
+let default_config =
+  {
+    unreclaimed_hi = 4096;
+    unreclaimed_lo = 256;
+    stall_age_hi = 3;
+    calm_ticks = 4;
+  }
+
+(* Drain-interval relief never widens past the resting default — the
+   controller may only make the reclaimer more eager than the static
+   deployment, not lazier. *)
+let min_interval = 0.0002
+let max_interval = Tuning.default_drain_interval
+let min_bound = 64
+
+type t = {
+  cfg : config;
+  targets : target list;
+  reclaimer : Reclaimer.t option;
+  channel : Channel.t option;
+  resting_bound : int;
+  sink : Obs.Sink.t;
+  ticks : int Atomic.t;
+  decisions : int Atomic.t;
+  escalations : int Atomic.t;
+  relaxations : int Atomic.t;
+  stop_flag : bool Atomic.t;
+  mutable domain : unit Domain.t option;
+  mutable metrics : (string * (unit -> int)) list;
+}
+
+let decide t ~tid ~decision ~value =
+  Atomic.incr t.decisions;
+  Obs.Sink.on_ctrl t.sink ~tid ~decision ~value
+
+let tighten t ~tid tgt =
+  tgt.calm <- 0;
+  let tn = tgt.tuning in
+  Tuning.set_scale_pct tn (Tuning.scale_pct tn / 2);
+  Tuning.set_bg_batch tn (Tuning.bg_batch tn / 2);
+  (match t.reclaimer with
+  | Some r -> Reclaimer.set_interval r (max min_interval (Reclaimer.interval r /. 2.))
+  | None -> ());
+  (match t.channel with
+  | Some ch -> Channel.set_bound ch (max min_bound (Channel.bound ch / 2))
+  | None -> ());
+  decide t ~tid ~decision:d_tighten ~value:(Tuning.scale_pct tn)
+
+let widen t ~tid tgt =
+  let tn = tgt.tuning in
+  Tuning.set_scale_pct tn (Tuning.scale_pct tn + 25);
+  Tuning.set_bg_batch tn (Tuning.bg_batch tn + 8);
+  (match t.reclaimer with
+  | Some r -> Reclaimer.set_interval r (min max_interval (Reclaimer.interval r *. 2.))
+  | None -> ());
+  (match t.channel with
+  | Some ch -> Channel.set_bound ch (min t.resting_bound (Channel.bound ch * 2))
+  | None -> ());
+  decide t ~tid ~decision:d_widen ~value:(Tuning.scale_pct tn)
+
+let step_target t ~tid tgt =
+  let unreclaimed = tgt.unreclaimed () in
+  let stall = tgt.stall_age () in
+  let pressured =
+    unreclaimed >= t.cfg.unreclaimed_hi || stall >= t.cfg.stall_age_hi
+  in
+  let calm = unreclaimed <= t.cfg.unreclaimed_lo && stall = 0 in
+  if pressured then begin
+    tighten t ~tid tgt;
+    (* escalation ladder: request the robust policy, then help the
+       grace period along on every subsequent tick *)
+    match tgt.mode () with
+    | 0 ->
+        if tgt.escalate () then
+          decide t ~tid ~decision:d_escalate ~value:Switchable.escalating
+    | 1 ->
+        if tgt.try_complete () then begin
+          Atomic.incr t.escalations;
+          decide t ~tid ~decision:d_complete ~value:Switchable.robust
+        end
+    | _ -> ()
+  end
+  else begin
+    (* a pending grace period completes regardless of pressure: the
+       flip already made new readers pay for hazards, so finishing is
+       strictly better than lingering half-switched *)
+    (if tgt.mode () = 1 && tgt.try_complete () then begin
+       Atomic.incr t.escalations;
+       decide t ~tid ~decision:d_complete ~value:Switchable.robust
+     end);
+    if calm then begin
+      tgt.calm <- tgt.calm + 1;
+      if tgt.calm >= t.cfg.calm_ticks then begin
+        tgt.calm <- 0;
+        widen t ~tid tgt;
+        if tgt.mode () >= 1 && tgt.relax () then begin
+          Atomic.incr t.relaxations;
+          decide t ~tid ~decision:d_relax ~value:Switchable.fast
+        end
+      end
+    end
+    else tgt.calm <- 0
+  end
+
+let tick t =
+  let tid = Registry.tid () in
+  List.iter (fun tgt -> step_target t ~tid tgt) t.targets;
+  Atomic.incr t.ticks
+
+let run t ~interval =
+  Registry.with_tid @@ fun _tid ->
+  let last_tick = ref (Obs.Watchdog.tick ()) in
+  while not (Atomic.get t.stop_flag) do
+    Unix.sleepf interval;
+    (* self-clock the stall watchdog when no sampler is advancing it
+       (same amortized idiom as the Reclaimer) *)
+    let now = Obs.Watchdog.tick () in
+    if now = !last_tick then last_tick := Obs.Watchdog.advance ()
+    else last_tick := now;
+    tick t
+  done
+
+let create ?(cfg = default_config) ?reclaimer ?channel
+    ?(sink = Obs.Sink.null) ?(registry = Obs.Metrics.default) targets =
+  let t =
+    {
+      cfg;
+      targets;
+      reclaimer;
+      channel;
+      resting_bound =
+        (match channel with Some ch -> Channel.bound ch | None -> 0);
+      sink;
+      ticks = Atomic.make 0;
+      decisions = Atomic.make 0;
+      escalations = Atomic.make 0;
+      relaxations = Atomic.make 0;
+      stop_flag = Atomic.make false;
+      domain = None;
+      metrics = [];
+    }
+  in
+  let counters =
+    [
+      ("orcgc_ctrl_ticks_total", fun () -> Atomic.get t.ticks);
+      ("orcgc_ctrl_decisions_total", fun () -> Atomic.get t.decisions);
+    ]
+  and gauges =
+    List.concat_map
+      (fun tgt ->
+        let labels = [ ("target", tgt.label) ] in
+        let gs =
+          [
+            ("orcgc_ctrl_scale_pct", fun () -> Tuning.scale_pct tgt.tuning);
+            ("orcgc_ctrl_bg_batch", fun () -> Tuning.bg_batch tgt.tuning);
+            ("orcgc_ctrl_calm_streak", fun () -> tgt.calm);
+          ]
+        in
+        List.iter
+          (fun (nm, f) -> Obs.Metrics.probe registry ~labels nm f)
+          gs;
+        gs)
+      targets
+  in
+  List.iter
+    (fun (nm, f) -> Obs.Metrics.probe registry ~counter:true nm f)
+    counters;
+  t.metrics <- counters @ gauges;
+  t
+
+let start ?(interval = 0.001) t =
+  match t.domain with
+  | Some _ -> invalid_arg "Controller.start: already running"
+  | None ->
+      Atomic.set t.stop_flag false;
+      t.domain <- Some (Domain.spawn (fun () -> run t ~interval))
+
+let stop t =
+  match t.domain with
+  | None -> ()
+  | Some d ->
+      Atomic.set t.stop_flag true;
+      Domain.join d;
+      t.domain <- None
+
+let ticks t = Atomic.get t.ticks
+let decisions t = Atomic.get t.decisions
+let escalations t = Atomic.get t.escalations
+let relaxations t = Atomic.get t.relaxations

@@ -1,0 +1,111 @@
+(** Adaptive reclamation controller: a feedback loop over the library's
+    tuning knobs.
+
+    Each tick reads a target structure's reclamation signals (the
+    unreclaimed population and the oldest stalled-guard age) and reacts
+    with AIMD-with-hysteresis policy:
+
+    - {b Pressure} (unreclaimed ≥ [unreclaimed_hi], or a guard stalled
+      ≥ [stall_age_hi] watchdog ticks) tightens multiplicatively and at
+      once: halve the {!Tuning} threshold scale and background batch,
+      halve the {!Reclaimer} drain interval, halve the {!Channel}
+      bound, and climb the {!Switchable} ladder (escalate, then help
+      the grace period complete on following ticks).
+    - {b Calm} (unreclaimed ≤ [unreclaimed_lo] and no stall) must hold
+      for [calm_ticks] consecutive observations before relief, which is
+      additive and gradual: scale +25 pct-points, batch +8, interval
+      and bound doubled back toward resting values, mode relaxed to
+      Fast.
+
+    Every decision is counted, exported through [orcgc_ctrl_*] metric
+    probes, and emitted as a [Ctrl] event when a recording sink is
+    supplied.  Drive the loop with {!tick} for deterministic tests and
+    benches, or {!start} a background domain (which self-clocks the
+    stall watchdog exactly like the Reclaimer when no Sampler runs). *)
+
+(** {2 Decision codes} (the [Ctrl] event's [uid]) *)
+
+val d_tighten : int
+val d_widen : int
+val d_escalate : int
+val d_complete : int
+val d_relax : int
+val decision_name : int -> string
+
+(** {2 Targets} *)
+
+type target
+(** One controlled structure: its knob record, its signal probes and —
+    for {!Switchable}-backed structures — its mode-machine actions. *)
+
+val target :
+  ?label:string ->
+  ?mode:(unit -> int) ->
+  ?escalate:(unit -> bool) ->
+  ?try_complete:(unit -> bool) ->
+  ?relax:(unit -> bool) ->
+  tuning:Tuning.t ->
+  unreclaimed:(unit -> int) ->
+  stall_age:(unit -> int) ->
+  unit ->
+  target
+(** Closure-based so any scheme instance (each a distinct functor
+    application) can be targeted without first-class-module plumbing.
+    Omitting the mode actions yields a tuning-only target: the
+    controller still scales thresholds, batches and cadence but never
+    migrates policies. *)
+
+(** {2 Policy configuration} *)
+
+type config = {
+  unreclaimed_hi : int;  (** tighten/escalate at or above (default 4096) *)
+  unreclaimed_lo : int;  (** calm at or below (default 256) *)
+  stall_age_hi : int;
+      (** tighten/escalate when the oldest guard reaches this watchdog
+          age (default 3) *)
+  calm_ticks : int;
+      (** consecutive calm observations before widening/relaxing
+          (default 4) — the hysteresis that stops phase boundaries from
+          flapping *)
+}
+
+val default_config : config
+
+(** {2 The controller} *)
+
+type t
+
+val create :
+  ?cfg:config ->
+  ?reclaimer:Reclaimer.t ->
+  ?channel:Channel.t ->
+  ?sink:Obs.Sink.t ->
+  ?registry:Obs.Metrics.t ->
+  target list ->
+  t
+(** [create targets] also registers [orcgc_ctrl_*] probes (per-target
+    gauges labelled [target=<label>]; global tick/decision counters)
+    with [registry].  The probes live as long as the controller. *)
+
+val tick : t -> unit
+(** One observation/decision pass over every target, on the calling
+    thread.  Deterministic: drive it from a test or a bench loop. *)
+
+val start : ?interval:float -> t -> unit
+(** Spawn the background control domain, one {!tick} per [interval]
+    seconds (default 1 ms).  Raises [Invalid_argument] if already
+    running. *)
+
+val stop : t -> unit
+(** Stop and join the background domain (no-op when none). *)
+
+(** {2 Introspection} *)
+
+val ticks : t -> int
+val decisions : t -> int
+
+val escalations : t -> int
+(** Grace periods this controller completed (promotions to Robust). *)
+
+val relaxations : t -> int
+(** Relaxations this controller issued. *)

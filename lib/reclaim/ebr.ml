@@ -12,7 +12,7 @@
 
 open Atomicx
 
-module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
+module Make (N : Scheme_intf.NODE) = struct
   type node = N.t
 
   let quiescent = max_int
@@ -25,7 +25,13 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     announce : int Atomic.t array; (* [tid]; [quiescent] when outside an op *)
     retired : (node * int) list ref array; (* (node, retire epoch) *)
     retired_count : int ref array;
-    scan_threshold : int;
+    (* cached scaled threshold (Tuning.threshold): ebr historically used
+       a flat 128 here, which over-retained small runs and
+       under-amortized large ones; it now rides the same 2·H·t-derived
+       cache as the pointer schemes, refreshed on crossing, quarantine
+       and neutralization *)
+    threshold : int Atomic.t;
+    mutable tuning : Tuning.t;
     counters : Scheme_intf.Counters.t;
     orphans : (node * int) Orphan.t; (* batches keep their retire epochs *)
     wd : Obs.Watchdog.t; (* guard-stall stamp table *)
@@ -143,6 +149,16 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
 
   let set_background t ch = Atomic.set t.bg ch
 
+  let refresh_threshold t =
+    Atomic.set t.threshold (Tuning.threshold t.tuning ~hps:t.hps)
+
+  let threshold_crossed t ~tid =
+    !(t.retired_count.(tid)) >= Atomic.get t.threshold
+    && begin
+         refresh_threshold t;
+         !(t.retired_count.(tid)) >= Atomic.get t.threshold
+       end
+
   let retire t ~tid n =
     Neutralize.check ~tid;
     let h = N.hdr n in
@@ -152,7 +168,7 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     Scheme_intf.Counters.retired t.counters ~tid;
     t.retired.(tid) := (n, Atomic.get t.global_epoch) :: !(t.retired.(tid));
     incr t.retired_count.(tid);
-    if !(t.retired_count.(tid)) >= t.scan_threshold then
+    if threshold_crossed t ~tid then
       match Atomic.get t.bg with
       | None -> scan t ~tid
       | Some ch -> drain_background t ~tid ch
@@ -163,6 +179,7 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
      the orphan pool, where survivors fold it into their next scan. *)
   let orphan t ~tid =
     Atomic.set t.announce.(tid) quiescent;
+    refresh_threshold t;
     match !(t.retired.(tid)) with
     | [] -> ()
     | batch ->
@@ -176,7 +193,9 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
      announcement that blocks the global epoch (§2's failure mode) is
      exactly what neutralization exists to break.  The epoch-stamped
      retired list is owner-private plain state and stays put. *)
-  let neutralize_clear t ~tid = Atomic.set t.announce.(tid) quiescent
+  let neutralize_clear t ~tid =
+    Atomic.set t.announce.(tid) quiescent;
+    refresh_threshold t
 
   let create ?(max_hps = 8) ?sink alloc =
     let sink =
@@ -192,7 +211,8 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
           Array.init Registry.max_threads (fun _ -> Atomic.make quiescent);
         retired = Array.init Registry.max_threads (fun _ -> ref []);
         retired_count = Array.init Registry.max_threads (fun _ -> ref 0);
-        scan_threshold = 128;
+        threshold = Atomic.make (max 2 (2 * max_hps));
+        tuning = Tuning.create ();
         counters = Scheme_intf.Counters.create ();
         orphans = Orphan.create ();
         wd = Obs.Watchdog.create ();
@@ -216,6 +236,17 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
   let unreclaimed t = Scheme_intf.Counters.unreclaimed t.counters
   let stats t = Scheme_intf.Counters.stats t.counters
   let pp_stats fmt t = Scheme_intf.pp_stats_record fmt (stats t)
+  let tuning t = t.tuning
+
+  let set_tuning t tn =
+    t.tuning <- tn;
+    refresh_threshold t
+
+  let pending t ~tid = !(t.retired_count.(tid))
+  let stall_age_max t = Obs.Watchdog.stall_age_max t.wd
+  let global_epoch t = Atomic.get t.global_epoch
+  let min_announced_now t = min_announced t ~visited:(ref 0)
+  let try_advance_epoch t = try_advance t ~visited:(ref 0)
 
   let flush t =
     for _ = 1 to 3 do

@@ -28,7 +28,10 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     retired_count : int ref array;
     retire_count : int ref array;
     scratch : Scan_set.t array; (* [tid]; per-scan era snapshots *)
-    threshold : int Atomic.t; (* cached R = 2·H·t, refreshed on crossing *)
+    threshold : int Atomic.t;
+    (* cached scaled R (Tuning.threshold), refreshed on crossing,
+       quarantine and neutralization *)
+    mutable tuning : Tuning.t;
     era_freq : int;
     counters : Scheme_intf.Counters.t;
     orphans : node Orphan.t;
@@ -213,10 +216,13 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
   (* R = 2·H·t from the live Active-slot population, cached and
      refreshed on crossing (see [Hp.threshold_crossed]); HE previously
      used a flat 128, which under-batched past 8 threads. *)
+  let refresh_threshold t =
+    Atomic.set t.threshold (Tuning.threshold t.tuning ~hps:t.hps)
+
   let threshold_crossed t ~tid =
     !(t.retired_count.(tid)) >= Atomic.get t.threshold
     && begin
-         Atomic.set t.threshold (2 * t.hps * max 1 (Registry.active ()));
+         refresh_threshold t;
          !(t.retired_count.(tid)) >= Atomic.get t.threshold
        end
 
@@ -267,6 +273,7 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     for idx = 0 to t.hps - 1 do
       Atomic.set t.he.(tid).(idx) none_era
     done;
+    refresh_threshold t;
     match !(t.retired.(tid)) with
     | [] -> ()
     | batch ->
@@ -282,7 +289,8 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
   let neutralize_clear t ~tid =
     for idx = 0 to t.hps - 1 do
       Atomic.set t.he.(tid).(idx) none_era
-    done
+    done;
+    refresh_threshold t
 
   let create ?(max_hps = 8) ?sink alloc =
     let sink =
@@ -299,7 +307,8 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
         retired_count = Array.init Registry.max_threads (fun _ -> ref 0);
         retire_count = Array.init Registry.max_threads (fun _ -> ref 0);
         scratch = Array.init Registry.max_threads (fun _ -> Scan_set.create ());
-        threshold = Atomic.make (2 * max_hps);
+        threshold = Atomic.make (max 2 (2 * max_hps));
+        tuning = Tuning.create ();
         era_freq = 16;
         counters = Scheme_intf.Counters.create ();
         orphans = Orphan.create ();
@@ -324,6 +333,12 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
   let unreclaimed t = Scheme_intf.Counters.unreclaimed t.counters
   let stats t = Scheme_intf.Counters.stats t.counters
   let pp_stats fmt t = Scheme_intf.pp_stats_record fmt (stats t)
+
+  let tuning t = t.tuning
+
+  let set_tuning t tn =
+    t.tuning <- tn;
+    refresh_threshold t
 
   let flush t =
     for tid = 0 to Registry.registered () - 1 do

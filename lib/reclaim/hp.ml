@@ -10,7 +10,7 @@
 
 open Atomicx
 
-module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
+module Make (N : Scheme_intf.NODE) = struct
   type node = N.t
 
   type t = {
@@ -28,7 +28,10 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     retired : node list ref array; (* thread-local retired lists *)
     retired_count : int ref array;
     scratch : Scan_set.t array; (* [tid]; per-thread scan snapshots *)
-    threshold : int Atomic.t; (* cached R = 2·H·t, refreshed on crossing *)
+    threshold : int Atomic.t;
+    (* cached scaled R (Tuning.threshold), refreshed on crossing,
+       quarantine and neutralization *)
+    mutable tuning : Tuning.t;
     counters : Scheme_intf.Counters.t;
     orphans : node Orphan.t;
     wd : Obs.Watchdog.t; (* guard-stall stamp table *)
@@ -252,17 +255,23 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     Scheme_intf.Counters.scanned t.counters ~tid ~slots:!visited;
     Obs.Sink.scan_end t.sink ~tid ~slots:!visited ~began
 
-  (* The paper's R = 2·H·t amortization ratio, tracking the live thread
-     population instead of a baked-in 8-thread default.  [t] is the
-     {e Active} slot count, not the monotone [Registry.registered]
-     high-water: the high-water never decreases, so a long-lived process
-     that once ran many threads would batch forever.  Counting Active
-     slots is O(registered), so the count is cached and refreshed only
-     when the cached value is crossed — amortized O(1) per retire. *)
+  (* The paper's R = 2·H·t amortization ratio (scaled by the tuning
+     record's bounded multiplier), tracking the live thread population
+     instead of a baked-in 8-thread default.  [t] is the {e Active}
+     slot count, not the monotone [Registry.registered] high-water: the
+     high-water never decreases, so a long-lived process that once ran
+     many threads would batch forever.  Counting Active slots is
+     O(registered), so the count is cached and refreshed only when the
+     cached value is crossed — amortized O(1) per retire — plus on
+     quarantine and neutralization, so the threshold shrinks promptly
+     after domain death instead of waiting for the next crossing. *)
+  let refresh_threshold t =
+    Atomic.set t.threshold (Tuning.threshold t.tuning ~hps:t.hps)
+
   let threshold_crossed t ~tid =
     !(t.retired_count.(tid)) >= Atomic.get t.threshold
     && begin
-         Atomic.set t.threshold (2 * t.hps * max 1 (Registry.active ()));
+         refresh_threshold t;
          !(t.retired_count.(tid)) >= Atomic.get t.threshold
        end
 
@@ -313,6 +322,10 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
       Atomic.set t.hp.(tid).(idx) None;
       Atomic.set t.hp_uid.(tid).(idx) (-1)
     done;
+    (* the quarantined slot has already left the Active count, so this
+       re-derives the shrunk R immediately instead of batching against
+       a dead population until the next crossing *)
+    refresh_threshold t;
     match !(t.retired.(tid)) with
     | [] -> ()
     | batch ->
@@ -330,7 +343,8 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     for idx = 0 to t.hps - 1 do
       Atomic.set t.hp.(tid).(idx) None;
       Atomic.set t.hp_uid.(tid).(idx) (-1)
-    done
+    done;
+    refresh_threshold t
 
   let create ?(max_hps = 8) ?sink alloc =
     let sink =
@@ -349,7 +363,8 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
         retired = Array.init Registry.max_threads (fun _ -> ref []);
         retired_count = Array.init Registry.max_threads (fun _ -> ref 0);
         scratch = Array.init Registry.max_threads (fun _ -> Scan_set.create ());
-        threshold = Atomic.make (2 * max_hps);
+        threshold = Atomic.make (max 2 (2 * max_hps));
+        tuning = Tuning.create ();
         counters = Scheme_intf.Counters.create ();
         orphans = Orphan.create ();
         wd = Obs.Watchdog.create ();
@@ -373,6 +388,14 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
   let unreclaimed t = Scheme_intf.Counters.unreclaimed t.counters
   let stats t = Scheme_intf.Counters.stats t.counters
   let pp_stats fmt t = Scheme_intf.pp_stats_record fmt (stats t)
+  let tuning t = t.tuning
+
+  let set_tuning t tn =
+    t.tuning <- tn;
+    refresh_threshold t
+
+  let pending t ~tid = !(t.retired_count.(tid))
+  let stall_age_max t = Obs.Watchdog.stall_age_max t.wd
 
   let flush t =
     for tid = 0 to Registry.registered () - 1 do

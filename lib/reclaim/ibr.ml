@@ -31,6 +31,7 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
        population, so a flat batch under-amortizes small runs and
        over-retains large ones. *)
     threshold : int Atomic.t;
+    mutable tuning : Tuning.t;
     era_freq : int;
     counters : Scheme_intf.Counters.t;
     orphans : node Orphan.t;
@@ -196,10 +197,13 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
      cached and refreshed only when the cached value is crossed —
      amortized O(1) per retire (see hp.ml for why Active, not the
      monotone registered high-water). *)
+  let refresh_threshold t =
+    Atomic.set t.threshold (Tuning.threshold t.tuning ~hps:t.hps)
+
   let threshold_crossed t ~tid =
     !(t.retired_count.(tid)) >= Atomic.get t.threshold
     && begin
-         Atomic.set t.threshold (2 * t.hps * max 1 (Registry.active ()));
+         refresh_threshold t;
          !(t.retired_count.(tid)) >= Atomic.get t.threshold
        end
 
@@ -248,6 +252,7 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
   let orphan t ~tid =
     Atomic.set t.lo.(tid) no_reservation;
     Atomic.set t.hi.(tid) 0;
+    refresh_threshold t;
     match !(t.retired.(tid)) with
     | [] -> ()
     | batch ->
@@ -262,7 +267,8 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
      the watchdog flagged. *)
   let neutralize_clear t ~tid =
     Atomic.set t.lo.(tid) no_reservation;
-    Atomic.set t.hi.(tid) 0
+    Atomic.set t.hi.(tid) 0;
+    refresh_threshold t
 
   let create ?(max_hps = 8) ?sink alloc =
     let sink =
@@ -281,7 +287,8 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
         retired_count = Array.init Registry.max_threads (fun _ -> ref 0);
         retire_count = Array.init Registry.max_threads (fun _ -> ref 0);
         scratch = Array.init Registry.max_threads (fun _ -> Scan_set.create ());
-        threshold = Atomic.make (2 * max_hps);
+        threshold = Atomic.make (max 2 (2 * max_hps));
+        tuning = Tuning.create ();
         era_freq = 16;
         counters = Scheme_intf.Counters.create ();
         orphans = Orphan.create ();
@@ -306,6 +313,12 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
   let unreclaimed t = Scheme_intf.Counters.unreclaimed t.counters
   let stats t = Scheme_intf.Counters.stats t.counters
   let pp_stats fmt t = Scheme_intf.pp_stats_record fmt (stats t)
+
+  let tuning t = t.tuning
+
+  let set_tuning t tn =
+    t.tuning <- tn;
+    refresh_threshold t
 
   let flush t =
     for tid = 0 to Registry.registered () - 1 do

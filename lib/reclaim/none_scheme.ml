@@ -20,6 +20,9 @@ module Leak (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     counters : Scheme_intf.Counters.t;
     orphans : node Orphan.t;
     mutable lifecycle : int -> unit;
+    (* the controls have no thresholds; the record is carried so the
+       knob surface is uniform across every Scheme_intf.S *)
+    mutable tuning : Tuning.t;
   }
 
   let name = "leak"
@@ -50,6 +53,7 @@ module Leak (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
         counters = Scheme_intf.Counters.create ();
         orphans = Orphan.create ();
         lifecycle = ignore;
+        tuning = Tuning.create ();
       }
     in
     t.lifecycle <- (fun tid -> orphan t ~tid);
@@ -74,6 +78,8 @@ module Leak (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
 
   (* Nothing to drain in the background: retire never scans. *)
   let set_background _ _ = ()
+  let tuning t = t.tuning
+  let set_tuning t tn = t.tuning <- tn
 
   let unreclaimed t = Scheme_intf.Counters.unreclaimed t.counters
   let stats t = Scheme_intf.Counters.stats t.counters
@@ -103,6 +109,7 @@ module Unsafe (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = stru
     sink : Obs.Sink.t;
     hps : int;
     counters : Scheme_intf.Counters.t;
+    mutable tuning : Tuning.t;
   }
 
   let name = "unsafe"
@@ -112,7 +119,13 @@ module Unsafe (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = stru
     let sink =
       match sink with Some s -> s | None -> Memdom.Alloc.sink alloc
     in
-    { alloc; sink; hps = max_hps; counters = Scheme_intf.Counters.create () }
+    {
+      alloc;
+      sink;
+      hps = max_hps;
+      counters = Scheme_intf.Counters.create ();
+      tuning = Tuning.create ();
+    }
 
   let begin_op t ~tid = Obs.Sink.guard_begin t.sink ~tid
   let end_op t ~tid = Obs.Sink.guard_end t.sink ~tid
@@ -133,6 +146,8 @@ module Unsafe (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = stru
 
   (* Frees at retire; there is no batch to route anywhere. *)
   let set_background _ _ = ()
+  let tuning t = t.tuning
+  let set_tuning t tn = t.tuning <- tn
 
   (* Nothing is ever pending, so thread death leaves nothing behind. *)
   let orphan _ ~tid:_ = ()

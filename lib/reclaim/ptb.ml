@@ -27,7 +27,10 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     handoff : handoff Atomic.t array array;
     retired : node list ref array;
     scratch : Scan_set.t array; (* [tid]; per-liberate guard snapshots *)
-    threshold : int Atomic.t; (* cached R = 2·H·t, refreshed on crossing *)
+    threshold : int Atomic.t;
+    (* cached scaled R (Tuning.threshold), refreshed on crossing,
+       quarantine and neutralization *)
+    mutable tuning : Tuning.t;
     counters : Scheme_intf.Counters.t;
     orphans : node Orphan.t;
     wd : Obs.Watchdog.t; (* guard-stall stamp table *)
@@ -210,10 +213,13 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
 
   (* R = 2·H·t from the live Active-slot population, cached and
      refreshed on crossing (see [Hp.threshold_crossed]). *)
+  let refresh_threshold t =
+    Atomic.set t.threshold (Tuning.threshold t.tuning ~hps:t.hps)
+
   let threshold_crossed t ~count =
     count >= Atomic.get t.threshold
     && begin
-         Atomic.set t.threshold (2 * t.hps * max 1 (Registry.active ()));
+         refresh_threshold t;
          count >= Atomic.get t.threshold
        end
 
@@ -253,6 +259,7 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     for idx = 0 to t.hps - 1 do
       Atomic.set t.post.(tid).(idx) None
     done;
+    refresh_threshold t;
     let trapped = ref [] in
     for idx = 0 to t.hps - 1 do
       let slot = t.handoff.(tid).(idx) in
@@ -281,6 +288,7 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
     for idx = 0 to t.hps - 1 do
       Atomic.set t.post.(tid).(idx) None
     done;
+    refresh_threshold t;
     let trapped = ref [] in
     for idx = 0 to t.hps - 1 do
       let slot = t.handoff.(tid).(idx) in
@@ -314,7 +322,8 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
         handoff = Array.init Registry.max_threads mk_handoffs;
         retired = Array.init Registry.max_threads (fun _ -> ref []);
         scratch = Array.init Registry.max_threads (fun _ -> Scan_set.create ());
-        threshold = Atomic.make (2 * max_hps);
+        threshold = Atomic.make (max 2 (2 * max_hps));
+        tuning = Tuning.create ();
         counters = Scheme_intf.Counters.create ();
         orphans = Orphan.create ();
         wd = Obs.Watchdog.create ();
@@ -338,6 +347,12 @@ module Make (N : Scheme_intf.NODE) : Scheme_intf.S with type node = N.t = struct
   let unreclaimed t = Scheme_intf.Counters.unreclaimed t.counters
   let stats t = Scheme_intf.Counters.stats t.counters
   let pp_stats fmt t = Scheme_intf.pp_stats_record fmt (stats t)
+
+  let tuning t = t.tuning
+
+  let set_tuning t tn =
+    t.tuning <- tn;
+    refresh_threshold t
 
   let flush t =
     for _ = 1 to 2 do

@@ -221,6 +221,17 @@ module type S = sig
       thread protects it.  Precondition (same as HP/PTB/HE, §3.1): the
       node is no longer reachable from any global reference. *)
 
+  val tuning : t -> Tuning.t
+  (** The knob record this instance derives its thresholds from.  Each
+      [create] makes a fresh record at the documented defaults, so
+      tuning one structure never perturbs another; the adaptive
+      controller adjusts a structure through this handle. *)
+
+  val set_tuning : t -> Tuning.t -> unit
+  (** Swap in a shared knob record (e.g. one record steering several
+      structures as a group).  Takes effect from the next threshold
+      refresh — crossing, quarantine or neutralization. *)
+
   val set_background : t -> Channel.t option -> unit
   (** Background drain mode.  With [Some ch], a retire that crosses the
       scan threshold packages the swapped-out batch as a {!Channel.job}

@@ -1,0 +1,69 @@
+(** Mode-switching scheme wrapper — EBR speed, HP robustness, migrated
+    at a safe boundary.
+
+    Embeds one {!Ebr} and one {!Hp} instance and routes protection and
+    retirement between them under a three-state machine driven by the
+    adaptive {!Controller}:
+
+    - {b Fast} (0): epoch-protected plain-load reads, EBR retires — the
+      performance ceiling while the workload is calm.
+    - {b Escalating} (1): a grace period.  New operations publish
+      hazards; retires still go to EBR.  Entered by {!Make.escalate},
+      left by {!Make.try_complete} once every active operation
+      provably began after the flip.
+    - {b Robust} (2): hazard-published reads, HP retires — unreclaimed
+      memory bounded O(Ht²) even under a stalled reader (which the
+      armed neutralizing reclaimer expires; adaptive mode is the
+      controller {e plus} neutralization).
+
+    Safety rests on one invariant: {e every} operation announces an
+    epoch at [begin_op] in every mode, so EBR-side frees are always
+    covered, and the escalation grace period (minimum announcement
+    strictly above the recorded flip epoch) proves every active reader
+    is hazard-publishing before HP-side frees begin.  See the [.ml]
+    header for the full argument. *)
+
+val fast : int
+val escalating : int
+val robust : int
+
+module Make (N : Scheme_intf.NODE) : sig
+  include Scheme_intf.S with type node = N.t
+
+  (** {2 Mode machine — the controller's surface} *)
+
+  val mode : t -> int
+  (** Current mode: {!fast}, {!escalating} or {!robust}. *)
+
+  val escalate : t -> bool
+  (** Begin migrating to the robust policy: [fast → escalating] and
+      record the flip epoch.  Also attaches the background channel (if
+      one was given to [set_background]) to the EBR side — channel
+      routing is mode-gated, so calm structures drain inline and only
+      pressured ones ship batches to the reclaimer.  Returns [false]
+      if not in [fast]. *)
+
+  val try_complete : t -> bool
+  (** One grace-period check (helping the epoch along): promotes
+      [escalating → robust] and returns [true] exactly when every
+      active operation announced an epoch above the flip — i.e. every
+      active reader publishes hazards.  Call repeatedly; a stalled
+      reader parks this until neutralization expires it. *)
+
+  val relax : t -> bool
+  (** Return to the fast policy, immediately ([robust → fast], or
+      abandoning an in-flight [escalating → fast]), detaching the EBR
+      side's background channel again.  HP-side residue is only ever
+      hazard-protected and drains from the owners' retire paths and
+      {!Scheme_intf.S.flush}. *)
+
+  val escalations : t -> int
+  (** Completed [escalating → robust] promotions (monotone). *)
+
+  val relaxations : t -> int
+  (** Completed relaxations (monotone). *)
+
+  val stall_age_max : t -> int
+  (** Oldest in-flight guard age in watchdog ticks across both
+      embedded instances — the controller's escalation signal. *)
+end

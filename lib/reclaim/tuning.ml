@@ -1,0 +1,45 @@
+(* See the mli for the model.  One word per knob, so controller writes
+   and mutator reads need no locking; clamping lives here so no caller
+   can push a scheme outside the bounded multiplier the safety argument
+   in DESIGN.md §15 assumes. *)
+
+open Atomicx
+
+let default_r_scale_pct = 100
+let min_r_scale_pct = 25
+let max_r_scale_pct = 400
+let default_r_floor = 2
+let default_bg_batch = 32
+let min_bg_batch = 8
+let max_bg_batch = 256
+let default_drain_interval = 0.002
+
+type t = {
+  scale_pct : int Atomic.t;
+  bg_batch : int Atomic.t;
+  r_floor : int;
+}
+
+let clamp lo hi v = max lo (min hi v)
+
+let create ?(r_scale_pct = default_r_scale_pct) ?(r_floor = default_r_floor)
+    ?(bg_batch = default_bg_batch) () =
+  {
+    scale_pct =
+      Atomic.make (clamp min_r_scale_pct max_r_scale_pct r_scale_pct);
+    bg_batch = Atomic.make (clamp min_bg_batch max_bg_batch bg_batch);
+    r_floor = max 1 r_floor;
+  }
+
+let scale_pct t = Atomic.get t.scale_pct
+
+let set_scale_pct t v =
+  Atomic.set t.scale_pct (clamp min_r_scale_pct max_r_scale_pct v)
+
+let bg_batch t = Atomic.get t.bg_batch
+let set_bg_batch t v = Atomic.set t.bg_batch (clamp min_bg_batch max_bg_batch v)
+let r_floor t = t.r_floor
+
+let threshold t ~hps =
+  let base = 2 * hps * max 1 (Registry.active ()) in
+  max t.r_floor (base * Atomic.get t.scale_pct / 100)

@@ -1,0 +1,415 @@
+(* Adaptive reclamation controller: the Tuning knob surface and its
+   per-scheme threshold plumbing, Channel/Reclaimer live retuning and
+   edge cases, the Switchable mode machine's safety-relevant
+   transitions, Controller hysteresis driven by deterministic manual
+   ticks, and the end-to-end chaos battery (escalate under a stall,
+   mid-switch domain kills, relax on calm, zero leaks). *)
+
+open Util
+open Atomicx
+
+type tnode = { hdr : Memdom.Hdr.t; mutable v : int }
+
+module TN = struct
+  type t = tnode
+
+  let hdr n = n.hdr
+end
+
+module Hp = Reclaim.Hp.Make (TN)
+module Ebr = Reclaim.Ebr.Make (TN)
+module Sw = Reclaim.Switchable.Make (TN)
+
+let mk alloc v = { hdr = Memdom.Alloc.hdr alloc (); v }
+
+(* ------------------------------------------------------------------ *)
+(* Tuning *)
+
+let test_tuning_clamps () =
+  let tn = Reclaim.Tuning.create () in
+  check_int "default scale" Reclaim.Tuning.default_r_scale_pct
+    (Reclaim.Tuning.scale_pct tn);
+  check_int "default bg batch" Reclaim.Tuning.default_bg_batch
+    (Reclaim.Tuning.bg_batch tn);
+  Reclaim.Tuning.set_scale_pct tn 1;
+  check_int "scale clamps low" Reclaim.Tuning.min_r_scale_pct
+    (Reclaim.Tuning.scale_pct tn);
+  Reclaim.Tuning.set_scale_pct tn 100_000;
+  check_int "scale clamps high" Reclaim.Tuning.max_r_scale_pct
+    (Reclaim.Tuning.scale_pct tn);
+  Reclaim.Tuning.set_bg_batch tn 0;
+  check_int "batch clamps low" Reclaim.Tuning.min_bg_batch
+    (Reclaim.Tuning.bg_batch tn);
+  Reclaim.Tuning.set_bg_batch tn 100_000;
+  check_int "batch clamps high" Reclaim.Tuning.max_bg_batch
+    (Reclaim.Tuning.bg_batch tn);
+  let tn2 = Reclaim.Tuning.create ~r_scale_pct:50 ~r_floor:7 () in
+  (* threshold = 2·hps·active · 50% with the floor honored *)
+  Registry.reserve 1;
+  let active = max 1 (Registry.active ()) in
+  check_int "scaled threshold"
+    (max 7 (2 * 4 * active * 50 / 100))
+    (Reclaim.Tuning.threshold tn2 ~hps:4)
+
+let test_scheme_threshold_scaling () =
+  (* halving the scale must make a scheme scan at half the retires: with
+     scale 25 the cached R refreshes to a quarter of the paper floor, so
+     a retire burst that would sit below the default threshold triggers
+     a scan and frees everything unprotected *)
+  Registry.reserve 1;
+  let tid = Registry.tid () in
+  let alloc = Memdom.Alloc.create "tuning-scale" in
+  let s = Hp.create ~max_hps:4 alloc in
+  let tn = Hp.tuning s in
+  Reclaim.Tuning.set_scale_pct tn 25;
+  (* force the cached threshold through a refresh *)
+  Hp.set_tuning s tn;
+  let active = max 1 (Registry.active ()) in
+  let r = max 2 (2 * 4 * active * 25 / 100) in
+  for k = 1 to r + 1 do
+    Hp.retire s ~tid (mk alloc k)
+  done;
+  check_bool "tightened threshold scanned early" true
+    (Hp.unreclaimed s < r + 1);
+  Hp.flush s;
+  check_int "leak-free" 0 (Memdom.Alloc.live alloc)
+
+let test_threshold_refreshes_on_quarantine () =
+  (* the cached R derives from Registry.active (); a quarantine pass
+     (domain death) must refresh it, not just a crossing.  Park a wide
+     active population, prime the cache, let the helpers die, and check
+     the very next crossing test uses the narrowed width. *)
+  let alloc = Memdom.Alloc.create "tuning-quarantine" in
+  let s = Ebr.create ~max_hps:4 alloc in
+  Registry.reserve 1;
+  let tid = Registry.tid () in
+  (* prime the cache under a wide population *)
+  run_domains_exn 8 (fun ~i:_ ~tid:wtid ->
+      Ebr.begin_op s ~tid:wtid;
+      Ebr.end_op s ~tid:wtid;
+      (* one retire each primes the cached threshold at this width *)
+      Ebr.retire s ~tid:wtid (mk alloc 0));
+  (* helpers have released: the quarantine hooks must have re-derived
+     the threshold at the narrow width, so a burst sized for the narrow
+     R scans instead of pooling up to the stale wide R *)
+  let narrow = Reclaim.Tuning.threshold (Ebr.tuning s) ~hps:4 in
+  for k = 1 to narrow + 1 do
+    Ebr.retire s ~tid (mk alloc k)
+  done;
+  check_bool "scan fired at the narrowed threshold" true
+    (Ebr.pending s ~tid < narrow + 1);
+  Ebr.flush s;
+  Ebr.flush s;
+  check_int "leak-free" 0 (Memdom.Alloc.live alloc)
+
+(* ------------------------------------------------------------------ *)
+(* Channel edge cases (satellite: capacity-1, resize-under-load, depth
+   accuracy across kill/recover) *)
+
+let test_channel_capacity_one () =
+  Registry.reserve 1;
+  let tid = Registry.tid () in
+  let ch = Reclaim.Channel.create ~bound:1 () in
+  let noop ~tid:_ = () in
+  check_bool "first object fits" true
+    (Reclaim.Channel.send ch ~tid ~count:1 noop);
+  check_bool "second refused at capacity 1" false
+    (Reclaim.Channel.send ch ~tid ~count:1 noop);
+  check_int "depth exact" 1 (Reclaim.Channel.depth ch);
+  check_int "drain recovers the single object" 1
+    (Reclaim.Channel.drain ch ~tid);
+  check_bool "slot free again" true
+    (Reclaim.Channel.send ch ~tid ~count:1 noop);
+  check_int "final drain" 1 (Reclaim.Channel.drain ch ~tid)
+
+let test_channel_set_bound_under_load () =
+  Registry.reserve 1;
+  let tid = Registry.tid () in
+  let ch = Reclaim.Channel.create ~bound:64 () in
+  let noop ~tid:_ = () in
+  check_bool "fills under the wide bound" true
+    (Reclaim.Channel.send ch ~tid ~count:60 noop);
+  (* shrink below the standing depth: no objects are dropped, sends
+     refuse until the drain catches up *)
+  Reclaim.Channel.set_bound ch 16;
+  check_int "shrink drops nothing" 60 (Reclaim.Channel.depth ch);
+  check_bool "over-bound send refuses" false
+    (Reclaim.Channel.send ch ~tid ~count:1 noop);
+  check_int "backlog drains fully" 60 (Reclaim.Channel.drain ch ~tid);
+  check_bool "small sends flow under the new bound" true
+    (Reclaim.Channel.send ch ~tid ~count:16 noop);
+  check_bool "new bound enforced" false
+    (Reclaim.Channel.send ch ~tid ~count:1 noop);
+  (* grow it back: immediately usable *)
+  Reclaim.Channel.set_bound ch 64;
+  check_bool "regrown bound accepts" true
+    (Reclaim.Channel.send ch ~tid ~count:40 noop);
+  check_int "depth exact across resizes" 56 (Reclaim.Channel.depth ch);
+  ignore (Reclaim.Channel.drain ch ~tid);
+  check_bool "set_bound rejects < 1" true
+    (match Reclaim.Channel.set_bound ch 0 with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_channel_depth_after_kill_recover () =
+  Registry.reserve 1;
+  let tid = Registry.tid () in
+  let ch = Reclaim.Channel.create ~bound:1024 () in
+  let reclaimer = Reclaim.Reclaimer.start ~interval:0.5 ch in
+  (* the reclaimer sleeps its first long interval: land a backlog, kill
+     it, and the depth gauge must still equal exactly what recover
+     replays *)
+  let landed = ref 0 in
+  for k = 1 to 5 do
+    if Reclaim.Channel.send ch ~tid ~count:k (fun ~tid:_ -> ()) then
+      landed := !landed + k
+  done;
+  Reclaim.Reclaimer.kill reclaimer;
+  check_bool "reclaimer dead" false (Reclaim.Reclaimer.alive reclaimer);
+  let backlog = Reclaim.Channel.depth ch in
+  let recovered = Reclaim.Reclaimer.recover reclaimer ~tid in
+  check_int "recover replays the full depth" backlog recovered;
+  check_int "depth zero after recover" 0 (Reclaim.Channel.depth ch);
+  check_int "drained accounts every landed object" !landed
+    (Reclaim.Channel.drained ch)
+
+let test_reclaimer_set_interval () =
+  let ch = Reclaim.Channel.create () in
+  let reclaimer = Reclaim.Reclaimer.start ~interval:0.001 ch in
+  check_bool "interval readable" true
+    (abs_float (Reclaim.Reclaimer.interval reclaimer -. 0.001) < 1e-9);
+  Reclaim.Reclaimer.set_interval reclaimer 0.0005;
+  check_bool "interval retuned" true
+    (abs_float (Reclaim.Reclaimer.interval reclaimer -. 0.0005) < 1e-9);
+  Reclaim.Reclaimer.stop reclaimer
+
+(* ------------------------------------------------------------------ *)
+(* Switchable *)
+
+let test_switchable_mode_machine () =
+  Registry.reserve 1;
+  let alloc = Memdom.Alloc.create "switchable-modes" in
+  let s = Sw.create ~max_hps:4 alloc in
+  check_int "starts fast" Reclaim.Switchable.fast (Sw.mode s);
+  check_bool "relax from fast is a no-op" false (Sw.relax s);
+  check_bool "escalate from fast" true (Sw.escalate s);
+  check_int "escalating" Reclaim.Switchable.escalating (Sw.mode s);
+  check_bool "double escalate refused" false (Sw.escalate s);
+  (* no reader is active: the grace period completes immediately *)
+  check_bool "grace period completes when quiescent" true
+    (Sw.try_complete s);
+  check_int "robust" Reclaim.Switchable.robust (Sw.mode s);
+  check_int "escalation counted" 1 (Sw.escalations s);
+  check_bool "relax returns to fast" true (Sw.relax s);
+  check_int "fast again" Reclaim.Switchable.fast (Sw.mode s);
+  check_int "relaxation counted" 1 (Sw.relaxations s)
+
+let test_switchable_grace_blocks_on_reader () =
+  (* an op that began in Fast (epoch-only protection) must hold the
+     grace period open until it finishes — promoting early would let HP
+     frees ignore it *)
+  Registry.reserve 2;
+  let alloc = Memdom.Alloc.create "switchable-grace" in
+  let s = Sw.create ~max_hps:4 alloc in
+  let in_guard = Atomic.make false and release = Atomic.make false in
+  let reader =
+    Domain.spawn (fun () ->
+        Registry.with_tid (fun tid ->
+            Sw.begin_op s ~tid;
+            Atomic.set in_guard true;
+            while not (Atomic.get release) do
+              Domain.cpu_relax ()
+            done;
+            Sw.end_op s ~tid))
+  in
+  while not (Atomic.get in_guard) do
+    Domain.cpu_relax ()
+  done;
+  check_bool "escalate with reader parked" true (Sw.escalate s);
+  check_bool "grace period parked behind the fast reader" false
+    (Sw.try_complete s);
+  check_int "still escalating" Reclaim.Switchable.escalating (Sw.mode s);
+  Atomic.set release true;
+  Domain.join reader;
+  check_bool "grace period completes once the reader left" true
+    (Sw.try_complete s);
+  check_int "robust after grace" Reclaim.Switchable.robust (Sw.mode s)
+
+let test_switchable_retires_leak_free_across_switch () =
+  (* retire through every mode, including the residue drains both ways,
+     and end with nothing live *)
+  Registry.reserve 1;
+  let tid = Registry.tid () in
+  let alloc = Memdom.Alloc.create "switchable-churn" in
+  let s = Sw.create ~max_hps:4 alloc in
+  let burst n =
+    for k = 1 to n do
+      Sw.begin_op s ~tid;
+      Sw.end_op s ~tid;
+      Sw.retire s ~tid (mk alloc k)
+    done
+  in
+  burst 100;
+  check_bool "escalate" true (Sw.escalate s);
+  burst 100;
+  check_bool "complete" true (Sw.try_complete s);
+  burst 100;
+  (* robust → fast with HP residue parked: fast retires must still
+     drain it via the gated hazard scans *)
+  check_bool "relax" true (Sw.relax s);
+  burst 400;
+  Sw.flush s;
+  check_int "unreclaimed zero after flush" 0 (Sw.unreclaimed s);
+  check_int "leak-free across both switches" 0 (Memdom.Alloc.live alloc)
+
+(* ------------------------------------------------------------------ *)
+(* Controller (manual ticks — fully deterministic) *)
+
+let test_controller_hysteresis () =
+  Registry.reserve 1;
+  let tn = Reclaim.Tuning.create () in
+  let unreclaimed = ref 0 and stall = ref 0 in
+  let mode = ref Reclaim.Switchable.fast in
+  let escalated = ref 0 and relaxed = ref 0 in
+  let cfg =
+    {
+      Reclaim.Controller.unreclaimed_hi = 1000;
+      unreclaimed_lo = 100;
+      stall_age_hi = 3;
+      calm_ticks = 4;
+    }
+  in
+  let ctrl =
+    Reclaim.Controller.create ~cfg ~registry:(Obs.Metrics.create ())
+      [
+        Reclaim.Controller.target ~label:"t"
+          ~mode:(fun () -> !mode)
+          ~escalate:(fun () ->
+            incr escalated;
+            mode := Reclaim.Switchable.escalating;
+            true)
+          ~try_complete:(fun () ->
+            mode := Reclaim.Switchable.robust;
+            true)
+          ~relax:(fun () ->
+            incr relaxed;
+            mode := Reclaim.Switchable.fast;
+            true)
+          ~tuning:tn
+          ~unreclaimed:(fun () -> !unreclaimed)
+          ~stall_age:(fun () -> !stall)
+          ();
+      ]
+  in
+  (* calm steady state: no decisions, scale untouched *)
+  unreclaimed := 500 (* between lo and hi: neither calm nor pressured *);
+  Reclaim.Controller.tick ctrl;
+  Reclaim.Controller.tick ctrl;
+  check_int "no decisions in the dead band" 0
+    (Reclaim.Controller.decisions ctrl);
+  (* pressure: multiplicative tighten + the escalation ladder *)
+  unreclaimed := 5000;
+  Reclaim.Controller.tick ctrl;
+  check_int "tighten halved the scale" 50 (Reclaim.Tuning.scale_pct tn);
+  check_int "escalated on first pressured tick" 1 !escalated;
+  Reclaim.Controller.tick ctrl;
+  check_int "second tick completes the grace period"
+    Reclaim.Switchable.robust !mode;
+  check_int "tighten saturates at the clamp floor" 25
+    (Reclaim.Tuning.scale_pct tn);
+  (* calm must be sustained: three quiet ticks change nothing *)
+  unreclaimed := 10;
+  Reclaim.Controller.tick ctrl;
+  Reclaim.Controller.tick ctrl;
+  Reclaim.Controller.tick ctrl;
+  check_int "hysteresis holds through calm_ticks - 1" 0 !relaxed;
+  check_int "mode still robust" Reclaim.Switchable.robust !mode;
+  (* the fourth consecutive calm tick widens and relaxes *)
+  Reclaim.Controller.tick ctrl;
+  check_int "relaxed after sustained calm" 1 !relaxed;
+  check_int "additive widen" 50 (Reclaim.Tuning.scale_pct tn);
+  (* a pressure blip resets the calm streak *)
+  Reclaim.Controller.tick ctrl;
+  Reclaim.Controller.tick ctrl;
+  Reclaim.Controller.tick ctrl;
+  unreclaimed := 5000;
+  Reclaim.Controller.tick ctrl (* blip: tighten + escalate again *);
+  unreclaimed := 10;
+  Reclaim.Controller.tick ctrl;
+  Reclaim.Controller.tick ctrl;
+  Reclaim.Controller.tick ctrl;
+  check_int "streak restarted by the blip" 1 !relaxed;
+  Reclaim.Controller.tick ctrl;
+  check_int "relaxes only after a fresh full streak" 2 !relaxed
+
+let test_controller_stall_signal () =
+  Registry.reserve 1;
+  let tn = Reclaim.Tuning.create () in
+  let stall = ref 0 in
+  let cfg =
+    {
+      Reclaim.Controller.unreclaimed_hi = max_int;
+      unreclaimed_lo = 0;
+      stall_age_hi = 3;
+      calm_ticks = 1;
+    }
+  in
+  let ctrl =
+    Reclaim.Controller.create ~cfg ~registry:(Obs.Metrics.create ())
+      [
+        Reclaim.Controller.target ~tuning:tn
+          ~unreclaimed:(fun () -> 0)
+          ~stall_age:(fun () -> !stall)
+          ();
+      ]
+  in
+  stall := 2;
+  Reclaim.Controller.tick ctrl;
+  check_int "below the age bound: untouched" 100
+    (Reclaim.Tuning.scale_pct tn);
+  stall := 3;
+  Reclaim.Controller.tick ctrl;
+  check_int "stall age alone tightens" 50 (Reclaim.Tuning.scale_pct tn)
+
+(* ------------------------------------------------------------------ *)
+(* End to end *)
+
+let test_adaptive_battery () =
+  let r = Chaos.run_adaptive ~interval:0.001 () in
+  if not (Chaos.adaptive_ok r) then
+    Alcotest.failf "adaptive battery: %a" Chaos.pp_adaptive_report r;
+  check_bool "mid-switch kills exercised" true (r.Chaos.ad_kills > 0);
+  check_bool "controller took decisions" true (r.Chaos.ad_decisions > 0)
+
+let suite =
+  [
+    ( "adaptive",
+      [
+        Alcotest.test_case "tuning: defaults and clamps" `Quick
+          test_tuning_clamps;
+        Alcotest.test_case "tuning: scale tightens a scheme's threshold"
+          `Quick test_scheme_threshold_scaling;
+        Alcotest.test_case "tuning: threshold refreshes on quarantine"
+          `Quick test_threshold_refreshes_on_quarantine;
+        Alcotest.test_case "channel: capacity one" `Quick
+          test_channel_capacity_one;
+        Alcotest.test_case "channel: set_bound under load" `Quick
+          test_channel_set_bound_under_load;
+        Alcotest.test_case "channel: depth accuracy across kill/recover"
+          `Quick test_channel_depth_after_kill_recover;
+        Alcotest.test_case "reclaimer: live interval retune" `Quick
+          test_reclaimer_set_interval;
+        Alcotest.test_case "switchable: mode machine" `Quick
+          test_switchable_mode_machine;
+        Alcotest.test_case "switchable: grace period blocks on a reader"
+          `Quick test_switchable_grace_blocks_on_reader;
+        Alcotest.test_case "switchable: leak-free across switches" `Quick
+          test_switchable_retires_leak_free_across_switch;
+        Alcotest.test_case "controller: AIMD + hysteresis" `Quick
+          test_controller_hysteresis;
+        Alcotest.test_case "controller: stall-age signal" `Quick
+          test_controller_stall_signal;
+        Alcotest.test_case "battery: escalate under stall, relax on calm"
+          `Slow test_adaptive_battery;
+      ] );
+  ]

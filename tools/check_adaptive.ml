@@ -1,0 +1,106 @@
+(* Guard the adaptive-controller invariants in a BENCH_orc.json
+   produced by `bench/main.exe --adaptive --json` (optionally with
+   --smoke).  The section A/Bs three contestants over the same
+   steady → stall-injected → burst workload, aggregated over several
+   interleaved rounds (per-phase max throughput, summed counters):
+
+   - the adaptive stack must keep [calm_floor] of static EBR's calm
+     throughput (the ISSUE target is 0.9x; the floor leaves margin for
+     scheduler noise on small shared CI boxes — the measured median
+     sits at ~0.9 with excursions both sides, see EXPERIMENTS.md),
+   - its stall-phase unreclaimed high-water mark must stay under
+     [stall_ceiling] of EBR's unbounded pile-up (the HP-class bound:
+     once escalated, growth stops; EBR's only limit is that the stall
+     also collapses its throughput),
+   - the escalation ladder must actually run: >= 1 escalation and
+     >= 1 relaxation summed over the rounds, final mode Fast, and the
+     parked victim must have raised [Neutralized] (the controller +
+     armed-reclaimer handshake, not a timeout),
+   - recovery must drain: burst-phase hwm under [recovery_ceiling] of
+     the stall hwm,
+   - nothing may leak: leaked = 0 and unreclaimed_after = 0 for every
+     contestant.
+
+     dune exec tools/check_adaptive.exe -- BENCH_orc.json
+
+   Exits 0 when every invariant holds, 1 otherwise. *)
+
+open Tool_support
+
+let calm_floor = 0.85
+let stall_ceiling = 0.5
+let recovery_ceiling = 0.5
+
+let () =
+  let path = usage_path ~tool:"check_adaptive" ~arg:"BENCH_orc.json" in
+  let doc = load path in
+  let sec = section doc ~path "adaptive" in
+  let contestant name =
+    match Obs.Json.member name sec with
+    | Some row -> row
+    | None -> fail "%s: adaptive section has no %S contestant" path name
+  in
+  let phase row name =
+    match Obs.Json.member name row with
+    | Some p -> p
+    | None -> fail "%s: contestant row has no %S phase" path name
+  in
+  let ebr = contestant "ebr-static" in
+  let adaptive = contestant "adaptive" in
+  let mops row ph = field (phase row ph) "mops" in
+  let hwm row ph = field (phase row ph) "unreclaimed_hwm" in
+
+  (* calm throughput: the controller must be near-free while idle *)
+  let ratio = mops adaptive "calm" /. Float.max 1e-9 (mops ebr "calm") in
+  if ratio < calm_floor then
+    problem "calm throughput %.3f Mops = %.2fx static EBR (< %.2fx floor)"
+      (mops adaptive "calm") ratio calm_floor
+  else
+    Printf.printf "  ok   calm %.3f Mops = %.2fx static EBR\n"
+      (mops adaptive "calm") ratio;
+
+  (* stall containment: escalation must bound what EBR lets pile up *)
+  let a_hwm = hwm adaptive "stall" and e_hwm = hwm ebr "stall" in
+  if a_hwm > stall_ceiling *. e_hwm then
+    problem "stall hwm %.0f > %.2fx EBR's %.0f" a_hwm stall_ceiling e_hwm
+  else
+    Printf.printf "  ok   stall hwm %.0f vs EBR %.0f (%.2fx)\n" a_hwm e_hwm
+      (a_hwm /. Float.max 1. e_hwm);
+
+  (* the ladder ran, both directions, and ended relaxed *)
+  let esc = field adaptive "escalations"
+  and rel = field adaptive "relaxations"
+  and mode = field adaptive "mode_after" in
+  if not (esc >= 1.) then problem "no escalation fired (%.0f)" esc;
+  if not (rel >= 1.) then problem "no relaxation fired (%.0f)" rel;
+  if mode <> 0. then problem "final mode %.0f, expected Fast (0)" mode;
+  if esc >= 1. && rel >= 1. && mode = 0. then
+    Printf.printf "  ok   ladder: %.0f escalations, %.0f relaxations, ended Fast\n"
+      esc rel;
+  (match bool_field adaptive "victim_raised" with
+  | Some true -> Printf.printf "  ok   stalled victim neutralized and raised\n"
+  | Some false | None -> problem "victim never raised Neutralized");
+  if not (field adaptive "decisions" > 0.) then
+    problem "controller recorded no decisions";
+
+  (* recovery: the burst phase must not inherit the stall's backlog *)
+  let b_hwm = hwm adaptive "burst" in
+  if a_hwm > 0. && b_hwm > recovery_ceiling *. a_hwm then
+    problem "burst hwm %.0f > %.2fx stall hwm %.0f (backlog not drained)"
+      b_hwm recovery_ceiling a_hwm
+  else Printf.printf "  ok   burst hwm %.0f (stall backlog drained)\n" b_hwm;
+
+  (* zero-leak contract for every contestant *)
+  List.iter
+    (fun name ->
+      let row = contestant name in
+      let leaked = field row "leaked"
+      and after = field row "unreclaimed_after" in
+      if leaked <> 0. then problem "%s: leaked %.0f objects" name leaked;
+      if after <> 0. then
+        problem "%s: %.0f unreclaimed after flush" name after;
+      if leaked = 0. && after = 0. then
+        Printf.printf "  ok   %-12s zero leaks\n" name)
+    [ "ebr-static"; "hp-static"; "adaptive" ];
+
+  finish path ~what:"adaptive-controller" ~ok:"adaptive controller OK"
