@@ -86,6 +86,10 @@ module Skip_hs = Ds.Orc_hs_skiplist.Make ()
 module Skip_crf = Ds.Orc_crf_skiplist.Make ()
 module Hm_hp = Ds.Hash_map.Make (Reclaim.Hp.Make)
 module Hm_orc = Ds.Orc_hash_map.Make ()
+module Sp_hp = Ds.Split_map.Make (Reclaim.Hp.Make)
+module Sp_ebr = Ds.Split_map.Make (Reclaim.Ebr.Make)
+module Sp_orc = Ds.Orc_split_map.Make ()
+module Sp_orc_hp = Ds.Orc_split_map.Make_hp ()
 
 let targets ?mode () =
   [
@@ -108,6 +112,128 @@ let targets ?mode () =
     set_target ?mode "hashmap-hp" ~keys:1024 (module Hm_hp);
     set_target ?mode "hashmap-orc" ~keys:1024 (module Hm_orc);
   ]
+
+(* KV soak (--kv): zipfian YCSB-B traffic over the resizable
+   split-ordered maps — one per scheme twin, all growing from two
+   buckets under load — until the time budget runs out.  Unlike the
+   uniform main soak, the skewed draw concentrates contention on a few
+   hot keys while the long tail keeps forcing directory doublings;
+   teardown asserts every map actually grew, holds its structural
+   invariant, and leaks nothing. *)
+type kv_tgt = {
+  k_name : string;
+  k_add : int -> bool;
+  k_remove : int -> bool;
+  k_contains : int -> bool;
+  k_coherent : unit -> bool;
+  k_grows : unit -> int;
+  k_teardown : unit -> unit;
+  k_live : unit -> int;
+}
+
+let kv_target (type a) name
+    (module M : Ds.Orc_split_map.MAP with type t = a) =
+  let s = M.create () in
+  {
+    k_name = name;
+    k_add = M.add s;
+    k_remove = M.remove s;
+    k_contains = M.contains s;
+    k_coherent =
+      (fun () ->
+        M.invariant s
+        &&
+        let l = M.to_list s in
+        List.sort_uniq compare l = l);
+    k_grows = (fun () -> M.grows s);
+    k_teardown =
+      (fun () ->
+        M.destroy s;
+        M.flush s);
+    k_live = (fun () -> Memdom.Alloc.live (M.alloc s));
+  }
+
+let run_kv_soak seconds workers seed =
+  let keys = 50_000 in
+  let ts =
+    [
+      kv_target "split-hp" (module Sp_hp);
+      kv_target "split-ebr" (module Sp_ebr);
+      kv_target "split-orc" (module Sp_orc);
+      kv_target "split-orc-hp" (module Sp_orc_hp);
+    ]
+  in
+  Printf.printf
+    "soak --kv: %d split maps, %d workers, %.0fs, %d-key zipfian keyspace, \
+     seed %d\n%!"
+    (List.length ts) workers seconds keys seed;
+  let arr = Array.of_list ts in
+  let stop = Atomic.make false in
+  let failures = Atomic.make 0 in
+  let ops = Atomic.make 0 in
+  let doms =
+    List.init workers (fun i ->
+        Domain.spawn (fun () ->
+            Registry.with_tid (fun _ ->
+                let kg =
+                  Harness.Keygen.create
+                    (Harness.Keygen.Zipfian
+                       { theta = Harness.Keygen.default_theta })
+                    ~n:keys
+                    ~seed:(seed lxor ((i + 1) * 65599))
+                in
+                let rng = Rng.create (seed + ((i + 1) * 7919)) in
+                try
+                  while not (Atomic.get stop) do
+                    let t = arr.(Rng.int rng (Array.length arr)) in
+                    let k = 1 + Harness.Keygen.next kg in
+                    (match Harness.Keygen.next_op kg Harness.Keygen.mix_b with
+                    | Harness.Keygen.Read -> ignore (t.k_contains k)
+                    | Harness.Keygen.Update ->
+                        if Rng.bool rng then ignore (t.k_add k)
+                        else ignore (t.k_remove k));
+                    ignore (Atomic.fetch_and_add ops 1)
+                  done
+                with e ->
+                  ignore (Atomic.fetch_and_add failures 1);
+                  Printf.eprintf "worker %d: %s\n%!" i (Printexc.to_string e))))
+  in
+  let t0 = Unix.gettimeofday () in
+  while Unix.gettimeofday () -. t0 < seconds && Atomic.get failures = 0 do
+    Thread.delay 0.2
+  done;
+  Atomic.set stop true;
+  List.iter Domain.join doms;
+  Printf.printf "executed %d operations\n%!" (Atomic.get ops);
+  let bad = ref (Atomic.get failures) in
+  List.iter
+    (fun t ->
+      let grows = t.k_grows () in
+      if grows < 3 then begin
+        incr bad;
+        Printf.eprintf "%s: only %d directory doublings under load\n%!"
+          t.k_name grows
+      end;
+      if not (t.k_coherent ()) then begin
+        incr bad;
+        Printf.eprintf "%s: structural invariant violated\n%!" t.k_name
+      end;
+      t.k_teardown ();
+      let live = t.k_live () in
+      if live <> 0 then begin
+        incr bad;
+        Printf.eprintf "%s: %d objects leaked\n%!" t.k_name live
+      end)
+    ts;
+  if !bad = 0 then begin
+    Printf.printf
+      "kv soak passed: every map grew, stayed coherent, and leaked nothing\n";
+    0
+  end
+  else begin
+    Printf.eprintf "kv soak FAILED: %d violations\n" !bad;
+    1
+  end
 
 (* Domain-churn chaos mode (--churn): instead of long-lived workers,
    spawn waves of short-lived domains through the Chaos batteries until
@@ -214,10 +340,11 @@ let run_adaptive_soak seconds =
     1
   end
 
-let run seconds workers seed churn background adaptive pool =
+let run seconds workers seed churn background adaptive kv pool =
   if churn then run_churn seconds seed
   else if background then run_background seconds
   else if adaptive then run_adaptive_soak seconds
+  else if kv then run_kv_soak seconds workers seed
   else
   let mode = if pool then Some Memdom.Alloc.Pool else None in
   let ts = targets ?mode () in
@@ -309,6 +436,15 @@ let adaptive_arg =
            relaxation) for the time budget instead of running long-lived \
            workers.")
 
+let kv_arg =
+  Arg.(
+    value & flag
+    & info [ "kv" ]
+        ~doc:
+          "KV mode: zipfian YCSB-B traffic over the resizable \
+           split-ordered maps (one per scheme twin), asserting directory \
+           growth, structural coherence and leak-freedom at teardown.")
+
 let pool_arg =
   Arg.(
     value & flag
@@ -323,6 +459,6 @@ let cmd =
     (Cmd.info "soak" ~doc:"randomized cross-structure soak test")
     Term.(
       const run $ seconds_arg $ workers_arg $ seed_arg $ churn_arg
-      $ background_arg $ adaptive_arg $ pool_arg)
+      $ background_arg $ adaptive_arg $ kv_arg $ pool_arg)
 
 let () = exit (Cmd.eval' cmd)

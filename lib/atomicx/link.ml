@@ -42,12 +42,15 @@ let tagged = ref true
 
 let chunk_bits = 10
 let chunk_size = 1 lsl chunk_bits
-let n_chunks = 4096
+let n_chunks = 8192
 let max_slots = n_chunks * chunk_size
 
 (* free-list head packing: (version lsl slot1_bits) lor (slot + 1);
-   slot+1 = 0 means empty.  23 bits cover max_slots + 1. *)
-let slot1_bits = 23
+   slot+1 = 0 means empty.  24 bits cover max_slots + 1.  Sized for the
+   KV-service scenario: a split-ordered map at 4M regular keys plus its
+   dummy nodes must fit one arena (chunks are lazy, so a small structure
+   still only materialises the slots it touches). *)
+let slot1_bits = 24
 let slot1_mask = (1 lsl slot1_bits) - 1
 
 type chunk = { nodes : Obj.t array; free_next : int array }

@@ -1132,3 +1132,120 @@ let run_adaptive ?(interval = 0.002) ?(neutralize_age = 3) ?(churners = 2)
     ad_leaked = Memdom.Alloc.live alloc;
     ad_errors = List.rev !errors;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Split-ordered map growth (directory doubling under domain death)    *)
+(* ------------------------------------------------------------------ *)
+
+type split_report = {
+  sp_name : string;
+  sp_domains : int;
+  sp_killed : int;
+  sp_mid_grow : int;
+  sp_abandoned : int;
+  sp_force_released : int;
+  sp_grows : int;
+  sp_buckets : int;
+  sp_size : int;
+  sp_invariant : bool;
+  sp_sorted : bool;
+  sp_leaked : int;
+  sp_unreclaimed_after : int;
+  sp_errors : string list;
+}
+
+let split_ok r =
+  r.sp_errors = [] && r.sp_grows >= 3 && r.sp_mid_grow > 0 && r.sp_invariant
+  && r.sp_sorted
+  && r.sp_force_released = r.sp_abandoned
+  && r.sp_leaked = 0 && r.sp_unreclaimed_after = 0
+
+let pp_split_report fmt r =
+  Format.fprintf fmt
+    "@[<v 2>%s: %d domains, %d killed (%d mid-grow, %d abandoned, %d \
+     force-released)@,\
+     %d grows -> %d buckets, %d keys; invariant %b, sorted %b; after \
+     quiesce: leaked %d, unreclaimed %d%a@]"
+    r.sp_name r.sp_domains r.sp_killed r.sp_mid_grow r.sp_abandoned
+    r.sp_force_released r.sp_grows r.sp_buckets r.sp_size r.sp_invariant
+    r.sp_sorted r.sp_leaked r.sp_unreclaimed_after
+    (fun fmt -> function
+      | [] -> ()
+      | es ->
+          Format.fprintf fmt "@,errors:@,%a"
+            (Format.pp_print_list Format.pp_print_string)
+            es)
+    r.sp_errors
+
+module Split_orc = Ds.Orc_split_map.Make ()
+module Split_hp = Ds.Split_map.Make (Reclaim.Hp.Make)
+
+(* Insert-heavy churn over a split-ordered map so the directory doubles
+   repeatedly during the storm; a domain that witnesses a doubling
+   usually dies on the spot — sometimes abruptly ([Registry.abandon],
+   slot left Active) — leaving the freshly split buckets' directory
+   entries still Null.  Survivors must complete the lazy recursive
+   bucket initialization (adopt the half-finished grow), the scheme's
+   orphan protocol must adopt the dead domains' retire backlogs, and
+   the quiesced map must be structurally intact with zero leaks. *)
+let split_battery (type t)
+    (module M : Ds.Orc_split_map.MAP with type t = t) name cfg ~span =
+  let s = M.create () in
+  let mid_grow = Atomic.make 0 in
+  let worker ~tid:_ ~rng ~out =
+    for _ = 1 to cfg.ops do
+      let k = 1 + Rng.int rng span in
+      let g0 = M.grows s in
+      (match Rng.int rng 8 with
+      | 0 | 1 -> ignore (M.remove s k)
+      | 2 -> ignore (M.contains s k)
+      | _ -> ignore (M.add s k));
+      if M.grows s > g0 && Rng.int rng 2 = 0 then begin
+        (* die right after a doubling published the larger size *)
+        Atomic.incr mid_grow;
+        if Rng.int rng 3 = 0 then
+          out := `Abandoned (Registry.abandon ())
+        else out := `Killed;
+        raise Killed
+      end
+      else if cfg.kill_every > 0 && Rng.int rng cfg.kill_every = 0 then begin
+        out := `Killed;
+        raise Killed
+      end
+    done
+  in
+  let killed, abandoned, forced, _peak, errors =
+    drive cfg ~worker ~sample:(fun () -> M.unreclaimed s)
+  in
+  let l = M.to_list s in
+  let sorted = List.sort_uniq compare l = l in
+  let invariant = M.invariant s in
+  let grows = M.grows s and buckets = M.buckets s in
+  M.destroy s;
+  M.flush s;
+  {
+    sp_name = name;
+    sp_domains = cfg.waves * cfg.domains_per_wave;
+    sp_killed = killed;
+    sp_mid_grow = Atomic.get mid_grow;
+    sp_abandoned = abandoned;
+    sp_force_released = forced;
+    sp_grows = grows;
+    sp_buckets = buckets;
+    sp_size = List.length l;
+    sp_invariant = invariant;
+    sp_sorted = sorted;
+    sp_leaked = Memdom.Alloc.live (M.alloc s);
+    sp_unreclaimed_after = M.unreclaimed s;
+    sp_errors = errors;
+  }
+
+let run_split_grow ?(waves = 6) ?(domains_per_wave = 6) ?(ops = 1_500)
+    ?(kill_every = 400) ?(span = 2_000) ?(seed = 0x5011D) () =
+  let cfg =
+    { default with waves; domains_per_wave; ops; kill_every; seed }
+  in
+  [
+    split_battery (module Split_orc) "split-orc" cfg ~span;
+    split_battery (module Split_hp) "split-hp" cfg ~span;
+  ]

@@ -219,3 +219,51 @@ val run_adaptive :
     watchdog row: the controller must see the stall before the
     neutralizer does.  [churners] is the evicting writer domains
     (default 2), [kills] the domains killed mid-switch (default 2). *)
+
+(** {2 Split-ordered map growth}
+
+    The directory-doubling battery: insert-heavy churn over
+    {!Ds.Orc_split_map} (and the manual HP twin) forces repeated
+    doublings while domains die right after witnessing one — sometimes
+    abruptly, slot left Active — so the freshly split buckets'
+    directory entries are still uninitialized when their initializer
+    vanishes.  Survivors must complete the lazy recursive bucket
+    initialization, adopt the dead domains' retire backlogs, and leave
+    the quiesced map structurally intact with zero leaks. *)
+
+type split_report = {
+  sp_name : string;
+  sp_domains : int;  (** domains spawned *)
+  sp_killed : int;  (** domains that died at a kill point *)
+  sp_mid_grow : int;  (** of those, deaths right after a doubling *)
+  sp_abandoned : int;  (** abrupt deaths (slot left Active) *)
+  sp_force_released : int;  (** abandoned slots reclaimed *)
+  sp_grows : int;  (** directory doublings across the storm *)
+  sp_buckets : int;  (** final bucket count *)
+  sp_size : int;  (** surviving keys at quiesce *)
+  sp_invariant : bool;  (** structural check after the storm *)
+  sp_sorted : bool;  (** [to_list] strictly increasing, no duplicates *)
+  sp_leaked : int;  (** [Alloc.live] after destroy + flush — must be 0 *)
+  sp_unreclaimed_after : int;  (** after quiesce — must be 0 *)
+  sp_errors : string list;
+}
+
+val split_ok : split_report -> bool
+(** No errors, ≥3 doublings with ≥1 mid-grow death, invariant and
+    ordering hold, every abandoned slot force-released, nothing leaked
+    or left unreclaimed. *)
+
+val pp_split_report : Format.formatter -> split_report -> unit
+
+val run_split_grow :
+  ?waves:int ->
+  ?domains_per_wave:int ->
+  ?ops:int ->
+  ?kill_every:int ->
+  ?span:int ->
+  ?seed:int ->
+  unit ->
+  split_report list
+(** Run the battery over the orc and hp split maps (defaults: 6 waves
+    x 6 domains x 1500 ops over a 2000-key span, background kill
+    roughly every 400 ops on top of the mid-grow deaths). *)

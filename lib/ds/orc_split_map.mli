@@ -1,0 +1,24 @@
+(** Split-ordered resizable hash map with OrcGC — automatic twin of
+    {!Split_map}; see the implementation header.  {!Make} runs on the
+    paper's pass-the-pointer backend ("orc"), {!Make_hp} on the
+    hazard-pointer backend ablation ("orc-hp"); both satisfy
+    {!Intf.SET} plus the introspection below. *)
+
+val initial_buckets : int
+
+module type MAP = sig
+  include Intf.SET
+
+  val restarts : t -> int
+  val buckets : t -> int
+  val grows : t -> int
+
+  val invariant : t -> bool
+  (** Quiesced structural check (see {!Split_map.Make.invariant}). *)
+
+  val tuning : t -> Reclaim.Tuning.t
+  val set_tuning : t -> Reclaim.Tuning.t -> unit
+end
+
+module Make () : MAP
+module Make_hp () : MAP

@@ -115,6 +115,9 @@ let tighten t ~tid tgt =
   let tn = tgt.tuning in
   Tuning.set_scale_pct tn (Tuning.scale_pct tn / 2);
   Tuning.set_bg_batch tn (Tuning.bg_batch tn / 2);
+  (* memory pressure also defers resizable-map directory doublings:
+     a higher load factor trades chain length for footprint *)
+  Tuning.set_load_factor tn (Tuning.load_factor tn * 2);
   (match t.reclaimer with
   | Some r -> Reclaimer.set_interval r (max min_interval (Reclaimer.interval r /. 2.))
   | None -> ());
@@ -127,6 +130,9 @@ let widen t ~tid tgt =
   let tn = tgt.tuning in
   Tuning.set_scale_pct tn (Tuning.scale_pct tn + 25);
   Tuning.set_bg_batch tn (Tuning.bg_batch tn + 8);
+  (if Tuning.load_factor tn > Tuning.default_load_factor then
+     Tuning.set_load_factor tn
+       (max Tuning.default_load_factor (Tuning.load_factor tn / 2)));
   (match t.reclaimer with
   | Some r -> Reclaimer.set_interval r (min max_interval (Reclaimer.interval r *. 2.))
   | None -> ());

@@ -13,21 +13,27 @@ let default_bg_batch = 32
 let min_bg_batch = 8
 let max_bg_batch = 256
 let default_drain_interval = 0.002
+let default_load_factor = 4
+let min_load_factor = 1
+let max_load_factor = 64
 
 type t = {
   scale_pct : int Atomic.t;
   bg_batch : int Atomic.t;
+  load_factor : int Atomic.t;
   r_floor : int;
 }
 
 let clamp lo hi v = max lo (min hi v)
 
 let create ?(r_scale_pct = default_r_scale_pct) ?(r_floor = default_r_floor)
-    ?(bg_batch = default_bg_batch) () =
+    ?(bg_batch = default_bg_batch) ?(load_factor = default_load_factor) () =
   {
     scale_pct =
       Atomic.make (clamp min_r_scale_pct max_r_scale_pct r_scale_pct);
     bg_batch = Atomic.make (clamp min_bg_batch max_bg_batch bg_batch);
+    load_factor =
+      Atomic.make (clamp min_load_factor max_load_factor load_factor);
     r_floor = max 1 r_floor;
   }
 
@@ -38,6 +44,11 @@ let set_scale_pct t v =
 
 let bg_batch t = Atomic.get t.bg_batch
 let set_bg_batch t v = Atomic.set t.bg_batch (clamp min_bg_batch max_bg_batch v)
+let load_factor t = Atomic.get t.load_factor
+
+let set_load_factor t v =
+  Atomic.set t.load_factor (clamp min_load_factor max_load_factor v)
+
 let r_floor t = t.r_floor
 
 let threshold t ~hps =

@@ -48,9 +48,27 @@ val default_drain_interval : float
 (** 0.002 s — the background reclaimer's pass period
     ({!Reclaimer.start}'s default). *)
 
+val default_load_factor : int
+(** 4 — target keys-per-bucket before a resizable map doubles its
+    bucket directory (split-ordered maps read this per grow check). *)
+
+val min_load_factor : int
+(** 1 — the most aggressive growth the controller may request. *)
+
+val max_load_factor : int
+(** 64 — the laziest: under memory pressure the controller can raise
+    the knob to defer directory doublings and bound bucket-array
+    growth, trading longer chains for a smaller footprint. *)
+
 (** {2 Records} *)
 
-val create : ?r_scale_pct:int -> ?r_floor:int -> ?bg_batch:int -> unit -> t
+val create :
+  ?r_scale_pct:int ->
+  ?r_floor:int ->
+  ?bg_batch:int ->
+  ?load_factor:int ->
+  unit ->
+  t
 (** A fresh knob record, defaults as documented above.  Out-of-range
     arguments are clamped, never rejected. *)
 
@@ -63,6 +81,12 @@ val bg_batch : t -> int
 
 val set_bg_batch : t -> int -> unit
 (** Clamped to [[min_bg_batch, max_bg_batch]]. *)
+
+val load_factor : t -> int
+
+val set_load_factor : t -> int -> unit
+(** Clamped to [[min_load_factor, max_load_factor]].  Read on the map's
+    grow-check path (one atomic load, amortized over adds). *)
 
 val r_floor : t -> int
 

@@ -144,12 +144,31 @@ let test_orc_death_in_guard () =
   check_int "no leak after death" 0 (Memdom.Alloc.live alloc);
   check_int "nothing pending" 0 (O.unreclaimed o)
 
+(* Directory doubling under domain death: domains die right after
+   witnessing a doubling (some abruptly), leaving freshly split buckets
+   uninitialized; survivors must finish the lazy bucket init and adopt
+   the dead domains' backlogs, and the quiesced map must be intact. *)
+let test_split_grow () =
+  List.iter
+    (fun r ->
+      Format.eprintf "%a@." Chaos.pp_split_report r;
+      if not (Chaos.split_ok r) then
+        Alcotest.failf "%s: split-grow contract violated:@.%a" r.Chaos.sp_name
+          Chaos.pp_split_report r;
+      check_bool (r.Chaos.sp_name ^ " killed domains mid-grow") true
+        (r.Chaos.sp_mid_grow > 0);
+      check_bool (r.Chaos.sp_name ^ " saw abrupt deaths") true
+        (r.Chaos.sp_abandoned > 0))
+    (Chaos.run_split_grow ())
+
 let suite =
   [
     ( "chaos",
       [
         Alcotest.test_case "churn across all schemes" `Slow
           test_churn_all_schemes;
+        Alcotest.test_case "split map grows under domain death" `Slow
+          test_split_grow;
         Alcotest.test_case "ptp abrupt-death containment" `Quick
           test_ptp_abrupt_death_containment;
         Alcotest.test_case "orc death inside a guard" `Quick

@@ -1,0 +1,168 @@
+(* Split-ordered map invariants: the so-key encoding (bit-reversal
+   round trip, split-ordering of dummies vs regular keys), the shared
+   set battery over three schemes, dummy-node-never-retired, and
+   grow-under-churn across multiple doublings with exact leak
+   accounting.  The chaos battery (domain killed mid-grow) lives in
+   Chaos.run_split_grow and is driven from test_chaos. *)
+
+open Util
+open Set_battery
+module So = Ds.Split_order
+
+module Sm_hp = Ds.Split_map.Make (Reclaim.Hp.Make)
+module Sm_ebr = Ds.Split_map.Make (Reclaim.Ebr.Make)
+module Sm_orc = Ds.Orc_split_map.Make ()
+module Sm_orc_hp = Ds.Orc_split_map.Make_hp ()
+
+module B_hp = Battery (struct let name = "splitmap-hp" end) (Sm_hp)
+module B_ebr = Battery (struct let name = "splitmap-ebr" end) (Sm_ebr)
+module B_orc = Battery (struct let name = "splitmap-orc" end) (Sm_orc)
+module B_orc_hp = Battery (struct let name = "splitmap-orc-hp" end) (Sm_orc_hp)
+
+(* {2 so-key encoding} *)
+
+let test_rev60_roundtrip () =
+  let cases = [ 0; 1; 2; 3; 0xff; 0xdeadbeef; So.max_key; So.max_key - 1 ] in
+  List.iter
+    (fun h -> check_int "rev60 involution" h (So.rev60 (So.rev60 h)))
+    cases;
+  check_int "rev60 0" 0 (So.rev60 0);
+  check_int "rev60 1 = msb" (1 lsl (So.hash_bits - 1)) (So.rev60 1)
+
+let prop_rev60_roundtrip =
+  qtest "rev60 is an involution on the 60-bit domain"
+    QCheck2.Gen.(int_range 0 So.max_key)
+    (fun h -> So.rev60 (So.rev60 h) = h)
+
+let prop_split_ordering =
+  (* For every key and table size: the key's bucket dummy precedes it,
+     and the dummy that splits the bucket at the doubled size falls on
+     the correct side of the key — the invariant that makes directory
+     doubling sound without moving any node. *)
+  qtest "dummies split buckets in so-key order"
+    QCheck2.Gen.(pair (int_range 0 So.max_key) (int_range 1 19))
+    (fun (key, log_size) ->
+      let size = 1 lsl log_size in
+      let h = So.hash key in
+      let b = So.bucket_of ~hash:h ~size in
+      let so = So.regular h in
+      let split = b + size in
+      let splits_left = So.bucket_of ~hash:h ~size:(2 * size) = b in
+      So.dummy b < so
+      && (if splits_left then so < So.dummy split else so > So.dummy split)
+      && (b = 0 || So.dummy (So.parent b) < So.dummy b))
+
+let prop_so_keys_unique =
+  qtest "distinct keys have distinct so-keys"
+    QCheck2.Gen.(pair (int_range 0 So.max_key) (int_range 0 So.max_key))
+    (fun (a, b) ->
+      a = b || So.regular (So.hash a) <> So.regular (So.hash b))
+
+(* {2 dummy-node-never-retired} *)
+
+let test_dummy_never_retired () =
+  let s = Sm_hp.create () in
+  let keys = 600 in
+  for k = 1 to keys do
+    ignore (Sm_hp.add s k)
+  done;
+  check_bool "grew" true (Sm_hp.buckets s > Ds.Split_map.initial_buckets);
+  for k = 1 to keys do
+    ignore (Sm_hp.remove s k)
+  done;
+  Sm_hp.flush s;
+  let st = Sm_hp.stats s in
+  (* every retire was a successful remove: no dummy ever retired *)
+  check_int "retires = removes" keys st.Reclaim.Scheme_intf.retires;
+  check_bool "empty but structure intact" true (Sm_hp.to_list s = []);
+  check_bool "invariant holds with all dummies in place" true
+    (Sm_hp.invariant s);
+  (* live objects now = the dummies + tail, all freed only by destroy *)
+  check_bool "dummies still live" true (Memdom.Alloc.live (Sm_hp.alloc s) > 0);
+  Sm_hp.destroy s;
+  Sm_hp.flush s;
+  check_int "no leak" 0 (Memdom.Alloc.live (Sm_hp.alloc s))
+
+(* {2 grow under churn} *)
+
+let grow_under_churn (type t) (module M : Ds.Orc_split_map.MAP with type t = t)
+    name =
+  let s = M.create () in
+  let domains = 4 and span = 3_000 and iters = 6_000 in
+  run_domains_exn domains (fun ~i ~tid:_ ->
+      let rng = Atomicx.Rng.create ((i + 1) * 7919) in
+      for _ = 1 to iters do
+        let k = 1 + Atomicx.Rng.int rng span in
+        match Atomicx.Rng.int rng 4 with
+        | 0 | 1 -> ignore (M.add s k)
+        | 2 -> ignore (M.remove s k)
+        | _ -> ignore (M.contains s k)
+      done);
+  (* enough inserts survive that the table must have doubled ≥ 3× *)
+  check_bool
+    (name ^ ": >= 3 doublings")
+    true
+    (M.grows s >= 3 && M.buckets s >= 8 * Ds.Orc_split_map.initial_buckets);
+  check_bool (name ^ ": invariant after storm") true (M.invariant s);
+  let l = M.to_list s in
+  check_bool (name ^ ": sorted strictly increasing") true
+    (List.sort_uniq compare l = l);
+  M.destroy s;
+  M.flush s;
+  check_int (name ^ ": no leak") 0 (Memdom.Alloc.live (M.alloc s));
+  check_int (name ^ ": nothing unreclaimed") 0 (M.unreclaimed s)
+
+let test_grow_under_churn_orc () =
+  grow_under_churn (module Sm_orc) "splitmap-orc"
+
+let test_grow_under_churn_hp () =
+  grow_under_churn (module Sm_hp) "splitmap-hp"
+
+(* {2 load-factor knob drives the grow policy} *)
+
+let test_load_factor_knob () =
+  (* a high load factor defers growth; the default grows eagerly *)
+  let lazy_map = Sm_hp.create () in
+  Reclaim.Tuning.set_load_factor (Sm_hp.tuning lazy_map) 64;
+  for k = 1 to 500 do
+    ignore (Sm_hp.add lazy_map k)
+  done;
+  let eager = Sm_hp.create () in
+  for k = 1 to 500 do
+    ignore (Sm_hp.add eager k)
+  done;
+  check_bool "higher load factor => fewer buckets" true
+    (Sm_hp.buckets lazy_map < Sm_hp.buckets eager);
+  List.iter
+    (fun s ->
+      Sm_hp.destroy s;
+      Sm_hp.flush s;
+      check_int "no leak" 0 (Memdom.Alloc.live (Sm_hp.alloc s)))
+    [ lazy_map; eager ]
+
+let suite =
+  [
+    ( "split:encoding",
+      [
+        Alcotest.test_case "rev60 round trip (edges)" `Quick
+          test_rev60_roundtrip;
+        prop_rev60_roundtrip;
+        prop_split_ordering;
+        prop_so_keys_unique;
+      ] );
+    ("splitmap:hp", B_hp.cases);
+    ("splitmap:ebr", B_ebr.cases);
+    ("splitmap:orc", B_orc.cases);
+    ("splitmap:orc-hp", B_orc_hp.cases);
+    ( "split:invariants",
+      [
+        Alcotest.test_case "dummy nodes are never retired" `Slow
+          test_dummy_never_retired;
+        Alcotest.test_case "grow under churn (orc, 4 domains)" `Slow
+          test_grow_under_churn_orc;
+        Alcotest.test_case "grow under churn (hp, 4 domains)" `Slow
+          test_grow_under_churn_hp;
+        Alcotest.test_case "load-factor knob defers growth" `Quick
+          test_load_factor_knob;
+      ] );
+  ]

@@ -1,0 +1,106 @@
+(* Guard the KV-service invariants in a BENCH_orc.json produced by
+   `bench/main.exe --kv --json`: at the guard keyspace (the largest
+   size with >= 1M keys, falling back to the largest present so smoke
+   artifacts are still checkable)
+
+   - for every scheme measured under both kinds, the split-ordered map
+     must serve at least [speedup_floor] x the fixed map's throughput —
+     the whole point of the resizable directory,
+   - every split row must have actually grown (grows > 0) and ended
+     with a power-of-two directory,
+   - every split row's p99.9 must sit inside [p999_budget_ns] — a
+     deliberately loose ceiling that catches reclamation stalls and
+     scan storms, not scheduler noise,
+   - no row may leak (leaked = 0), at any size.
+
+     dune exec tools/check_kv.exe -- BENCH_orc.json
+
+   Exits 0 when every check passes, 1 otherwise. *)
+
+open Tool_support
+
+let speedup_floor = 2.0
+let p999_budget_ns = 20_000_000.
+
+let () =
+  let path = usage_path ~tool:"check_kv" ~arg:"BENCH_orc.json" in
+  let doc = load path in
+  let kv = section doc ~path "kv_service" in
+  let sizes =
+    match Obs.Json.member "sizes" kv with
+    | Some (Obs.Json.List l) -> l
+    | Some _ | None -> fail "%s: kv_service.sizes missing (or not a list)" path
+  in
+  if sizes = [] then fail "%s: kv_service.sizes is empty" path;
+  let rows_of entry =
+    match Obs.Json.member "rows" entry with
+    | Some (Obs.Json.List rows) -> rows
+    | Some _ | None -> []
+  in
+  (* leak check covers every size *)
+  List.iter
+    (fun entry ->
+      let keys = field entry "keys" in
+      List.iter
+        (fun row ->
+          if field row "leaked" <> 0. then
+            problem "%s/%s at %.0f keys: leaked %.0f objects"
+              (Option.value ~default:"?" (str_field row "scheme"))
+              (Option.value ~default:"?" (str_field row "kind"))
+              keys (field row "leaked"))
+        (rows_of entry))
+    sizes;
+  (* guard size: largest >= 1M, else largest present *)
+  let by_keys = List.sort (fun a b -> compare (field a "keys") (field b "keys")) sizes in
+  let guard =
+    match List.filter (fun e -> field e "keys" >= 1_000_000.) by_keys with
+    | [] -> List.nth by_keys (List.length by_keys - 1)
+    | big -> List.nth big (List.length big - 1)
+  in
+  let gkeys = field guard "keys" in
+  let rows = rows_of guard in
+  if rows = [] then fail "%s: guard size %.0f has no rows" path gkeys;
+  let find scheme kind =
+    List.find_opt
+      (fun row ->
+        str_field row "scheme" = Some scheme && str_field row "kind" = Some kind)
+      rows
+  in
+  let schemes =
+    List.sort_uniq compare
+      (List.filter_map (fun row -> str_field row "scheme") rows)
+  in
+  List.iter
+    (fun scheme ->
+      (match (find scheme "fixed", find scheme "split") with
+      | Some fixed, Some split ->
+          let f = field fixed "mops" and s = field split "mops" in
+          if not (s >= speedup_floor *. f) then
+            problem
+              "%s at %.0f keys: split %.3f Mops/s < %.1fx fixed %.3f Mops/s"
+              scheme gkeys s speedup_floor f
+          else
+            Printf.printf "  ok   %-6s split %.3f vs fixed %.3f Mops/s (%.1fx)\n"
+              scheme s f (s /. Float.max 1e-9 f)
+      | _, None -> problem "%s: no split row at the guard size" scheme
+      | None, Some _ -> ());
+      match find scheme "split" with
+      | None -> ()
+      | Some split ->
+          let grows = field split "grows" in
+          if not (grows > 0.) then
+            problem "%s at %.0f keys: split map never grew" scheme gkeys;
+          let buckets = field split "buckets" in
+          let b = int_of_float buckets in
+          if b <= 0 || b land (b - 1) <> 0 then
+            problem "%s at %.0f keys: buckets %d not a power of two" scheme
+              gkeys b;
+          let p999 = field split "p999_ns" in
+          if not (p999 <= p999_budget_ns) then
+            problem "%s at %.0f keys: split p99.9 %.0f ns > %.0f ns budget"
+              scheme gkeys p999 p999_budget_ns)
+    schemes;
+  finish path ~what:"kv-service"
+    ~ok:
+      (Printf.sprintf "kv service OK (%d schemes at %.0f keys)"
+         (List.length schemes) gkeys)
